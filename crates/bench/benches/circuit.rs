@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the circuit IR, partitioner and cutter:
+//! the costs a circuit-aware scheduler would pay per decision.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_circuit::{
+    balanced_blocks, cut_circuit, quantum_volume, random_layered, trotter_1d, CutCostModel,
+};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit/generate");
+    for &n in &[50u32, 127, 250] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("random_layered_d12", n), &n, |b, &n| {
+            b.iter(|| random_layered(black_box(n), 12, 0.4, 42))
+        });
+        g.bench_with_input(BenchmarkId::new("trotter_s5", n), &n, |b, &n| {
+            b.iter(|| trotter_1d(black_box(n), 5, 0.1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let circ = random_layered(250, 20, 0.4, 7);
+    let mut g = c.benchmark_group("circuit/analyze");
+    g.throughput(Throughput::Elements(circ.len() as u64));
+    g.bench_function("stats_250q_d20", |b| b.iter(|| black_box(&circ).stats()));
+    g.bench_function("interaction_graph_250q", |b| {
+        b.iter(|| black_box(&circ).interaction_graph())
+    });
+    g.finish();
+}
+
+fn bench_partition_and_cut(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit/cut");
+    for (label, circ) in [
+        ("chain_190q", trotter_1d(190, 4, 0.1)),
+        ("random_190q", random_layered(190, 12, 0.4, 3)),
+        ("qv_64q", quantum_volume(64, 5)),
+    ] {
+        g.bench_function(BenchmarkId::new("balanced_blocks_k2", label), |b| {
+            b.iter(|| balanced_blocks(black_box(&circ), 2))
+        });
+        g.bench_function(BenchmarkId::new("cut_circuit_127", label), |b| {
+            b.iter(|| cut_circuit(black_box(&circ), 127, CutCostModel::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_stats, bench_partition_and_cut);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the discrete-event kernel: event
+//! scheduling throughput and container grant propagation under contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_desim::{Coroutine, Ctx, Effect, Simulation, Step};
+
+struct Ticker {
+    remaining: u32,
+}
+impl Coroutine for Ticker {
+    fn resume(&mut self, _cx: &mut Ctx<'_>) -> Step {
+        if self.remaining == 0 {
+            return Step::Done;
+        }
+        self.remaining -= 1;
+        Step::Wait(Effect::Timeout(1.0))
+    }
+}
+
+struct Contender {
+    container: qcs_desim::ContainerId,
+    amount: u64,
+    cycles: u32,
+    phase: u8,
+}
+impl Coroutine for Contender {
+    fn resume(&mut self, _cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                if self.cycles == 0 {
+                    return Step::Done;
+                }
+                self.cycles -= 1;
+                self.phase = 1;
+                Step::Wait(Effect::Get {
+                    container: self.container,
+                    amount: self.amount,
+                })
+            }
+            1 => {
+                self.phase = 2;
+                Step::Wait(Effect::Timeout(1.0))
+            }
+            _ => {
+                self.phase = 0;
+                Step::Wait(Effect::Put {
+                    container: self.container,
+                    amount: self.amount,
+                })
+            }
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/events");
+    for n_procs in [10usize, 100, 1000] {
+        let events_per_run = (n_procs * 100) as u64;
+        group.throughput(Throughput::Elements(events_per_run));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_procs),
+            &n_procs,
+            |b, &n_procs| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(1);
+                    for _ in 0..n_procs {
+                        sim.spawn(Box::new(Ticker { remaining: 100 }));
+                    }
+                    sim.run();
+                    sim.events_processed()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_container_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/container_contention");
+    for n_procs in [8usize, 64, 256] {
+        group.throughput(Throughput::Elements((n_procs * 50) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_procs),
+            &n_procs,
+            |b, &n_procs| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(2);
+                    let container = sim.add_container("pool", 100, 100);
+                    for i in 0..n_procs {
+                        sim.spawn(Box::new(Contender {
+                            container,
+                            amount: 10 + (i as u64 % 30),
+                            cycles: 50,
+                            phase: 0,
+                        }));
+                    }
+                    sim.run();
+                    sim.now()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_container_contention);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Closed-form model benchmarks: the per-job cost of the fidelity,
+//! execution-time and error-score computations (these run once per job per
+//! decision, so they must stay trivial).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcs_calibration::{error_score, ibm_fleet, ErrorScoreWeights};
+use qcs_qcloud::model::exec_time::ExecTimeModel;
+use qcs_qcloud::model::fidelity::{DeviceErrorRates, FidelityModel};
+
+fn bench_fidelity(c: &mut Criterion) {
+    let model = FidelityModel::default();
+    let rates = DeviceErrorRates {
+        single_qubit: 4.2e-4,
+        two_qubit: 9.2e-3,
+        readout: 1.68e-2,
+    };
+    c.bench_function("models/device_fidelity", |b| {
+        b.iter(|| model.device_fidelity(&rates, 12, 600, 95, 190, 2))
+    });
+    c.bench_function("models/final_fidelity_k5", |b| {
+        let fids = [0.7, 0.71, 0.69, 0.72, 0.7];
+        b.iter(|| model.final_fidelity(&fids, 0.95))
+    });
+}
+
+fn bench_exec_time(c: &mut Criterion) {
+    let m = ExecTimeModel::case_study();
+    c.bench_function("models/execution_seconds", |b| {
+        b.iter(|| m.execution_seconds(55_000, 7.0, 220_000.0))
+    });
+}
+
+fn bench_error_score(c: &mut Criterion) {
+    let fleet = ibm_fleet(1);
+    let w = ErrorScoreWeights::default();
+    c.bench_function("models/error_score_127q", |b| {
+        b.iter(|| error_score(&fleet[0].calibration, &w))
+    });
+}
+
+criterion_group!(benches, bench_fidelity, bench_exec_time, bench_error_score);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! RL stack benchmarks: policy inference latency (the per-decision cost of
+//! the RL broker) and PPO optimisation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qcs_desim::Xoshiro256StarStar;
+use qcs_rl::envs::bandit::ContinuousBandit;
+use qcs_rl::policy::{ActScratch, ActorCritic};
+use qcs_rl::{Ppo, PpoConfig, VecEnv};
+
+fn bench_policy_forward(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::new(1);
+    let ac = ActorCritic::new(16, 5, &mut rng);
+    let mut scratch = ActScratch::new();
+    let obs = vec![0.3f32; 16];
+    c.bench_function("rl/policy_forward_16obs_5act", |b| {
+        b.iter(|| ac.act_deterministic(&obs, &mut scratch))
+    });
+    c.bench_function("rl/policy_sample_16obs_5act", |b| {
+        b.iter(|| ac.act(&obs, &mut rng, &mut scratch))
+    });
+}
+
+fn bench_ppo_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rl/ppo");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2048));
+    group.bench_function("one_iteration_2048_steps", |b| {
+        b.iter(|| {
+            let cfg = PpoConfig {
+                n_steps: 512,
+                batch_size: 64,
+                n_epochs: 10,
+                seed: 3,
+                ..PpoConfig::default()
+            };
+            let mut ppo = Ppo::new(1, 2, cfg);
+            let envs: Vec<Box<dyn qcs_rl::env::Env>> = (0..4)
+                .map(|_| {
+                    Box::new(ContinuousBandit::new(vec![0.5, -0.5])) as Box<dyn qcs_rl::env::Env>
+                })
+                .collect();
+            let mut venv = VecEnv::sequential(envs);
+            ppo.learn(&mut venv, 2048);
+            ppo.log().final_reward()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_forward, bench_ppo_iteration);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end scheduler benchmarks: how fast the full quantum-cloud
+//! simulation runs per policy (the simulator-performance claim behind the
+//! Table 2 harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_calibration::ibm_fleet;
+use qcs_qcloud::jobgen::batch_at_zero;
+use qcs_qcloud::policies::by_name;
+use qcs_qcloud::{JobDistribution, QCloudSimEnv, SimParams};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/case_study_100_jobs");
+    let jobs = batch_at_zero(100, &JobDistribution::default(), 7);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for policy in ["speed", "fidelity", "fair", "roundrobin", "random"] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &p| {
+            b.iter(|| {
+                let env = QCloudSimEnv::new(
+                    ibm_fleet(7),
+                    by_name(p, 7).unwrap(),
+                    jobs.clone(),
+                    SimParams::default(),
+                    7,
+                );
+                env.run().summary.t_sim
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/jobs_scaling");
+    for n in [100usize, 400, 1600] {
+        let jobs = batch_at_zero(n, &JobDistribution::default(), 9);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| {
+                let env = QCloudSimEnv::new(
+                    ibm_fleet(9),
+                    by_name("speed", 9).unwrap(),
+                    jobs.clone(),
+                    SimParams::default(),
+                    9,
+                );
+                env.run().summary.jobs_finished
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_workload_scaling);
+criterion_main!(benches);

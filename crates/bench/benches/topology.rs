@@ -1,0 +1,36 @@
+//! Coupling-map benchmarks: lattice construction and the allocation-time
+//! graph algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_topology::{
+    bfs_order, connected_subgraph_from, diameter, disjoint_connected_partition, heavy_hex,
+    heavy_hex_eagle,
+};
+
+fn bench_builders(c: &mut Criterion) {
+    c.bench_function("topology/heavy_hex_eagle_build", |b| b.iter(heavy_hex_eagle));
+    c.bench_function("topology/heavy_hex_29x15_build", |b| {
+        b.iter(|| heavy_hex(29, 15))
+    });
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = heavy_hex_eagle();
+    c.bench_function("topology/bfs_eagle", |b| b.iter(|| bfs_order(&g, 0)));
+    c.bench_function("topology/diameter_eagle", |b| b.iter(|| diameter(&g)));
+
+    let mut group = c.benchmark_group("topology/connected_subgraph");
+    for size in [10usize, 63, 127] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| connected_subgraph_from(&g, 0, s).unwrap().len());
+        });
+    }
+    group.finish();
+
+    c.bench_function("topology/disjoint_partition_3x40", |b| {
+        b.iter(|| disjoint_connected_partition(&g, &[40, 40, 40]).unwrap().len())
+    });
+}
+
+criterion_group!(benches, bench_builders, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! **Open-system queueing sweep** (extension): the paper's case study is a
+//! closed backlog (all jobs at `t = 0`); this harness drives the cloud with
+//! Poisson arrivals at increasing offered load and reports wait-time tails
+//! and slowdown per policy — where head-of-line blocking and the
+//! fidelity policy's quality-strictness actually bite.
+//!
+//! ```text
+//! cargo run -p qcs-bench --release --bin queueing [-- --jobs 200 --seed 42]
+//! ```
+//!
+//! Output: `results/queueing.csv` + ASCII tables per arrival rate.
+
+use qcs_bench::runner::results_dir;
+use qcs_bench::table::AsciiTable;
+use qcs_calibration::ibm_fleet;
+use qcs_qcloud::policies::by_name;
+use qcs_qcloud::{DeadlinePolicy, QCloudSimEnv, QosReport, SimParams};
+use qcs_qcloud::JobDistribution;
+use qcs_workload::arrival::{jobs_with_arrivals, poisson_process};
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n_jobs: usize = arg("--jobs", 200);
+    let seed: u64 = arg("--seed", 42);
+    let params = SimParams::default();
+    let policies = ["speed", "fidelity", "fair", "minfrag"];
+    // Paper-scale service times are ~100 s on premium devices; sweep the
+    // arrival rate from light to saturating load.
+    let rates = [0.002, 0.005, 0.01, 0.02];
+
+    let mut csv = String::from(
+        "rate,policy,wait_p50,wait_p95,wait_p99,mean_slowdown,mean_bsld,deadline_miss\n",
+    );
+    for &rate in &rates {
+        let arrivals = poisson_process(n_jobs, rate, seed);
+        let jobs = jobs_with_arrivals(&arrivals, &JobDistribution::default(), 0, seed ^ 0xA5);
+        println!(
+            "\nArrival rate {rate} jobs/s ({n_jobs} jobs over {:.0} s)\n",
+            arrivals.last().copied().unwrap_or(0.0)
+        );
+        let mut table = AsciiTable::new(&[
+            "policy", "wait p50 (s)", "wait p95 (s)", "wait p99 (s)", "slowdown", "BSLD",
+            "miss rate",
+        ]);
+        for pol in policies {
+            let broker = by_name(pol, seed).expect("known policy");
+            let env =
+                QCloudSimEnv::new(ibm_fleet(seed), broker, jobs.clone(), params.clone(), seed);
+            let result = env.run();
+            let qos = QosReport::from_records(&result.records, DeadlinePolicy::default());
+            table.row(vec![
+                pol.into(),
+                format!("{:.1}", qos.wait_p50),
+                format!("{:.1}", qos.wait_p95),
+                format!("{:.1}", qos.wait_p99),
+                format!("{:.2}", qos.mean_slowdown),
+                format!("{:.2}", qos.mean_bounded_slowdown),
+                format!("{:.3}", qos.deadline_miss_rate),
+            ]);
+            csv.push_str(&format!(
+                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4}\n",
+                qos.wait_p50,
+                qos.wait_p95,
+                qos.wait_p99,
+                qos.mean_slowdown,
+                qos.mean_bounded_slowdown,
+                qos.deadline_miss_rate
+            ));
+        }
+        println!("{}", table.render());
+    }
+    let out = results_dir().join("queueing.csv");
+    std::fs::write(&out, csv).expect("cannot write queueing.csv");
+    println!("\nwrote {}", out.display());
+}

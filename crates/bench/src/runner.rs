@@ -1,0 +1,153 @@
+//! Strategy execution helpers shared by the harness binaries.
+
+use qcs_calibration::ibm_fleet;
+use qcs_qcloud::policies::{
+    by_name, FairBroker, FidelityBroker, RlBroker, SpeedBroker,
+};
+use qcs_qcloud::simenv::RunResult;
+use qcs_qcloud::{Broker, GymConfig, QCloudSimEnv, QJob, SimParams};
+
+/// How to instantiate a strategy for a run.
+#[derive(Debug, Clone)]
+pub enum StrategySpec {
+    /// One of the built-in policies by name (`speed`, `fidelity`, `fair`,
+    /// `roundrobin`, `random`).
+    Named(String),
+    /// The RL policy, from a serialised [`qcs_rl::ActorCritic`] JSON.
+    Rl {
+        /// Policy JSON (from [`qcs_rl::ActorCritic::to_json`]).
+        policy_json: String,
+        /// The observation/normalisation config used in training.
+        gym: GymConfig,
+    },
+}
+
+impl StrategySpec {
+    /// Strategy display name.
+    pub fn name(&self) -> &str {
+        match self {
+            StrategySpec::Named(n) => n,
+            StrategySpec::Rl { .. } => "rlbase",
+        }
+    }
+
+    /// Builds the broker.
+    pub fn broker(&self, seed: u64) -> Box<dyn Broker> {
+        match self {
+            StrategySpec::Named(n) => {
+                by_name(n, seed).unwrap_or_else(|| panic!("unknown strategy '{n}'"))
+            }
+            StrategySpec::Rl { policy_json, gym } => Box::new(
+                RlBroker::from_json(policy_json, gym.clone())
+                    .expect("invalid RL policy JSON"),
+            ),
+        }
+    }
+}
+
+/// Runs one strategy over a job trace on the five-device paper fleet.
+pub fn run_strategy(
+    spec: &StrategySpec,
+    jobs: Vec<QJob>,
+    params: &SimParams,
+    seed: u64,
+) -> RunResult {
+    let env = QCloudSimEnv::new(ibm_fleet(seed), spec.broker(seed), jobs, params.clone(), seed);
+    env.run()
+}
+
+/// Runs several strategies over the *same* job trace, in parallel across
+/// OS threads (each strategy's simulation is independent).
+pub fn run_strategies(
+    specs: &[StrategySpec],
+    jobs: &[QJob],
+    params: &SimParams,
+    seed: u64,
+) -> Vec<RunResult> {
+    let items: Vec<(StrategySpec, Vec<QJob>)> = specs
+        .iter()
+        .map(|s| (s.clone(), jobs.to_vec()))
+        .collect();
+    qcs_desim::parallel::par_map(items, specs.len(), |(spec, jobs)| {
+        run_strategy(&spec, jobs, params, seed)
+    })
+}
+
+/// The paper's four Table 2 strategies; the RL row requires a trained
+/// policy JSON.
+pub fn table2_strategies(rl_policy_json: String, gym: GymConfig) -> Vec<StrategySpec> {
+    vec![
+        StrategySpec::Named("speed".into()),
+        StrategySpec::Named("fidelity".into()),
+        StrategySpec::Named("fair".into()),
+        StrategySpec::Rl {
+            policy_json: rl_policy_json,
+            gym,
+        },
+    ]
+}
+
+/// Convenience: builds plain brokers for tests.
+pub fn builtin_brokers() -> Vec<Box<dyn Broker>> {
+    vec![
+        Box::new(SpeedBroker::new()),
+        Box::new(FidelityBroker::new()),
+        Box::new(FairBroker::new()),
+    ]
+}
+
+/// Ensures the `results/` directory exists and returns its path.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(
+        std::env::var("QCS_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    );
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_workload::smoke;
+
+    #[test]
+    fn named_strategies_run_and_agree_with_direct_construction() {
+        let jobs = smoke(15, 3).jobs;
+        let params = SimParams::default();
+        let spec = StrategySpec::Named("speed".into());
+        let a = run_strategy(&spec, jobs.clone(), &params, 3);
+        let env = QCloudSimEnv::new(
+            ibm_fleet(3),
+            Box::new(SpeedBroker::new()),
+            jobs,
+            params,
+            3,
+        );
+        let b = env.run();
+        assert_eq!(a.summary.t_sim, b.summary.t_sim);
+        assert_eq!(a.summary.mean_fidelity, b.summary.mean_fidelity);
+    }
+
+    #[test]
+    fn parallel_strategy_runs_match_sequential() {
+        let jobs = smoke(12, 5).jobs;
+        let params = SimParams::default();
+        let specs = vec![
+            StrategySpec::Named("speed".into()),
+            StrategySpec::Named("fidelity".into()),
+            StrategySpec::Named("fair".into()),
+        ];
+        let par = run_strategies(&specs, &jobs, &params, 5);
+        for (spec, p) in specs.iter().zip(&par) {
+            let s = run_strategy(spec, jobs.clone(), &params, 5);
+            assert_eq!(p.summary.t_sim, s.summary.t_sim, "{}", spec.name());
+            assert_eq!(p.summary.mean_fidelity, s.summary.mean_fidelity);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn unknown_strategy_panics() {
+        StrategySpec::Named("warp".into()).broker(0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal ASCII table rendering for harness output.
+
+/// A simple left-padded ASCII table.
+#[derive(Debug, Default)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        AsciiTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                line.push_str(&format!(" {:>w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push_str(&fmt_row(&self.header));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push_str(&sep);
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = AsciiTable::new(&["mode", "T_sim"]);
+        t.row(vec!["speed".into(), "108775.38".into()]);
+        t.row(vec!["fidelity".into(), "209873.02".into()]);
+        let s = t.render();
+        assert!(s.contains("speed |"), "cells are right-aligned: {s}");
+        assert!(s.lines().count() == 6);
+        // All lines equal width.
+        let widths: std::collections::HashSet<usize> = s.lines().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1);
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = AsciiTable::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        AsciiTable::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

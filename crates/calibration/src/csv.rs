@@ -1,0 +1,225 @@
+//! CSV import/export of calibration snapshots.
+//!
+//! IBM's calibration-job downloads arrive as per-qubit CSV tables; this
+//! module round-trips [`CalibrationSnapshot`]s through the same style of
+//! flat file so recorded (or real, suitably column-mapped) calibration data
+//! can drive simulations deterministically. The format is two sections:
+//!
+//! ```text
+//! # timestamp,<seconds>
+//! qubit,readout_error,rx_error,t1_us,t2_us
+//! 0,0.0123,0.00031,310.5,180.2
+//! ...
+//! edge,qubit_a,qubit_b,error
+//! 0,0,1,0.0071
+//! ...
+//! ```
+//!
+//! Hand-rolled (5 fixed columns per section) — a CSV dependency is not
+//! warranted, mirroring `qcs-workload`'s job files.
+
+use crate::data::{CalibrationSnapshot, QubitCalibration, TwoQubitGateCalibration};
+
+/// Serialises a snapshot to the CSV format above.
+pub fn snapshot_to_csv(snap: &CalibrationSnapshot) -> String {
+    let mut out = String::with_capacity(64 * (snap.qubits.len() + snap.two_qubit_gates.len()));
+    out.push_str(&format!("# timestamp,{}\n", snap.timestamp));
+    out.push_str("qubit,readout_error,rx_error,t1_us,t2_us\n");
+    for (i, q) in snap.qubits.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{},{},{}\n",
+            q.readout_error, q.rx_error, q.t1_us, q.t2_us
+        ));
+    }
+    out.push_str("edge,qubit_a,qubit_b,error\n");
+    for (i, g) in snap.two_qubit_gates.iter().enumerate() {
+        out.push_str(&format!("{i},{},{},{}\n", g.qubit_a, g.qubit_b, g.error));
+    }
+    out
+}
+
+/// Parses a snapshot written by [`snapshot_to_csv`]. Returns a descriptive
+/// error (line number + reason) on malformed input; the parsed snapshot is
+/// also [validated](CalibrationSnapshot::validate).
+pub fn snapshot_from_csv(text: &str) -> Result<CalibrationSnapshot, String> {
+    let mut timestamp = 0.0f64;
+    let mut qubits = Vec::new();
+    let mut gates = Vec::new();
+
+    #[derive(PartialEq)]
+    enum Section {
+        Preamble,
+        Qubits,
+        Edges,
+    }
+    let mut section = Section::Preamble;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# timestamp,") {
+            timestamp = rest
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {n}: bad timestamp: {e}"))?;
+            continue;
+        }
+        if line == "qubit,readout_error,rx_error,t1_us,t2_us" {
+            section = Section::Qubits;
+            continue;
+        }
+        if line == "edge,qubit_a,qubit_b,error" {
+            section = Section::Edges;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        match section {
+            Section::Preamble => {
+                return Err(format!("line {n}: data before a section header"));
+            }
+            Section::Qubits => {
+                if fields.len() != 5 {
+                    return Err(format!("line {n}: expected 5 qubit fields, got {}", fields.len()));
+                }
+                let idx: usize = fields[0]
+                    .parse()
+                    .map_err(|e| format!("line {n}: bad qubit index: {e}"))?;
+                if idx != qubits.len() {
+                    return Err(format!(
+                        "line {n}: qubit rows must be dense and ordered (expected {}, got {idx})",
+                        qubits.len()
+                    ));
+                }
+                let num = |k: usize, what: &str| -> Result<f64, String> {
+                    fields[k]
+                        .parse()
+                        .map_err(|e| format!("line {n}: bad {what}: {e}"))
+                };
+                qubits.push(QubitCalibration {
+                    readout_error: num(1, "readout_error")?,
+                    rx_error: num(2, "rx_error")?,
+                    t1_us: num(3, "t1_us")?,
+                    t2_us: num(4, "t2_us")?,
+                });
+            }
+            Section::Edges => {
+                if fields.len() != 4 {
+                    return Err(format!("line {n}: expected 4 edge fields, got {}", fields.len()));
+                }
+                let a: u32 = fields[1]
+                    .parse()
+                    .map_err(|e| format!("line {n}: bad qubit_a: {e}"))?;
+                let b: u32 = fields[2]
+                    .parse()
+                    .map_err(|e| format!("line {n}: bad qubit_b: {e}"))?;
+                let error: f64 = fields[3]
+                    .parse()
+                    .map_err(|e| format!("line {n}: bad error: {e}"))?;
+                if a as usize >= qubits.len() || b as usize >= qubits.len() {
+                    return Err(format!(
+                        "line {n}: edge {a}-{b} references a qubit outside 0..{}",
+                        qubits.len()
+                    ));
+                }
+                gates.push(TwoQubitGateCalibration {
+                    qubit_a: a,
+                    qubit_b: b,
+                    error,
+                });
+            }
+        }
+    }
+    let snap = CalibrationSnapshot {
+        timestamp,
+        qubits,
+        two_qubit_gates: gates,
+    };
+    snap.validate()?;
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_snapshot, SynthErrorRanges};
+    use qcs_desim::Xoshiro256StarStar;
+    use qcs_topology::heavy_hex_eagle;
+
+    fn sample() -> CalibrationSnapshot {
+        let mut rng = Xoshiro256StarStar::new(42);
+        synth_snapshot(&heavy_hex_eagle(), &SynthErrorRanges::default(), 0.0, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let snap = sample();
+        let csv = snapshot_to_csv(&snap);
+        let back = snapshot_from_csv(&csv).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn format_shape() {
+        let snap = sample();
+        let csv = snapshot_to_csv(&snap);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("# timestamp,"));
+        assert_eq!(lines[1], "qubit,readout_error,rx_error,t1_us,t2_us");
+        // 127 qubit rows, then the edge header, then 144 edge rows.
+        assert_eq!(lines.len(), 2 + 127 + 1 + 144);
+        assert_eq!(lines[2 + 127], "edge,qubit_a,qubit_b,error");
+    }
+
+    #[test]
+    fn rejects_data_before_header() {
+        assert!(snapshot_from_csv("0,0.1,0.1,100,100\n")
+            .unwrap_err()
+            .contains("before a section"));
+    }
+
+    #[test]
+    fn rejects_sparse_qubit_rows() {
+        let txt = "qubit,readout_error,rx_error,t1_us,t2_us\n2,0.1,0.001,100,100\n";
+        assert!(snapshot_from_csv(txt).unwrap_err().contains("dense and ordered"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let txt = "qubit,readout_error,rx_error,t1_us,t2_us\n\
+                   0,0.1,0.001,100,100\n\
+                   edge,qubit_a,qubit_b,error\n\
+                   0,0,5,0.01\n";
+        assert!(snapshot_from_csv(txt).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_malformed_numbers_with_line_info() {
+        let txt = "qubit,readout_error,rx_error,t1_us,t2_us\n0,abc,0.001,100,100\n";
+        let err = snapshot_from_csv(txt).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("readout_error"), "{err}");
+    }
+
+    #[test]
+    fn validation_applies_after_parse() {
+        // T2 > 2·T1 violates the physical bound even if the CSV is
+        // syntactically fine.
+        let txt = "# timestamp,0\n\
+                   qubit,readout_error,rx_error,t1_us,t2_us\n\
+                   0,0.01,0.001,100,300\n\
+                   edge,qubit_a,qubit_b,error\n";
+        assert!(snapshot_from_csv(txt).unwrap_err().contains("T2"));
+    }
+
+    #[test]
+    fn empty_sections_parse() {
+        let txt = "# timestamp,3.5\nqubit,readout_error,rx_error,t1_us,t2_us\n\
+                   edge,qubit_a,qubit_b,error\n";
+        let snap = snapshot_from_csv(txt).unwrap();
+        assert_eq!(snap.timestamp, 3.5);
+        assert_eq!(snap.num_qubits(), 0);
+    }
+}

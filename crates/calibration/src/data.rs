@@ -1,0 +1,218 @@
+//! Calibration snapshot data model.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-qubit calibration values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QubitCalibration {
+    /// Readout (measurement) error probability for this qubit.
+    pub readout_error: f64,
+    /// Error rate of the single-qubit RX gate on this qubit.
+    pub rx_error: f64,
+    /// Relaxation time T1 in microseconds.
+    pub t1_us: f64,
+    /// Dephasing time T2 in microseconds.
+    pub t2_us: f64,
+}
+
+/// Calibration of one two-qubit gate (one per coupling-map edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoQubitGateCalibration {
+    /// First qubit of the coupling.
+    pub qubit_a: u32,
+    /// Second qubit of the coupling.
+    pub qubit_b: u32,
+    /// Gate error rate (e.g. ECR / CZ).
+    pub error: f64,
+}
+
+/// A full calibration snapshot for one device at one point in time.
+///
+/// Mirrors the content of IBM's calibration jobs that the paper's scheduler
+/// consumes: per-qubit readout and single-qubit gate errors, coherence
+/// times, and per-edge two-qubit gate errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSnapshot {
+    /// Seconds since simulation epoch at which this snapshot was taken.
+    pub timestamp: f64,
+    /// Per-qubit data, indexed by physical qubit id.
+    pub qubits: Vec<QubitCalibration>,
+    /// Per-edge two-qubit gate data.
+    pub two_qubit_gates: Vec<TwoQubitGateCalibration>,
+}
+
+impl CalibrationSnapshot {
+    /// Number of qubits covered by the snapshot.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Mean readout error over all qubits (0 for an empty snapshot).
+    pub fn avg_readout_error(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.readout_error))
+    }
+
+    /// Mean single-qubit RX error over all qubits.
+    pub fn avg_rx_error(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.rx_error))
+    }
+
+    /// Mean two-qubit gate error over all calibrated couplings.
+    pub fn avg_two_qubit_error(&self) -> f64 {
+        mean(self.two_qubit_gates.iter().map(|g| g.error))
+    }
+
+    /// Mean T1 in microseconds.
+    pub fn avg_t1_us(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.t1_us))
+    }
+
+    /// Mean T2 in microseconds.
+    pub fn avg_t2_us(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.t2_us))
+    }
+
+    /// Best (lowest) readout error on the device.
+    pub fn best_readout_error(&self) -> f64 {
+        self.qubits
+            .iter()
+            .map(|q| q.readout_error)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst (highest) readout error on the device.
+    pub fn worst_readout_error(&self) -> f64 {
+        self.qubits
+            .iter()
+            .map(|q| q.readout_error)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Validates physical plausibility: every rate in `[0, 1]`, coherence
+    /// times positive, and T2 ≤ 2·T1 (a physical bound).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, q) in self.qubits.iter().enumerate() {
+            if !(0.0..=1.0).contains(&q.readout_error) {
+                return Err(format!("qubit {i}: readout error {} out of [0,1]", q.readout_error));
+            }
+            if !(0.0..=1.0).contains(&q.rx_error) {
+                return Err(format!("qubit {i}: rx error {} out of [0,1]", q.rx_error));
+            }
+            if q.t1_us <= 0.0 || q.t2_us <= 0.0 {
+                return Err(format!("qubit {i}: non-positive coherence time"));
+            }
+            if q.t2_us > 2.0 * q.t1_us + 1e-9 {
+                return Err(format!(
+                    "qubit {i}: T2 {} exceeds physical bound 2·T1 {}",
+                    q.t2_us,
+                    2.0 * q.t1_us
+                ));
+            }
+        }
+        for g in &self.two_qubit_gates {
+            if !(0.0..=1.0).contains(&g.error) {
+                return Err(format!(
+                    "gate {}-{}: error {} out of [0,1]",
+                    g.qubit_a, g.qubit_b, g.error
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CalibrationSnapshot {
+        CalibrationSnapshot {
+            timestamp: 0.0,
+            qubits: vec![
+                QubitCalibration {
+                    readout_error: 0.01,
+                    rx_error: 0.0002,
+                    t1_us: 300.0,
+                    t2_us: 200.0,
+                },
+                QubitCalibration {
+                    readout_error: 0.03,
+                    rx_error: 0.0004,
+                    t1_us: 250.0,
+                    t2_us: 180.0,
+                },
+            ],
+            two_qubit_gates: vec![
+                TwoQubitGateCalibration {
+                    qubit_a: 0,
+                    qubit_b: 1,
+                    error: 0.008,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let s = sample();
+        assert!((s.avg_readout_error() - 0.02).abs() < 1e-12);
+        assert!((s.avg_rx_error() - 0.0003).abs() < 1e-12);
+        assert!((s.avg_two_qubit_error() - 0.008).abs() < 1e-12);
+        assert!((s.avg_t1_us() - 275.0).abs() < 1e-12);
+        assert_eq!(s.num_qubits(), 2);
+        assert_eq!(s.best_readout_error(), 0.01);
+        assert_eq!(s.worst_readout_error(), 0.03);
+    }
+
+    #[test]
+    fn empty_snapshot_averages_are_zero() {
+        let s = CalibrationSnapshot {
+            timestamp: 0.0,
+            qubits: vec![],
+            two_qubit_gates: vec![],
+        };
+        assert_eq!(s.avg_readout_error(), 0.0);
+        assert_eq!(s.avg_two_qubit_error(), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_physical_data() {
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_readout() {
+        let mut s = sample();
+        s.qubits[0].readout_error = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unphysical_t2() {
+        let mut s = sample();
+        s.qubits[0].t2_us = 1000.0; // > 2 * 300
+        assert!(s.validate().unwrap_err().contains("T2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let s2: CalibrationSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, s2);
+    }
+}

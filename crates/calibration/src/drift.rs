@@ -1,0 +1,157 @@
+//! Calibration drift: a mean-reverting stochastic process over error rates.
+//!
+//! Real devices are recalibrated periodically; between calibrations error
+//! rates wander. The paper treats calibration as static within a run but
+//! lists "dynamic hardware variability" as a limitation (§7.2); this module
+//! implements the extension so the drift ablation can quantify how much a
+//! noise-aware scheduler gains when calibration data goes stale.
+//!
+//! Each error rate `ε` follows a log-space Ornstein–Uhlenbeck process:
+//! `d ln ε = -κ (ln ε - ln ε₀) dt + σ dW`, which keeps rates positive and
+//! mean-reverting to the calibrated value `ε₀`.
+
+use crate::data::CalibrationSnapshot;
+use qcs_desim::dist::standard_normal;
+use qcs_desim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the log-OU drift process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftModel {
+    /// Mean-reversion rate κ per second (e.g. 1/86400 for a one-day scale).
+    pub kappa: f64,
+    /// Volatility σ per √second.
+    pub sigma: f64,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        DriftModel {
+            // One-day reversion scale, ±20% daily wander — typical of the
+            // day-to-day variation visible in public IBM calibration data.
+            kappa: 1.0 / 86_400.0,
+            sigma: 0.2 / 86_400.0f64.sqrt(),
+        }
+    }
+}
+
+impl DriftModel {
+    /// Advances every error rate in `snapshot` by `dt` seconds of drift,
+    /// using `baseline` as the mean-reversion anchor. Coherence times are
+    /// left unchanged (their drift does not enter the paper's models).
+    pub fn step(
+        &self,
+        snapshot: &mut CalibrationSnapshot,
+        baseline: &CalibrationSnapshot,
+        dt: f64,
+        rng: &mut Xoshiro256StarStar,
+    ) {
+        assert!(dt >= 0.0, "drift interval must be non-negative");
+        assert_eq!(
+            snapshot.qubits.len(),
+            baseline.qubits.len(),
+            "snapshot/baseline qubit count mismatch"
+        );
+        if dt == 0.0 {
+            return;
+        }
+        let decay = (-self.kappa * dt).exp();
+        // Exact OU transition: stationary-consistent variance over dt.
+        let noise_std = if self.kappa > 0.0 {
+            (self.sigma * self.sigma / (2.0 * self.kappa) * (1.0 - decay * decay)).sqrt()
+        } else {
+            self.sigma * dt.sqrt()
+        };
+
+        let mut evolve = |current: f64, anchor: f64| -> f64 {
+            let x = current.max(1e-12).ln();
+            let mu = anchor.max(1e-12).ln();
+            let next = mu + (x - mu) * decay + noise_std * standard_normal(rng);
+            next.exp().clamp(1e-9, 0.9)
+        };
+
+        for (q, q0) in snapshot.qubits.iter_mut().zip(&baseline.qubits) {
+            q.readout_error = evolve(q.readout_error, q0.readout_error);
+            q.rx_error = evolve(q.rx_error, q0.rx_error);
+        }
+        for (g, g0) in snapshot
+            .two_qubit_gates
+            .iter_mut()
+            .zip(&baseline.two_qubit_gates)
+        {
+            g.error = evolve(g.error, g0.error);
+        }
+        snapshot.timestamp += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_snapshot, SynthErrorRanges};
+    use qcs_topology::heavy_hex_eagle;
+
+    fn base() -> CalibrationSnapshot {
+        let g = heavy_hex_eagle();
+        let mut rng = Xoshiro256StarStar::new(3);
+        synth_snapshot(&g, &SynthErrorRanges::default(), 0.0, &mut rng)
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let baseline = base();
+        let mut snap = baseline.clone();
+        let mut rng = Xoshiro256StarStar::new(9);
+        DriftModel::default().step(&mut snap, &baseline, 0.0, &mut rng);
+        assert_eq!(snap, baseline);
+    }
+
+    #[test]
+    fn drift_changes_rates_but_stays_physical() {
+        let baseline = base();
+        let mut snap = baseline.clone();
+        let mut rng = Xoshiro256StarStar::new(9);
+        DriftModel::default().step(&mut snap, &baseline, 3600.0, &mut rng);
+        assert_ne!(snap, baseline);
+        snap.validate().expect("drifted snapshot must stay physical");
+        assert_eq!(snap.timestamp, 3600.0);
+    }
+
+    #[test]
+    fn drift_is_mean_reverting() {
+        // After many reversion timescales with zero volatility, rates return
+        // to the baseline.
+        let baseline = base();
+        let mut snap = baseline.clone();
+        // Knock the first qubit far off.
+        snap.qubits[0].readout_error = 0.2;
+        let model = DriftModel {
+            kappa: 1.0,
+            sigma: 0.0,
+        };
+        let mut rng = Xoshiro256StarStar::new(1);
+        model.step(&mut snap, &baseline, 50.0, &mut rng);
+        assert!(
+            (snap.qubits[0].readout_error - baseline.qubits[0].readout_error).abs() < 1e-6,
+            "rate should revert to baseline"
+        );
+    }
+
+    #[test]
+    fn long_drift_variance_is_bounded() {
+        // The stationary std of log-rate is sigma/sqrt(2 kappa); with the
+        // default model that is ~0.1 in log space — rates can't run away.
+        let baseline = base();
+        let mut snap = baseline.clone();
+        let mut rng = Xoshiro256StarStar::new(4);
+        let model = DriftModel::default();
+        for _ in 0..100 {
+            model.step(&mut snap, &baseline, 86_400.0, &mut rng);
+        }
+        let ratio = snap.avg_readout_error() / baseline.avg_readout_error();
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "drifted mean ratio {ratio} diverged"
+        );
+    }
+}

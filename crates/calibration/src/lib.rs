@@ -1,0 +1,34 @@
+//! # qcs-calibration — device calibration data and error scores
+//!
+//! Quantum cloud platforms publish *calibration data* for each QPU: per-qubit
+//! readout errors and coherence times, and per-gate error rates. The paper's
+//! error-aware scheduling policy consumes this data through a single scalar
+//! **error score** (Eq. 2):
+//!
+//! ```text
+//! error_score = α · mean(ε_readout) + θ · ε_1Q + γ · mean(ε_2Q)
+//! α = 0.5, θ = 0.3, γ = 0.2
+//! ```
+//!
+//! The original study used IBM calibration snapshots from March 2025, which
+//! are not redistributable; this crate substitutes **synthetic snapshots**
+//! drawn from published error magnitudes for Eagle-class devices (see
+//! [`synth`]) plus an Ornstein–Uhlenbeck [`drift`] process for studies of
+//! calibration change over time. The five named devices of the paper's case
+//! study are provided by [`profiles::ibm_fleet`].
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod data;
+pub mod drift;
+pub mod profiles;
+pub mod score;
+pub mod synth;
+
+pub use csv::{snapshot_from_csv, snapshot_to_csv};
+pub use data::{CalibrationSnapshot, QubitCalibration, TwoQubitGateCalibration};
+pub use drift::DriftModel;
+pub use profiles::{ibm_fleet, DeviceProfile, DeviceSpec};
+pub use score::{error_score, ErrorScoreWeights};
+pub use synth::{synth_snapshot, SynthErrorRanges};

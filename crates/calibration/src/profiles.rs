@@ -1,0 +1,194 @@
+//! The five IBM device profiles of the paper's case study (§7).
+//!
+//! All devices are 127-qubit Eagle-class QPUs with quantum volume 2^7 (the
+//! paper quotes "quantum volumes of 127", which enters every formula only as
+//! `D = log2(QV) ≈ 7` layers; we use QV = 128 so `D = 7` exactly).
+//! CLOPS values are the paper's: `ibm_strasbourg` and `ibm_brussels` at
+//! 220,000; `ibm_quebec` 32,000; `ibm_kyiv` 30,000; `ibm_kawasaki` 29,000.
+//!
+//! Error-rate *scales* per device are synthetic (the real March-2025
+//! calibration snapshots are not redistributable) and are chosen so that the
+//! error-score ranking is `strasbourg < brussels < kyiv < quebec <
+//! kawasaki`, i.e. the fast devices are also the cleanest. This matches the
+//! qualitative structure needed to reproduce Table 2: the error-aware policy
+//! concentrates load on the two premium devices, gaining fidelity but paying
+//! queueing delay.
+
+use crate::data::CalibrationSnapshot;
+use crate::score::{error_score, ErrorScoreWeights};
+use crate::synth::{synth_snapshot, SynthErrorRanges};
+use qcs_desim::Xoshiro256StarStar;
+use qcs_topology::{heavy_hex_eagle, Graph};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a QPU model (name + performance envelope).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name, e.g. `ibm_strasbourg`.
+    pub name: String,
+    /// Qubit count.
+    pub num_qubits: u32,
+    /// Quantum volume (a power of two; `log2` gives the layer depth D).
+    pub quantum_volume: u64,
+    /// Circuit layer operations per second.
+    pub clops: f64,
+    /// Multiplier applied to the base synthetic error ranges.
+    pub error_scale: f64,
+}
+
+impl DeviceSpec {
+    /// `D = log2(QV)`, the layer depth used in the execution-time model.
+    pub fn qv_layers(&self) -> f64 {
+        (self.quantum_volume as f64).log2()
+    }
+}
+
+/// A fully materialised device: spec, coupling map and calibration snapshot.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Static spec.
+    pub spec: DeviceSpec,
+    /// Coupling map.
+    pub topology: Graph,
+    /// Current calibration snapshot.
+    pub calibration: CalibrationSnapshot,
+}
+
+impl DeviceProfile {
+    /// Materialises a profile: builds the Eagle coupling map and draws a
+    /// synthetic calibration snapshot scaled by the spec's `error_scale`.
+    pub fn materialise(spec: DeviceSpec, base: &SynthErrorRanges, seed: u64) -> Self {
+        let topology = if spec.num_qubits == 127 {
+            heavy_hex_eagle()
+        } else {
+            // Fall back to a generic heavy-hex sized to fit at least the
+            // requested qubit count, then a line for tiny devices.
+            generic_map(spec.num_qubits)
+        };
+        assert_eq!(
+            topology.num_nodes(),
+            spec.num_qubits as usize,
+            "topology size does not match spec"
+        );
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let ranges = base.scaled(spec.error_scale);
+        let calibration = synth_snapshot(&topology, &ranges, 0.0, &mut rng);
+        DeviceProfile {
+            spec,
+            topology,
+            calibration,
+        }
+    }
+
+    /// Error score of the current calibration (Eq. 2).
+    pub fn error_score(&self, weights: &ErrorScoreWeights) -> f64 {
+        error_score(&self.calibration, weights)
+    }
+}
+
+fn generic_map(num_qubits: u32) -> Graph {
+    // Find a heavy-hex (rows, 15) close to the requested size; otherwise a
+    // line. Used only for non-Eagle what-if studies.
+    for rows in 2..40 {
+        let g = qcs_topology::heavy_hex(rows, 15);
+        if g.num_nodes() == num_qubits as usize {
+            return g;
+        }
+    }
+    qcs_topology::line(num_qubits as usize)
+}
+
+/// The paper's five-device fleet, deterministically materialised from a
+/// seed. Order: strasbourg, brussels, kyiv, quebec, kawasaki.
+pub fn ibm_fleet(seed: u64) -> Vec<DeviceProfile> {
+    let base = SynthErrorRanges::default();
+    let specs = [
+        ("ibm_strasbourg", 220_000.0, 0.82),
+        ("ibm_brussels", 220_000.0, 0.90),
+        ("ibm_kyiv", 30_000.0, 1.05),
+        ("ibm_quebec", 32_000.0, 1.13),
+        ("ibm_kawasaki", 29_000.0, 1.21),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, clops, scale))| {
+            DeviceProfile::materialise(
+                DeviceSpec {
+                    name: name.to_string(),
+                    num_qubits: 127,
+                    quantum_volume: 128,
+                    clops,
+                    error_scale: scale,
+                },
+                &base,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_five_eagles() {
+        let fleet = ibm_fleet(42);
+        assert_eq!(fleet.len(), 5);
+        for d in &fleet {
+            assert_eq!(d.spec.num_qubits, 127);
+            assert_eq!(d.topology.num_nodes(), 127);
+            assert_eq!(d.spec.qv_layers(), 7.0);
+            d.calibration.validate().unwrap();
+        }
+        assert_eq!(fleet[0].spec.name, "ibm_strasbourg");
+        assert_eq!(fleet[4].spec.name, "ibm_kawasaki");
+    }
+
+    #[test]
+    fn fleet_clops_match_paper() {
+        let fleet = ibm_fleet(1);
+        let clops: Vec<f64> = fleet.iter().map(|d| d.spec.clops).collect();
+        assert_eq!(clops, vec![220_000.0, 220_000.0, 30_000.0, 32_000.0, 29_000.0]);
+    }
+
+    #[test]
+    fn error_score_ranking_is_stable() {
+        // The intended ranking must hold across seeds — otherwise the
+        // error-aware policy would pick different devices run to run.
+        let w = ErrorScoreWeights::default();
+        for seed in [1u64, 7, 42, 1000, 31337] {
+            let fleet = ibm_fleet(seed);
+            let scores: Vec<f64> = fleet.iter().map(|d| d.error_score(&w)).collect();
+            for i in 0..scores.len() - 1 {
+                assert!(
+                    scores[i] < scores[i + 1],
+                    "seed {seed}: error ranking broken at {i}: {scores:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_fleet() {
+        let a = ibm_fleet(7);
+        let b = ibm_fleet(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.calibration, y.calibration);
+        }
+    }
+
+    #[test]
+    fn error_scores_in_realistic_band() {
+        let w = ErrorScoreWeights::default();
+        for d in ibm_fleet(9) {
+            let s = d.error_score(&w);
+            assert!(
+                (0.002..0.03).contains(&s),
+                "{} error score {s} outside realistic band",
+                d.spec.name
+            );
+        }
+    }
+}

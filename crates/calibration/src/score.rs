@@ -1,0 +1,122 @@
+//! The device error score (paper Eq. 2).
+
+use crate::data::CalibrationSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the error-score combination. The paper fixes
+/// `α = 0.5, θ = 0.3, γ = 0.2` (readout weighted highest because it directly
+/// corrupts measurement outcomes) but notes the scheme is adjustable; the
+/// ablation harness sweeps these.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorScoreWeights {
+    /// Weight of the mean readout error.
+    pub alpha: f64,
+    /// Weight of the single-qubit (RX) gate error.
+    pub theta: f64,
+    /// Weight of the mean two-qubit gate error.
+    pub gamma: f64,
+}
+
+impl Default for ErrorScoreWeights {
+    fn default() -> Self {
+        ErrorScoreWeights {
+            alpha: 0.5,
+            theta: 0.3,
+            gamma: 0.2,
+        }
+    }
+}
+
+impl ErrorScoreWeights {
+    /// Validates that weights are non-negative and sum to a positive value.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.alpha < 0.0 || self.theta < 0.0 || self.gamma < 0.0 {
+            return Err("error-score weights must be non-negative".into());
+        }
+        if self.alpha + self.theta + self.gamma <= 0.0 {
+            return Err("error-score weights must sum to a positive value".into());
+        }
+        Ok(())
+    }
+}
+
+/// Computes the error score of Eq. 2:
+/// `α·(Σ ε_readout / N) + θ·ε_1Q + γ·(Σ ε_2Q / N_2Q)`.
+///
+/// Lower is better. The single-qubit term uses the device-average RX error
+/// (the paper's ε_1Q is the RX gate error rate).
+pub fn error_score(snapshot: &CalibrationSnapshot, weights: &ErrorScoreWeights) -> f64 {
+    weights.alpha * snapshot.avg_readout_error()
+        + weights.theta * snapshot.avg_rx_error()
+        + weights.gamma * snapshot.avg_two_qubit_error()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{QubitCalibration, TwoQubitGateCalibration};
+
+    fn snapshot(ro: f64, rx: f64, tq: f64) -> CalibrationSnapshot {
+        CalibrationSnapshot {
+            timestamp: 0.0,
+            qubits: vec![QubitCalibration {
+                readout_error: ro,
+                rx_error: rx,
+                t1_us: 300.0,
+                t2_us: 200.0,
+            }],
+            two_qubit_gates: vec![TwoQubitGateCalibration {
+                qubit_a: 0,
+                qubit_b: 0,
+                error: tq,
+            }],
+        }
+    }
+
+    #[test]
+    fn paper_weights_combination() {
+        let s = snapshot(0.02, 0.001, 0.01);
+        let score = error_score(&s, &ErrorScoreWeights::default());
+        // 0.5*0.02 + 0.3*0.001 + 0.2*0.01 = 0.0123
+        assert!((score - 0.0123).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_monotone_in_each_term() {
+        let w = ErrorScoreWeights::default();
+        let base = error_score(&snapshot(0.02, 0.001, 0.01), &w);
+        assert!(error_score(&snapshot(0.03, 0.001, 0.01), &w) > base);
+        assert!(error_score(&snapshot(0.02, 0.002, 0.01), &w) > base);
+        assert!(error_score(&snapshot(0.02, 0.001, 0.02), &w) > base);
+    }
+
+    #[test]
+    fn custom_weights() {
+        let s = snapshot(0.02, 0.001, 0.01);
+        let w = ErrorScoreWeights {
+            alpha: 1.0,
+            theta: 0.0,
+            gamma: 0.0,
+        };
+        assert!((error_score(&s, &w) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_validation() {
+        assert!(ErrorScoreWeights::default().validate().is_ok());
+        assert!(ErrorScoreWeights {
+            alpha: -0.1,
+            theta: 0.5,
+            gamma: 0.6
+        }
+        .validate()
+        .is_err());
+        assert!(ErrorScoreWeights {
+            alpha: 0.0,
+            theta: 0.0,
+            gamma: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for calibration data: physicality under synthesis
+//! and drift, and error-score algebra.
+
+use proptest::prelude::*;
+use qcs_calibration::{
+    error_score, synth_snapshot, DriftModel, ErrorScoreWeights, SynthErrorRanges,
+};
+use qcs_desim::Xoshiro256StarStar;
+use qcs_topology::heavy_hex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Synthetic snapshots are physical for any plausible range settings.
+    #[test]
+    fn synth_snapshots_always_physical(
+        seed in 0u64..10_000,
+        ro in 1e-3f64..0.1,
+        rx in 1e-5f64..1e-2,
+        tq in 1e-4f64..0.05,
+        rows in 2usize..8,
+    ) {
+        let ranges = SynthErrorRanges {
+            readout_mean: ro,
+            rx_mean: rx,
+            two_qubit_mean: tq,
+            ..SynthErrorRanges::default()
+        };
+        let g = heavy_hex(rows, 15);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let snap = synth_snapshot(&g, &ranges, 0.0, &mut rng);
+        prop_assert!(snap.validate().is_ok(), "{:?}", snap.validate());
+        prop_assert_eq!(snap.num_qubits(), g.num_nodes());
+        prop_assert_eq!(snap.two_qubit_gates.len(), g.num_edges());
+    }
+
+    /// Error score is linear in the weights: score(w1+w2) = score(w1) + score(w2).
+    #[test]
+    fn error_score_linear_in_weights(
+        seed in 0u64..1000,
+        a1 in 0.0f64..1.0, t1 in 0.0f64..1.0, g1 in 0.0f64..1.0,
+        a2 in 0.0f64..1.0, t2 in 0.0f64..1.0, g2 in 0.0f64..1.0,
+    ) {
+        let g = heavy_hex(3, 15);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let snap = synth_snapshot(&g, &SynthErrorRanges::default(), 0.0, &mut rng);
+        let w1 = ErrorScoreWeights { alpha: a1, theta: t1, gamma: g1 };
+        let w2 = ErrorScoreWeights { alpha: a2, theta: t2, gamma: g2 };
+        let wsum = ErrorScoreWeights { alpha: a1 + a2, theta: t1 + t2, gamma: g1 + g2 };
+        let s = error_score(&snap, &w1) + error_score(&snap, &w2);
+        prop_assert!((error_score(&snap, &wsum) - s).abs() < 1e-12);
+    }
+
+    /// Scaling all error means scales the score proportionally (within the
+    /// sampling noise of independent draws).
+    #[test]
+    fn error_score_scales_with_error_magnitude(
+        seed in 0u64..1000,
+        factor in 1.2f64..3.0,
+    ) {
+        let g = heavy_hex(4, 15);
+        let base = SynthErrorRanges::default();
+        let scaled = base.scaled(factor);
+        let w = ErrorScoreWeights::default();
+        let mut r1 = Xoshiro256StarStar::new(seed);
+        let mut r2 = Xoshiro256StarStar::new(seed);
+        let s_base = error_score(&synth_snapshot(&g, &base, 0.0, &mut r1), &w);
+        let s_scaled = error_score(&synth_snapshot(&g, &scaled, 0.0, &mut r2), &w);
+        // Same seed → same relative draws → the ratio tracks the factor
+        // closely (truncation bounds differ slightly).
+        let ratio = s_scaled / s_base;
+        prop_assert!((ratio / factor - 1.0).abs() < 0.25, "ratio {ratio} vs factor {factor}");
+    }
+
+    /// Drift never leaves the physical region, regardless of horizon.
+    #[test]
+    fn drift_stays_physical(
+        seed in 0u64..1000,
+        steps in 1usize..20,
+        dt in 60.0f64..200_000.0,
+        sigma_scale in 0.1f64..5.0,
+    ) {
+        let g = heavy_hex(3, 15);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let baseline = synth_snapshot(&g, &SynthErrorRanges::default(), 0.0, &mut rng);
+        let mut snap = baseline.clone();
+        let model = DriftModel {
+            kappa: 1.0 / 86_400.0,
+            sigma: sigma_scale * 0.2 / 86_400.0f64.sqrt(),
+        };
+        for _ in 0..steps {
+            model.step(&mut snap, &baseline, dt, &mut rng);
+        }
+        prop_assert!(snap.validate().is_ok());
+        prop_assert!((snap.timestamp - steps as f64 * dt).abs() < 1e-6);
+    }
+}

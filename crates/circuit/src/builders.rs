@@ -1,0 +1,276 @@
+//! Circuit family generators.
+//!
+//! Each builder is deterministic in its parameters (and seed, where
+//! stochastic), so workloads built from circuits are exactly reproducible.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Minimal private splitmix64 stream — enough randomness for structural
+/// circuit generation without pulling a simulation kernel into this crate.
+struct Mix(u64);
+
+impl Mix {
+    fn new(seed: u64) -> Self {
+        Mix(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+    fn angle(&mut self) -> f64 {
+        (self.next_u64() as f64 / u64::MAX as f64) * std::f64::consts::TAU
+    }
+    /// Fisher–Yates shuffle.
+    fn shuffle(&mut self, xs: &mut [u32]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Random layered circuit: `depth` layers; in each layer every qubit either
+/// joins a random disjoint two-qubit gate (with probability ≈
+/// `two_qubit_fraction`) or receives a random one-qubit rotation. This is
+/// the stochastic workload family behind the paper's synthetic jobs: its
+/// footprint calibrates `t₂ ≈ density · q · d`.
+pub fn random_layered(num_qubits: u32, depth: u32, two_qubit_fraction: f64, seed: u64) -> Circuit {
+    assert!(num_qubits >= 1, "need at least one qubit");
+    assert!(
+        (0.0..=1.0).contains(&two_qubit_fraction),
+        "two_qubit_fraction must lie in [0, 1]"
+    );
+    let mut rng = Mix::new(seed);
+    let mut c = Circuit::new(num_qubits);
+    let mut perm: Vec<u32> = (0..num_qubits).collect();
+    for _ in 0..depth {
+        rng.shuffle(&mut perm);
+        // Number of qubit *pairs* occupied by two-qubit gates this layer.
+        let pairs = ((num_qubits as f64 * two_qubit_fraction) / 2.0).round() as usize;
+        let pairs = pairs.min(num_qubits as usize / 2);
+        for k in 0..pairs {
+            let (a, b) = (perm[2 * k], perm[2 * k + 1]);
+            if rng.below(2) == 0 {
+                c.push2(GateKind::Cx, a, b);
+            } else {
+                c.push2(GateKind::Rzz(rng.angle()), a, b);
+            }
+        }
+        for &q in &perm[2 * pairs..] {
+            let g = match rng.below(3) {
+                0 => GateKind::Rx(rng.angle()),
+                1 => GateKind::Ry(rng.angle()),
+                _ => GateKind::Rz(rng.angle()),
+            };
+            c.push1(g, q);
+        }
+    }
+    c
+}
+
+/// Quantum-volume model circuit on `n` qubits: `n` layers, each a random
+/// permutation paired into ⌊n/2⌋ two-qubit SU(4) blocks. Each block is
+/// modelled at the transpiled level as 3 CX + 4 one-qubit rotations (the
+/// standard KAK decomposition footprint). `QV = 2^n` when the device runs
+/// this circuit faithfully — the paper's devices have QV 128 ⇒ `n = 7`
+/// layers enter Eq. 3 via `D = log2(QV)`.
+pub fn quantum_volume(num_qubits: u32, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "QV circuits need ≥ 2 qubits");
+    let mut rng = Mix::new(seed);
+    let mut c = Circuit::new(num_qubits);
+    let mut perm: Vec<u32> = (0..num_qubits).collect();
+    for _ in 0..num_qubits {
+        rng.shuffle(&mut perm);
+        for k in 0..(num_qubits as usize / 2) {
+            let (a, b) = (perm[2 * k], perm[2 * k + 1]);
+            // SU(4) block ≈ rz·ry on each qubit, then 3 CX.
+            c.push1(GateKind::Rz(rng.angle()), a);
+            c.push1(GateKind::Ry(rng.angle()), a);
+            c.push1(GateKind::Rz(rng.angle()), b);
+            c.push1(GateKind::Ry(rng.angle()), b);
+            c.push2(GateKind::Cx, a, b);
+            c.push2(GateKind::Cx, b, a);
+            c.push2(GateKind::Cx, a, b);
+        }
+    }
+    c
+}
+
+/// GHZ state preparation: `H` on qubit 0, then a CX chain — the canonical
+/// "wide but shallow" entangling workload.
+pub fn ghz(num_qubits: u32) -> Circuit {
+    assert!(num_qubits >= 1, "need at least one qubit");
+    let mut c = Circuit::new(num_qubits);
+    c.push1(GateKind::H, 0);
+    for q in 0..num_qubits.saturating_sub(1) {
+        c.push2(GateKind::Cx, q, q + 1);
+    }
+    c
+}
+
+/// QAOA MaxCut ansatz over an interaction graph given as an edge list:
+/// initial `H` wall, then `p` rounds of (`Rzz` per edge, `Rx` per qubit).
+/// Cost-layer angles γ and mixer angles β are seeded per round.
+pub fn qaoa_maxcut(num_qubits: u32, edges: &[(u32, u32)], rounds: u32, seed: u64) -> Circuit {
+    let mut rng = Mix::new(seed);
+    let mut c = Circuit::new(num_qubits);
+    for q in 0..num_qubits {
+        c.push1(GateKind::H, q);
+    }
+    for _ in 0..rounds {
+        let gamma = rng.angle();
+        for &(a, b) in edges {
+            c.push2(GateKind::Rzz(gamma), a, b);
+        }
+        let beta = rng.angle();
+        for q in 0..num_qubits {
+            c.push1(GateKind::Rx(beta), q);
+        }
+    }
+    c
+}
+
+/// First-order Trotterised 1-D transverse-field Ising dynamics: per step,
+/// brickwork `Rzz` on even bonds then odd bonds, then an `Rx` wall. The
+/// nearest-neighbour structure makes this family the *best case* for
+/// circuit cutting (a single wire boundary), in contrast to QV circuits
+/// (all-to-all, worst case).
+pub fn trotter_1d(num_qubits: u32, steps: u32, dt: f64) -> Circuit {
+    assert!(num_qubits >= 2, "a chain needs ≥ 2 qubits");
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..steps {
+        let mut bond = 0;
+        while bond + 1 < num_qubits {
+            c.push2(GateKind::Rzz(dt), bond, bond + 1);
+            bond += 2;
+        }
+        let mut bond = 1;
+        while bond + 1 < num_qubits {
+            c.push2(GateKind::Rzz(dt), bond, bond + 1);
+            bond += 2;
+        }
+        for q in 0..num_qubits {
+            c.push1(GateKind::Rx(dt), q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_topology::is_connected;
+
+    #[test]
+    fn random_layered_footprint() {
+        let c = random_layered(20, 10, 0.3, 42);
+        let s = c.stats();
+        assert_eq!(s.num_qubits, 20);
+        assert_eq!(s.depth, 10, "every qubit acts each layer → depth = layers");
+        // 0.3·20/2 = 3 pairs per layer → 30 two-qubit gates total.
+        assert_eq!(s.two_qubit_gates, 30);
+        assert_eq!(s.one_qubit_gates, (20 - 6) * 10);
+        let density = s.t2_density();
+        assert!((density - 0.15).abs() < 1e-9, "density {density}");
+    }
+
+    #[test]
+    fn random_layered_determinism() {
+        assert_eq!(random_layered(16, 8, 0.4, 7), random_layered(16, 8, 0.4, 7));
+        assert_ne!(random_layered(16, 8, 0.4, 7), random_layered(16, 8, 0.4, 8));
+    }
+
+    #[test]
+    fn random_layered_extremes() {
+        let none = random_layered(10, 5, 0.0, 1);
+        assert_eq!(none.two_qubit_gates(), 0);
+        assert_eq!(none.one_qubit_gates(), 50);
+        let all = random_layered(10, 5, 1.0, 1);
+        assert_eq!(all.two_qubit_gates(), 25); // 5 pairs × 5 layers
+        assert_eq!(all.one_qubit_gates(), 0);
+    }
+
+    #[test]
+    fn qv_circuit_structure() {
+        let c = quantum_volume(8, 3);
+        let s = c.stats();
+        // 8 layers × 4 blocks × 3 CX = 96 two-qubit gates.
+        assert_eq!(s.two_qubit_gates, 96);
+        assert_eq!(s.one_qubit_gates, 8 * 4 * 4);
+        assert_eq!(s.active_qubits, 8);
+        // Dense coupling: the interaction graph should be connected.
+        assert!(is_connected(&c.interaction_graph()));
+    }
+
+    #[test]
+    fn qv_odd_width_leaves_spectator() {
+        let c = quantum_volume(7, 1);
+        // 7 layers × 3 blocks per layer.
+        assert_eq!(c.two_qubit_gates(), 7 * 3 * 3);
+    }
+
+    #[test]
+    fn ghz_shape() {
+        let c = ghz(50);
+        let s = c.stats();
+        assert_eq!(s.two_qubit_gates, 49);
+        assert_eq!(s.one_qubit_gates, 1);
+        assert_eq!(s.depth, 50, "CX chain serialises: H + 49 CX");
+        // Interaction graph is a path: 2 leaves, rest degree 2.
+        let g = c.interaction_graph();
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 49);
+        assert_eq!(g.max_degree(), 2);
+        // Single-qubit GHZ degenerates gracefully.
+        assert_eq!(ghz(1).two_qubit_gates(), 0);
+    }
+
+    #[test]
+    fn qaoa_matches_graph() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let c = qaoa_maxcut(4, &edges, 3, 11);
+        assert_eq!(c.two_qubit_gates(), 15); // 5 edges × 3 rounds
+        assert_eq!(c.one_qubit_gates(), 4 + 4 * 3); // H wall + Rx walls
+        let g = c.interaction_graph();
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn trotter_brickwork() {
+        let c = trotter_1d(6, 4, 0.1);
+        // Per step: even bonds (0-1, 2-3, 4-5) + odd bonds (1-2, 3-4) = 5.
+        assert_eq!(c.two_qubit_gates(), 20);
+        assert_eq!(c.one_qubit_gates(), 24);
+        // Brickwork packs: per step the depth contribution is 2 (bond
+        // sublayers) + 1 (Rx wall) = 3.
+        assert_eq!(c.depth(), 12);
+        // Interaction graph is exactly the chain.
+        let g = c.interaction_graph();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn builders_respect_register_bounds() {
+        for c in [
+            random_layered(5, 3, 0.5, 0),
+            quantum_volume(5, 0),
+            ghz(5),
+            qaoa_maxcut(5, &[(0, 4)], 2, 0),
+            trotter_1d(5, 2, 0.3),
+        ] {
+            for g in c.gates() {
+                for q in g.qubits() {
+                    assert!(q < 5);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The circuit container and its scheduling-level statistics.
+
+use crate::gate::{Gate, GateKind};
+use qcs_topology::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A quantum circuit: an ordered gate list over qubits `0..num_qubits`.
+///
+/// Gates execute in list order subject to qubit dependencies; [`depth`]
+/// computes the resulting critical path (the standard circuit-depth
+/// definition, greedy ASAP layering).
+///
+/// [`depth`]: Circuit::depth
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits (width).
+    #[inline]
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The gate sequence.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total gate count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate. Panics if it references qubits outside the register.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.qubits() {
+            assert!(
+                q < self.num_qubits,
+                "gate {} touches qubit {q}, register has {}",
+                gate.kind.mnemonic(),
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends a one-qubit gate (convenience).
+    pub fn push1(&mut self, kind: GateKind, q: u32) {
+        self.push(Gate::one(kind, q));
+    }
+
+    /// Appends a two-qubit gate (convenience).
+    pub fn push2(&mut self, kind: GateKind, a: u32, b: u32) {
+        self.push(Gate::two(kind, a, b));
+    }
+
+    /// Circuit depth: length of the critical path under ASAP layering
+    /// (each gate starts at `1 + max(finish layer of its qubits)`).
+    pub fn depth(&self) -> u32 {
+        let mut qubit_layer = vec![0u32; self.num_qubits as usize];
+        let mut depth = 0u32;
+        for g in &self.gates {
+            let start = g.qubits().map(|q| qubit_layer[q as usize]).max().unwrap_or(0);
+            let layer = start + 1;
+            for q in g.qubits() {
+                qubit_layer[q as usize] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Number of one-qubit gates.
+    pub fn one_qubit_gates(&self) -> u64 {
+        self.gates.iter().filter(|g| !g.is_two_qubit()).count() as u64
+    }
+
+    /// Number of two-qubit gates — the paper's `t₂`.
+    pub fn two_qubit_gates(&self) -> u64 {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count() as u64
+    }
+
+    /// Per-pair two-qubit gate multiplicities, keyed by `(min, max)` qubit
+    /// pair. This is the weighted interaction multigraph that partitioners
+    /// and cutters consume.
+    pub fn interaction_weights(&self) -> BTreeMap<(u32, u32), u64> {
+        let mut w = BTreeMap::new();
+        for g in &self.gates {
+            if let Some(pair) = g.pair() {
+                *w.entry(pair).or_insert(0u64) += 1;
+            }
+        }
+        w
+    }
+
+    /// The (unweighted) interaction graph: qubits as nodes, an edge wherever
+    /// at least one two-qubit gate couples the pair.
+    pub fn interaction_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_qubits as usize);
+        for (&(a, b), _) in self.interaction_weights().iter() {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Qubits touched by at least one gate.
+    pub fn active_qubits(&self) -> u64 {
+        let mut touched = vec![false; self.num_qubits as usize];
+        for g in &self.gates {
+            for q in g.qubits() {
+                touched[q as usize] = true;
+            }
+        }
+        touched.iter().filter(|&&t| t).count() as u64
+    }
+
+    /// Summarises the circuit into the footprint the scheduler consumes.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            num_qubits: self.num_qubits as u64,
+            depth: self.depth(),
+            one_qubit_gates: self.one_qubit_gates(),
+            two_qubit_gates: self.two_qubit_gates(),
+            active_qubits: self.active_qubits(),
+        }
+    }
+}
+
+/// The scheduling-level footprint of a circuit — everything the paper's job
+/// tuple `J = (q, d, s, t₂)` needs except the shot count, which is an
+/// execution parameter rather than a circuit property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Register width `q`.
+    pub num_qubits: u64,
+    /// Critical-path depth `d`.
+    pub depth: u32,
+    /// One-qubit gate count.
+    pub one_qubit_gates: u64,
+    /// Two-qubit gate count `t₂`.
+    pub two_qubit_gates: u64,
+    /// Qubits touched by at least one gate (≤ `num_qubits`).
+    pub active_qubits: u64,
+}
+
+impl CircuitStats {
+    /// Two-qubit gate density per qubit-layer, the `t₂ = density · q · d`
+    /// calibration knob used by the synthetic workload (DESIGN.md §2.4).
+    pub fn t2_density(&self) -> f64 {
+        if self.num_qubits == 0 || self.depth == 0 {
+            0.0
+        } else {
+            self.two_qubit_gates as f64 / (self.num_qubits as f64 * self.depth as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push1(GateKind::H, 0);
+        c.push2(GateKind::Cx, 0, 1);
+        c
+    }
+
+    #[test]
+    fn bell_pair_stats() {
+        let c = bell();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.one_qubit_gates(), 1);
+        assert_eq!(c.two_qubit_gates(), 1);
+        assert_eq!(c.active_qubits(), 2);
+        let s = c.stats();
+        assert_eq!(s.num_qubits, 2);
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(5);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.active_qubits(), 0);
+        assert_eq!(c.stats().t2_density(), 0.0);
+    }
+
+    #[test]
+    fn depth_is_critical_path_not_gate_count() {
+        // Parallel single-qubit gates on distinct qubits: depth 1, len 4.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.push1(GateKind::H, q);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.depth(), 1);
+
+        // A chain forces serialisation: CX(0,1), CX(1,2), CX(2,3) → depth 3.
+        let mut c = Circuit::new(4);
+        c.push2(GateKind::Cx, 0, 1);
+        c.push2(GateKind::Cx, 1, 2);
+        c.push2(GateKind::Cx, 2, 3);
+        assert_eq!(c.depth(), 3);
+
+        // Disjoint pairs stay parallel: CX(0,1), CX(2,3) → depth 1.
+        let mut c = Circuit::new(4);
+        c.push2(GateKind::Cx, 0, 1);
+        c.push2(GateKind::Cx, 2, 3);
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn interaction_weights_accumulate() {
+        let mut c = Circuit::new(3);
+        c.push2(GateKind::Cx, 0, 1);
+        c.push2(GateKind::Cx, 1, 0); // same unordered pair
+        c.push2(GateKind::Cz, 1, 2);
+        let w = c.interaction_weights();
+        assert_eq!(w[&(0, 1)], 2);
+        assert_eq!(w[&(1, 2)], 1);
+        let g = c.interaction_graph();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "touches qubit")]
+    fn push_checks_register_bounds() {
+        let mut c = Circuit::new(2);
+        c.push1(GateKind::X, 2);
+    }
+
+    #[test]
+    fn active_vs_register_qubits() {
+        let mut c = Circuit::new(10);
+        c.push1(GateKind::H, 0);
+        c.push1(GateKind::H, 9);
+        assert_eq!(c.active_qubits(), 2);
+        assert_eq!(c.num_qubits(), 10);
+    }
+
+    #[test]
+    fn t2_density_matches_definition() {
+        let mut c = Circuit::new(4);
+        for _ in 0..2 {
+            c.push2(GateKind::Cx, 0, 1);
+            c.push2(GateKind::Cx, 2, 3);
+        }
+        let s = c.stats();
+        assert_eq!(s.two_qubit_gates, 4);
+        let expect = 4.0 / (4.0 * s.depth as f64);
+        assert!((s.t2_density() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = bell();
+        let s = serde_json::to_string(&c).unwrap();
+        let c2: Circuit = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, c2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Circuit cutting: the classical-post-processing alternative to real-time
+//! classical communication (paper §2).
+//!
+//! Gate cutting replaces each boundary-crossing two-qubit gate with a
+//! quasi-probability decomposition over local operations. Estimating the
+//! original expectation values to the same accuracy then requires the shot
+//! budget to grow by the decomposition's γ² per cut gate (γ = 3 for CX-like
+//! gates ⇒ **9× sampling overhead per cut**), and reconstruction multiplies
+//! measurement tensors with cost ∝ 4^cuts. The paper cites exactly this
+//! trade-off as the motivation for real-time classical links: "circuit
+//! cutting … introduces additional computational overhead and may be
+//! impractical" — this module quantifies that statement so the benches can
+//! chart the crossover.
+
+use crate::circuit::{Circuit, CircuitStats};
+use crate::partitioning::{balanced_blocks, PartitionQuality};
+use serde::{Deserialize, Serialize};
+
+/// Cost constants for the cutting model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutCostModel {
+    /// Quasi-probability one-norm γ per cut gate; sampling overhead grows as
+    /// `γ^(2·cuts)`. γ = 3 for CNOT/CZ gate cuts (Mitarai–Fujii), the
+    /// standard value.
+    pub gamma: f64,
+    /// Classical reconstruction terms grow as `terms_base^cuts`; 4 for gate
+    /// cutting (each cut contributes a 4-element operator basis).
+    pub terms_base: f64,
+    /// Classical post-processing throughput in reconstruction terms per
+    /// second (tensor-contraction rate of the classical co-processor).
+    pub terms_per_second: f64,
+}
+
+impl Default for CutCostModel {
+    fn default() -> Self {
+        CutCostModel {
+            gamma: 3.0,
+            terms_base: 4.0,
+            terms_per_second: 1e8,
+        }
+    }
+}
+
+impl CutCostModel {
+    /// Multiplicative shot overhead for `cuts` cut gates: `γ^(2·cuts)`.
+    pub fn sampling_overhead(&self, cuts: u64) -> f64 {
+        self.gamma.powf(2.0 * cuts as f64)
+    }
+
+    /// Number of classical reconstruction terms: `terms_base^cuts`.
+    pub fn reconstruction_terms(&self, cuts: u64) -> f64 {
+        self.terms_base.powf(cuts as f64)
+    }
+
+    /// Wall-clock seconds of classical post-processing.
+    pub fn postprocessing_seconds(&self, cuts: u64) -> f64 {
+        self.reconstruction_terms(cuts) / self.terms_per_second
+    }
+}
+
+/// A complete cutting plan for one circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutPlan {
+    /// Per-qubit block assignment.
+    pub assignment: Vec<u32>,
+    /// Number of blocks (subcircuits).
+    pub num_blocks: usize,
+    /// Two-qubit gates severed by the partition.
+    pub cut_gates: u64,
+    /// Footprints of the induced subcircuits (cut gates excluded — each
+    /// fragment runs only its local gates plus basis-rotation overhead,
+    /// which is one-qubit and negligible at this abstraction level).
+    pub subcircuits: Vec<CircuitStats>,
+    /// The cost model the plan was priced under.
+    pub model: CutCostModel,
+}
+
+impl CutPlan {
+    /// Multiplicative shot overhead of the whole plan.
+    pub fn sampling_overhead(&self) -> f64 {
+        self.model.sampling_overhead(self.cut_gates)
+    }
+
+    /// Total shots needed to match `base_shots` of un-cut accuracy.
+    /// Saturates at `u64::MAX` (the overhead is exponential; saturation
+    /// signals "hopeless", which callers detect via
+    /// [`is_tractable`](Self::is_tractable)).
+    pub fn shots_required(&self, base_shots: u64) -> u64 {
+        let v = base_shots as f64 * self.sampling_overhead();
+        if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v.ceil() as u64
+        }
+    }
+
+    /// Classical reconstruction wall-clock seconds.
+    pub fn postprocessing_seconds(&self) -> f64 {
+        self.model.postprocessing_seconds(self.cut_gates)
+    }
+
+    /// Whether the plan's sampling overhead stays at or below a budget
+    /// (e.g. 100× shots).
+    pub fn is_tractable(&self, max_overhead: f64) -> bool {
+        self.sampling_overhead() <= max_overhead
+    }
+
+    /// Largest fragment width in qubits.
+    pub fn max_fragment_qubits(&self) -> u64 {
+        self.subcircuits.iter().map(|s| s.num_qubits).max().unwrap_or(0)
+    }
+}
+
+/// Cuts `circuit` into fragments of at most `max_fragment_qubits` qubits
+/// using the balanced min-cut partitioner, and prices the plan under
+/// `model`.
+///
+/// Panics if `max_fragment_qubits` is zero.
+pub fn cut_circuit(circuit: &Circuit, max_fragment_qubits: u32, model: CutCostModel) -> CutPlan {
+    assert!(max_fragment_qubits >= 1, "fragments need at least one qubit");
+    let n = circuit.num_qubits();
+    let k = (n as usize).div_ceil(max_fragment_qubits as usize).max(1);
+    let assignment = balanced_blocks(circuit, k.min(n.max(1) as usize));
+    plan_from_assignment(circuit, assignment, model)
+}
+
+/// Prices an explicit per-qubit assignment as a [`CutPlan`] (for callers
+/// that partition externally, e.g. to align fragments with device
+/// capacities).
+pub fn plan_from_assignment(
+    circuit: &Circuit,
+    assignment: Vec<u32>,
+    model: CutCostModel,
+) -> CutPlan {
+    let quality = PartitionQuality::evaluate(circuit, &assignment);
+    let num_blocks = quality.blocks;
+    // Build induced subcircuits: local gates only, qubits re-indexed.
+    let mut block_ids: Vec<u32> = assignment.clone();
+    block_ids.sort_unstable();
+    block_ids.dedup();
+    let mut subcircuits = Vec::with_capacity(num_blocks);
+    for &blk in &block_ids {
+        let locals: Vec<u32> = (0..circuit.num_qubits())
+            .filter(|&q| assignment[q as usize] == blk)
+            .collect();
+        let mut reindex = std::collections::BTreeMap::new();
+        for (i, &q) in locals.iter().enumerate() {
+            reindex.insert(q, i as u32);
+        }
+        let mut sub = Circuit::new(locals.len() as u32);
+        for g in circuit.gates() {
+            let local = g.qubits().all(|q| reindex.contains_key(&q));
+            if !local {
+                continue;
+            }
+            if g.is_two_qubit() {
+                sub.push2(g.kind, reindex[&g.a], reindex[&g.b]);
+            } else {
+                sub.push1(g.kind, reindex[&g.a]);
+            }
+        }
+        subcircuits.push(sub.stats());
+    }
+    CutPlan {
+        assignment,
+        num_blocks,
+        cut_gates: quality.cut_gates,
+        subcircuits,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{ghz, quantum_volume, trotter_1d};
+    use crate::partitioning::contiguous_blocks;
+
+    #[test]
+    fn ghz_single_cut_costs_nine() {
+        let c = ghz(20);
+        let plan = plan_from_assignment(&c, contiguous_blocks(20, &[10, 10]), CutCostModel::default());
+        assert_eq!(plan.cut_gates, 1);
+        assert_eq!(plan.sampling_overhead(), 9.0);
+        assert_eq!(plan.shots_required(1000), 9000);
+        assert!(plan.is_tractable(10.0));
+        assert!(!plan.is_tractable(8.0));
+        assert_eq!(plan.num_blocks, 2);
+        assert_eq!(plan.max_fragment_qubits(), 10);
+    }
+
+    #[test]
+    fn overhead_is_exponential_in_cuts() {
+        let m = CutCostModel::default();
+        assert_eq!(m.sampling_overhead(0), 1.0);
+        assert_eq!(m.sampling_overhead(1), 9.0);
+        assert_eq!(m.sampling_overhead(3), 729.0);
+        assert_eq!(m.reconstruction_terms(5), 1024.0);
+        assert!((m.postprocessing_seconds(10) - 4f64.powi(10) / 1e8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shots_saturate_instead_of_overflowing() {
+        let c = quantum_volume(20, 1);
+        let plan = cut_circuit(&c, 10, CutCostModel::default());
+        assert!(plan.cut_gates > 20, "QV bipartition makes many cuts");
+        assert_eq!(plan.shots_required(100_000), u64::MAX);
+        assert!(!plan.is_tractable(1e12));
+    }
+
+    #[test]
+    fn cut_circuit_respects_fragment_width() {
+        let c = trotter_1d(30, 2, 0.05);
+        let plan = cut_circuit(&c, 10, CutCostModel::default());
+        assert!(plan.num_blocks >= 3);
+        assert!(plan.max_fragment_qubits() <= 10);
+        // Chain cut into ⌈30/10⌉ = 3 blocks → 2 boundaries × 2 Rzz each.
+        assert_eq!(plan.cut_gates, 4);
+    }
+
+    #[test]
+    fn fragment_footprints_cover_all_local_gates() {
+        let c = ghz(12);
+        let plan = cut_circuit(&c, 6, CutCostModel::default());
+        let local_2q: u64 = plan.subcircuits.iter().map(|s| s.two_qubit_gates).sum();
+        assert_eq!(local_2q + plan.cut_gates, c.two_qubit_gates());
+        let local_1q: u64 = plan.subcircuits.iter().map(|s| s.one_qubit_gates).sum();
+        assert_eq!(local_1q, c.one_qubit_gates());
+        let widths: u64 = plan.subcircuits.iter().map(|s| s.num_qubits).sum();
+        assert_eq!(widths, 12);
+    }
+
+    #[test]
+    fn no_cut_when_circuit_fits() {
+        let c = ghz(8);
+        let plan = cut_circuit(&c, 8, CutCostModel::default());
+        assert_eq!(plan.num_blocks, 1);
+        assert_eq!(plan.cut_gates, 0);
+        assert_eq!(plan.sampling_overhead(), 1.0);
+        assert_eq!(plan.shots_required(5000), 5000);
+        assert!((plan.postprocessing_seconds() - 1.0 / 1e8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ghz(10);
+        let plan = cut_circuit(&c, 5, CutCostModel::default());
+        let s = serde_json::to_string(&plan).unwrap();
+        let plan2: CutPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(plan, plan2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Gates: the atoms of the circuit IR.
+
+use serde::{Deserialize, Serialize};
+
+/// The gate alphabet. Parameterised rotations carry their angle so that
+/// generated ansätze (QAOA, Trotter) are structurally faithful, but the
+/// scheduler only ever consumes arities and counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S.
+    S,
+    /// T gate.
+    T,
+    /// X rotation by an angle (radians).
+    Rx(f64),
+    /// Y rotation by an angle (radians).
+    Ry(f64),
+    /// Z rotation by an angle (radians).
+    Rz(f64),
+    /// Controlled-X (CNOT).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Two-qubit ZZ interaction by an angle (the QAOA/Trotter workhorse).
+    Rzz(f64),
+    /// SWAP (counts as a two-qubit gate; routing inserts these).
+    Swap,
+}
+
+impl GateKind {
+    /// Number of qubits the gate acts on (1 or 2).
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::H
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::S
+            | GateKind::T
+            | GateKind::Rx(_)
+            | GateKind::Ry(_)
+            | GateKind::Rz(_) => 1,
+            GateKind::Cx | GateKind::Cz | GateKind::Rzz(_) | GateKind::Swap => 2,
+        }
+    }
+
+    /// Short mnemonic for display.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::S => "s",
+            GateKind::T => "t",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Rzz(_) => "rzz",
+            GateKind::Swap => "swap",
+        }
+    }
+}
+
+/// One gate application: a kind plus the qubit(s) it acts on. For one-qubit
+/// gates `b` is unused (set equal to `a`); constructors enforce the
+/// invariants, so prefer [`Gate::one`] / [`Gate::two`] over struct literals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Gate kind.
+    pub kind: GateKind,
+    /// First (or only) qubit.
+    pub a: u32,
+    /// Second qubit for two-qubit gates; equals `a` for one-qubit gates.
+    pub b: u32,
+}
+
+impl Gate {
+    /// A one-qubit gate on `q`. Panics if `kind` is two-qubit.
+    pub fn one(kind: GateKind, q: u32) -> Self {
+        assert_eq!(kind.arity(), 1, "{} is not a one-qubit gate", kind.mnemonic());
+        Gate { kind, a: q, b: q }
+    }
+
+    /// A two-qubit gate on distinct qubits `a`, `b`. Panics if `kind` is
+    /// one-qubit or the qubits coincide.
+    pub fn two(kind: GateKind, a: u32, b: u32) -> Self {
+        assert_eq!(kind.arity(), 2, "{} is not a two-qubit gate", kind.mnemonic());
+        assert_ne!(a, b, "two-qubit gate on a single qubit");
+        Gate { kind, a, b }
+    }
+
+    /// Whether this is a two-qubit gate.
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        self.kind.arity() == 2
+    }
+
+    /// The qubits touched: one or two distinct indices.
+    #[inline]
+    pub fn qubits(&self) -> impl Iterator<Item = u32> {
+        let second = if self.a == self.b { None } else { Some(self.b) };
+        std::iter::once(self.a).chain(second)
+    }
+
+    /// The unordered qubit pair for two-qubit gates, `(min, max)`.
+    #[inline]
+    pub fn pair(&self) -> Option<(u32, u32)> {
+        if self.is_two_qubit() {
+            Some((self.a.min(self.b), self.a.max(self.b)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(GateKind::H.arity(), 1);
+        assert_eq!(GateKind::Rz(0.3).arity(), 1);
+        assert_eq!(GateKind::Cx.arity(), 2);
+        assert_eq!(GateKind::Rzz(1.0).arity(), 2);
+    }
+
+    #[test]
+    fn constructors_enforce_arity() {
+        let g = Gate::one(GateKind::H, 3);
+        assert_eq!(g.qubits().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(g.pair(), None);
+        let g2 = Gate::two(GateKind::Cx, 5, 2);
+        assert_eq!(g2.qubits().collect::<Vec<_>>(), vec![5, 2]);
+        assert_eq!(g2.pair(), Some((2, 5)));
+        assert!(g2.is_two_qubit());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a one-qubit gate")]
+    fn one_rejects_two_qubit_kind() {
+        Gate::one(GateKind::Cx, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a two-qubit gate")]
+    fn two_rejects_one_qubit_kind() {
+        Gate::two(GateKind::H, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single qubit")]
+    fn two_rejects_coincident_qubits() {
+        Gate::two(GateKind::Cx, 4, 4);
+    }
+
+    #[test]
+    fn mnemonics_cover_alphabet() {
+        for k in [
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::T,
+            GateKind::Rx(0.1),
+            GateKind::Ry(0.2),
+            GateKind::Rz(0.3),
+            GateKind::Cx,
+            GateKind::Cz,
+            GateKind::Rzz(0.4),
+            GateKind::Swap,
+        ] {
+            assert!(!k.mnemonic().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Gate::two(GateKind::Rzz(0.7), 1, 9);
+        let s = serde_json::to_string(&g).unwrap();
+        let g2: Gate = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+}

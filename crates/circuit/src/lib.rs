@@ -1,0 +1,37 @@
+//! # qcs-circuit — circuit IR, generators, and cutting models
+//!
+//! The paper's case study abstracts every job's "gate set … to the number of
+//! single-qubit and two-qubit gates" (§7). This crate supplies the concrete
+//! layer underneath that abstraction:
+//!
+//! * a lightweight **circuit IR** ([`Circuit`], [`Gate`]) whose footprint
+//!   (qubits, depth, one-/two-qubit gate counts) maps directly onto the
+//!   paper's job tuple `J = (q, d, s, t₂)`;
+//! * **generators** for the circuit families that motivate large distributed
+//!   jobs — random layered circuits, quantum-volume model circuits, GHZ
+//!   preparation, QAOA ansätze over arbitrary interaction graphs, and 1-D
+//!   Trotterised dynamics ([`builders`]);
+//! * a **circuit-cutting cost model** ([`cutting`]) in the CutQC tradition
+//!   (§2 of the paper): quasi-probability gate cutting with its exponential
+//!   sampling overhead and classical reconstruction cost. This is the
+//!   alternative the paper contrasts with real-time classical communication,
+//!   enabling head-to-head crossover experiments.
+//!
+//! The IR stores no amplitudes: it is a *scheduling-level* representation —
+//! structure, not state. Full state-vector simulation of 130-250-qubit
+//! circuits is neither possible nor needed to reproduce the paper, whose
+//! execution model is closed-form (Eqs. 3-9).
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod circuit;
+pub mod cutting;
+pub mod gate;
+pub mod partitioning;
+
+pub use builders::{ghz, qaoa_maxcut, quantum_volume, random_layered, trotter_1d};
+pub use circuit::{Circuit, CircuitStats};
+pub use cutting::{cut_circuit, CutCostModel, CutPlan};
+pub use gate::{Gate, GateKind};
+pub use partitioning::{balanced_blocks, contiguous_blocks, PartitionQuality};

@@ -1,0 +1,288 @@
+//! Qubit partitioning over circuit interaction graphs.
+//!
+//! Circuit cutting severs every two-qubit gate that crosses a block
+//! boundary, and each severed gate costs exponentially in sampling overhead
+//! — so the partitioner's objective is *minimum weighted cut subject to
+//! block capacity*. Optimal partitioning is NP-hard; we use deterministic
+//! greedy growth plus boundary refinement, which is the standard practical
+//! compromise (CutQC itself uses a MIP with a time-out).
+
+use crate::circuit::Circuit;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Quality summary of a qubit partition with respect to a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionQuality {
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Two-qubit gates crossing block boundaries (each becomes a cut).
+    pub cut_gates: u64,
+    /// Largest block size in qubits.
+    pub max_block: usize,
+    /// Smallest block size in qubits.
+    pub min_block: usize,
+}
+
+impl PartitionQuality {
+    /// Evaluates a per-qubit block assignment against a circuit.
+    pub fn evaluate(circuit: &Circuit, assignment: &[u32]) -> Self {
+        assert_eq!(
+            assignment.len(),
+            circuit.num_qubits() as usize,
+            "assignment length must equal the register width"
+        );
+        let mut cut = 0u64;
+        for (&(a, b), &w) in circuit.interaction_weights().iter() {
+            if assignment[a as usize] != assignment[b as usize] {
+                cut += w;
+            }
+        }
+        let mut sizes: BTreeMap<u32, usize> = BTreeMap::new();
+        for &blk in assignment {
+            *sizes.entry(blk).or_insert(0) += 1;
+        }
+        PartitionQuality {
+            blocks: sizes.len(),
+            cut_gates: cut,
+            max_block: sizes.values().copied().max().unwrap_or(0),
+            min_block: sizes.values().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+/// Splits qubits `0..n` into contiguous index blocks with the given sizes
+/// (must sum to `n`). The baseline partition for chain-like circuits, where
+/// contiguity is already optimal.
+pub fn contiguous_blocks(num_qubits: u32, sizes: &[usize]) -> Vec<u32> {
+    let total: usize = sizes.iter().sum();
+    assert_eq!(
+        total, num_qubits as usize,
+        "block sizes sum to {total}, register has {num_qubits}"
+    );
+    assert!(sizes.iter().all(|&s| s > 0), "zero-sized block");
+    let mut assignment = vec![0u32; num_qubits as usize];
+    let mut q = 0usize;
+    for (blk, &s) in sizes.iter().enumerate() {
+        for _ in 0..s {
+            assignment[q] = blk as u32;
+            q += 1;
+        }
+    }
+    assignment
+}
+
+/// Balanced `k`-way partition of a circuit's qubits that greedily minimises
+/// the weighted gate cut:
+///
+/// 1. **Growth** — blocks are grown one at a time from the highest-strength
+///    unassigned qubit, repeatedly absorbing the unassigned qubit with the
+///    strongest interaction weight into the current block (BFS-flavoured,
+///    weight-greedy) until the block reaches its capacity
+///    `⌈n/k⌉`.
+/// 2. **Refinement** — single-qubit boundary moves that strictly reduce the
+///    cut are applied while capacity allows, up to a bounded number of
+///    passes.
+///
+/// Returns the per-qubit block assignment (`assignment[q] ∈ 0..k`).
+pub fn balanced_blocks(circuit: &Circuit, k: usize) -> Vec<u32> {
+    let n = circuit.num_qubits() as usize;
+    assert!(k >= 1, "need at least one block");
+    assert!(k <= n.max(1), "more blocks than qubits");
+    if k == 1 {
+        return vec![0; n];
+    }
+    let weights = circuit.interaction_weights();
+    // Adjacency with weights, plus per-qubit total interaction strength.
+    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    let mut strength = vec![0u64; n];
+    for (&(a, b), &w) in weights.iter() {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+        strength[a as usize] += w;
+        strength[b as usize] += w;
+    }
+
+    // Balanced block targets: the first `n mod k` blocks take ⌈n/k⌉, the
+    // rest ⌊n/k⌋, so every block receives qubits.
+    let caps: Vec<usize> = (0..k).map(|b| n / k + usize::from(b < n % k)).collect();
+    let unassigned = u32::MAX;
+    let mut assignment = vec![unassigned; n];
+    let mut block_size = vec![0usize; k];
+
+    for blk in 0..k as u32 {
+        let cap = caps[blk as usize];
+        if cap == 0 {
+            continue;
+        }
+        // Seed: the *weakest* unassigned qubit (ties → lowest index) — a
+        // peripheral node, so growth sweeps inward instead of splitting the
+        // interaction graph's core.
+        let Some(seed) = (0..n)
+            .filter(|&q| assignment[q] == unassigned)
+            .min_by_key(|&q| (strength[q], q))
+        else {
+            break;
+        };
+        assignment[seed] = blk;
+        block_size[blk as usize] = 1;
+        // Gain of each unassigned qubit toward the current block.
+        let mut gain = vec![0u64; n];
+        for &(w_q, w) in &adj[seed] {
+            gain[w_q as usize] += w;
+        }
+        while block_size[blk as usize] < cap {
+            let pick = (0..n)
+                .filter(|&q| assignment[q] == unassigned)
+                .max_by_key(|&q| (gain[q], strength[q], std::cmp::Reverse(q)));
+            let Some(q) = pick else { break };
+            assignment[q] = blk;
+            block_size[blk as usize] += 1;
+            for &(w_q, w) in &adj[q] {
+                if assignment[w_q as usize] == unassigned {
+                    gain[w_q as usize] += w;
+                }
+            }
+        }
+    }
+    // Any stragglers (possible only if k·cap rounding left gaps) go to the
+    // emptiest block.
+    for slot in assignment.iter_mut() {
+        if *slot == unassigned {
+            let blk = (0..k).min_by_key(|&b| block_size[b]).unwrap();
+            *slot = blk as u32;
+            block_size[blk] += 1;
+        }
+    }
+
+    // Refinement: move boundary qubits when it strictly reduces the cut.
+    for _pass in 0..4 {
+        let mut improved = false;
+        for q in 0..n {
+            let cur = assignment[q];
+            // Weight toward each block.
+            let mut toward: BTreeMap<u32, u64> = BTreeMap::new();
+            for &(w_q, w) in &adj[q] {
+                *toward.entry(assignment[w_q as usize]).or_insert(0) += w;
+            }
+            let cur_internal = toward.get(&cur).copied().unwrap_or(0);
+            let best = toward
+                .iter()
+                .filter(|&(&b, _)| b != cur && block_size[b as usize] < caps[b as usize])
+                .max_by_key(|&(_, &w)| w);
+            if let Some((&b, &w)) = best {
+                if w > cur_internal && block_size[cur as usize] > 1 {
+                    assignment[q] = b;
+                    block_size[cur as usize] -= 1;
+                    block_size[b as usize] += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{ghz, qaoa_maxcut, quantum_volume, trotter_1d};
+
+    #[test]
+    fn contiguous_assignment_layout() {
+        let a = contiguous_blocks(7, &[3, 2, 2]);
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn contiguous_checks_total() {
+        contiguous_blocks(5, &[2, 2]);
+    }
+
+    #[test]
+    fn chain_circuit_cut_is_block_count_minus_one() {
+        // A GHZ chain cut into contiguous blocks severs exactly one gate per
+        // boundary — the optimum.
+        let c = ghz(20);
+        let a = contiguous_blocks(20, &[10, 10]);
+        let q = PartitionQuality::evaluate(&c, &a);
+        assert_eq!(q.cut_gates, 1);
+        assert_eq!(q.blocks, 2);
+
+        let a3 = contiguous_blocks(20, &[7, 7, 6]);
+        assert_eq!(PartitionQuality::evaluate(&c, &a3).cut_gates, 2);
+    }
+
+    #[test]
+    fn balanced_blocks_finds_chain_optimum() {
+        // On a nearest-neighbour chain the greedy partitioner should match
+        // the contiguous optimum: k−1 cut bonds (× gates per bond).
+        let c = trotter_1d(24, 3, 0.1);
+        let a = balanced_blocks(&c, 2);
+        let q = PartitionQuality::evaluate(&c, &a);
+        assert_eq!(q.blocks, 2);
+        assert!(q.max_block <= 12);
+        // One boundary bond carries 3 Rzz (one per step).
+        assert_eq!(q.cut_gates, 3, "cut {} gates", q.cut_gates);
+    }
+
+    #[test]
+    fn balanced_blocks_respects_capacity() {
+        let c = quantum_volume(16, 5);
+        for k in [2usize, 3, 4, 5] {
+            let a = balanced_blocks(&c, k);
+            let q = PartitionQuality::evaluate(&c, &a);
+            assert_eq!(q.blocks, k, "k={k}");
+            assert!(q.max_block <= 16usize.div_ceil(k), "k={k} max {}", q.max_block);
+            assert!(q.min_block >= 1);
+        }
+    }
+
+    #[test]
+    fn single_block_has_no_cut() {
+        let c = quantum_volume(10, 2);
+        let a = balanced_blocks(&c, 1);
+        let q = PartitionQuality::evaluate(&c, &a);
+        assert_eq!(q.cut_gates, 0);
+        assert_eq!(q.blocks, 1);
+    }
+
+    #[test]
+    fn qv_circuits_cut_expensively() {
+        // All-to-all interaction: any balanced bipartition severs ≈ half the
+        // blocks' worth of gates — far more than a chain. This is the
+        // structural fact that makes cutting impractical for QV workloads.
+        let qv = quantum_volume(16, 1);
+        let chain = trotter_1d(16, 10, 0.1);
+        let qv_cut = PartitionQuality::evaluate(&qv, &balanced_blocks(&qv, 2)).cut_gates;
+        let chain_cut =
+            PartitionQuality::evaluate(&chain, &balanced_blocks(&chain, 2)).cut_gates;
+        assert!(
+            qv_cut > 4 * chain_cut,
+            "QV cut {qv_cut} should dwarf chain cut {chain_cut}"
+        );
+    }
+
+    #[test]
+    fn refinement_does_not_violate_balance() {
+        let edges: Vec<(u32, u32)> = (0..20u32).flat_map(|a| ((a + 1)..20).map(move |b| (a, b)))
+            .filter(|&(a, b)| (a + b) % 3 == 0)
+            .collect();
+        let c = qaoa_maxcut(20, &edges, 2, 3);
+        let a = balanced_blocks(&c, 4);
+        let q = PartitionQuality::evaluate(&c, &a);
+        assert!(q.max_block <= 5);
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "more blocks than qubits")]
+    fn balanced_rejects_excess_blocks() {
+        balanced_blocks(&ghz(3), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for circuit IR, partitioning and cutting invariants.
+
+use proptest::prelude::*;
+use qcs_circuit::{
+    balanced_blocks, cut_circuit, ghz, qaoa_maxcut, quantum_volume, random_layered, trotter_1d,
+    Circuit, CutCostModel, PartitionQuality,
+};
+
+/// Per-qubit gate count: a lower bound on depth.
+fn max_qubit_load(c: &Circuit) -> u32 {
+    let mut load = vec![0u32; c.num_qubits() as usize];
+    for g in c.gates() {
+        for q in g.qubits() {
+            load[q as usize] += 1;
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Depth is sandwiched between the busiest qubit's load and the total
+    /// gate count; gate counts partition the gate list.
+    #[test]
+    fn footprint_identities(n in 2u32..40, d in 1u32..20, frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let c = random_layered(n, d, frac, seed);
+        let s = c.stats();
+        prop_assert_eq!(s.one_qubit_gates + s.two_qubit_gates, c.len() as u64);
+        prop_assert!(s.depth as usize <= c.len().max(1));
+        prop_assert!(s.depth >= max_qubit_load(&c));
+        prop_assert!(s.active_qubits <= s.num_qubits);
+        // Layered construction: every qubit acts once per layer → depth = d.
+        prop_assert_eq!(s.depth, d);
+    }
+
+    /// Builders are pure functions of their parameters.
+    #[test]
+    fn builders_deterministic(n in 3u32..24, seed in 0u64..500) {
+        prop_assert_eq!(quantum_volume(n, seed), quantum_volume(n, seed));
+        prop_assert_eq!(random_layered(n, 5, 0.4, seed), random_layered(n, 5, 0.4, seed));
+        prop_assert_eq!(
+            qaoa_maxcut(n, &[(0, 1), (1, n - 1)], 2, seed),
+            qaoa_maxcut(n, &[(0, 1), (1, n - 1)], 2, seed)
+        );
+    }
+
+    /// Balanced partition invariants: every label in range, block sizes
+    /// within one of each other, evaluation consistent.
+    #[test]
+    fn balanced_partition_invariants(n in 4u32..40, k in 1usize..5, seed in 0u64..300) {
+        prop_assume!(k <= n as usize);
+        let c = random_layered(n, 6, 0.5, seed);
+        let a = balanced_blocks(&c, k);
+        prop_assert_eq!(a.len(), n as usize);
+        prop_assert!(a.iter().all(|&b| (b as usize) < k));
+        let q = PartitionQuality::evaluate(&c, &a);
+        prop_assert_eq!(q.blocks, k);
+        prop_assert!(q.max_block <= (n as usize).div_ceil(k));
+        prop_assert!(q.min_block >= n as usize / k);
+        prop_assert!(q.cut_gates <= c.two_qubit_gates());
+    }
+
+    /// Cut-plan conservation laws: fragment widths tile the register, local
+    /// plus cut two-qubit gates equal the original count, overhead ≥ 1 and
+    /// monotone in cuts.
+    #[test]
+    fn cut_plan_conservation(n in 6u32..36, max_frag in 3u32..20, seed in 0u64..300) {
+        prop_assume!(max_frag < n);
+        let c = random_layered(n, 5, 0.4, seed);
+        let plan = cut_circuit(&c, max_frag, CutCostModel::default());
+        prop_assert!(plan.max_fragment_qubits() <= max_frag as u64);
+        let widths: u64 = plan.subcircuits.iter().map(|s| s.num_qubits).sum();
+        prop_assert_eq!(widths, n as u64);
+        let local_2q: u64 = plan.subcircuits.iter().map(|s| s.two_qubit_gates).sum();
+        prop_assert_eq!(local_2q + plan.cut_gates, c.two_qubit_gates());
+        let local_1q: u64 = plan.subcircuits.iter().map(|s| s.one_qubit_gates).sum();
+        prop_assert_eq!(local_1q, c.one_qubit_gates());
+        prop_assert!(plan.sampling_overhead() >= 1.0);
+        prop_assert!(plan.shots_required(1) >= 1);
+    }
+
+    /// Chain circuits cut at most once per boundary: the k-way cut of a
+    /// Trotter chain is at most (k−1) · steps (each boundary bond carries
+    /// `steps` gates), demonstrating the partitioner exploits locality.
+    #[test]
+    fn chains_cut_cheaply(n in 8u32..48, steps in 1u32..6, k in 2usize..5) {
+        prop_assume!(k <= n as usize / 2);
+        let c = trotter_1d(n, steps, 0.1);
+        let a = balanced_blocks(&c, k);
+        let q = PartitionQuality::evaluate(&c, &a);
+        prop_assert!(
+            q.cut_gates <= (k as u64 - 1) * steps as u64,
+            "cut {} > {} boundaries × {} steps", q.cut_gates, k - 1, steps
+        );
+    }
+
+    /// GHZ fragments stay connected pieces of the chain: cutting a GHZ of
+    /// any width into two fragments severs exactly one gate.
+    #[test]
+    fn ghz_bipartition_single_cut(n in 4u32..64) {
+        let c = ghz(n);
+        let a = balanced_blocks(&c, 2);
+        let q = PartitionQuality::evaluate(&c, &a);
+        prop_assert_eq!(q.cut_gates, 1);
+    }
+}

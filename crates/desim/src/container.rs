@@ -1,0 +1,181 @@
+//! Counted resource containers with FIFO blocking semantics.
+//!
+//! A [`Container`] models a pool of identical units — for the quantum cloud,
+//! the free physical qubits of one QPU (`device.container.level` in the
+//! paper). Processes take units with [`crate::Effect::Get`] /
+//! [`crate::Effect::GetAll`] and return them with `Put`/`PutAll`.
+//!
+//! The container itself only stores state; the wait queues and grant logic
+//! live in the kernel so that multi-container atomic requests can be
+//! coordinated across containers.
+
+use crate::stats::TimeWeighted;
+
+/// Identifier of a container within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub(crate) u32);
+
+impl ContainerId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A pool of `capacity` identical units, `level` of which are available.
+#[derive(Debug, Clone)]
+pub struct Container {
+    capacity: u64,
+    level: u64,
+    /// Time-weighted statistics over the level, for utilization reporting.
+    pub(crate) level_stats: TimeWeighted,
+    label: String,
+}
+
+impl Container {
+    /// Creates a container with the given capacity and initial level.
+    pub fn new(label: impl Into<String>, capacity: u64, initial_level: u64) -> Self {
+        assert!(
+            initial_level <= capacity,
+            "initial level {initial_level} exceeds capacity {capacity}"
+        );
+        Container {
+            capacity,
+            level: initial_level,
+            level_stats: TimeWeighted::new(0.0, initial_level as f64),
+            label: label.into(),
+        }
+    }
+
+    /// Human-readable label.
+    #[inline]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total capacity in units.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently available units.
+    #[inline]
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+
+    /// Units currently in use (`capacity - level`).
+    #[inline]
+    pub fn in_use(&self) -> u64 {
+        self.capacity - self.level
+    }
+
+    /// Instantaneous busy fraction in `[0, 1]`.
+    #[inline]
+    pub fn busy_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.in_use() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Time-weighted mean level since the simulation started.
+    #[inline]
+    pub fn mean_level(&self, now: f64) -> f64 {
+        self.level_stats.mean_at(now)
+    }
+
+    /// Time-weighted mean *utilization* (busy fraction) since t=0.
+    pub fn mean_utilization(&self, now: f64) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            1.0 - self.mean_level(now) / self.capacity as f64
+        }
+    }
+
+    /// Whether a get of `amount` could be satisfied right now.
+    #[inline]
+    pub fn can_get(&self, amount: u64) -> bool {
+        amount <= self.level
+    }
+
+    /// Whether a put of `amount` could be absorbed right now.
+    #[inline]
+    pub fn can_put(&self, amount: u64) -> bool {
+        self.level + amount <= self.capacity
+    }
+
+    /// Applies a grant. `delta > 0` puts units, `delta < 0` takes units.
+    /// Panics on violation — grants are only issued after `can_get`/`can_put`
+    /// checks, so a violation is a kernel bug.
+    pub(crate) fn apply(&mut self, now: f64, delta: i64) {
+        if delta >= 0 {
+            let d = delta as u64;
+            assert!(self.can_put(d), "container overflow (kernel bug)");
+            self.level += d;
+        } else {
+            let d = (-delta) as u64;
+            assert!(self.can_get(d), "container underflow (kernel bug)");
+            self.level -= d;
+        }
+        self.level_stats.record(now, self.level as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_container_has_full_level() {
+        let c = Container::new("qpu", 127, 127);
+        assert_eq!(c.capacity(), 127);
+        assert_eq!(c.level(), 127);
+        assert_eq!(c.in_use(), 0);
+        assert_eq!(c.busy_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn initial_level_above_capacity_panics() {
+        let _ = Container::new("bad", 10, 11);
+    }
+
+    #[test]
+    fn apply_tracks_level_and_stats() {
+        let mut c = Container::new("qpu", 100, 100);
+        c.apply(1.0, -30);
+        assert_eq!(c.level(), 70);
+        assert_eq!(c.in_use(), 30);
+        c.apply(2.0, 30);
+        assert_eq!(c.level(), 100);
+        // Mean level over [0,2]: 100 for 1s, then 70 for 1s = 85.
+        assert!((c.mean_level(2.0) - 85.0).abs() < 1e-9);
+        assert!((c.mean_utilization(2.0) - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut c = Container::new("qpu", 10, 5);
+        c.apply(0.0, -6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut c = Container::new("qpu", 10, 5);
+        c.apply(0.0, 6);
+    }
+
+    #[test]
+    fn busy_fraction_zero_capacity() {
+        let c = Container::new("null", 0, 0);
+        assert_eq!(c.busy_fraction(), 0.0);
+        assert_eq!(c.mean_utilization(10.0), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Probability distributions sampled from [`crate::Xoshiro256StarStar`].
+//!
+//! Implemented in-tree (rather than via `rand_distr`) so that simulation
+//! streams are bit-reproducible regardless of dependency versions. All
+//! samplers take `&mut Xoshiro256StarStar` explicitly.
+
+use crate::rng::Xoshiro256StarStar;
+
+/// Standard normal via the Box–Muller transform (the second variate is
+/// discarded for simplicity; samplers here are not on any hot path).
+pub fn standard_normal(rng: &mut Xoshiro256StarStar) -> f64 {
+    // Avoid ln(0).
+    let mut u1 = rng.next_f64();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.next_f64();
+    }
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal(rng: &mut Xoshiro256StarStar, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "std_dev must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Normal truncated to `[lo, hi]` by rejection (assumes the interval has
+/// non-trivial mass; falls back to clamping after 1000 rejections).
+pub fn truncated_normal(
+    rng: &mut Xoshiro256StarStar,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid truncation interval");
+    for _ in 0..1000 {
+        let x = normal(rng, mean, std_dev);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+/// Log-normal: `exp(N(mu, sigma))`.
+pub fn log_normal(rng: &mut Xoshiro256StarStar, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`).
+pub fn exponential(rng: &mut Xoshiro256StarStar, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let mut u = rng.next_f64();
+    while u <= f64::MIN_POSITIVE {
+        u = rng.next_f64();
+    }
+    -u.ln() / lambda
+}
+
+/// Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// with continuity correction for large means (λ > 30), which is ample for
+/// arrival batching in this simulator.
+pub fn poisson(rng: &mut Xoshiro256StarStar, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.next_f64();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Bernoulli trial with success probability `p`.
+pub fn bernoulli(rng: &mut Xoshiro256StarStar, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    rng.next_f64() < p
+}
+
+/// Samples an index from unnormalised non-negative weights.
+pub fn weighted_index(rng: &mut Xoshiro256StarStar, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().copied().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must have positive finite sum"
+    );
+    let mut target = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w >= 0.0, "weights must be non-negative");
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Welford;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(20240601)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let mut w = Welford::new();
+        for _ in 0..200_000 {
+            w.push(normal(&mut r, 3.0, 2.0));
+        }
+        assert!((w.mean() - 3.0).abs() < 0.02, "mean {}", w.mean());
+        assert!((w.std_dev() - 2.0).abs() < 0.02, "std {}", w.std_dev());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut r, 0.0, 1.0, -0.5, 0.5);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let mut w = Welford::new();
+        for _ in 0..200_000 {
+            w.push(exponential(&mut r, 0.25));
+        }
+        assert!((w.mean() - 4.0).abs() < 0.05, "mean {}", w.mean());
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = rng();
+        let mut w = Welford::new();
+        for _ in 0..100_000 {
+            w.push(poisson(&mut r, 3.5) as f64);
+        }
+        assert!((w.mean() - 3.5).abs() < 0.05, "mean {}", w.mean());
+        assert!((w.variance() - 3.5).abs() < 0.15, "var {}", w.variance());
+    }
+
+    #[test]
+    fn poisson_large_mean_normal_approx() {
+        let mut r = rng();
+        let mut w = Welford::new();
+        for _ in 0..100_000 {
+            w.push(poisson(&mut r, 100.0) as f64);
+        }
+        assert!((w.mean() - 100.0).abs() < 0.5, "mean {}", w.mean());
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / 100_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 100_000.0 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / 100_000.0 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_single() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn weighted_index_zero_sum_panics() {
+        let mut r = rng();
+        weighted_index(&mut r, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! A typed FIFO store (SimPy's `Store`): blocking hand-off of items between
+//! processes.
+//!
+//! The blocking is implemented with a token [`crate::Container`] counting the
+//! items, while the items themselves live in a shared `VecDeque` behind a
+//! mutex (processes may run from different threads in parallel replications,
+//! so the payload store is `Send + Sync`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::container::ContainerId;
+use crate::kernel::Simulation;
+use crate::process::Effect;
+
+/// A FIFO channel of `T` items with SimPy `Store` semantics.
+///
+/// Protocol for a consumer coroutine:
+/// 1. yield [`Store::get_effect`] (blocks until an item token is available);
+/// 2. on resume, call [`Store::take`] to pop the item.
+///
+/// Producers push with [`Store::put`] (never blocks if the store is
+/// unbounded) followed by yielding [`Store::put_effect`].
+pub struct Store<T> {
+    items: Arc<Mutex<VecDeque<T>>>,
+    tokens: ContainerId,
+}
+
+impl<T> Clone for Store<T> {
+    fn clone(&self) -> Self {
+        Store {
+            items: Arc::clone(&self.items),
+            tokens: self.tokens,
+        }
+    }
+}
+
+impl<T: Send + 'static> Store<T> {
+    /// Creates a store holding at most `capacity` items.
+    pub fn new(sim: &mut Simulation, label: impl Into<String>, capacity: u64) -> Self {
+        let tokens = sim.add_container(label, capacity, 0);
+        Store {
+            items: Arc::new(Mutex::new(VecDeque::new())),
+            tokens,
+        }
+    }
+
+    /// Deposits an item payload. Call *before* yielding
+    /// [`Store::put_effect`]; the effect blocks while the store is full.
+    pub fn put(&self, item: T) {
+        self.items.lock().unwrap().push_back(item);
+    }
+
+    /// Effect signalling one deposited item (may block when full).
+    pub fn put_effect(&self) -> Effect {
+        Effect::Put {
+            container: self.tokens,
+            amount: 1,
+        }
+    }
+
+    /// Effect that blocks until an item is available.
+    pub fn get_effect(&self) -> Effect {
+        Effect::Get {
+            container: self.tokens,
+            amount: 1,
+        }
+    }
+
+    /// Pops the item corresponding to a granted [`Store::get_effect`].
+    pub fn take(&self) -> T {
+        self.items
+            .lock()
+            .unwrap()
+            .pop_front()
+            .expect("Store::take without a granted get (protocol bug)")
+    }
+
+    /// Items currently queued.
+    pub fn len(&self, sim: &Simulation) -> u64 {
+        sim.container(self.tokens).level()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self, sim: &Simulation) -> bool {
+        self.len(sim) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Coroutine, Ctx, Step};
+
+    struct Producer {
+        store: Store<u32>,
+        next: u32,
+        count: u32,
+        phase: u8,
+    }
+    impl Coroutine for Producer {
+        fn resume(&mut self, _cx: &mut Ctx<'_>) -> Step {
+            match self.phase {
+                0 => {
+                    if self.count == 0 {
+                        return Step::Done;
+                    }
+                    self.count -= 1;
+                    self.store.put(self.next);
+                    self.next += 1;
+                    self.phase = 1;
+                    Step::Wait(self.store.put_effect())
+                }
+                _ => {
+                    self.phase = 0;
+                    Step::Wait(Effect::Timeout(1.0))
+                }
+            }
+        }
+    }
+
+    struct Consumer {
+        store: Store<u32>,
+        got: std::sync::Arc<Mutex<Vec<(f64, u32)>>>,
+        phase: u8,
+        remaining: u32,
+    }
+    impl Coroutine for Consumer {
+        fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+            match self.phase {
+                0 => {
+                    if self.remaining == 0 {
+                        return Step::Done;
+                    }
+                    self.phase = 1;
+                    Step::Wait(self.store.get_effect())
+                }
+                _ => {
+                    self.remaining -= 1;
+                    let item = self.store.take();
+                    self.got.lock().unwrap().push((cx.now(), item));
+                    self.phase = 0;
+                    Step::Wait(Effect::Timeout(0.0))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn producer_consumer_fifo() {
+        let mut sim = Simulation::new(1);
+        let store: Store<u32> = Store::new(&mut sim, "jobs", 100);
+        let got = std::sync::Arc::new(Mutex::new(Vec::new()));
+        sim.spawn(Box::new(Producer {
+            store: store.clone(),
+            next: 0,
+            count: 5,
+            phase: 0,
+        }));
+        sim.spawn(Box::new(Consumer {
+            store: store.clone(),
+            got: got.clone(),
+            phase: 0,
+            remaining: 5,
+        }));
+        sim.run();
+        sim.assert_quiescent();
+        let got = got.lock().unwrap();
+        let items: Vec<u32> = got.iter().map(|&(_, i)| i).collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+        assert!(store.is_empty(&sim));
+    }
+
+    #[test]
+    fn consumer_blocks_until_producer_arrives() {
+        let mut sim = Simulation::new(2);
+        let store: Store<u32> = Store::new(&mut sim, "jobs", 10);
+        let got = std::sync::Arc::new(Mutex::new(Vec::new()));
+        sim.spawn(Box::new(Consumer {
+            store: store.clone(),
+            got: got.clone(),
+            phase: 0,
+            remaining: 1,
+        }));
+        // Producer starts at t=5.
+        sim.spawn_after(
+            5.0,
+            Box::new(Producer {
+                store: store.clone(),
+                next: 42,
+                count: 1,
+                phase: 0,
+            }),
+        );
+        sim.run();
+        let got = got.lock().unwrap();
+        assert_eq!(got.as_slice(), &[(5.0, 42)]);
+    }
+}

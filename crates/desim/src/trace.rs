@@ -1,0 +1,114 @@
+//! Optional event tracing for debugging and analysis.
+
+use crate::container::ContainerId;
+use crate::process::ProcessId;
+
+/// One trace record emitted by the kernel or by a process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time at which the record was emitted.
+    pub time: f64,
+    /// The process involved, if any.
+    pub pid: Option<ProcessId>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Categories of trace records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A process was spawned.
+    Spawn,
+    /// A process finished.
+    Finish,
+    /// A request was queued on one or more containers.
+    Queued {
+        /// Involved containers.
+        containers: Vec<ContainerId>,
+    },
+    /// A queued request was granted.
+    Granted {
+        /// Involved containers.
+        containers: Vec<ContainerId>,
+    },
+    /// Free-form message from a process.
+    Note(String),
+}
+
+/// A bounded trace buffer. When full, new records are dropped (the count of
+/// dropped records is kept so analyses know the trace is partial).
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding up to `capacity` records; 0 disables tracing.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            records: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record if there is room.
+    #[inline]
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else if self.capacity > 0 {
+            self.dropped += 1;
+        }
+    }
+
+    /// The collected records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// How many records were dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_drops_silently() {
+        let mut tb = TraceBuffer::new(0);
+        assert!(!tb.enabled());
+        tb.push(TraceRecord {
+            time: 0.0,
+            pid: None,
+            kind: TraceKind::Spawn,
+        });
+        assert!(tb.records().is_empty());
+        assert_eq!(tb.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let mut tb = TraceBuffer::new(2);
+        for i in 0..5 {
+            tb.push(TraceRecord {
+                time: i as f64,
+                pid: None,
+                kind: TraceKind::Spawn,
+            });
+        }
+        assert_eq!(tb.records().len(), 2);
+        assert_eq!(tb.dropped(), 3);
+    }
+}

@@ -1,0 +1,627 @@
+//! Integration tests for the priority-request and interrupt extensions.
+
+use std::sync::{Arc, Mutex};
+
+use qcs_desim::process::{Coroutine, Ctx, Effect, ProcessId, Step};
+use qcs_desim::{ContainerId, Simulation};
+
+type Log = Arc<Mutex<Vec<(f64, &'static str)>>>;
+
+/// get(prio) → hold → put, logging the grant instant.
+struct PriJob {
+    container: ContainerId,
+    amount: u64,
+    priority: i32,
+    hold: f64,
+    phase: u8,
+    log: Log,
+    tag: &'static str,
+}
+
+impl Coroutine for PriJob {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::GetPri {
+                    container: self.container,
+                    amount: self.amount,
+                    priority: self.priority,
+                })
+            }
+            1 => {
+                self.log.lock().unwrap().push((cx.now(), self.tag));
+                self.phase = 2;
+                Step::Wait(Effect::Timeout(self.hold))
+            }
+            2 => {
+                self.phase = 3;
+                Step::Wait(Effect::Put {
+                    container: self.container,
+                    amount: self.amount,
+                })
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+/// Spawns a PriJob after a start delay (so queue arrival order is explicit).
+#[allow(clippy::too_many_arguments)]
+fn spawn_pri(
+    sim: &mut Simulation,
+    delay: f64,
+    container: ContainerId,
+    amount: u64,
+    priority: i32,
+    hold: f64,
+    log: &Log,
+    tag: &'static str,
+) -> ProcessId {
+    sim.spawn_after(
+        delay,
+        Box::new(PriJob {
+            container,
+            amount,
+            priority,
+            hold,
+            phase: 0,
+            log: log.clone(),
+            tag,
+        }),
+    )
+}
+
+#[test]
+fn high_priority_overtakes_queued_low_priority() {
+    let mut sim = Simulation::new(1);
+    let c = sim.add_container("qpu", 100, 100);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    // Holder occupies everything until t = 10.
+    spawn_pri(&mut sim, 0.0, c, 100, 0, 10.0, &log, "holder");
+    // Low-priority waiter queues at t = 1.
+    spawn_pri(&mut sim, 1.0, c, 60, 5, 1.0, &log, "low");
+    // High-priority (lower value) waiter queues at t = 2 — later arrival,
+    // but must be served first.
+    spawn_pri(&mut sim, 2.0, c, 60, -5, 1.0, &log, "high");
+    sim.run();
+    sim.assert_quiescent();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        &[(0.0, "holder"), (10.0, "high"), (11.0, "low")]
+    );
+}
+
+#[test]
+fn equal_priority_stays_fifo() {
+    let mut sim = Simulation::new(2);
+    let c = sim.add_container("qpu", 100, 100);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    spawn_pri(&mut sim, 0.0, c, 100, 0, 5.0, &log, "holder");
+    spawn_pri(&mut sim, 1.0, c, 80, 3, 1.0, &log, "first");
+    spawn_pri(&mut sim, 2.0, c, 80, 3, 1.0, &log, "second");
+    sim.run();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        &[(0.0, "holder"), (5.0, "first"), (6.0, "second")]
+    );
+}
+
+#[test]
+fn priority_get_overtakes_at_submission_time() {
+    // A queued low-priority request must not block an immediately
+    // satisfiable high-priority one: level is 40, "low" wants 60 (queued),
+    // "high" wants 30 and can be served at once.
+    let mut sim = Simulation::new(3);
+    let c = sim.add_container("qpu", 100, 100);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    spawn_pri(&mut sim, 0.0, c, 60, 0, 10.0, &log, "holder"); // leaves 40
+    spawn_pri(&mut sim, 1.0, c, 60, 2, 1.0, &log, "low"); // blocks
+    spawn_pri(&mut sim, 2.0, c, 30, -1, 1.0, &log, "high"); // fits now
+    sim.run();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        &[(0.0, "holder"), (2.0, "high"), (10.0, "low")]
+    );
+}
+
+#[test]
+fn plain_get_cannot_overtake_same_priority_queue() {
+    // Control for the test above: with equal priorities the satisfiable
+    // late request must wait behind the queued head (strict FIFO).
+    let mut sim = Simulation::new(4);
+    let c = sim.add_container("qpu", 100, 100);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    spawn_pri(&mut sim, 0.0, c, 60, 0, 10.0, &log, "holder");
+    spawn_pri(&mut sim, 1.0, c, 80, 0, 1.0, &log, "big");
+    spawn_pri(&mut sim, 2.0, c, 30, 0, 1.0, &log, "small");
+    sim.run();
+    let log = log.lock().unwrap();
+    assert_eq!(log[1], (10.0, "big"));
+    assert_eq!(log[2], (11.0, "small"));
+}
+
+/// Multi-container priority request (GetAllPri) + PutAll release.
+struct MultiPriJob {
+    parts: Vec<(ContainerId, u64)>,
+    priority: i32,
+    hold: f64,
+    phase: u8,
+    log: Log,
+    tag: &'static str,
+}
+
+impl Coroutine for MultiPriJob {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::GetAllPri {
+                    parts: self.parts.clone(),
+                    priority: self.priority,
+                })
+            }
+            1 => {
+                self.log.lock().unwrap().push((cx.now(), self.tag));
+                self.phase = 2;
+                Step::Wait(Effect::Timeout(self.hold))
+            }
+            2 => {
+                self.phase = 3;
+                Step::Wait(Effect::PutAll(self.parts.clone()))
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+#[test]
+fn multiget_priority_is_deadlock_free_and_ordered() {
+    let mut sim = Simulation::new(5);
+    let c1 = sim.add_container("d1", 100, 100);
+    let c2 = sim.add_container("d2", 100, 100);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    sim.spawn(Box::new(MultiPriJob {
+        parts: vec![(c1, 90), (c2, 90)],
+        priority: 0,
+        hold: 5.0,
+        phase: 0,
+        log: log.clone(),
+        tag: "holder",
+    }));
+    sim.spawn_after(
+        1.0,
+        Box::new(MultiPriJob {
+            parts: vec![(c1, 60), (c2, 60)],
+            priority: 1,
+            hold: 1.0,
+            phase: 0,
+            log: log.clone(),
+            tag: "low",
+        }),
+    );
+    sim.spawn_after(
+        2.0,
+        Box::new(MultiPriJob {
+            parts: vec![(c2, 60), (c1, 60)],
+            priority: -1,
+            hold: 1.0,
+            phase: 0,
+            log: log.clone(),
+            tag: "high",
+        }),
+    );
+    sim.run();
+    sim.assert_quiescent();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        &[(0.0, "holder"), (5.0, "high"), (6.0, "low")]
+    );
+    assert_eq!(sim.container(c1).level(), 100);
+    assert_eq!(sim.container(c2).level(), 100);
+}
+
+/// Sleeps `dt`, then records whether the sleep was interrupted.
+struct Sleeper {
+    dt: f64,
+    phase: u8,
+    log: Log,
+}
+
+impl Coroutine for Sleeper {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::Timeout(self.dt))
+            }
+            _ => {
+                let tag = if cx.take_interrupted() {
+                    "interrupted"
+                } else {
+                    "completed"
+                };
+                self.log.lock().unwrap().push((cx.now(), tag));
+                Step::Done
+            }
+        }
+    }
+}
+
+/// Interrupts a target pid after a delay.
+struct Interrupter {
+    delay: f64,
+    target: ProcessId,
+    phase: u8,
+}
+
+impl Coroutine for Interrupter {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::Timeout(self.delay))
+            }
+            _ => {
+                cx.interrupt(self.target);
+                Step::Done
+            }
+        }
+    }
+}
+
+#[test]
+fn interrupt_cuts_timeout_short() {
+    let mut sim = Simulation::new(6);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let sleeper = sim.spawn(Box::new(Sleeper {
+        dt: 100.0,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.spawn(Box::new(Interrupter {
+        delay: 5.0,
+        target: sleeper,
+        phase: 0,
+    }));
+    let end = sim.run();
+    assert_eq!(log.lock().unwrap().as_slice(), &[(5.0, "interrupted")]);
+    // The stale t=100 event must not extend the run.
+    assert_eq!(end, 5.0);
+    assert!(sim.is_done(sleeper));
+}
+
+#[test]
+fn uninterrupted_sleep_completes_normally() {
+    let mut sim = Simulation::new(7);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    sim.spawn(Box::new(Sleeper {
+        dt: 3.0,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.run();
+    assert_eq!(log.lock().unwrap().as_slice(), &[(3.0, "completed")]);
+}
+
+/// Blocks on a Get and reports whether the wait was interrupted; on a
+/// normal grant it releases the units again.
+struct Waiter {
+    container: ContainerId,
+    amount: u64,
+    phase: u8,
+    log: Log,
+}
+
+impl Coroutine for Waiter {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::Get {
+                    container: self.container,
+                    amount: self.amount,
+                })
+            }
+            1 => {
+                if cx.take_interrupted() {
+                    self.log.lock().unwrap().push((cx.now(), "gave-up"));
+                    return Step::Done;
+                }
+                self.log.lock().unwrap().push((cx.now(), "acquired"));
+                self.phase = 2;
+                Step::Wait(Effect::Put {
+                    container: self.container,
+                    amount: self.amount,
+                })
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+#[test]
+fn interrupt_cancels_queued_request_and_unblocks_successors() {
+    let mut sim = Simulation::new(8);
+    let c = sim.add_container("qpu", 100, 0);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    // Two waiters on an empty container: w1 wants 80, w2 wants 40.
+    let w1 = sim.spawn(Box::new(Waiter {
+        container: c,
+        amount: 80,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.spawn_after(
+        1.0,
+        Box::new(Waiter {
+            container: c,
+            amount: 40,
+            phase: 0,
+            log: log.clone(),
+        }),
+    );
+    // Interrupt w1 at t=2 (reneging).
+    sim.spawn(Box::new(Interrupter {
+        delay: 2.0,
+        target: w1,
+        phase: 0,
+    }));
+    sim.run();
+    // Deposit only 40: enough for w2 but not for w1 had it stayed queued.
+    sim.deposit(c, 40);
+    sim.run();
+    sim.assert_quiescent();
+    let log = log.lock().unwrap();
+    assert_eq!(log.as_slice(), &[(2.0, "gave-up"), (2.0, "acquired")]);
+    assert_eq!(sim.container(c).level(), 40, "w2 released its grant");
+    assert_eq!(sim.blocked_processes(), 0);
+}
+
+#[test]
+fn interrupt_cancellation_promotes_queue_head_immediately() {
+    // Holder drains the container; w1 (head) and w2 queue behind. When w1
+    // reneges, w2 becomes head; on release w2 — not w1 — is served.
+    let mut sim = Simulation::new(9);
+    let c = sim.add_container("qpu", 100, 100);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    spawn_pri(&mut sim, 0.0, c, 100, 0, 10.0, &log, "holder");
+    let w1 = sim.spawn_after(
+        1.0,
+        Box::new(Waiter {
+            container: c,
+            amount: 100,
+            phase: 0,
+            log: log.clone(),
+        }),
+    );
+    sim.spawn_after(
+        2.0,
+        Box::new(Waiter {
+            container: c,
+            amount: 100,
+            phase: 0,
+            log: log.clone(),
+        }),
+    );
+    sim.spawn(Box::new(Interrupter {
+        delay: 5.0,
+        target: w1,
+        phase: 0,
+    }));
+    sim.run();
+    sim.assert_quiescent();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        &[
+            (0.0, "holder"),
+            (5.0, "gave-up"),
+            (10.0, "acquired"),
+        ]
+    );
+}
+
+#[test]
+fn interrupt_wakes_suspended_with_flag() {
+    struct Parked {
+        phase: u8,
+        log: Log,
+    }
+    impl Coroutine for Parked {
+        fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Step::Wait(Effect::Suspend)
+                }
+                _ => {
+                    let tag = if cx.take_interrupted() {
+                        "interrupted"
+                    } else {
+                        "woken"
+                    };
+                    self.log.lock().unwrap().push((cx.now(), tag));
+                    Step::Done
+                }
+            }
+        }
+    }
+    let mut sim = Simulation::new(10);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let p = sim.spawn(Box::new(Parked {
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.run();
+    assert!(sim.interrupt(p));
+    sim.run();
+    assert_eq!(log.lock().unwrap().as_slice(), &[(0.0, "interrupted")]);
+}
+
+#[test]
+fn interrupt_finished_process_is_noop() {
+    let mut sim = Simulation::new(11);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let p = sim.spawn(Box::new(Sleeper {
+        dt: 1.0,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.run();
+    assert!(sim.is_done(p));
+    assert!(!sim.interrupt(p));
+    assert!(!sim.interrupted(p));
+}
+
+#[test]
+fn double_interrupt_is_stable() {
+    let mut sim = Simulation::new(12);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let sleeper = sim.spawn(Box::new(Sleeper {
+        dt: 50.0,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.spawn(Box::new(Interrupter {
+        delay: 3.0,
+        target: sleeper,
+        phase: 0,
+    }));
+    sim.spawn(Box::new(Interrupter {
+        delay: 3.0,
+        target: sleeper,
+        phase: 0,
+    }));
+    sim.run();
+    // Exactly one resume with the flag; the second interrupt hit an
+    // already-rescheduled process and merely re-set the flag.
+    assert_eq!(log.lock().unwrap().as_slice(), &[(3.0, "interrupted")]);
+    assert!(sim.is_done(sleeper));
+}
+
+#[test]
+fn determinism_with_priorities_and_interrupts() {
+    let run = || {
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(99);
+        let c = sim.add_container("qpu", 80, 80);
+        for i in 0..12u64 {
+            let prio = (i % 4) as i32 - 2;
+            spawn_pri(
+                &mut sim,
+                (i % 3) as f64,
+                c,
+                30 + (i % 3) * 15,
+                prio,
+                2.0 + (i % 5) as f64,
+                &log,
+                "job",
+            );
+        }
+        sim.run();
+        sim.assert_quiescent();
+        let v = log.lock().unwrap().clone();
+        (v, sim.now(), sim.events_processed())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn stale_events_do_not_advance_run_until_clock() {
+    // Sleeper parks an event at t = 100; the interrupt at t = 5 makes it
+    // stale. run_until(50) must stop at 50, and draining the stale event
+    // afterwards must not move the clock to 100.
+    let mut sim = Simulation::new(13);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let sleeper = sim.spawn(Box::new(Sleeper {
+        dt: 100.0,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.spawn(Box::new(Interrupter {
+        delay: 5.0,
+        target: sleeper,
+        phase: 0,
+    }));
+    let t = sim.run_until(50.0);
+    assert_eq!(t, 50.0);
+    assert!(sim.is_done(sleeper));
+    let end = sim.run();
+    assert_eq!(end, 50.0, "stale event must not advance the clock");
+    assert_eq!(log.lock().unwrap().as_slice(), &[(5.0, "interrupted")]);
+}
+
+#[test]
+fn reneging_watchdog_pattern() {
+    // The documented reneging recipe: a watchdog interrupts a waiter that
+    // has not been served within its patience. The premium resource is
+    // held until t = 30; a waiter with patience 10 gives up at t = 10,
+    // and a patient waiter (patience 100) is served at t = 30.
+    let mut sim = Simulation::new(14);
+    let c = sim.add_container("qpu", 100, 0);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let impatient = sim.spawn(Box::new(Waiter {
+        container: c,
+        amount: 100,
+        phase: 0,
+        log: log.clone(),
+    }));
+    sim.spawn_after(
+        1.0,
+        Box::new(Waiter {
+            container: c,
+            amount: 100,
+            phase: 0,
+            log: log.clone(),
+        }),
+    );
+    sim.spawn(Box::new(Interrupter {
+        delay: 10.0,
+        target: impatient,
+        phase: 0,
+    }));
+    sim.run();
+    // Resource becomes available at t = 30.
+    sim.spawn_after(30.0 - sim.now().max(0.0), Box::new(Sleeper {
+        dt: 0.0,
+        phase: 0,
+        log: Arc::new(Mutex::new(Vec::new())),
+    }));
+    sim.run();
+    sim.deposit(c, 100);
+    sim.run();
+    let log = log.lock().unwrap();
+    assert_eq!(log[0], (10.0, "gave-up"));
+    assert_eq!(log[1].1, "acquired");
+}
+
+#[test]
+fn priority_requests_interleave_with_plain_requests() {
+    // Mixed traffic: plain Get (priority 0) and urgent GetPri(-1) against
+    // the same container must serve urgents first but preserve FIFO among
+    // plain requests.
+    let mut sim = Simulation::new(15);
+    let c = sim.add_container("qpu", 10, 10);
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    spawn_pri(&mut sim, 0.0, c, 10, 0, 4.0, &log, "holder");
+    spawn_pri(&mut sim, 1.0, c, 10, 0, 1.0, &log, "plain-1");
+    spawn_pri(&mut sim, 2.0, c, 10, 0, 1.0, &log, "plain-2");
+    spawn_pri(&mut sim, 3.0, c, 10, -1, 1.0, &log, "urgent");
+    sim.run();
+    sim.assert_quiescent();
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        &[
+            (0.0, "holder"),
+            (4.0, "urgent"),
+            (5.0, "plain-1"),
+            (6.0, "plain-2"),
+        ]
+    );
+}

@@ -1,0 +1,204 @@
+//! The broker interface: device-selection policies (paper §5).
+//!
+//! A [`Broker`] is consulted by the cloud-level FIFO scheduler every time
+//! the head-of-queue job could be dispatched. It sees a [`CloudView`]
+//! snapshot (free qubits, error scores, CLOPS, utilisation) and returns an
+//! [`AllocationPlan`]:
+//!
+//! * [`AllocationPlan::Dispatch`] — concrete per-device partition summing
+//!   to the job's qubit demand, *satisfiable right now* (the scheduler
+//!   reserves atomically and starts execution);
+//! * [`AllocationPlan::Wait`] — the policy declines to dispatch under the
+//!   current availability (e.g. the error-aware policy insists on the
+//!   premium devices); the scheduler re-consults after the next release.
+
+use crate::device::DeviceId;
+use crate::job::QJob;
+
+/// Snapshot of one device for a scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceView {
+    /// Device id.
+    pub id: DeviceId,
+    /// Free qubits right now.
+    pub free: u64,
+    /// Total qubit capacity.
+    pub capacity: u64,
+    /// Instantaneous busy fraction `1 − free/capacity`.
+    pub busy_fraction: f64,
+    /// Time-weighted mean utilisation since the simulation started — the
+    /// load-balancing signal used by the fair policy (an instantaneous
+    /// signal would just chase the most recent release).
+    pub mean_utilization: f64,
+    /// Error score (Eq. 2, lower is better).
+    pub error_score: f64,
+    /// CLOPS rating.
+    pub clops: f64,
+    /// Quantum-volume layers `D = log2(QV)`.
+    pub qv_layers: f64,
+}
+
+/// Snapshot of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudView {
+    /// Per-device snapshots, indexed by device id.
+    pub devices: Vec<DeviceView>,
+}
+
+impl CloudView {
+    /// Total free qubits across the fleet.
+    pub fn total_free(&self) -> u64 {
+        self.devices.iter().map(|d| d.free).sum()
+    }
+
+    /// Device ids ordered by a comparison key (stable; ties by id).
+    pub fn order_by<K: PartialOrd>(&self, key: impl Fn(&DeviceView) -> K) -> Vec<DeviceId> {
+        let mut idx: Vec<usize> = (0..self.devices.len()).collect();
+        idx.sort_by(|&a, &b| {
+            key(&self.devices[a])
+                .partial_cmp(&key(&self.devices[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.into_iter().map(|i| self.devices[i].id).collect()
+    }
+}
+
+/// The outcome of a scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationPlan {
+    /// Dispatch now with this partition (device, qubits) — must sum to the
+    /// job's qubit demand and respect current free capacities.
+    Dispatch(Vec<(DeviceId, u64)>),
+    /// Keep the job queued; re-evaluate after the next capacity release.
+    Wait,
+}
+
+impl AllocationPlan {
+    /// The number of devices used (0 for `Wait`).
+    pub fn device_count(&self) -> usize {
+        match self {
+            AllocationPlan::Dispatch(parts) => parts.len(),
+            AllocationPlan::Wait => 0,
+        }
+    }
+
+    /// Validates a dispatch against a job and view: parts sum to `q`, no
+    /// zero parts, no duplicate devices, and every part fits current free
+    /// capacity. `Wait` is always valid.
+    pub fn validate(&self, job: &QJob, view: &CloudView) -> Result<(), String> {
+        let AllocationPlan::Dispatch(parts) = self else {
+            return Ok(());
+        };
+        if parts.is_empty() {
+            return Err("dispatch with no parts".into());
+        }
+        let mut seen = vec![false; view.devices.len()];
+        let mut total = 0u64;
+        for &(dev, amt) in parts {
+            if amt == 0 {
+                return Err(format!("zero-qubit part on device {dev:?}"));
+            }
+            let Some(dv) = view.devices.get(dev.index()) else {
+                return Err(format!("unknown device {dev:?}"));
+            };
+            if seen[dev.index()] {
+                return Err(format!("duplicate device {dev:?} in plan"));
+            }
+            seen[dev.index()] = true;
+            if amt > dv.free {
+                return Err(format!(
+                    "part {amt} exceeds free capacity {} on {dev:?}",
+                    dv.free
+                ));
+            }
+            total += amt;
+        }
+        if total != job.num_qubits {
+            return Err(format!(
+                "plan allocates {total} qubits, job needs {}",
+                job.num_qubits
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A device-selection policy.
+pub trait Broker: Send {
+    /// Decides how to allocate `job` given the current fleet state.
+    fn select(&mut self, job: &QJob, view: &CloudView) -> AllocationPlan;
+
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    pub(crate) fn test_view(frees: &[u64]) -> CloudView {
+        CloudView {
+            devices: frees
+                .iter()
+                .enumerate()
+                .map(|(i, &free)| DeviceView {
+                    id: DeviceId(i as u32),
+                    free,
+                    capacity: 127,
+                    busy_fraction: 1.0 - free as f64 / 127.0,
+                    mean_utilization: 1.0 - free as f64 / 127.0,
+                    error_score: 0.01 + i as f64 * 0.001,
+                    clops: 220_000.0 - i as f64 * 10_000.0,
+                    qv_layers: 7.0,
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn test_job(q: u64) -> QJob {
+        QJob {
+            id: JobId(0),
+            num_qubits: q,
+            depth: 10,
+            num_shots: 50_000,
+            two_qubit_gates: 500,
+            arrival_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn view_total_free_and_ordering() {
+        let v = test_view(&[100, 50, 127]);
+        assert_eq!(v.total_free(), 277);
+        let by_free_desc = v.order_by(|d| std::cmp::Reverse(d.free));
+        assert_eq!(by_free_desc, vec![DeviceId(2), DeviceId(0), DeviceId(1)]);
+        let by_error = v.order_by(|d| d.error_score);
+        assert_eq!(by_error, vec![DeviceId(0), DeviceId(1), DeviceId(2)]);
+    }
+
+    #[test]
+    fn plan_validation_catches_errors() {
+        let v = test_view(&[100, 50]);
+        let job = test_job(120);
+        let ok = AllocationPlan::Dispatch(vec![(DeviceId(0), 100), (DeviceId(1), 20)]);
+        assert!(ok.validate(&job, &v).is_ok());
+        assert_eq!(ok.device_count(), 2);
+
+        let short = AllocationPlan::Dispatch(vec![(DeviceId(0), 100)]);
+        assert!(short.validate(&job, &v).unwrap_err().contains("needs 120"));
+
+        let over = AllocationPlan::Dispatch(vec![(DeviceId(1), 120)]);
+        assert!(over.validate(&job, &v).unwrap_err().contains("exceeds free"));
+
+        let dup = AllocationPlan::Dispatch(vec![(DeviceId(0), 60), (DeviceId(0), 60)]);
+        assert!(dup.validate(&job, &v).unwrap_err().contains("duplicate"));
+
+        let zero = AllocationPlan::Dispatch(vec![(DeviceId(0), 0), (DeviceId(1), 120)]);
+        assert!(zero.validate(&job, &v).unwrap_err().contains("zero-qubit"));
+
+        assert!(AllocationPlan::Wait.validate(&job, &v).is_ok());
+        assert_eq!(AllocationPlan::Wait.device_count(), 0);
+    }
+}

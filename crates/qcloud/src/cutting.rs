@@ -1,0 +1,404 @@
+//! Circuit-cutting execution mode: the paper's §2 alternative to real-time
+//! classical communication, priced at the job abstraction level.
+//!
+//! When a job too large for one QPU is *cut* instead of *distributed*, each
+//! fragment runs independently — no synchronisation links, so no `λ·q`
+//! blocking delay and no `φ^(k−1)` fidelity penalty. The price moves into
+//! the shot budget (× γ² per cut gate, γ = 3 for CX-like gates ⇒ 9× per
+//! cut) and classical reconstruction (∝ 4^cuts). This module estimates both
+//! sides from the same job tuple `J = (q, d, s, t₂)` the schedulers use, so
+//! benches can chart the crossover between the two execution modes.
+//!
+//! Cut-count estimation depends on circuit *locality*, which the job
+//! abstraction does not carry; [`CircuitLocality`] supplies the assumption:
+//!
+//! * [`CircuitLocality::Chain`] — nearest-neighbour circuits (Trotter, GHZ):
+//!   a `k`-way contiguous split severs `(k−1) · t₂/(q−1)` gates — cutting's
+//!   best case.
+//! * [`CircuitLocality::Random`] — structureless circuits: a random
+//!   two-qubit gate crosses blocks with probability `1 − Σ(aᵢ/q)²` —
+//!   cutting's worst case, matching the exact distribution of the
+//!   `qcs-circuit` random-layered family under balanced partitions.
+//! * [`CircuitLocality::Fixed`] — an explicit cut count (e.g. measured on a
+//!   concrete circuit by `qcs_circuit::cut_circuit`).
+
+use crate::job::QJob;
+use crate::model::exec_time::ExecTimeModel;
+use crate::model::fidelity::{DeviceErrorRates, FidelityModel};
+use qcs_circuit::CutCostModel;
+use serde::{Deserialize, Serialize};
+
+/// Locality assumption for estimating boundary-crossing gates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CircuitLocality {
+    /// Nearest-neighbour chain structure (best case for cutting).
+    Chain,
+    /// Uniformly random qubit pairs (worst case for cutting).
+    Random,
+    /// Exact cut count supplied externally.
+    Fixed(u64),
+}
+
+/// One execution site for a fragment: the device parameters the fragment
+/// runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FragmentSite {
+    /// Qubits of the job assigned to this fragment, `aᵢ`.
+    pub qubits: u64,
+    /// Device CLOPS.
+    pub clops: f64,
+    /// Device QV layers `log2(QV)`.
+    pub qv_layers: f64,
+    /// Device averaged error rates.
+    pub rates: DeviceErrorRates,
+}
+
+/// The cutting execution model: cut-cost constants plus the execution and
+/// fidelity models the fragments run under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CuttingExecModel {
+    /// Quasi-probability cutting cost constants (γ, reconstruction base,
+    /// classical throughput).
+    pub cost: CutCostModel,
+    /// Locality assumption for the cut-count estimate.
+    pub locality: CircuitLocality,
+    /// Eq. 3 execution-time constants (same as the distributed mode, so
+    /// comparisons are apples-to-apples).
+    pub exec: ExecTimeModel,
+    /// Fidelity formulation for fragment fidelities.
+    pub fidelity: FidelityModel,
+}
+
+impl CuttingExecModel {
+    /// A model with default cost constants and the given locality.
+    pub fn with_locality(locality: CircuitLocality) -> Self {
+        CuttingExecModel {
+            cost: CutCostModel::default(),
+            locality,
+            exec: ExecTimeModel::default(),
+            fidelity: FidelityModel::default(),
+        }
+    }
+
+    /// Estimated boundary-crossing two-qubit gates for splitting a
+    /// `q`-qubit, `t₂`-gate job into fragments of the given sizes.
+    pub fn estimated_cuts(&self, q: u64, t2: u64, fragment_sizes: &[u64]) -> u64 {
+        assert!(!fragment_sizes.is_empty(), "need at least one fragment");
+        assert_eq!(
+            fragment_sizes.iter().sum::<u64>(),
+            q,
+            "fragment sizes must tile the job's qubits"
+        );
+        let k = fragment_sizes.len();
+        if k == 1 {
+            return 0;
+        }
+        match self.locality {
+            CircuitLocality::Fixed(c) => c,
+            CircuitLocality::Chain => {
+                // (k−1) boundaries, t₂/(q−1) gates per chain bond.
+                let per_bond = t2 as f64 / (q.saturating_sub(1)).max(1) as f64;
+                ((k as f64 - 1.0) * per_bond).round() as u64
+            }
+            CircuitLocality::Random => {
+                let cross = 1.0
+                    - fragment_sizes
+                        .iter()
+                        .map(|&a| {
+                            let f = a as f64 / q as f64;
+                            f * f
+                        })
+                        .sum::<f64>();
+                (t2 as f64 * cross).round() as u64
+            }
+        }
+    }
+
+    /// Prices a cut execution of `job` across the given fragment sites.
+    ///
+    /// Fragments run their local share of the circuit
+    /// (`t₂ − cuts`, split ∝ `aᵢ/q`) with an inflated shot budget
+    /// `s · γ^(2·cuts)`. Execution needs no inter-device links, so wall
+    /// time is the slowest fragment (concurrent) plus classical
+    /// reconstruction; fidelity is the mean fragment fidelity with **no φ
+    /// penalty** (each fragment is a self-contained circuit).
+    pub fn evaluate(&self, job: &QJob, sites: &[FragmentSite]) -> CuttingOutcome {
+        let sizes: Vec<u64> = sites.iter().map(|s| s.qubits).collect();
+        let cuts = self.estimated_cuts(job.num_qubits, job.two_qubit_gates, &sizes);
+        let overhead = self.cost.sampling_overhead(cuts);
+        let shots_f = job.num_shots as f64 * overhead;
+        let shots = if shots_f >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            shots_f.ceil() as u64
+        };
+
+        let local_t2 = job.two_qubit_gates.saturating_sub(cuts);
+        let mut slowest = 0.0f64;
+        let mut total_device_seconds = 0.0f64;
+        let mut fidelities = Vec::with_capacity(sites.len());
+        for site in sites {
+            let frac = site.qubits as f64 / job.num_qubits as f64;
+            let frag_t2 = (local_t2 as f64 * frac).round() as u64;
+            let t = self
+                .exec
+                .execution_seconds(shots, site.qv_layers, site.clops);
+            slowest = slowest.max(t);
+            total_device_seconds += t;
+            // Each fragment is a standalone single-device circuit: the §6
+            // readout exponent sees its own width.
+            fidelities.push(self.fidelity.device_fidelity(
+                &site.rates,
+                job.depth,
+                frag_t2,
+                site.qubits,
+                site.qubits,
+                1,
+            ));
+        }
+        let postprocessing_seconds = self.cost.postprocessing_seconds(cuts);
+        let fidelity = fidelities.iter().sum::<f64>() / fidelities.len().max(1) as f64;
+        CuttingOutcome {
+            cuts,
+            sampling_overhead: overhead,
+            shots,
+            exec_seconds: slowest,
+            total_device_seconds,
+            postprocessing_seconds,
+            wall_seconds: slowest + postprocessing_seconds,
+            fidelity,
+        }
+    }
+}
+
+impl Default for CuttingExecModel {
+    fn default() -> Self {
+        CuttingExecModel::with_locality(CircuitLocality::Random)
+    }
+}
+
+/// Priced outcome of executing a job via circuit cutting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CuttingOutcome {
+    /// Estimated cut gates.
+    pub cuts: u64,
+    /// Shot multiplier `γ^(2·cuts)`.
+    pub sampling_overhead: f64,
+    /// Inflated shot budget (saturating).
+    pub shots: u64,
+    /// Slowest fragment's execution time (fragments run concurrently).
+    pub exec_seconds: f64,
+    /// Sum of fragment execution times (QPU-seconds consumed).
+    pub total_device_seconds: f64,
+    /// Classical reconstruction time.
+    pub postprocessing_seconds: f64,
+    /// End-to-end wall time: slowest fragment + reconstruction.
+    pub wall_seconds: f64,
+    /// Mean fragment fidelity (no inter-device penalty).
+    pub fidelity: f64,
+}
+
+/// Prices the *distributed* (real-time classical communication) execution
+/// of the same job for side-by-side comparison: Eq. 3 on each device with
+/// the original shot count, plus the Eq. 9 blocking delay; fidelity per
+/// Eqs. 4-8 including the φ penalty.
+pub fn realtime_comm_outcome(
+    job: &QJob,
+    sites: &[FragmentSite],
+    exec: &ExecTimeModel,
+    fidelity: &FidelityModel,
+    comm: &crate::model::comm::CommModel,
+) -> CommOutcome {
+    let k = sites.len();
+    let mut slowest = 0.0f64;
+    let mut fids = Vec::with_capacity(k);
+    for site in sites {
+        let t = exec.execution_seconds(job.num_shots, site.qv_layers, site.clops);
+        slowest = slowest.max(t);
+        fids.push(fidelity.device_fidelity(
+            &site.rates,
+            job.depth,
+            job.two_qubit_gates,
+            site.qubits,
+            job.num_qubits,
+            k,
+        ));
+    }
+    let comm_seconds = comm.comm_seconds(job.num_qubits, k);
+    CommOutcome {
+        exec_seconds: slowest,
+        comm_seconds,
+        wall_seconds: slowest + comm_seconds,
+        fidelity: fidelity.final_fidelity(&fids, comm.phi),
+    }
+}
+
+/// Priced outcome of the distributed real-time-communication execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommOutcome {
+    /// Slowest device's execution time.
+    pub exec_seconds: f64,
+    /// Blocking communication delay (Eq. 9 over `k−1` links).
+    pub comm_seconds: f64,
+    /// End-to-end wall time.
+    pub wall_seconds: f64,
+    /// Final fidelity (Eq. 8, with φ penalty).
+    pub fidelity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::model::comm::CommModel;
+
+    fn site(qubits: u64) -> FragmentSite {
+        FragmentSite {
+            qubits,
+            clops: 220_000.0,
+            qv_layers: 7.0,
+            rates: DeviceErrorRates {
+                single_qubit: 3e-4,
+                two_qubit: 8e-3,
+                readout: 1.5e-2,
+            },
+        }
+    }
+
+    fn job(q: u64, t2: u64, shots: u64) -> QJob {
+        QJob {
+            id: JobId(0),
+            num_qubits: q,
+            depth: 10,
+            num_shots: shots,
+            two_qubit_gates: t2,
+            arrival_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn chain_cut_estimate_matches_bond_arithmetic() {
+        let m = CuttingExecModel::with_locality(CircuitLocality::Chain);
+        // 100 qubits, 99 bonds, 198 gates → 2 per bond; 2-way split → 2.
+        assert_eq!(m.estimated_cuts(100, 198, &[50, 50]), 2);
+        // 4-way split → 3 boundaries × 2 = 6.
+        assert_eq!(m.estimated_cuts(100, 198, &[25, 25, 25, 25]), 6);
+        // Single fragment: no cuts.
+        assert_eq!(m.estimated_cuts(100, 198, &[100]), 0);
+    }
+
+    #[test]
+    fn random_cut_estimate_matches_collision_probability() {
+        let m = CuttingExecModel::with_locality(CircuitLocality::Random);
+        // Balanced bipartition: crossing probability 1 − 2·(1/2)² = 1/2.
+        assert_eq!(m.estimated_cuts(100, 1000, &[50, 50]), 500);
+        // Skewed split 90/10: 1 − 0.81 − 0.01 = 0.18.
+        assert_eq!(m.estimated_cuts(100, 1000, &[90, 10]), 180);
+    }
+
+    #[test]
+    fn fixed_locality_passes_through() {
+        let m = CuttingExecModel::with_locality(CircuitLocality::Fixed(7));
+        assert_eq!(m.estimated_cuts(100, 10_000, &[50, 50]), 7);
+        assert_eq!(m.estimated_cuts(100, 10_000, &[100]), 0, "k=1 never cuts");
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the job")]
+    fn fragment_sizes_must_tile() {
+        CuttingExecModel::default().estimated_cuts(100, 10, &[40, 40]);
+    }
+
+    #[test]
+    fn chain_cutting_beats_comm_for_low_t2() {
+        // A shallow chain job: 2 cuts → 81× shots but tiny fragments of a
+        // cheap job; vs comm mode paying λ·q ≈ 3 s and φ² fidelity.
+        let j = job(150, 149, 1_000);
+        let sites = [site(75), site(75)];
+        let m = CuttingExecModel::with_locality(CircuitLocality::Chain);
+        let cut = m.evaluate(&j, &sites);
+        assert_eq!(cut.cuts, 1);
+        assert_eq!(cut.sampling_overhead, 9.0);
+        let comm = realtime_comm_outcome(
+            &j,
+            &sites,
+            &m.exec,
+            &m.fidelity,
+            &CommModel::default(),
+        );
+        // Fidelity: cutting avoids φ = 0.95 → strictly better.
+        assert!(cut.fidelity > comm.fidelity);
+    }
+
+    #[test]
+    fn random_cutting_is_hopeless_for_dense_jobs() {
+        // The paper-scale job (t₂ ≈ 0.25·q·d ≈ 475): a random-locality cut
+        // saturates the shot budget — exactly why the paper builds
+        // real-time links instead.
+        let j = job(190, 475, 50_000);
+        let sites = [site(95), site(95)];
+        let m = CuttingExecModel::with_locality(CircuitLocality::Random);
+        let cut = m.evaluate(&j, &sites);
+        assert!(cut.cuts > 200);
+        assert_eq!(cut.shots, u64::MAX);
+        let comm = realtime_comm_outcome(
+            &j,
+            &sites,
+            &m.exec,
+            &m.fidelity,
+            &CommModel::default(),
+        );
+        assert!(
+            cut.wall_seconds > 100.0 * comm.wall_seconds,
+            "cutting {} should dwarf comm {}",
+            cut.wall_seconds,
+            comm.wall_seconds
+        );
+    }
+
+    #[test]
+    fn zero_cut_execution_matches_plain_run() {
+        let j = job(100, 300, 10_000);
+        let sites = [site(100)];
+        let m = CuttingExecModel::with_locality(CircuitLocality::Chain);
+        let out = m.evaluate(&j, &sites);
+        assert_eq!(out.cuts, 0);
+        assert_eq!(out.sampling_overhead, 1.0);
+        assert_eq!(out.shots, 10_000);
+        let direct = m.exec.execution_seconds(10_000, 7.0, 220_000.0);
+        assert!((out.exec_seconds - direct).abs() < 1e-9);
+        assert!(out.postprocessing_seconds < 1e-6);
+    }
+
+    #[test]
+    fn comm_outcome_matches_models() {
+        let j = job(190, 475, 50_000);
+        let sites = [site(95), site(95)];
+        let exec = ExecTimeModel::default();
+        let fid = FidelityModel::default();
+        let comm = CommModel::default();
+        let out = realtime_comm_outcome(&j, &sites, &exec, &fid, &comm);
+        assert!((out.comm_seconds - 0.02 * 190.0).abs() < 1e-9);
+        assert!((out.wall_seconds - out.exec_seconds - out.comm_seconds).abs() < 1e-12);
+        assert!(out.fidelity > 0.0 && out.fidelity < 1.0);
+    }
+
+    #[test]
+    fn wall_time_decomposition_consistent() {
+        let j = job(120, 119, 5_000);
+        let sites = [site(60), site(60)];
+        let m = CuttingExecModel::with_locality(CircuitLocality::Chain);
+        let out = m.evaluate(&j, &sites);
+        assert!((out.wall_seconds - out.exec_seconds - out.postprocessing_seconds).abs() < 1e-9);
+        assert!(out.total_device_seconds >= out.exec_seconds);
+        assert!((0.0..=1.0).contains(&out.fidelity));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = CuttingExecModel::default();
+        let s = serde_json::to_string(&m).unwrap();
+        let m2: CuttingExecModel = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Quantum devices (QPUs) inside the simulation.
+
+use crate::model::fidelity::DeviceErrorRates;
+use qcs_calibration::{DeviceProfile, ErrorScoreWeights};
+use qcs_desim::{ContainerId, Simulation};
+
+/// Index of a device within one [`crate::QCloud`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A QPU registered in the simulation: static profile + the qubit container
+/// that tracks free capacity + cached aggregates the scheduler reads on
+/// every decision.
+#[derive(Debug, Clone)]
+pub struct QDevice {
+    /// Device index within the cloud.
+    pub id: DeviceId,
+    /// Profile: spec, coupling map, calibration.
+    pub profile: DeviceProfile,
+    /// The qubit pool (level = free qubits).
+    pub container: ContainerId,
+    /// Cached device-average error rates for the fidelity model.
+    pub error_rates: DeviceErrorRates,
+    /// Cached error score (Eq. 2).
+    pub error_score: f64,
+}
+
+impl QDevice {
+    /// Registers a device in the simulation (creating its qubit container)
+    /// and caches its calibration aggregates.
+    pub fn register(
+        id: DeviceId,
+        profile: DeviceProfile,
+        weights: &ErrorScoreWeights,
+        sim: &mut Simulation,
+    ) -> Self {
+        let capacity = profile.spec.num_qubits as u64;
+        let container = sim.add_container(profile.spec.name.clone(), capacity, capacity);
+        let error_rates = DeviceErrorRates {
+            single_qubit: profile.calibration.avg_rx_error(),
+            two_qubit: profile.calibration.avg_two_qubit_error(),
+            readout: profile.calibration.avg_readout_error(),
+        };
+        let error_score = profile.error_score(weights);
+        QDevice {
+            id,
+            profile,
+            container,
+            error_rates,
+            error_score,
+        }
+    }
+
+    /// Refreshes cached aggregates after the profile's calibration changed
+    /// (drift studies).
+    pub fn refresh_calibration(&mut self, weights: &ErrorScoreWeights) {
+        self.error_rates = DeviceErrorRates {
+            single_qubit: self.profile.calibration.avg_rx_error(),
+            two_qubit: self.profile.calibration.avg_two_qubit_error(),
+            readout: self.profile.calibration.avg_readout_error(),
+        };
+        self.error_score = self.profile.error_score(weights);
+    }
+
+    /// Qubit capacity.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.profile.spec.num_qubits as u64
+    }
+
+    /// CLOPS rating.
+    #[inline]
+    pub fn clops(&self) -> f64 {
+        self.profile.spec.clops
+    }
+
+    /// Quantum-volume layer depth `D = log2(QV)`.
+    #[inline]
+    pub fn qv_layers(&self) -> f64 {
+        self.profile.spec.qv_layers()
+    }
+
+    /// Device name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.profile.spec.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_calibration::ibm_fleet;
+
+    #[test]
+    fn register_creates_full_container() {
+        let mut sim = Simulation::new(1);
+        let profile = ibm_fleet(1).remove(0);
+        let d = QDevice::register(DeviceId(0), profile, &ErrorScoreWeights::default(), &mut sim);
+        assert_eq!(d.capacity(), 127);
+        assert_eq!(sim.container(d.container).level(), 127);
+        assert_eq!(sim.container(d.container).capacity(), 127);
+        assert_eq!(d.name(), "ibm_strasbourg");
+        assert_eq!(d.qv_layers(), 7.0);
+        assert!(d.error_score > 0.0);
+        assert!(d.error_rates.readout > 0.0);
+    }
+
+    #[test]
+    fn refresh_tracks_calibration_changes() {
+        let mut sim = Simulation::new(2);
+        let profile = ibm_fleet(2).remove(0);
+        let w = ErrorScoreWeights::default();
+        let mut d = QDevice::register(DeviceId(0), profile, &w, &mut sim);
+        let before = d.error_score;
+        for q in &mut d.profile.calibration.qubits {
+            q.readout_error *= 2.0;
+        }
+        d.refresh_calibration(&w);
+        assert!(d.error_score > before);
+    }
+}

@@ -1,0 +1,126 @@
+//! Job arrival processes (the paper's `JobGenerator`).
+//!
+//! Jobs are materialised up front (deterministically from a seed, or loaded
+//! from CSV/JSON by the `qcs-workload` crate) and released into the cloud's
+//! pending queue at their `arrival_time` by a generator coroutine.
+
+use crate::job::{JobDistribution, JobId, QJob};
+use qcs_desim::Xoshiro256StarStar;
+
+/// Generates `n` jobs that all arrive at time 0 (the case-study setting:
+/// a backlogged batch of 1'000 large circuits).
+pub fn batch_at_zero(n: usize, dist: &JobDistribution, seed: u64) -> Vec<QJob> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n)
+        .map(|i| dist.sample(JobId(i as u64), 0.0, &mut rng))
+        .collect()
+}
+
+/// Generates `n` jobs with exponential (Poisson-process) inter-arrival
+/// times at `rate` jobs/second — the open-system variant used by the
+/// queueing ablation.
+pub fn poisson_arrivals(n: usize, rate: f64, dist: &JobDistribution, seed: u64) -> Vec<QJob> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            t += qcs_desim::dist::exponential(&mut rng, rate);
+            dist.sample(JobId(i as u64), t, &mut rng)
+        })
+        .collect()
+}
+
+/// Generates bursty arrivals: `bursts` groups of `per_burst` jobs, the
+/// groups separated by `gap` seconds (jobs within a burst arrive together).
+pub fn bursty_arrivals(
+    bursts: usize,
+    per_burst: usize,
+    gap: f64,
+    dist: &JobDistribution,
+    seed: u64,
+) -> Vec<QJob> {
+    assert!(gap >= 0.0, "gap must be non-negative");
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut out = Vec::with_capacity(bursts * per_burst);
+    let mut id = 0u64;
+    for b in 0..bursts {
+        let t = b as f64 * gap;
+        for _ in 0..per_burst {
+            out.push(dist.sample(JobId(id), t, &mut rng));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Validates a job list against a fleet: every job must satisfy Eq. 1
+/// (larger than any single device — i.e. forced to split — yet within the
+/// cloud's total capacity). Jobs that fit a single device are allowed too
+/// (the framework handles them; the *case study* just doesn't generate
+/// them); only cloud-overflow is fatal.
+pub fn validate_jobs(jobs: &[QJob], total_capacity: u64) -> Result<(), String> {
+    for j in jobs {
+        j.validate()?;
+        if j.num_qubits > total_capacity {
+            return Err(format!(
+                "job {:?} needs {} qubits but the cloud has {total_capacity}",
+                j.id, j.num_qubits
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_all_at_zero() {
+        let jobs = batch_at_zero(100, &JobDistribution::default(), 1);
+        assert_eq!(jobs.len(), 100);
+        assert!(jobs.iter().all(|j| j.arrival_time == 0.0));
+        // Ids are dense and unique.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn poisson_interarrivals_have_expected_rate() {
+        let jobs = poisson_arrivals(20_000, 0.5, &JobDistribution::default(), 2);
+        let t_last = jobs.last().unwrap().arrival_time;
+        let rate = jobs.len() as f64 / t_last;
+        assert!((rate - 0.5).abs() < 0.02, "empirical rate {rate}");
+        // Arrival times strictly increase.
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival_time > w[0].arrival_time);
+        }
+    }
+
+    #[test]
+    fn bursts_are_spaced_by_gap() {
+        let jobs = bursty_arrivals(3, 4, 100.0, &JobDistribution::default(), 3);
+        assert_eq!(jobs.len(), 12);
+        assert!(jobs[..4].iter().all(|j| j.arrival_time == 0.0));
+        assert!(jobs[4..8].iter().all(|j| j.arrival_time == 100.0));
+        assert!(jobs[8..].iter().all(|j| j.arrival_time == 200.0));
+    }
+
+    #[test]
+    fn validation_rejects_cloud_overflow() {
+        let jobs = batch_at_zero(50, &JobDistribution::default(), 4);
+        assert!(validate_jobs(&jobs, 635).is_ok());
+        // With 50 draws from U[130, 250] some job exceeds 200 qubits.
+        assert!(jobs.iter().any(|j| j.num_qubits > 200));
+        assert!(validate_jobs(&jobs, 200).is_err());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = batch_at_zero(50, &JobDistribution::default(), 9);
+        let b = batch_at_zero(50, &JobDistribution::default(), 9);
+        assert_eq!(a, b);
+    }
+}

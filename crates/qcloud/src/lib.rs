@@ -1,0 +1,58 @@
+//! # qcs-qcloud — the quantum cloud scheduling framework
+//!
+//! The primary contribution of Luo et al. (ICPP 2025), re-implemented in
+//! Rust: a discrete-event simulation of a quantum cloud whose jobs *exceed
+//! the qubit capacity of any single QPU* and must be partitioned across
+//! several devices connected by real-time classical communication.
+//!
+//! ## Architecture (paper §3)
+//!
+//! * [`job::QJob`] — a quantum job `(q, d, s, t₂)` with an arrival time;
+//! * [`device::QDevice`] — a QPU with qubit capacity, coupling map, CLOPS,
+//!   quantum volume and calibration-derived error rates;
+//! * [`cloud::QCloud`] — the fleet, owning one qubit [`qcs_desim::Container`]
+//!   per device;
+//! * [`broker::Broker`] — the device-selection policy interface, with the
+//!   paper's four policies in [`policies`] (speed, error-aware/fidelity,
+//!   fair, RL) plus round-robin and random baselines;
+//! * [`model`] — the closed-form execution-time (Eq. 3), fidelity
+//!   (Eqs. 4–8) and communication (Eq. 9) models;
+//! * [`records::JobRecordsManager`] — lifecycle events and summary metrics;
+//! * [`simenv::QCloudSimEnv`] — orchestration: arrival process, FIFO
+//!   cloud-level scheduler, atomic multi-device reservation, parallel
+//!   execution, inter-device communication, release;
+//! * [`gym::QCloudGymEnv`] — the Gymnasium-style single-step training
+//!   environment of §4.1 (16-dim state, 5-dim continuous action).
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod cloud;
+pub mod config;
+pub mod cutting;
+pub mod device;
+pub mod gym;
+pub mod job;
+pub mod jobgen;
+pub mod maintenance;
+pub mod model;
+pub mod partition;
+pub mod policies;
+pub mod records;
+pub mod sla;
+pub mod simenv;
+
+pub use broker::{AllocationPlan, Broker, CloudView, DeviceView};
+pub use cloud::QCloud;
+pub use config::SimParams;
+pub use cutting::{realtime_comm_outcome, CircuitLocality, CommOutcome, CuttingExecModel, CuttingOutcome, FragmentSite};
+pub use device::{DeviceId, QDevice};
+pub use gym::{GymConfig, QCloudGymEnv};
+pub use job::{JobDistribution, JobId, QJob};
+pub use maintenance::MaintenanceWindow;
+pub use model::comm::CommModel;
+pub use model::exec_time::ExecTimeModel;
+pub use model::fidelity::{FidelityModel, FidelityModelKind};
+pub use records::{JobRecord, JobRecordsManager, SummaryStats};
+pub use sla::{bounded_slowdown, percentile, slowdown, DeadlinePolicy, QosReport};
+pub use simenv::QCloudSimEnv;

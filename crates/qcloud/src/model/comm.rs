@@ -1,0 +1,89 @@
+//! Classical inter-device communication model (paper §6.4–6.5).
+//!
+//! * **Latency** (Eq. 9): `τ_comm = N_qubits · λ` per inter-device link,
+//!   with λ = 0.02 s/qubit; a job split over `k` devices crosses `k−1`
+//!   links (Algorithm 1 line 10), so the blocking delay is
+//!   `λ · q · (k−1)`.
+//! * **Fidelity penalty** (Eq. 8): each link multiplies fidelity by
+//!   `φ = 0.95`.
+
+use serde::{Deserialize, Serialize};
+
+/// Communication model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Per-qubit classical communication latency λ, in seconds.
+    pub lambda: f64,
+    /// Per-link fidelity retention factor φ ∈ (0, 1].
+    pub phi: f64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel {
+            lambda: 0.02,
+            phi: 0.95,
+        }
+    }
+}
+
+impl CommModel {
+    /// Blocking communication delay for a job of `q` qubits split across
+    /// `k` devices: `λ · q · (k−1)` (zero for single-device jobs).
+    pub fn comm_seconds(&self, q: u64, k: usize) -> f64 {
+        if k <= 1 {
+            0.0
+        } else {
+            self.lambda * q as f64 * (k - 1) as f64
+        }
+    }
+
+    /// Fidelity retention multiplier `φ^(k−1)`.
+    pub fn fidelity_penalty(&self, k: usize) -> f64 {
+        assert!(k >= 1, "a job runs on at least one device");
+        self.phi.powi(k as i32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = CommModel::default();
+        assert_eq!(c.lambda, 0.02);
+        assert_eq!(c.phi, 0.95);
+    }
+
+    #[test]
+    fn single_device_is_free() {
+        let c = CommModel::default();
+        assert_eq!(c.comm_seconds(250, 1), 0.0);
+        assert_eq!(c.fidelity_penalty(1), 1.0);
+    }
+
+    #[test]
+    fn two_device_job_matches_eq9() {
+        // The mean case-study job (190 qubits, k=2): 190 × 0.02 = 3.8 s —
+        // which over 1'000 jobs gives the ≈3.8 ks total of Table 2's
+        // fidelity row.
+        let c = CommModel::default();
+        assert!((c.comm_seconds(190, 2) - 3.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_scales_with_links() {
+        let c = CommModel::default();
+        assert!((c.comm_seconds(100, 3) - 2.0 * c.comm_seconds(100, 2)).abs() < 1e-12);
+        assert!((c.comm_seconds(100, 5) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_compounds_per_link() {
+        let c = CommModel::default();
+        assert!((c.fidelity_penalty(2) - 0.95).abs() < 1e-12);
+        assert!((c.fidelity_penalty(3) - 0.9025).abs() < 1e-12);
+        assert!((c.fidelity_penalty(5) - 0.95f64.powi(4)).abs() < 1e-12);
+    }
+}

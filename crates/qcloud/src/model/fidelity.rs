@@ -1,0 +1,227 @@
+//! Fidelity estimation (paper Eqs. 4–8).
+//!
+//! The paper presents two slightly different formulations:
+//!
+//! * **§4 (problem definition)**:
+//!   `F_i = (1−ε1q)^d · (1−εro)^√aᵢ · (1−ε2q)^(t₂^¼)` — readout scales with
+//!   the qubits allocated *on that device* and the two-qubit term uses the
+//!   fourth root;
+//! * **§6 (performance metrics, used by the case study)**:
+//!   `F_1Q = (1−ε̄1Q)^d` (Eq. 4), `F_2Q = (1−ε̄2Q)^√N_2Q` (Eq. 5),
+//!   `F_ro = (1−ε_ro)^√(N_qubits/N_devices)` (Eq. 6),
+//!   `F_dev = F_1Q · F_2Q · F_ro` (Eq. 7).
+//!
+//! Both are implemented behind [`FidelityModelKind`]; §6 is the default.
+//! The final fidelity applies the communication penalty of Eq. 8:
+//! `F_final = mean(F_dev) · φ^(N_devices − 1)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Device-averaged error rates consumed by the fidelity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceErrorRates {
+    /// Mean single-qubit gate error `ε̄1Q`.
+    pub single_qubit: f64,
+    /// Mean two-qubit gate error `ε̄2Q`.
+    pub two_qubit: f64,
+    /// Mean readout error `ε_ro`.
+    pub readout: f64,
+}
+
+/// Which formulation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FidelityModelKind {
+    /// §4: readout exponent `√aᵢ` (per-device allocation), two-qubit
+    /// exponent `t₂^¼`.
+    Section4,
+    /// §6 (default, used by the case study): readout exponent
+    /// `√(q/k)`, two-qubit exponent `√t₂`.
+    Section6,
+}
+
+/// The fidelity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityModel {
+    /// Formulation selector.
+    pub kind: FidelityModelKind,
+}
+
+impl Default for FidelityModel {
+    fn default() -> Self {
+        FidelityModel {
+            kind: FidelityModelKind::Section6,
+        }
+    }
+}
+
+impl FidelityModel {
+    /// Single-qubit fidelity (Eq. 4): `(1−ε̄1Q)^d`.
+    pub fn single_qubit_fidelity(&self, eps_1q: f64, depth: u32) -> f64 {
+        check_rate(eps_1q);
+        (1.0 - eps_1q).powf(depth as f64)
+    }
+
+    /// Two-qubit fidelity (Eq. 5 / §4 variant).
+    pub fn two_qubit_fidelity(&self, eps_2q: f64, two_qubit_gates: u64) -> f64 {
+        check_rate(eps_2q);
+        let exponent = match self.kind {
+            FidelityModelKind::Section4 => (two_qubit_gates as f64).powf(0.25),
+            FidelityModelKind::Section6 => (two_qubit_gates as f64).sqrt(),
+        };
+        (1.0 - eps_2q).powf(exponent)
+    }
+
+    /// Readout fidelity (Eq. 6 / §4 variant). `qubits_on_device` is `aᵢ`
+    /// for §4; `total_qubits / n_devices` for §6 — callers pass the §-
+    /// appropriate quantity via [`FidelityModel::device_fidelity`].
+    pub fn readout_fidelity(&self, eps_ro: f64, effective_qubits: f64) -> f64 {
+        check_rate(eps_ro);
+        (1.0 - eps_ro).powf(effective_qubits.max(0.0).sqrt())
+    }
+
+    /// Per-device fidelity (Eq. 7): the product of the three components.
+    ///
+    /// * `rates` — the device's averaged error rates;
+    /// * `depth`, `t2` — circuit parameters (job-level);
+    /// * `qubits_on_device` — `aᵢ`, this device's partition size;
+    /// * `total_qubits`, `n_devices` — job-level context for the §6
+    ///   readout exponent.
+    pub fn device_fidelity(
+        &self,
+        rates: &DeviceErrorRates,
+        depth: u32,
+        t2: u64,
+        qubits_on_device: u64,
+        total_qubits: u64,
+        n_devices: usize,
+    ) -> f64 {
+        let effective_ro_qubits = match self.kind {
+            FidelityModelKind::Section4 => qubits_on_device as f64,
+            FidelityModelKind::Section6 => total_qubits as f64 / n_devices.max(1) as f64,
+        };
+        let f = self.single_qubit_fidelity(rates.single_qubit, depth)
+            * self.two_qubit_fidelity(rates.two_qubit, t2)
+            * self.readout_fidelity(rates.readout, effective_ro_qubits);
+        debug_assert!((0.0..=1.0).contains(&f), "fidelity {f} out of range");
+        f
+    }
+
+    /// Final job fidelity (Eq. 8): `mean(F_dev) · φ^(k−1)`.
+    pub fn final_fidelity(&self, device_fidelities: &[f64], phi: f64) -> f64 {
+        assert!(
+            !device_fidelities.is_empty(),
+            "final fidelity needs at least one device"
+        );
+        assert!((0.0..=1.0).contains(&phi), "φ must be in [0,1]");
+        let mean = device_fidelities.iter().sum::<f64>() / device_fidelities.len() as f64;
+        mean * phi.powi(device_fidelities.len() as i32 - 1)
+    }
+}
+
+fn check_rate(e: f64) {
+    assert!((0.0..=1.0).contains(&e), "error rate {e} out of [0,1]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> DeviceErrorRates {
+        DeviceErrorRates {
+            single_qubit: 2.5e-4,
+            two_qubit: 7e-3,
+            readout: 1.3e-2,
+        }
+    }
+
+    #[test]
+    fn component_formulas_match_closed_form() {
+        let m = FidelityModel::default();
+        let f1 = m.single_qubit_fidelity(0.001, 10);
+        assert!((f1 - 0.999f64.powi(10)).abs() < 1e-12);
+        let f2 = m.two_qubit_fidelity(0.01, 100);
+        assert!((f2 - 0.99f64.powf(10.0)).abs() < 1e-12);
+        let fro = m.readout_fidelity(0.02, 95.0);
+        assert!((fro - 0.98f64.powf(95.0f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section4_uses_fourth_root_and_partition_qubits() {
+        let s4 = FidelityModel {
+            kind: FidelityModelKind::Section4,
+        };
+        let f2 = s4.two_qubit_fidelity(0.01, 10_000);
+        assert!((f2 - 0.99f64.powf(10.0)).abs() < 1e-12); // 10000^0.25 = 10
+        // Readout exponent uses a_i, not q/k.
+        let f_a = s4.device_fidelity(&rates(), 10, 100, 100, 200, 2);
+        let f_b = s4.device_fidelity(&rates(), 10, 100, 25, 200, 2);
+        assert!(f_b > f_a, "smaller partition should have higher readout fidelity");
+    }
+
+    #[test]
+    fn section6_readout_ignores_partition_size() {
+        let s6 = FidelityModel::default();
+        let f_a = s6.device_fidelity(&rates(), 10, 100, 100, 200, 2);
+        let f_b = s6.device_fidelity(&rates(), 10, 100, 50, 200, 2);
+        assert!((f_a - f_b).abs() < 1e-15, "§6 uses q/k for all devices");
+    }
+
+    #[test]
+    fn fidelity_in_unit_interval_for_case_study_ranges() {
+        let m = FidelityModel::default();
+        for depth in [5, 12, 20] {
+            for t2 in [100, 600, 1750] {
+                for q in [130u64, 190, 250] {
+                    for k in [2usize, 3, 5] {
+                        let f = m.device_fidelity(&rates(), depth, t2, q / k as u64, q, k);
+                        assert!((0.0..=1.0).contains(&f));
+                        assert!(f > 0.4, "unusably low fidelity {f} for typical job");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_fidelity_penalises_each_link() {
+        let m = FidelityModel::default();
+        let f1 = m.final_fidelity(&[0.8], 0.95);
+        assert!((f1 - 0.8).abs() < 1e-12, "single device: no penalty");
+        let f2 = m.final_fidelity(&[0.8, 0.8], 0.95);
+        assert!((f2 - 0.8 * 0.95).abs() < 1e-12);
+        let f3 = m.final_fidelity(&[0.8, 0.8, 0.8], 0.95);
+        assert!((f3 - 0.8 * 0.95 * 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn final_fidelity_averages_devices() {
+        let m = FidelityModel::default();
+        let f = m.final_fidelity(&[0.9, 0.7], 1.0);
+        assert!((f - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitudes_in_paper_band() {
+        // A typical case-study job on the clean pair should land in the
+        // 0.6–0.75 band the paper reports.
+        let m = FidelityModel::default();
+        let f_dev = m.device_fidelity(&rates(), 12, 600, 95, 190, 2);
+        let f = m.final_fidelity(&[f_dev, f_dev], 0.95);
+        assert!(
+            (0.55..0.8).contains(&f),
+            "typical job fidelity {f} outside the paper's band"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_rate_panics() {
+        FidelityModel::default().single_qubit_fidelity(1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_final_fidelity_panics() {
+        FidelityModel::default().final_fidelity(&[], 0.95);
+    }
+}

@@ -1,0 +1,6 @@
+//! The paper's closed-form performance models: execution time (Eq. 3),
+//! fidelity (Eqs. 4–8) and classical communication (Eq. 9).
+
+pub mod comm;
+pub mod exec_time;
+pub mod fidelity;

@@ -1,0 +1,66 @@
+//! The allocation policies of paper §5 plus two extra baselines.
+//!
+//! | Policy | Paper mode | Selection rule |
+//! |---|---|---|
+//! | [`SpeedBroker`] | Speed-based | fastest (highest-CLOPS) devices first, spill on contention |
+//! | [`FidelityBroker`] | Error-aware | lowest-error devices, *waits* for them (quality-strict) |
+//! | [`FairBroker`] | Fair | least-utilised devices first, spill on contention |
+//! | [`RlBroker`] | RL-based | trained PPO policy emits allocation weights |
+//! | [`RoundRobinBroker`] | — | rotating start device (baseline) |
+//! | [`RandomBroker`] | — | random device order (baseline) |
+
+pub mod fair;
+pub mod fidelity;
+pub mod hybrid;
+pub mod minfrag;
+pub mod random;
+pub mod rl;
+pub mod round_robin;
+pub mod speed;
+
+pub use fair::FairBroker;
+pub use fidelity::FidelityBroker;
+pub use hybrid::HybridBroker;
+pub use minfrag::MinFragBroker;
+pub use random::RandomBroker;
+pub use rl::RlBroker;
+pub use round_robin::RoundRobinBroker;
+pub use speed::SpeedBroker;
+
+use crate::broker::Broker;
+
+/// The four paper strategies by name (for harness CLI selection): `speed`,
+/// `fidelity`, `fair`, `rlbase` (requires a trained policy), plus
+/// `roundrobin` and `random`.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Broker>> {
+    match name {
+        "speed" => Some(Box::new(SpeedBroker::new())),
+        "fidelity" => Some(Box::new(FidelityBroker::new())),
+        "fair" => Some(Box::new(FairBroker::new())),
+        "roundrobin" => Some(Box::new(RoundRobinBroker::new())),
+        "random" => Some(Box::new(RandomBroker::new(seed))),
+        "minfrag" => Some(Box::new(MinFragBroker::new())),
+        "hybrid" => Some(Box::new(HybridBroker::new(0.5))),
+        "hybrid-strict" => Some(Box::new(HybridBroker::strict(0.5))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_resolves_known_policies() {
+        for n in ["speed", "fidelity", "fair", "roundrobin", "random", "minfrag"] {
+            assert_eq!(by_name(n, 0).unwrap().name(), n);
+        }
+        assert_eq!(by_name("hybrid", 0).unwrap().name(), "hybrid(0.50)");
+        assert_eq!(
+            by_name("hybrid-strict", 0).unwrap().name(),
+            "hybrid-strict(0.50)"
+        );
+        assert!(by_name("rlbase", 0).is_none(), "rlbase needs a trained policy");
+        assert!(by_name("nope", 0).is_none());
+    }
+}

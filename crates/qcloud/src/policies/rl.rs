@@ -1,0 +1,124 @@
+//! RL-based allocation (paper §5, "Reinforcement Learning Mode"): a trained
+//! PPO policy emits continuous allocation weights over the fleet, which are
+//! normalised and rounded into a qubit partition (§4.1).
+
+use crate::broker::{AllocationPlan, Broker, CloudView};
+use crate::gym::{encode_observation, GymConfig};
+use crate::job::QJob;
+use crate::partition::{free_limits, weights_to_parts};
+use qcs_rl::policy::{ActScratch, ActorCritic};
+
+/// Deploys a trained [`ActorCritic`] as an allocation policy. Uses the
+/// deterministic (mean) action, matching SB3's `predict(deterministic=True)`
+/// deployment convention.
+pub struct RlBroker {
+    policy: ActorCritic,
+    cfg: GymConfig,
+    scratch: ActScratch,
+}
+
+impl RlBroker {
+    /// Wraps a trained policy. `cfg` must match the training configuration
+    /// (normalisers and device-slot count).
+    pub fn new(policy: ActorCritic, cfg: GymConfig) -> Self {
+        assert_eq!(
+            policy.obs_dim(),
+            cfg.obs_dim(),
+            "policy was trained with a different observation layout"
+        );
+        assert_eq!(
+            policy.action_dim(),
+            cfg.max_devices,
+            "policy was trained with a different device count"
+        );
+        RlBroker {
+            policy,
+            cfg,
+            scratch: ActScratch::new(),
+        }
+    }
+
+    /// Loads a policy previously saved with
+    /// [`ActorCritic::to_json`].
+    pub fn from_json(json: &str, cfg: GymConfig) -> Result<Self, String> {
+        Ok(Self::new(ActorCritic::from_json(json)?, cfg))
+    }
+}
+
+impl Broker for RlBroker {
+    fn select(&mut self, job: &QJob, view: &CloudView) -> AllocationPlan {
+        let obs = encode_observation(job.num_qubits, view, &self.cfg);
+        let weights = self.policy.act_deterministic(&obs, &mut self.scratch);
+        let limits = free_limits(view);
+        match weights_to_parts(&weights[..view.devices.len()], job.num_qubits, &limits) {
+            Some(parts) => AllocationPlan::Dispatch(parts),
+            None => AllocationPlan::Wait,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "rlbase"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::tests::{test_job, test_view};
+    use qcs_desim::Xoshiro256StarStar;
+
+    fn untrained_broker() -> RlBroker {
+        let cfg = GymConfig::default();
+        let mut rng = Xoshiro256StarStar::new(1);
+        let policy = ActorCritic::new(cfg.obs_dim(), cfg.max_devices, &mut rng);
+        RlBroker::new(policy, cfg)
+    }
+
+    #[test]
+    fn produces_valid_dispatch_on_free_fleet() {
+        let mut b = untrained_broker();
+        let view = test_view(&[127, 127, 127, 127, 127]);
+        let job = test_job(190);
+        let plan = b.select(&job, &view);
+        plan.validate(&job, &view).unwrap();
+        assert!(plan.device_count() >= 2, "q > 127 forces a split");
+    }
+
+    #[test]
+    fn waits_when_fleet_exhausted() {
+        let mut b = untrained_broker();
+        let view = test_view(&[30, 30, 30, 30, 30]);
+        assert_eq!(b.select(&test_job(190), &view), AllocationPlan::Wait);
+    }
+
+    #[test]
+    fn deterministic_deployment() {
+        let mut b1 = untrained_broker();
+        let mut b2 = untrained_broker();
+        let view = test_view(&[127, 90, 127, 60, 127]);
+        let job = test_job(210);
+        assert_eq!(b1.select(&job, &view), b2.select(&job, &view));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = GymConfig::default();
+        let mut rng = Xoshiro256StarStar::new(2);
+        let policy = ActorCritic::new(cfg.obs_dim(), cfg.max_devices, &mut rng);
+        let json = policy.to_json();
+        let mut b1 = RlBroker::new(policy, cfg.clone());
+        let mut b2 = RlBroker::from_json(&json, cfg).unwrap();
+        let view = test_view(&[127, 127, 127, 127, 127]);
+        let job = test_job(170);
+        assert_eq!(b1.select(&job, &view), b2.select(&job, &view));
+    }
+
+    #[test]
+    #[should_panic(expected = "different observation layout")]
+    fn mismatched_policy_rejected() {
+        let cfg = GymConfig::default();
+        let mut rng = Xoshiro256StarStar::new(3);
+        let policy = ActorCritic::new(7, cfg.max_devices, &mut rng);
+        let _ = RlBroker::new(policy, cfg);
+    }
+}

@@ -1,0 +1,377 @@
+//! Job lifecycle records and summary metrics (the paper's
+//! `JobRecordsManager`).
+
+use crate::device::DeviceId;
+use crate::job::{JobId, QJob};
+use qcs_desim::{Histogram, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle record of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub job_id: JobId,
+    /// Qubits requested.
+    pub num_qubits: u64,
+    /// Circuit depth.
+    pub depth: u32,
+    /// Shots.
+    pub num_shots: u64,
+    /// Two-qubit gates.
+    pub two_qubit_gates: u64,
+    /// Arrival time (s).
+    pub arrival: f64,
+    /// Dispatch (reservation) time (s); `NaN` until dispatched.
+    pub start: f64,
+    /// Execution end time, before communication (s); `NaN` until then.
+    pub exec_end: f64,
+    /// Completion time (s); `NaN` until finished.
+    pub finish: f64,
+    /// Final fidelity (Eq. 8); `NaN` until finished.
+    pub fidelity: f64,
+    /// Blocking communication delay incurred (s).
+    pub comm_seconds: f64,
+    /// The partition `(device index, qubits)`.
+    pub parts: Vec<(u32, u64)>,
+}
+
+impl JobRecord {
+    fn new(job: &QJob) -> Self {
+        JobRecord {
+            job_id: job.id,
+            num_qubits: job.num_qubits,
+            depth: job.depth,
+            num_shots: job.num_shots,
+            two_qubit_gates: job.two_qubit_gates,
+            arrival: job.arrival_time,
+            start: f64::NAN,
+            exec_end: f64::NAN,
+            finish: f64::NAN,
+            fidelity: f64::NAN,
+            comm_seconds: 0.0,
+            parts: Vec::new(),
+        }
+    }
+
+    /// Queueing delay `start − arrival` (NaN until dispatched).
+    pub fn wait_time(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Total `finish − arrival` (NaN until finished).
+    pub fn turnaround(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Devices used.
+    pub fn device_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the job completed.
+    pub fn finished(&self) -> bool {
+        self.finish.is_finite()
+    }
+}
+
+/// Collects job lifecycle events during a run.
+#[derive(Debug, Default)]
+pub struct JobRecordsManager {
+    records: Vec<JobRecord>,
+    index: std::collections::HashMap<JobId, usize>,
+    finished: usize,
+}
+
+impl JobRecordsManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a job arrival.
+    pub fn record_arrival(&mut self, job: &QJob) {
+        let idx = self.records.len();
+        self.records.push(JobRecord::new(job));
+        let prev = self.index.insert(job.id, idx);
+        assert!(prev.is_none(), "duplicate arrival for job {:?}", job.id);
+    }
+
+    /// Records dispatch: reservation time and partition.
+    pub fn record_start(&mut self, id: JobId, now: f64, parts: &[(DeviceId, u64)]) {
+        let r = self.get_mut(id);
+        assert!(r.start.is_nan(), "job {id:?} started twice");
+        r.start = now;
+        r.parts = parts.iter().map(|&(d, a)| (d.0, a)).collect();
+    }
+
+    /// Records the end of quantum execution (before communication).
+    pub fn record_exec_end(&mut self, id: JobId, now: f64) {
+        let r = self.get_mut(id);
+        r.exec_end = now;
+    }
+
+    /// Records completion with the final fidelity and incurred
+    /// communication delay.
+    pub fn record_finish(&mut self, id: JobId, now: f64, fidelity: f64, comm_seconds: f64) {
+        let r = self.get_mut(id);
+        assert!(r.finish.is_nan(), "job {id:?} finished twice");
+        r.finish = now;
+        r.fidelity = fidelity;
+        r.comm_seconds = comm_seconds;
+        self.finished += 1;
+    }
+
+    fn get_mut(&mut self, id: JobId) -> &mut JobRecord {
+        let idx = *self
+            .index
+            .get(&id)
+            .unwrap_or_else(|| panic!("no arrival recorded for job {id:?}"));
+        &mut self.records[idx]
+    }
+
+    /// All records (arrival order).
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Number of jobs that have arrived.
+    pub fn arrived_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of completed jobs.
+    pub fn finished_count(&self) -> usize {
+        self.finished
+    }
+
+    /// Consumes the manager, returning the records.
+    pub fn into_records(self) -> Vec<JobRecord> {
+        self.records
+    }
+}
+
+/// Aggregate metrics over a completed run — the three Table 2 columns plus
+/// queueing diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Strategy name.
+    pub strategy: String,
+    /// Completed jobs.
+    pub jobs_finished: usize,
+    /// Jobs that never finished (starved / infeasible).
+    pub jobs_unfinished: usize,
+    /// Total simulation time `T_sim` (s): completion time of the last job.
+    pub t_sim: f64,
+    /// Mean final fidelity `μ_F`.
+    pub mean_fidelity: f64,
+    /// Fidelity standard deviation `σ_F` (population).
+    pub std_fidelity: f64,
+    /// Total communication time `T_comm` (s) summed over jobs.
+    pub total_comm: f64,
+    /// Mean queueing delay (s).
+    pub mean_wait: f64,
+    /// Mean turnaround (s).
+    pub mean_turnaround: f64,
+    /// Mean devices per job `k̄`.
+    pub mean_devices_per_job: f64,
+    /// Throughput (jobs/s) over `T_sim`.
+    pub throughput: f64,
+}
+
+impl SummaryStats {
+    /// Computes the summary from per-job records.
+    pub fn from_records(strategy: impl Into<String>, records: &[JobRecord]) -> Self {
+        let mut fid = Welford::new();
+        let mut wait = Welford::new();
+        let mut turn = Welford::new();
+        let mut devices = Welford::new();
+        let mut total_comm = 0.0;
+        let mut t_sim: f64 = 0.0;
+        let mut unfinished = 0usize;
+        for r in records {
+            if !r.finished() {
+                unfinished += 1;
+                continue;
+            }
+            fid.push(r.fidelity);
+            wait.push(r.wait_time());
+            turn.push(r.turnaround());
+            devices.push(r.device_count() as f64);
+            total_comm += r.comm_seconds;
+            t_sim = t_sim.max(r.finish);
+        }
+        let finished = fid.count() as usize;
+        SummaryStats {
+            strategy: strategy.into(),
+            jobs_finished: finished,
+            jobs_unfinished: unfinished,
+            t_sim,
+            mean_fidelity: fid.mean(),
+            std_fidelity: fid.std_dev(),
+            total_comm,
+            mean_wait: wait.mean(),
+            mean_turnaround: turn.mean(),
+            mean_devices_per_job: devices.mean(),
+            throughput: if t_sim > 0.0 {
+                finished as f64 / t_sim
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Builds the Fig. 6 fidelity histogram over `[lo, hi)`.
+    pub fn fidelity_histogram(records: &[JobRecord], lo: f64, hi: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(lo, hi, bins);
+        for r in records.iter().filter(|r| r.finished()) {
+            h.push(r.fidelity);
+        }
+        h
+    }
+}
+
+/// Exports per-job records as CSV for post-simulation analysis (the
+/// paper's JobRecordsManager workflow: wait times, execution durations,
+/// throughput studies).
+pub fn records_to_csv(records: &[JobRecord]) -> String {
+    let mut out = String::from(
+        "job_id,num_qubits,depth,num_shots,two_qubit_gates,arrival,start,exec_end,finish,\
+         wait,turnaround,fidelity,comm_seconds,devices\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.job_id.0,
+            r.num_qubits,
+            r.depth,
+            r.num_shots,
+            r.two_qubit_gates,
+            r.arrival,
+            r.start,
+            r.exec_end,
+            r.finish,
+            r.wait_time(),
+            r.turnaround(),
+            r.fidelity,
+            r.comm_seconds,
+            r.device_count(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, arrival: f64) -> QJob {
+        QJob {
+            id: JobId(id),
+            num_qubits: 190,
+            depth: 10,
+            num_shots: 50_000,
+            two_qubit_gates: 500,
+            arrival_time: arrival,
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_derived_metrics() {
+        let mut m = JobRecordsManager::new();
+        let j = job(1, 5.0);
+        m.record_arrival(&j);
+        m.record_start(JobId(1), 8.0, &[(DeviceId(0), 127), (DeviceId(1), 63)]);
+        m.record_exec_end(JobId(1), 100.0);
+        m.record_finish(JobId(1), 103.8, 0.68, 3.8);
+        let r = &m.records()[0];
+        assert_eq!(r.wait_time(), 3.0);
+        assert_eq!(r.turnaround(), 98.8);
+        assert_eq!(r.device_count(), 2);
+        assert!(r.finished());
+        assert_eq!(m.finished_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate arrival")]
+    fn duplicate_arrival_panics() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        m.record_arrival(&job(1, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn double_start_panics() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        m.record_start(JobId(1), 1.0, &[(DeviceId(0), 190)]);
+        m.record_start(JobId(1), 2.0, &[(DeviceId(0), 190)]);
+    }
+
+    #[test]
+    fn summary_aggregates_table2_columns() {
+        let mut m = JobRecordsManager::new();
+        for (i, (fin, fid, comm)) in [(100.0, 0.6, 3.8), (200.0, 0.7, 7.6), (150.0, 0.65, 3.8)]
+            .iter()
+            .enumerate()
+        {
+            let j = job(i as u64, 0.0);
+            m.record_arrival(&j);
+            m.record_start(j.id, 1.0, &[(DeviceId(0), 100), (DeviceId(1), 90)]);
+            m.record_finish(j.id, *fin, *fid, *comm);
+        }
+        let s = SummaryStats::from_records("test", m.records());
+        assert_eq!(s.jobs_finished, 3);
+        assert_eq!(s.jobs_unfinished, 0);
+        assert_eq!(s.t_sim, 200.0);
+        assert!((s.mean_fidelity - 0.65).abs() < 1e-12);
+        assert!((s.total_comm - 15.2).abs() < 1e-12);
+        assert!((s.mean_devices_per_job - 2.0).abs() < 1e-12);
+        assert!((s.throughput - 3.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_counts_unfinished() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(0, 0.0));
+        m.record_arrival(&job(1, 0.0));
+        m.record_start(JobId(0), 1.0, &[(DeviceId(0), 190)]);
+        m.record_finish(JobId(0), 50.0, 0.7, 0.0);
+        let s = SummaryStats::from_records("test", m.records());
+        assert_eq!(s.jobs_finished, 1);
+        assert_eq!(s.jobs_unfinished, 1);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut m = JobRecordsManager::new();
+        let j = job(7, 1.0);
+        m.record_arrival(&j);
+        m.record_start(JobId(7), 2.0, &[(DeviceId(0), 100), (DeviceId(2), 90)]);
+        m.record_exec_end(JobId(7), 50.0);
+        m.record_finish(JobId(7), 53.8, 0.67, 3.8);
+        let csv = records_to_csv(m.records());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("job_id,"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), 14);
+        assert_eq!(fields[0], "7");
+        assert_eq!(fields[13], "2"); // devices
+        assert_eq!(fields[9], "1"); // wait = 2.0 - 1.0
+    }
+
+    #[test]
+    fn fidelity_histogram_covers_finished_jobs() {
+        let mut m = JobRecordsManager::new();
+        for i in 0..10 {
+            let j = job(i, 0.0);
+            m.record_arrival(&j);
+            m.record_start(j.id, 0.0, &[(DeviceId(0), 190)]);
+            m.record_finish(j.id, 10.0, 0.6 + i as f64 * 0.01, 0.0);
+        }
+        let h = SummaryStats::fidelity_histogram(m.records(), 0.5, 0.8, 30);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+}

@@ -1,0 +1,842 @@
+//! The simulation environment (`QCloudSimEnv`, paper §3): orchestrates job
+//! arrival, FIFO cloud-level scheduling, atomic multi-device reservation,
+//! parallel execution, inter-device communication and release.
+//!
+//! ## Orchestration design
+//!
+//! Three kinds of coroutine cooperate on the `qcs-desim` kernel:
+//!
+//! * a **generator** releases jobs into the shared pending queue at their
+//!   arrival times and wakes the scheduler;
+//! * the **scheduler** serves the pending queue strictly FIFO: for the head
+//!   job it consults the [`Broker`], atomically reserves the returned
+//!   partition (non-blocking — the broker only dispatches satisfiable
+//!   plans) and spawns an execution coroutine; when the broker says
+//!   [`AllocationPlan::Wait`] it parks until the next release (head-of-line
+//!   blocking, like SimPy container queues);
+//! * one **executor** per dispatched job sleeps through the execution time
+//!   (Eq. 3, `max` over its devices), then through the blocking
+//!   communication delay (Eq. 9), computes the final fidelity (Eqs. 4–8),
+//!   releases its qubits, logs completion, and wakes the scheduler.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::broker::{AllocationPlan, Broker, CloudView, DeviceView};
+use crate::cloud::QCloud;
+use crate::config::SimParams;
+use crate::device::DeviceId;
+use crate::job::QJob;
+use crate::model::fidelity::DeviceErrorRates;
+use crate::records::{JobRecord, JobRecordsManager, SummaryStats};
+use qcs_calibration::DeviceProfile;
+use qcs_desim::{ContainerId, Coroutine, Ctx, Effect, Simulation, Step};
+
+/// Static per-device data shared with coroutines.
+#[derive(Debug, Clone)]
+struct DeviceStatic {
+    container: ContainerId,
+    capacity: u64,
+    error_score: f64,
+    error_rates: DeviceErrorRates,
+    clops: f64,
+    qv_layers: f64,
+    name: String,
+}
+
+/// State shared between the coroutines.
+struct SchedState {
+    pending: std::collections::VecDeque<QJob>,
+    broker: Box<dyn Broker>,
+    records: JobRecordsManager,
+    total_jobs: usize,
+    dispatched: usize,
+}
+
+type Shared = Arc<Mutex<SchedState>>;
+
+fn build_view(
+    info: &[DeviceStatic],
+    offline: &crate::maintenance::OfflineFlags,
+    cx: &Ctx<'_>,
+) -> CloudView {
+    CloudView {
+        devices: info
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let off = offline.is_offline(i);
+                DeviceView {
+                    id: DeviceId(i as u32),
+                    // An offline device advertises no free qubits, so no
+                    // policy will place new sub-jobs on it.
+                    free: if off { 0 } else { cx.level(d.container) },
+                    capacity: d.capacity,
+                    busy_fraction: if off { 1.0 } else { cx.busy_fraction(d.container) },
+                    mean_utilization: cx.mean_utilization(d.container),
+                    error_score: d.error_score,
+                    clops: d.clops,
+                    qv_layers: d.qv_layers,
+                }
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coroutines
+// ---------------------------------------------------------------------
+
+struct Generator {
+    jobs: Vec<QJob>, // sorted by arrival, consumed front-to-back
+    next: usize,
+    shared: Shared,
+    scheduler_pid: Arc<AtomicU32>,
+}
+
+impl Coroutine for Generator {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        let now = cx.now();
+        let mut released = false;
+        {
+            let mut st = self.shared.lock();
+            while self.next < self.jobs.len() && self.jobs[self.next].arrival_time <= now + 1e-12 {
+                let job = self.jobs[self.next].clone();
+                st.records.record_arrival(&job);
+                st.pending.push_back(job);
+                self.next += 1;
+                released = true;
+            }
+        }
+        if released {
+            let pid = qcs_desim::ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+            cx.wake(pid);
+        }
+        if self.next < self.jobs.len() {
+            Step::Wait(Effect::Timeout(self.jobs[self.next].arrival_time - now))
+        } else {
+            Step::Done
+        }
+    }
+
+    fn label(&self) -> &str {
+        "job-generator"
+    }
+}
+
+struct Scheduler {
+    shared: Shared,
+    info: Arc<Vec<DeviceStatic>>,
+    params: SimParams,
+    topologies: Option<Arc<Vec<qcs_topology::Graph>>>,
+    scheduler_pid: Arc<AtomicU32>,
+    offline: Arc<crate::maintenance::OfflineFlags>,
+}
+
+impl Coroutine for Scheduler {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        loop {
+            let decision = {
+                let mut st = self.shared.lock();
+                if st.records.finished_count() == st.total_jobs {
+                    return Step::Done;
+                }
+                if st.pending.is_empty() {
+                    // Queue empty but jobs still in flight or yet to arrive.
+                    drop(st);
+                    return Step::Wait(Effect::Suspend);
+                }
+                // Scan the head plus up to `backfill_depth` jobs behind it;
+                // dispatch the first one the policy can place now.
+                let view = build_view(&self.info, &self.offline, cx);
+                let scan = (self.params.backfill_depth + 1).min(st.pending.len());
+                let mut dispatch: Option<(usize, Vec<(DeviceId, u64)>)> = None;
+                for idx in 0..scan {
+                    let job = st.pending[idx].clone();
+                    let plan = st.broker.select(&job, &view);
+                    if let AllocationPlan::Dispatch(parts) = plan {
+                        AllocationPlan::Dispatch(parts.clone())
+                            .validate(&job, &view)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "broker '{}' produced an invalid plan: {e}",
+                                    st.broker.name()
+                                )
+                            });
+                        if self.params.exact_connectivity {
+                            if let Some(tops) = &self.topologies {
+                                let refs: Vec<&qcs_topology::Graph> = tops.iter().collect();
+                                assert!(
+                                    crate::partition::connectivity_feasible(&parts, &refs),
+                                    "partition violates device connectivity"
+                                );
+                            }
+                        }
+                        dispatch = Some((idx, parts));
+                        break;
+                    }
+                }
+                if let Some((idx, parts)) = dispatch {
+                    let job = st.pending.remove(idx).expect("scanned job vanished");
+                    st.records.record_start(job.id, cx.now(), &parts);
+                    st.dispatched += 1;
+                    Some((job, parts))
+                } else {
+                    None
+                }
+            };
+
+            match decision {
+                Some((job, parts)) => {
+                    let withdrawals: Vec<(ContainerId, u64)> = parts
+                        .iter()
+                        .map(|&(d, a)| (self.info[d.index()].container, a))
+                        .collect();
+                    let ok = cx.try_withdraw_many(&withdrawals);
+                    assert!(ok, "validated plan failed to reserve (kernel bug)");
+                    cx.spawn(Box::new(Executor {
+                        job,
+                        parts,
+                        info: self.info.clone(),
+                        params: self.params.clone(),
+                        shared: self.shared.clone(),
+                        scheduler_pid: self.scheduler_pid.clone(),
+                        phase: 0,
+                        comm_seconds: 0.0,
+                    }));
+                    // Loop: try to dispatch the next pending job too.
+                }
+                None => return Step::Wait(Effect::Suspend),
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "cloud-scheduler"
+    }
+}
+
+/// Releases one device's partition when its own sub-job finishes
+/// ([`ReleasePolicy::PerDevice`]).
+struct SubExec {
+    container: ContainerId,
+    qubits: u64,
+    duration: f64,
+    scheduler_pid: Arc<AtomicU32>,
+    phase: u8,
+}
+
+impl Coroutine for SubExec {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::Timeout(self.duration))
+            }
+            _ => {
+                cx.deposit_many(&[(self.container, self.qubits)]);
+                let pid =
+                    qcs_desim::ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+                cx.wake(pid);
+                Step::Done
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "sub-executor"
+    }
+}
+
+struct Executor {
+    job: QJob,
+    parts: Vec<(DeviceId, u64)>,
+    info: Arc<Vec<DeviceStatic>>,
+    params: SimParams,
+    shared: Shared,
+    scheduler_pid: Arc<AtomicU32>,
+    phase: u8,
+    comm_seconds: f64,
+}
+
+impl Coroutine for Executor {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                // Parallel execution: the job runs as long as its slowest
+                // sub-job (§4: T(a) = max_i T_i).
+                let durations: Vec<f64> = self
+                    .parts
+                    .iter()
+                    .map(|&(d, _)| {
+                        let dev = &self.info[d.index()];
+                        self.params.exec.execution_seconds(
+                            self.job.num_shots,
+                            dev.qv_layers,
+                            dev.clops,
+                        )
+                    })
+                    .collect();
+                let exec = durations.iter().fold(0.0f64, |a, &b| a.max(b));
+                if self.params.release == crate::config::ReleasePolicy::PerDevice {
+                    for (&(d, a), &dur) in self.parts.iter().zip(&durations) {
+                        cx.spawn(Box::new(SubExec {
+                            container: self.info[d.index()].container,
+                            qubits: a,
+                            duration: dur,
+                            scheduler_pid: self.scheduler_pid.clone(),
+                            phase: 0,
+                        }));
+                    }
+                }
+                self.phase = 1;
+                Step::Wait(Effect::Timeout(exec))
+            }
+            1 => {
+                self.shared
+                    .lock()
+                    .records
+                    .record_exec_end(self.job.id, cx.now());
+                // Blocking classical communication (Eq. 9 per link).
+                self.comm_seconds = self
+                    .params
+                    .comm
+                    .comm_seconds(self.job.num_qubits, self.parts.len());
+                self.phase = 2;
+                Step::Wait(Effect::Timeout(self.comm_seconds))
+            }
+            2 => {
+                // Final fidelity (Eqs. 4–8).
+                let k = self.parts.len();
+                let fids: Vec<f64> = self
+                    .parts
+                    .iter()
+                    .map(|&(d, a)| {
+                        let dev = &self.info[d.index()];
+                        self.params.fidelity.device_fidelity(
+                            &dev.error_rates,
+                            self.job.depth,
+                            self.job.two_qubit_gates,
+                            a,
+                            self.job.num_qubits,
+                            k,
+                        )
+                    })
+                    .collect();
+                let fidelity = self
+                    .params
+                    .fidelity
+                    .final_fidelity(&fids, self.params.comm.phi);
+
+                // Under AtJobEnd the qubits are still held: release now.
+                if self.params.release == crate::config::ReleasePolicy::AtJobEnd {
+                    let deposits: Vec<(ContainerId, u64)> = self
+                        .parts
+                        .iter()
+                        .map(|&(d, a)| (self.info[d.index()].container, a))
+                        .collect();
+                    cx.deposit_many(&deposits);
+                }
+                self.shared.lock().records.record_finish(
+                    self.job.id,
+                    cx.now(),
+                    fidelity,
+                    self.comm_seconds,
+                );
+                let pid =
+                    qcs_desim::ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+                cx.wake(pid);
+                Step::Done
+            }
+            _ => unreachable!("executor resumed after completion"),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "job-executor"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public environment
+// ---------------------------------------------------------------------
+
+/// Result of a completed simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Aggregate metrics (Table 2 columns).
+    pub summary: SummaryStats,
+    /// Per-job records (arrival order).
+    pub records: Vec<JobRecord>,
+    /// Time-weighted qubit utilisation per device, `(name, fraction)`.
+    pub device_utilization: Vec<(String, f64)>,
+    /// Kernel events processed (simulator performance diagnostics).
+    pub events_processed: u64,
+}
+
+/// The top-level simulation environment (paper's `QCloudSimEnv`).
+pub struct QCloudSimEnv {
+    sim: Simulation,
+    cloud: QCloud,
+    shared: Shared,
+    info: Arc<Vec<DeviceStatic>>,
+    strategy_name: String,
+    scheduler_pid: Arc<AtomicU32>,
+    offline: Arc<crate::maintenance::OfflineFlags>,
+}
+
+impl QCloudSimEnv {
+    /// Builds the environment: registers devices, seeds the kernel, spawns
+    /// the generator and scheduler, and queues `jobs` for release at their
+    /// arrival times.
+    pub fn new(
+        profiles: Vec<DeviceProfile>,
+        broker: Box<dyn Broker>,
+        mut jobs: Vec<QJob>,
+        params: SimParams,
+        seed: u64,
+    ) -> Self {
+        let mut sim = Simulation::new(seed);
+        let cloud = QCloud::new(profiles, &params.error_weights, &mut sim);
+        crate::jobgen::validate_jobs(&jobs, cloud.total_capacity())
+            .expect("job list incompatible with the fleet");
+        jobs.sort_by(|a, b| {
+            a.arrival_time
+                .total_cmp(&b.arrival_time)
+                .then(a.id.cmp(&b.id))
+        });
+
+        let info: Arc<Vec<DeviceStatic>> = Arc::new(
+            cloud
+                .devices()
+                .iter()
+                .map(|d| DeviceStatic {
+                    container: d.container,
+                    capacity: d.capacity(),
+                    error_score: d.error_score,
+                    error_rates: d.error_rates,
+                    clops: d.clops(),
+                    qv_layers: d.qv_layers(),
+                    name: d.name().to_string(),
+                })
+                .collect(),
+        );
+        let topologies = Arc::new(
+            cloud
+                .devices()
+                .iter()
+                .map(|d| d.profile.topology.clone())
+                .collect::<Vec<_>>(),
+        );
+
+        let strategy_name = broker.name().to_string();
+        let total_jobs = jobs.len();
+        let shared: Shared = Arc::new(Mutex::new(SchedState {
+            pending: std::collections::VecDeque::with_capacity(total_jobs),
+            broker,
+            records: JobRecordsManager::new(),
+            total_jobs,
+            dispatched: 0,
+        }));
+
+        let scheduler_pid = Arc::new(AtomicU32::new(0));
+        let offline = Arc::new(crate::maintenance::OfflineFlags::new(info.len()));
+        let sched = Scheduler {
+            shared: shared.clone(),
+            info: info.clone(),
+            params: params.clone(),
+            topologies: if params.exact_connectivity {
+                Some(topologies)
+            } else {
+                None
+            },
+            scheduler_pid: scheduler_pid.clone(),
+            offline: offline.clone(),
+        };
+        let pid = sim.spawn(Box::new(sched));
+        scheduler_pid.store(pid.as_raw(), Ordering::Relaxed);
+
+        sim.spawn(Box::new(Generator {
+            jobs,
+            next: 0,
+            shared: shared.clone(),
+            scheduler_pid: scheduler_pid.clone(),
+        }));
+
+        QCloudSimEnv {
+            sim,
+            cloud,
+            shared,
+            info,
+            strategy_name,
+            scheduler_pid,
+            offline,
+        }
+    }
+
+    /// Schedules a maintenance window: the device is marked *offline* from
+    /// `window.start` for `window.duration` seconds — no new sub-jobs are
+    /// placed on it, in-flight sub-jobs finish normally (graceful drain).
+    pub fn schedule_maintenance(&mut self, window: crate::maintenance::MaintenanceWindow) {
+        window.validate().expect("invalid maintenance window");
+        assert!(
+            window.device < self.info.len(),
+            "maintenance names unknown device {}",
+            window.device
+        );
+        // A window opening at t = 0 must take effect before the first
+        // dispatch: set the flag synchronously.
+        if window.start <= 0.0 {
+            self.offline.set_offline(window.device, true);
+        }
+        self.sim.spawn(Box::new(crate::maintenance::MaintenanceProc {
+            device: window.device,
+            start: window.start,
+            end: window.start + window.duration,
+            offline: self.offline.clone(),
+            scheduler_pid: self.scheduler_pid.clone(),
+            phase: 0,
+        }));
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    pub fn run(mut self) -> RunResult {
+        self.sim.run();
+        let t_end = self.sim.now();
+        let device_utilization = self
+            .info
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    self.sim.container(d.container).mean_utilization(t_end),
+                )
+            })
+            .collect();
+        let events_processed = self.sim.events_processed();
+
+        // Tear down: extract records from the shared state.
+        let state = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("coroutines must have released the shared state")
+            .into_inner();
+        let records = state.records.into_records();
+        let summary = SummaryStats::from_records(self.strategy_name, &records);
+        RunResult {
+            summary,
+            records,
+            device_utilization,
+            events_processed,
+        }
+    }
+
+    /// The fleet (inspection/testing).
+    pub fn cloud(&self) -> &QCloud {
+        &self.cloud
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobDistribution, JobId};
+    use crate::policies::{FairBroker, FidelityBroker, SpeedBroker};
+    use qcs_calibration::ibm_fleet;
+
+    fn jobs(n: usize, seed: u64) -> Vec<QJob> {
+        crate::jobgen::batch_at_zero(n, &JobDistribution::default(), seed)
+    }
+
+    fn run(broker: Box<dyn Broker>, n: usize, seed: u64) -> RunResult {
+        let env = QCloudSimEnv::new(
+            ibm_fleet(seed),
+            broker,
+            jobs(n, seed),
+            SimParams::default(),
+            seed,
+        );
+        env.run()
+    }
+
+    #[test]
+    fn all_jobs_complete_under_each_policy() {
+        for broker in [
+            Box::new(SpeedBroker::new()) as Box<dyn Broker>,
+            Box::new(FidelityBroker::new()),
+            Box::new(FairBroker::new()),
+        ] {
+            let name = broker.name().to_string();
+            let res = run(broker, 30, 7);
+            assert_eq!(res.summary.jobs_finished, 30, "{name}: unfinished jobs");
+            assert_eq!(res.summary.jobs_unfinished, 0);
+            assert!(res.summary.t_sim > 0.0);
+            assert!(res.summary.mean_fidelity > 0.3 && res.summary.mean_fidelity < 1.0);
+            // All qubits returned.
+            for r in &res.records {
+                assert!(r.finished());
+                assert!(r.start >= r.arrival);
+                assert!(r.exec_end > r.start);
+                assert!(r.finish >= r.exec_end);
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_policy_dominates_fidelity_speed_dominates_time() {
+        let speed = run(Box::new(SpeedBroker::new()), 60, 11);
+        let fid = run(Box::new(FidelityBroker::new()), 60, 11);
+        assert!(
+            fid.summary.mean_fidelity > speed.summary.mean_fidelity,
+            "error-aware must beat speed on fidelity: {} vs {}",
+            fid.summary.mean_fidelity,
+            speed.summary.mean_fidelity
+        );
+        assert!(
+            speed.summary.t_sim < fid.summary.t_sim,
+            "speed must beat error-aware on makespan: {} vs {}",
+            speed.summary.t_sim,
+            fid.summary.t_sim
+        );
+        assert!(
+            fid.summary.total_comm < speed.summary.total_comm,
+            "error-aware (k=2) must have lowest comm: {} vs {}",
+            fid.summary.total_comm,
+            speed.summary.total_comm
+        );
+    }
+
+    #[test]
+    fn fidelity_policy_uses_exactly_two_devices() {
+        let res = run(Box::new(FidelityBroker::new()), 40, 3);
+        assert!((res.summary.mean_devices_per_job - 2.0).abs() < 1e-9);
+        // T_comm = λ · Σ q_j (k−1) = 0.02 · Σ q_j.
+        let expected: f64 = res.records.iter().map(|r| 0.02 * r.num_qubits as f64).sum();
+        assert!((res.summary.total_comm - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(Box::new(SpeedBroker::new()), 25, 5);
+        let b = run(Box::new(SpeedBroker::new()), 25, 5);
+        assert_eq!(a.summary.t_sim, b.summary.t_sim);
+        assert_eq!(a.summary.mean_fidelity, b.summary.mean_fidelity);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn poisson_arrivals_respected() {
+        let dist = JobDistribution::default();
+        let jobs = crate::jobgen::poisson_arrivals(20, 0.001, &dist, 13);
+        let arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival_time).collect();
+        let env = QCloudSimEnv::new(
+            ibm_fleet(13),
+            Box::new(SpeedBroker::new()),
+            jobs,
+            SimParams::default(),
+            13,
+        );
+        let res = env.run();
+        assert_eq!(res.summary.jobs_finished, 20);
+        for (r, &a) in res.records.iter().zip(&arrivals) {
+            assert_eq!(r.arrival, a);
+            assert!(r.start >= a, "job dispatched before arrival");
+        }
+    }
+
+    #[test]
+    fn single_device_job_has_no_comm_penalty() {
+        // A job that fits one device: k=1, no comm delay, no φ penalty.
+        let small = vec![QJob {
+            id: JobId(0),
+            num_qubits: 100,
+            depth: 10,
+            num_shots: 50_000,
+            two_qubit_gates: 400,
+            arrival_time: 0.0,
+        }];
+        let env = QCloudSimEnv::new(
+            ibm_fleet(1),
+            Box::new(SpeedBroker::new()),
+            small,
+            SimParams::default(),
+            1,
+        );
+        let res = env.run();
+        assert_eq!(res.records[0].device_count(), 1);
+        assert_eq!(res.records[0].comm_seconds, 0.0);
+    }
+
+    #[test]
+    fn utilization_reported_per_device() {
+        let res = run(Box::new(SpeedBroker::new()), 40, 17);
+        assert_eq!(res.device_utilization.len(), 5);
+        for (name, u) in &res.device_utilization {
+            assert!((0.0..=1.0).contains(u), "{name} utilization {u}");
+        }
+        // The fast devices must be the most utilised under the speed policy.
+        let strasbourg = res.device_utilization[0].1;
+        let kawasaki = res.device_utilization[4].1;
+        assert!(
+            strasbourg > kawasaki,
+            "speed policy should load fast devices: {strasbourg} vs {kawasaki}"
+        );
+    }
+
+    #[test]
+    fn backfill_improves_or_matches_makespan() {
+        // With a blocked large head job, backfilling lets smaller jobs slip
+        // through fragmented capacity; makespan must not get worse and
+        // every job must still finish.
+        let jobs = jobs(60, 23);
+        let strict = {
+            let params = SimParams::default();
+            QCloudSimEnv::new(
+                ibm_fleet(23),
+                Box::new(SpeedBroker::new()),
+                jobs.clone(),
+                params,
+                23,
+            )
+            .run()
+        };
+        let backfilled = {
+            let params = SimParams {
+                backfill_depth: 8,
+                ..SimParams::default()
+            };
+            QCloudSimEnv::new(
+                ibm_fleet(23),
+                Box::new(SpeedBroker::new()),
+                jobs,
+                params,
+                23,
+            )
+            .run()
+        };
+        assert_eq!(strict.summary.jobs_finished, 60);
+        assert_eq!(backfilled.summary.jobs_finished, 60);
+        assert!(
+            backfilled.summary.t_sim <= strict.summary.t_sim * 1.0001,
+            "backfill worsened makespan: {} vs {}",
+            backfilled.summary.t_sim,
+            strict.summary.t_sim
+        );
+    }
+
+    #[test]
+    fn backfill_preserves_job_set_and_fidelity_range() {
+        let jobs = jobs(40, 29);
+        let params = SimParams {
+            backfill_depth: 4,
+            ..SimParams::default()
+        };
+        let res = QCloudSimEnv::new(
+            ibm_fleet(29),
+            Box::new(FairBroker::new()),
+            jobs,
+            params,
+            29,
+        )
+        .run();
+        assert_eq!(res.summary.jobs_unfinished, 0);
+        for r in &res.records {
+            assert!((0.0..=1.0).contains(&r.fidelity));
+        }
+    }
+
+    #[test]
+    fn maintenance_blocks_device_and_releases_after() {
+        // One device under maintenance from t=0 for a long window: the
+        // fidelity policy (strict best-pair) must stall until the window
+        // ends, then complete everything.
+        let jobs = jobs(5, 31);
+        let window = 50_000.0;
+        let mut env = QCloudSimEnv::new(
+            ibm_fleet(31),
+            Box::new(FidelityBroker::new()),
+            jobs.clone(),
+            SimParams::default(),
+            31,
+        );
+        env.schedule_maintenance(
+            crate::maintenance::MaintenanceWindow {
+                device: 0, // ibm_strasbourg — half of the premium pair
+                start: 0.0,
+                duration: window,
+            },
+        );
+        let res = env.run();
+        assert_eq!(res.summary.jobs_finished, 5);
+        // Nothing could start before the window ended (the strict policy
+        // insists on device 0).
+        for r in &res.records {
+            assert!(
+                r.start >= window,
+                "job started during maintenance at t={}",
+                r.start
+            );
+        }
+
+        // Control: without maintenance the first job starts at t=0.
+        let control = QCloudSimEnv::new(
+            ibm_fleet(31),
+            Box::new(FidelityBroker::new()),
+            jobs,
+            SimParams::default(),
+            31,
+        )
+        .run();
+        assert_eq!(control.records[0].start, 0.0);
+    }
+
+    #[test]
+    fn maintenance_on_unused_device_is_invisible() {
+        // Maintaining a noisy device the fidelity policy never touches must
+        // not change any outcome.
+        let jobs = jobs(20, 37);
+        let plain = QCloudSimEnv::new(
+            ibm_fleet(37),
+            Box::new(FidelityBroker::new()),
+            jobs.clone(),
+            SimParams::default(),
+            37,
+        )
+        .run();
+        let mut env = QCloudSimEnv::new(
+            ibm_fleet(37),
+            Box::new(FidelityBroker::new()),
+            jobs,
+            SimParams::default(),
+            37,
+        );
+        env.schedule_maintenance(
+            crate::maintenance::MaintenanceWindow {
+                device: 4, // ibm_kawasaki — never selected by the strict pair
+                start: 10.0,
+                duration: 5_000.0,
+            },
+        );
+        let res = env.run();
+        assert_eq!(res.summary.t_sim, plain.summary.t_sim);
+        assert_eq!(res.summary.mean_fidelity, plain.summary.mean_fidelity);
+    }
+
+    #[test]
+    fn exact_connectivity_mode_runs() {
+        let params = SimParams {
+            exact_connectivity: true,
+            ..SimParams::default()
+        };
+        let env = QCloudSimEnv::new(
+            ibm_fleet(19),
+            Box::new(SpeedBroker::new()),
+            jobs(10, 19),
+            params,
+            19,
+        );
+        let res = env.run();
+        assert_eq!(res.summary.jobs_finished, 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the extension modules: cutting estimates, QoS
+//! percentiles, and the hybrid/minfrag policies.
+
+use proptest::prelude::*;
+use qcs_qcloud::broker::{AllocationPlan, Broker, CloudView, DeviceView};
+use qcs_qcloud::model::fidelity::DeviceErrorRates;
+use qcs_qcloud::policies::{HybridBroker, MinFragBroker};
+use qcs_qcloud::{
+    bounded_slowdown, percentile, CircuitLocality, CuttingExecModel, DeviceId, FragmentSite,
+    JobId, QJob,
+};
+
+fn view_from(frees: &[u64]) -> CloudView {
+    CloudView {
+        devices: frees
+            .iter()
+            .enumerate()
+            .map(|(i, &free)| DeviceView {
+                id: DeviceId(i as u32),
+                free,
+                capacity: 127,
+                busy_fraction: 1.0 - free as f64 / 127.0,
+                mean_utilization: 0.5,
+                error_score: 0.005 + (i as f64) * 0.003,
+                clops: 220_000.0 - (i as f64) * 40_000.0,
+                qv_layers: 7.0,
+            })
+            .collect(),
+    }
+}
+
+fn job(q: u64) -> QJob {
+    QJob {
+        id: JobId(0),
+        num_qubits: q,
+        depth: 10,
+        num_shots: 50_000,
+        two_qubit_gates: 400,
+        arrival_time: 0.0,
+    }
+}
+
+/// Splits q into k near-equal positive parts.
+fn even_parts(q: u64, k: usize) -> Vec<u64> {
+    let base = q / k as u64;
+    let rem = (q % k as u64) as usize;
+    (0..k)
+        .map(|i| base + u64::from(i < rem))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random-locality cut estimates are bounded by t₂, zero for k = 1,
+    /// and (for balanced parts) monotone non-decreasing in k.
+    #[test]
+    fn cut_estimates_bounded_and_monotone(q in 100u64..300, t2 in 1u64..2000) {
+        let m = CuttingExecModel::with_locality(CircuitLocality::Random);
+        prop_assert_eq!(m.estimated_cuts(q, t2, &[q]), 0);
+        let mut last = 0u64;
+        for k in 2usize..=5 {
+            let parts = even_parts(q, k);
+            let cuts = m.estimated_cuts(q, t2, &parts);
+            prop_assert!(cuts <= t2, "cuts {} > t2 {}", cuts, t2);
+            prop_assert!(cuts + 1 >= last, "k={} not monotone: {} then {}", k, last, cuts);
+            last = cuts;
+        }
+    }
+
+    /// Chain-locality estimates never exceed random-locality estimates for
+    /// balanced bipartitions of realistic density (locality only helps),
+    /// and the whole cutting outcome prices consistently: wall time
+    /// decomposes, fidelity is a probability, shots ≥ base shots.
+    #[test]
+    fn cutting_outcome_consistency(q in 100u64..260, t2 in 50u64..1500) {
+        let chain = CuttingExecModel::with_locality(CircuitLocality::Chain);
+        let random = CuttingExecModel::with_locality(CircuitLocality::Random);
+        let parts = even_parts(q, 2);
+        prop_assert!(
+            chain.estimated_cuts(q, t2, &parts) <= random.estimated_cuts(q, t2, &parts)
+        );
+
+        let rates = DeviceErrorRates { single_qubit: 3e-4, two_qubit: 8e-3, readout: 1.5e-2 };
+        let sites: Vec<FragmentSite> = parts
+            .iter()
+            .map(|&qubits| FragmentSite { qubits, clops: 220_000.0, qv_layers: 7.0, rates })
+            .collect();
+        let j = job(q);
+        let out = chain.evaluate(&j, &sites);
+        prop_assert!(out.shots >= j.num_shots);
+        prop_assert!(out.sampling_overhead >= 1.0);
+        prop_assert!((out.wall_seconds - out.exec_seconds - out.postprocessing_seconds).abs()
+            < 1e-9 * out.wall_seconds.max(1.0));
+        prop_assert!(out.total_device_seconds >= out.exec_seconds);
+        prop_assert!((0.0..=1.0).contains(&out.fidelity));
+    }
+
+    /// Percentiles are monotone in p and bounded by the sample extremes.
+    #[test]
+    fn percentile_monotone_and_bounded(
+        mut values in proptest::collection::vec(0.0f64..1e6, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let v_lo = percentile(&values, lo);
+        let v_hi = percentile(&values, hi);
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        values.sort_by(|a, b| a.total_cmp(b));
+        prop_assert!(v_lo >= values[0] - 1e-9);
+        prop_assert!(v_hi <= values[values.len() - 1] + 1e-9);
+    }
+
+    /// Bounded slowdown is ≥ 1 and never exceeds the raw slowdown when the
+    /// service time already exceeds the threshold.
+    #[test]
+    fn bounded_slowdown_invariants(
+        wait in 0.0f64..1e4,
+        service in 0.1f64..1e4,
+        tau in 0.1f64..100.0,
+    ) {
+        let mut r = qcs_qcloud::JobRecord {
+            job_id: JobId(1),
+            num_qubits: 150,
+            depth: 10,
+            num_shots: 1000,
+            two_qubit_gates: 100,
+            arrival: 0.0,
+            start: wait,
+            exec_end: wait + service,
+            finish: wait + service,
+            fidelity: 0.6,
+            comm_seconds: 0.0,
+            parts: vec![(0, 75), (1, 75)],
+        };
+        r.finish = wait + service;
+        let bsld = bounded_slowdown(&r, tau);
+        prop_assert!(bsld >= 1.0);
+        if service >= tau {
+            let sld = qcs_qcloud::slowdown(&r);
+            prop_assert!(bsld <= sld + 1e-9);
+        }
+    }
+
+    /// Hybrid plans (both variants, any weight) and minfrag plans always
+    /// validate against the view they were computed from; greedy hybrid and
+    /// minfrag dispatch whenever the fleet has capacity.
+    #[test]
+    fn extension_policies_emit_valid_plans(
+        frees in proptest::collection::vec(0u64..=127, 3..6),
+        q in 130u64..250,
+        w in 0.0f64..1.0,
+    ) {
+        let view = view_from(&frees);
+        let j = job(q);
+        let total: u64 = frees.iter().sum();
+
+        for mut b in [
+            Box::new(HybridBroker::new(w)) as Box<dyn Broker>,
+            Box::new(HybridBroker::strict(w)) as Box<dyn Broker>,
+            Box::new(MinFragBroker::new()) as Box<dyn Broker>,
+        ] {
+            let plan = b.select(&j, &view);
+            prop_assert!(plan.validate(&j, &view).is_ok(), "{} invalid", b.name());
+            if matches!(plan, AllocationPlan::Wait) && !b.name().starts_with("hybrid-strict") {
+                prop_assert!(total < q, "{} waited with {} free for q={}", b.name(), total, q);
+            }
+        }
+    }
+}

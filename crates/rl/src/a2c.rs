@@ -1,0 +1,340 @@
+//! Advantage Actor-Critic (A2C): the synchronous on-policy baseline
+//! (Mnih et al., 2016), for ablations against PPO.
+//!
+//! A2C is PPO without the trust region: one gradient pass per rollout, no
+//! ratio clipping, and much shorter rollouts (SB3 defaults: `n_steps = 5`,
+//! `gae_lambda = 1.0`). It is cheaper per step but less stable — the
+//! `ppo_vs_a2c` ablation (qcs-bench) quantifies the gap on the allocation
+//! environment. SB3 pairs A2C with RMSprop; this implementation reuses the
+//! workspace Adam optimiser at SB3's A2C learning rate, which on these
+//! small MLPs trains at least as stably.
+
+use std::collections::VecDeque;
+
+use crate::buffer::RolloutBuffer;
+use crate::dist::DiagGaussian;
+use crate::nn::{Matrix, MlpCache};
+use crate::opt::Adam;
+use crate::policy::{ActScratch, ActorCritic};
+use crate::ppo::{TrainLog, TrainLogEntry};
+use crate::vecenv::VecEnv;
+use qcs_desim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// A2C hyper-parameters. `Default` mirrors Stable-Baselines3's A2C
+/// defaults (with Adam as the optimiser).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A2cConfig {
+    /// Steps collected per environment per update (SB3 default 5).
+    pub n_steps: usize,
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE λ (SB3 A2C default 1.0 — plain returns).
+    pub gae_lambda: f64,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f64,
+    /// Value-loss coefficient.
+    pub vf_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Learning rate (SB3 A2C default 7e-4).
+    pub learning_rate: f32,
+    /// Whether to normalise advantages over the rollout (SB3 A2C default:
+    /// off, unlike PPO).
+    pub normalize_advantage: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            n_steps: 5,
+            gamma: 0.99,
+            gae_lambda: 1.0,
+            ent_coef: 0.0,
+            vf_coef: 0.5,
+            max_grad_norm: 0.5,
+            learning_rate: 7e-4,
+            normalize_advantage: false,
+            seed: 0,
+        }
+    }
+}
+
+/// The A2C trainer; mirrors [`crate::ppo::Ppo`]'s interface so harnesses
+/// can swap algorithms.
+pub struct A2c {
+    /// The trained model.
+    pub ac: ActorCritic,
+    /// Hyper-parameters.
+    pub config: A2cConfig,
+    opt: Adam,
+    rng: Xoshiro256StarStar,
+    log: TrainLog,
+    timesteps: u64,
+    ep_returns: VecDeque<f64>,
+    scratch: ActScratch,
+    obs_mat: Matrix,
+    dmean: Matrix,
+    dv: Matrix,
+    pi_cache: MlpCache,
+    vf_cache: MlpCache,
+}
+
+impl A2c {
+    /// Creates an A2C trainer for the given observation/action sizes.
+    pub fn new(obs_dim: usize, action_dim: usize, config: A2cConfig) -> Self {
+        let mut rng = Xoshiro256StarStar::new(config.seed);
+        let ac = ActorCritic::new(obs_dim, action_dim, &mut rng);
+        let opt = Adam::new(config.learning_rate);
+        A2c {
+            ac,
+            opt,
+            rng,
+            log: TrainLog::default(),
+            timesteps: 0,
+            ep_returns: VecDeque::with_capacity(100),
+            scratch: ActScratch::new(),
+            obs_mat: Matrix::zeros(0, 0),
+            dmean: Matrix::zeros(0, 0),
+            dv: Matrix::zeros(0, 0),
+            pi_cache: MlpCache::new(),
+            vf_cache: MlpCache::new(),
+            config,
+        }
+    }
+
+    /// Training log so far.
+    pub fn log(&self) -> &TrainLog {
+        &self.log
+    }
+
+    /// Environment steps consumed so far.
+    pub fn timesteps(&self) -> u64 {
+        self.timesteps
+    }
+
+    /// Overrides the optimiser learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.opt.lr = lr;
+    }
+
+    /// Trains for (at least) `total_timesteps` environment steps.
+    #[allow(clippy::needless_range_loop)] // per-env index spans parallel vecs
+    pub fn learn(&mut self, envs: &mut VecEnv, total_timesteps: u64) {
+        let n_envs = envs.num_envs();
+        let obs_dim = self.ac.obs_dim();
+        let action_dim = self.ac.action_dim();
+        let mut buffer = RolloutBuffer::new(self.config.n_steps, n_envs, obs_dim, action_dim);
+        let mut obs = envs.reset_all(self.config.seed);
+        let mut ep_return_acc = vec![0.0f64; n_envs];
+
+        let target = self.timesteps + total_timesteps;
+        while self.timesteps < target {
+            buffer.clear();
+            for _ in 0..self.config.n_steps {
+                let mut actions: Vec<Vec<f32>> = Vec::with_capacity(n_envs);
+                let mut values = Vec::with_capacity(n_envs);
+                let mut logps = Vec::with_capacity(n_envs);
+                for e in 0..n_envs {
+                    let (a, lp, v) = self.ac.act(&obs[e], &mut self.rng, &mut self.scratch);
+                    actions.push(a);
+                    values.push(v);
+                    logps.push(lp);
+                }
+                let results = envs.step(&actions);
+                for e in 0..n_envs {
+                    let r = &results[e];
+                    buffer.push(&obs[e], &actions[e], r.reward, r.done(), values[e], logps[e]);
+                    ep_return_acc[e] += r.reward;
+                    if r.done() {
+                        if self.ep_returns.len() == 100 {
+                            self.ep_returns.pop_front();
+                        }
+                        self.ep_returns.push_back(ep_return_acc[e]);
+                        ep_return_acc[e] = 0.0;
+                    }
+                    obs[e] = r.obs.clone();
+                }
+                self.timesteps += n_envs as u64;
+            }
+            let last_values: Vec<f64> = (0..n_envs)
+                .map(|e| self.ac.value(&obs[e], &mut self.scratch))
+                .collect();
+            buffer.compute_advantages(&last_values, self.config.gamma, self.config.gae_lambda);
+
+            let diag = self.update(&buffer);
+            let ep_rew_mean = if self.ep_returns.is_empty() {
+                f64::NAN
+            } else {
+                self.ep_returns.iter().sum::<f64>() / self.ep_returns.len() as f64
+            };
+            self.log.entries.push(TrainLogEntry {
+                timesteps: self.timesteps,
+                ep_rew_mean,
+                entropy_loss: diag.entropy_loss,
+                policy_loss: diag.policy_loss,
+                value_loss: diag.value_loss,
+                approx_kl: 0.0,
+                clip_fraction: 0.0,
+            });
+        }
+    }
+
+    /// One gradient step over the whole rollout (no epochs, no minibatches,
+    /// no clipping — the defining differences from PPO).
+    fn update(&mut self, buffer: &RolloutBuffer) -> A2cDiagnostics {
+        let n = buffer.len();
+        let obs_dim = buffer.obs_dim();
+        let action_dim = buffer.action_dim();
+        let cfg = self.config.clone();
+
+        let (mean_adv, std_adv) = if cfg.normalize_advantage {
+            let m = buffer.advantages.iter().sum::<f64>() / n as f64;
+            let v = buffer
+                .advantages
+                .iter()
+                .map(|a| (a - m) * (a - m))
+                .sum::<f64>()
+                / n as f64;
+            (m, v.sqrt().max(1e-8))
+        } else {
+            (0.0, 1.0)
+        };
+
+        self.obs_mat.reshape_zeroed(n, obs_dim);
+        for i in 0..n {
+            self.obs_mat.row_mut(i).copy_from_slice(buffer.obs_row(i));
+        }
+
+        self.ac.zero_grad();
+        let means = self.ac.pi.forward(&self.obs_mat, &mut self.pi_cache);
+        let values = self.ac.vf.forward(&self.obs_mat, &mut self.vf_cache);
+
+        self.dmean.reshape_zeroed(n, action_dim);
+        self.dv.reshape_zeroed(n, 1);
+
+        let mut policy_loss = 0.0f64;
+        let mut value_loss = 0.0f64;
+        let mut entropy_sum = 0.0f64;
+        let mut dmu_row = vec![0.0f32; action_dim];
+        let mut dls_row = vec![0.0f32; action_dim];
+
+        for i in 0..n {
+            let dist = DiagGaussian {
+                mean: means.row(i),
+                log_std: &self.ac.log_std,
+            };
+            let action = buffer.action_row(i);
+            let logp = dist.log_prob(action);
+            let adv = (buffer.advantages[i] - mean_adv) / std_adv;
+            policy_loss += -logp * adv;
+            entropy_sum += dist.entropy();
+
+            // d(-logp·adv)/dθ — every sample contributes (no clipping).
+            let scale = (-adv / n as f64) as f32;
+            dist.dlogp_dmean(action, &mut dmu_row);
+            dist.dlogp_dlogstd(action, &mut dls_row);
+            for j in 0..action_dim {
+                self.dmean.set(i, j, dmu_row[j] * scale);
+                self.ac.grad_log_std[j] += dls_row[j] * scale;
+            }
+            if cfg.ent_coef != 0.0 {
+                let g = -(cfg.ent_coef / n as f64) as f32;
+                for j in 0..action_dim {
+                    self.ac.grad_log_std[j] += g;
+                }
+            }
+
+            let v = values.get(i, 0) as f64;
+            let err = v - buffer.returns[i];
+            value_loss += err * err;
+            self.dv.set(i, 0, (cfg.vf_coef * 2.0 * err / n as f64) as f32);
+        }
+        policy_loss /= n as f64;
+        value_loss /= n as f64;
+
+        let dmean = std::mem::replace(&mut self.dmean, Matrix::zeros(0, 0));
+        self.ac.pi.backward(&mut self.pi_cache, &dmean);
+        self.dmean = dmean;
+        let dv = std::mem::replace(&mut self.dv, Matrix::zeros(0, 0));
+        self.ac.vf.backward(&mut self.vf_cache, &dv);
+        self.dv = dv;
+
+        let norm = self.ac.grad_norm();
+        if norm > cfg.max_grad_norm {
+            self.ac.scale_gradients(cfg.max_grad_norm / norm);
+        }
+        self.ac.apply_gradients(&mut self.opt);
+
+        A2cDiagnostics {
+            policy_loss,
+            value_loss,
+            entropy_loss: -(entropy_sum / n as f64),
+        }
+    }
+}
+
+struct A2cDiagnostics {
+    policy_loss: f64,
+    value_loss: f64,
+    entropy_loss: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::bandit::ContinuousBandit;
+
+    fn bandit_vecenv(n: usize) -> VecEnv {
+        let envs: Vec<Box<dyn crate::env::Env>> = (0..n)
+            .map(|_| Box::new(ContinuousBandit::new(vec![0.5, -0.25])) as Box<dyn crate::env::Env>)
+            .collect();
+        VecEnv::sequential(envs)
+    }
+
+    #[test]
+    fn a2c_improves_on_bandit() {
+        let cfg = A2cConfig {
+            seed: 3,
+            ..A2cConfig::default()
+        };
+        let mut a2c = A2c::new(1, 2, cfg);
+        let mut envs = bandit_vecenv(4);
+        a2c.learn(&mut envs, 20_000);
+        let log = a2c.log();
+        let first = log.entries.first().unwrap().ep_rew_mean;
+        let last = log.final_reward();
+        assert!(last > first + 0.05, "no learning: {first} -> {last}");
+        assert!(last > 0.4, "final reward too low: {last}");
+    }
+
+    #[test]
+    fn a2c_is_deterministic_given_seed() {
+        let run = || {
+            let mut a2c = A2c::new(1, 2, A2cConfig { seed: 11, ..A2cConfig::default() });
+            let mut envs = bandit_vecenv(2);
+            a2c.learn(&mut envs, 1_000);
+            a2c.log().to_csv()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timestep_accounting_rounds_to_iterations() {
+        let mut a2c = A2c::new(1, 2, A2cConfig { seed: 1, ..A2cConfig::default() });
+        let mut envs = bandit_vecenv(3);
+        a2c.learn(&mut envs, 100);
+        // 5 steps × 3 envs = 15/iter → 7 iterations = 105 ≥ 100.
+        assert_eq!(a2c.timesteps(), 105);
+        assert_eq!(a2c.log().entries.len(), 7);
+    }
+
+    #[test]
+    fn set_learning_rate_applies() {
+        let mut a2c = A2c::new(1, 2, A2cConfig::default());
+        a2c.set_learning_rate(1e-5);
+        assert_eq!(a2c.opt.lr, 1e-5);
+    }
+}

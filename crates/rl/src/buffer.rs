@@ -1,0 +1,261 @@
+//! Rollout storage and Generalised Advantage Estimation.
+
+/// Fixed-size rollout storage for `n_envs` environments × `n_steps` steps.
+///
+/// Layout is step-major: index `t * n_envs + e`. Buffers are allocated once
+/// and reused across iterations ([`RolloutBuffer::clear`]).
+#[derive(Debug)]
+pub struct RolloutBuffer {
+    n_steps: usize,
+    n_envs: usize,
+    obs_dim: usize,
+    action_dim: usize,
+    /// Flattened observations `[n_steps * n_envs, obs_dim]`.
+    pub obs: Vec<f32>,
+    /// Flattened actions `[n_steps * n_envs, action_dim]`.
+    pub actions: Vec<f32>,
+    /// Rewards.
+    pub rewards: Vec<f64>,
+    /// Episode-done flags *after* the step was taken.
+    pub dones: Vec<bool>,
+    /// Value estimates at the observed states.
+    pub values: Vec<f64>,
+    /// Behaviour-policy log-probabilities of the stored actions.
+    pub log_probs: Vec<f64>,
+    /// GAE advantages (filled by [`RolloutBuffer::compute_advantages`]).
+    pub advantages: Vec<f64>,
+    /// Discounted returns (`advantage + value`).
+    pub returns: Vec<f64>,
+    len: usize,
+}
+
+impl RolloutBuffer {
+    /// Allocates a buffer for the given rollout shape.
+    pub fn new(n_steps: usize, n_envs: usize, obs_dim: usize, action_dim: usize) -> Self {
+        let cap = n_steps * n_envs;
+        RolloutBuffer {
+            n_steps,
+            n_envs,
+            obs_dim,
+            action_dim,
+            obs: Vec::with_capacity(cap * obs_dim),
+            actions: Vec::with_capacity(cap * action_dim),
+            rewards: Vec::with_capacity(cap),
+            dones: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+            log_probs: Vec::with_capacity(cap),
+            advantages: vec![0.0; cap],
+            returns: vec![0.0; cap],
+            len: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total capacity in transitions.
+    pub fn capacity(&self) -> usize {
+        self.n_steps * self.n_envs
+    }
+
+    /// Environments per step row.
+    pub fn n_envs(&self) -> usize {
+        self.n_envs
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Clears stored transitions, keeping allocations.
+    pub fn clear(&mut self) {
+        self.obs.clear();
+        self.actions.clear();
+        self.rewards.clear();
+        self.dones.clear();
+        self.values.clear();
+        self.log_probs.clear();
+        self.len = 0;
+    }
+
+    /// Appends one transition (call `n_envs` times per step, in env order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        obs: &[f32],
+        action: &[f32],
+        reward: f64,
+        done: bool,
+        value: f64,
+        log_prob: f64,
+    ) {
+        assert!(self.len < self.capacity(), "rollout buffer overflow");
+        assert_eq!(obs.len(), self.obs_dim, "obs dim mismatch");
+        assert_eq!(action.len(), self.action_dim, "action dim mismatch");
+        self.obs.extend_from_slice(obs);
+        self.actions.extend_from_slice(action);
+        self.rewards.push(reward);
+        self.dones.push(done);
+        self.values.push(value);
+        self.log_probs.push(log_prob);
+        self.len += 1;
+    }
+
+    /// Observation row `i`.
+    pub fn obs_row(&self, i: usize) -> &[f32] {
+        &self.obs[i * self.obs_dim..(i + 1) * self.obs_dim]
+    }
+
+    /// Action row `i`.
+    pub fn action_row(&self, i: usize) -> &[f32] {
+        &self.actions[i * self.action_dim..(i + 1) * self.action_dim]
+    }
+
+    /// Computes GAE(γ, λ) advantages and returns.
+    ///
+    /// `last_values[e]` is the value estimate of the observation *after* the
+    /// final stored step of env `e`, used for bootstrapping when that env's
+    /// last transition is not terminal.
+    #[allow(clippy::needless_range_loop)] // env/step index arithmetic is clearer explicit
+    pub fn compute_advantages(&mut self, last_values: &[f64], gamma: f64, gae_lambda: f64) {
+        assert_eq!(self.len, self.capacity(), "rollout incomplete");
+        assert_eq!(last_values.len(), self.n_envs, "one bootstrap value per env");
+        for e in 0..self.n_envs {
+            let mut gae = 0.0f64;
+            for t in (0..self.n_steps).rev() {
+                let i = t * self.n_envs + e;
+                let (next_value, next_non_terminal) = if t == self.n_steps - 1 {
+                    (last_values[e], !self.dones[i])
+                } else {
+                    let ni = (t + 1) * self.n_envs + e;
+                    (self.values[ni], !self.dones[i])
+                };
+                let nnt = if next_non_terminal { 1.0 } else { 0.0 };
+                let delta = self.rewards[i] + gamma * next_value * nnt - self.values[i];
+                gae = delta + gamma * gae_lambda * nnt * gae;
+                self.advantages[i] = gae;
+                self.returns[i] = gae + self.values[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n_steps: usize, n_envs: usize) -> RolloutBuffer {
+        let mut b = RolloutBuffer::new(n_steps, n_envs, 2, 1);
+        for t in 0..n_steps {
+            for e in 0..n_envs {
+                let r = (t * n_envs + e) as f64;
+                b.push(&[t as f32, e as f32], &[0.0], r, false, 0.0, 0.0);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn push_and_rows() {
+        let b = filled(3, 2);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.obs_row(3), &[1.0, 1.0]); // t=1, e=1
+        assert_eq!(b.rewards[5], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut b = filled(2, 1);
+        b.push(&[0.0, 0.0], &[0.0], 0.0, false, 0.0, 0.0);
+    }
+
+    #[test]
+    fn single_step_episodes_advantage_is_td_error() {
+        // With done=true on every step (the paper's setting), GAE reduces to
+        // A = r − V(s).
+        let mut b = RolloutBuffer::new(4, 1, 1, 1);
+        for t in 0..4 {
+            b.push(&[t as f32], &[0.0], 1.0 + t as f64, true, 0.5, 0.0);
+        }
+        b.compute_advantages(&[99.0], 0.99, 0.95);
+        for t in 0..4 {
+            assert!(
+                (b.advantages[t] - (1.0 + t as f64 - 0.5)).abs() < 1e-12,
+                "t={t}: {}",
+                b.advantages[t]
+            );
+            assert!((b.returns[t] - (1.0 + t as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_step_gae_matches_hand_computation() {
+        // Two steps, one env, no termination. γ=0.5, λ=0.5.
+        // δ1 = r1 + γ·V2 − V1 = 1 + 0.5·2 − 1 = 1
+        // δ2 = r2 + γ·V_last − V2 = 1 + 0.5·3 − 2 = 0.5
+        // A2 = δ2 = 0.5;  A1 = δ1 + γλ·A2 = 1 + 0.25·0.5 = 1.125
+        let mut b = RolloutBuffer::new(2, 1, 1, 1);
+        b.push(&[0.0], &[0.0], 1.0, false, 1.0, 0.0);
+        b.push(&[1.0], &[0.0], 1.0, false, 2.0, 0.0);
+        b.compute_advantages(&[3.0], 0.5, 0.5);
+        assert!((b.advantages[1] - 0.5).abs() < 1e-12);
+        assert!((b.advantages[0] - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn termination_blocks_bootstrap() {
+        // done=true on step 1 of 2 → step 1's advantage ignores last_value,
+        // and the episode boundary stops GAE accumulation into step 0.
+        let mut b = RolloutBuffer::new(2, 1, 1, 1);
+        b.push(&[0.0], &[0.0], 1.0, true, 1.0, 0.0); // terminal
+        b.push(&[1.0], &[0.0], 1.0, false, 2.0, 0.0);
+        b.compute_advantages(&[10.0], 0.9, 0.9);
+        // δ0 = 1 − 1 = 0 (no bootstrap past terminal), A0 = 0.
+        assert!((b.advantages[0] - 0.0).abs() < 1e-12);
+        // δ1 = 1 + 0.9·10 − 2 = 8, A1 = 8.
+        assert!((b.advantages[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = filled(3, 2);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 6);
+        b.push(&[0.0, 0.0], &[0.0], 0.0, false, 0.0, 0.0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn multi_env_indexing_is_interleaved() {
+        let mut b = RolloutBuffer::new(2, 2, 1, 1);
+        // step 0: env0 r=10 done, env1 r=20 not done
+        b.push(&[0.0], &[0.0], 10.0, true, 1.0, 0.0);
+        b.push(&[0.0], &[0.0], 20.0, false, 2.0, 0.0);
+        // step 1: env0 r=30, env1 r=40, both done
+        b.push(&[0.0], &[0.0], 30.0, true, 3.0, 0.0);
+        b.push(&[0.0], &[0.0], 40.0, true, 4.0, 0.0);
+        b.compute_advantages(&[0.0, 0.0], 1.0, 1.0);
+        // env0: A(step0) = 10 − 1 = 9 (terminal); A(step1) = 30 − 3 = 27.
+        assert!((b.advantages[0] - 9.0).abs() < 1e-12);
+        assert!((b.advantages[2] - 27.0).abs() < 1e-12);
+        // env1 step0 bootstraps into step1's value: δ = 20 + 4 − 2 = 22,
+        // A = δ + γλ·A(step1) = 22 + 36 = 58... A(step1)=40−4=36.
+        assert!((b.advantages[3] - 36.0).abs() < 1e-12);
+        assert!((b.advantages[1] - 58.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Policy checkpointing: atomic save/load of [`ActorCritic`] weights.
+//!
+//! Serialisation reuses the JSON weight format of
+//! [`ActorCritic::to_json`]; saving writes to a sibling temp file and
+//! renames, so a crash mid-write can never corrupt an existing checkpoint
+//! (rename is atomic on POSIX filesystems).
+
+use crate::policy::ActorCritic;
+use std::path::Path;
+
+/// Saves a policy checkpoint atomically. Creates parent directories as
+/// needed.
+pub fn save_policy(ac: &ActorCritic, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, ac.to_json())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a policy checkpoint written by [`save_policy`].
+pub fn load_policy(path: impl AsRef<Path>) -> std::io::Result<ActorCritic> {
+    let text = std::fs::read_to_string(path.as_ref())?;
+    ActorCritic::from_json(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ActScratch;
+    use qcs_desim::Xoshiro256StarStar;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qcs-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let ac = ActorCritic::new(16, 5, &mut rng);
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("policies/ppo.json");
+        save_policy(&ac, &path).unwrap();
+        let loaded = load_policy(&path).unwrap();
+
+        let mut s1 = ActScratch::new();
+        let mut s2 = ActScratch::new();
+        let obs: Vec<f32> = (0..16).map(|i| (i as f32) * 0.1 - 0.8).collect();
+        assert_eq!(
+            ac.act_deterministic(&obs, &mut s1),
+            loaded.act_deterministic(&obs, &mut s2),
+            "loaded policy must act identically"
+        );
+        assert_eq!(ac.value(&obs, &mut s1), loaded.value(&obs, &mut s2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_existing_atomically() {
+        let mut rng = Xoshiro256StarStar::new(6);
+        let ac1 = ActorCritic::new(4, 2, &mut rng);
+        let ac2 = ActorCritic::new(4, 2, &mut rng);
+        let dir = tmp_dir("replace");
+        let path = dir.join("p.json");
+        save_policy(&ac1, &path).unwrap();
+        save_policy(&ac2, &path).unwrap();
+        let loaded = load_policy(&path).unwrap();
+        let mut s = ActScratch::new();
+        let mut s2 = ActScratch::new();
+        let obs = [0.1f32, -0.2, 0.3, 0.0];
+        assert_eq!(
+            loaded.act_deterministic(&obs, &mut s),
+            ac2.act_deterministic(&obs, &mut s2)
+        );
+        assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_policy("/nonexistent/qcs/policy.json").is_err());
+    }
+
+    #[test]
+    fn load_corrupt_file_errors() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_policy(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

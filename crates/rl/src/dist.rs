@@ -1,0 +1,251 @@
+//! Policy output distributions: diagonal Gaussian (continuous actions, as
+//! used for allocation weights) and categorical (discrete actions).
+
+use qcs_desim::dist::standard_normal;
+use qcs_desim::Xoshiro256StarStar;
+
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// A diagonal Gaussian over `dim` action components with state-independent
+/// log standard deviations (the Stable-Baselines3 parameterisation for Box
+/// action spaces).
+#[derive(Debug, Clone)]
+pub struct DiagGaussian<'a> {
+    /// Per-sample means, row-major `[batch? — callers use single rows]`.
+    pub mean: &'a [f32],
+    /// Shared log-std vector, one per action dimension.
+    pub log_std: &'a [f32],
+}
+
+impl DiagGaussian<'_> {
+    /// Draws one action.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> Vec<f32> {
+        self.mean
+            .iter()
+            .zip(self.log_std)
+            .map(|(&mu, &ls)| mu + ls.exp() * standard_normal(rng) as f32)
+            .collect()
+    }
+
+    /// Log-density of `action`.
+    pub fn log_prob(&self, action: &[f32]) -> f64 {
+        debug_assert_eq!(action.len(), self.mean.len());
+        let mut lp = 0.0f64;
+        for ((&a, &mu), &ls) in action.iter().zip(self.mean).zip(self.log_std) {
+            let sigma = (ls as f64).exp();
+            let z = (a as f64 - mu as f64) / sigma;
+            lp += -0.5 * z * z - ls as f64 - 0.5 * LN_2PI;
+        }
+        lp
+    }
+
+    /// Differential entropy: `Σ (log σ + ½ ln 2πe)`.
+    pub fn entropy(&self) -> f64 {
+        self.log_std
+            .iter()
+            .map(|&ls| ls as f64 + 0.5 * (LN_2PI + 1.0))
+            .sum()
+    }
+
+    /// Gradient of `log_prob(action)` w.r.t. the mean vector:
+    /// `∂logp/∂μ_j = (a_j - μ_j)/σ_j²`.
+    pub fn dlogp_dmean(&self, action: &[f32], out: &mut [f32]) {
+        for j in 0..self.mean.len() {
+            let sigma = (self.log_std[j] as f64).exp();
+            let z = (action[j] as f64 - self.mean[j] as f64) / sigma;
+            out[j] = (z / sigma) as f32;
+        }
+    }
+
+    /// Gradient of `log_prob(action)` w.r.t. the log-std vector:
+    /// `∂logp/∂logσ_j = z_j² - 1`.
+    pub fn dlogp_dlogstd(&self, action: &[f32], out: &mut [f32]) {
+        for j in 0..self.mean.len() {
+            let sigma = (self.log_std[j] as f64).exp();
+            let z = (action[j] as f64 - self.mean[j] as f64) / sigma;
+            out[j] = (z * z - 1.0) as f32;
+        }
+    }
+}
+
+/// A categorical distribution over logits (softmax policy head).
+#[derive(Debug, Clone)]
+pub struct Categorical<'a> {
+    /// Unnormalised logits, one per category.
+    pub logits: &'a [f32],
+}
+
+impl Categorical<'_> {
+    /// Normalised probabilities (softmax with max-subtraction).
+    pub fn probs(&self) -> Vec<f64> {
+        let max = self
+            .logits
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &x| m.max(x as f64));
+        let exps: Vec<f64> = self.logits.iter().map(|&x| (x as f64 - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Samples a category index.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> usize {
+        let probs = self.probs();
+        let mut target = rng.next_f64();
+        for (i, &p) in probs.iter().enumerate() {
+            target -= p;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// Log-probability of category `k`.
+    pub fn log_prob(&self, k: usize) -> f64 {
+        self.probs()[k].max(1e-300).ln()
+    }
+
+    /// Shannon entropy.
+    pub fn entropy(&self) -> f64 {
+        self.probs()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+
+    /// Gradient of `log_prob(k)` w.r.t. the logits: `1{j=k} - p_j`.
+    pub fn dlogp_dlogits(&self, k: usize, out: &mut [f32]) {
+        let probs = self.probs();
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = (if j == k { 1.0 } else { 0.0 }) - probs[j] as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_logprob_matches_closed_form() {
+        let mean = [0.0f32, 1.0];
+        let log_std = [0.0f32, 0.0]; // σ = 1
+        let d = DiagGaussian {
+            mean: &mean,
+            log_std: &log_std,
+        };
+        // logp([0,1]) at the mean of a unit Gaussian: -0.5 ln 2π per dim.
+        let lp = d.log_prob(&[0.0, 1.0]);
+        assert!((lp + LN_2PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_entropy_at_unit_sigma() {
+        // 5-dim unit Gaussian entropy = 5 · ½ ln(2πe) ≈ 7.0947 — the paper's
+        // initial entropy-loss of ≈ −7 in Fig. 5.
+        let mean = [0.0f32; 5];
+        let log_std = [0.0f32; 5];
+        let d = DiagGaussian {
+            mean: &mean,
+            log_std: &log_std,
+        };
+        assert!((d.entropy() - 7.0947).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gaussian_sample_moments() {
+        let mean = [2.0f32];
+        let log_std = [(0.5f32).ln()];
+        let d = DiagGaussian {
+            mean: &mean,
+            log_std: &log_std,
+        };
+        let mut rng = Xoshiro256StarStar::new(11);
+        let mut w = qcs_desim::Welford::new();
+        for _ in 0..100_000 {
+            w.push(d.sample(&mut rng)[0] as f64);
+        }
+        assert!((w.mean() - 2.0).abs() < 0.01);
+        assert!((w.std_dev() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_grads_match_finite_difference() {
+        let mean = [0.3f32, -0.7];
+        let log_std = [-0.2f32, 0.4];
+        let action = [0.5f32, -1.0];
+        let d = DiagGaussian {
+            mean: &mean,
+            log_std: &log_std,
+        };
+        let mut dmu = [0.0f32; 2];
+        let mut dls = [0.0f32; 2];
+        d.dlogp_dmean(&action, &mut dmu);
+        d.dlogp_dlogstd(&action, &mut dls);
+        let eps = 1e-4f32;
+        for j in 0..2 {
+            let mut mp = mean;
+            mp[j] += eps;
+            let mut mm = mean;
+            mm[j] -= eps;
+            let up = DiagGaussian { mean: &mp, log_std: &log_std }.log_prob(&action);
+            let dn = DiagGaussian { mean: &mm, log_std: &log_std }.log_prob(&action);
+            let num = ((up - dn) / (2.0 * eps as f64)) as f32;
+            assert!((num - dmu[j]).abs() < 1e-2, "dmu[{j}]: {num} vs {}", dmu[j]);
+
+            let mut lp = log_std;
+            lp[j] += eps;
+            let mut lm = log_std;
+            lm[j] -= eps;
+            let up = DiagGaussian { mean: &mean, log_std: &lp }.log_prob(&action);
+            let dn = DiagGaussian { mean: &mean, log_std: &lm }.log_prob(&action);
+            let num = ((up - dn) / (2.0 * eps as f64)) as f32;
+            assert!((num - dls[j]).abs() < 1e-2, "dls[{j}]: {num} vs {}", dls[j]);
+        }
+    }
+
+    #[test]
+    fn categorical_probs_normalised() {
+        let logits = [1.0f32, 2.0, 3.0];
+        let c = Categorical { logits: &logits };
+        let p = c.probs();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn categorical_sample_frequencies() {
+        let logits = [0.0f32, (3.0f32).ln()]; // probs 0.25 / 0.75
+        let c = Categorical { logits: &logits };
+        let mut rng = Xoshiro256StarStar::new(5);
+        let hits = (0..100_000).filter(|_| c.sample(&mut rng) == 1).count();
+        assert!((hits as f64 / 100_000.0 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_entropy_uniform_is_max() {
+        let logits = [0.5f32, 0.5, 0.5, 0.5];
+        let c = Categorical { logits: &logits };
+        assert!((c.entropy() - (4.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_grad_matches_finite_difference() {
+        let logits = [0.1f32, -0.4, 0.8];
+        let c = Categorical { logits: &logits };
+        let mut g = [0.0f32; 3];
+        c.dlogp_dlogits(1, &mut g);
+        let eps = 1e-4f32;
+        for j in 0..3 {
+            let mut lp = logits;
+            lp[j] += eps;
+            let mut lm = logits;
+            lm[j] -= eps;
+            let up = Categorical { logits: &lp }.log_prob(1);
+            let dn = Categorical { logits: &lm }.log_prob(1);
+            let num = ((up - dn) / (2.0 * eps as f64)) as f32;
+            assert!((num - g[j]).abs() < 1e-2, "dlogits[{j}]: {num} vs {}", g[j]);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The environment interface (Gymnasium-style).
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Next observation.
+    pub obs: Vec<f32>,
+    /// Scalar reward.
+    pub reward: f64,
+    /// Episode ended by reaching a terminal state (value bootstrapping must
+    /// not look past it).
+    pub terminated: bool,
+    /// Episode ended by an artificial horizon (bootstrapping may continue);
+    /// treated like `terminated` by this PPO implementation, matching the
+    /// single-step episodes used in the paper.
+    pub truncated: bool,
+}
+
+impl StepResult {
+    /// Whether the episode is over for rollout purposes.
+    pub fn done(&self) -> bool {
+        self.terminated || self.truncated
+    }
+}
+
+/// A reinforcement-learning environment with continuous observation and
+/// action vectors (Gymnasium `Box` spaces).
+///
+/// Environments must be deterministic given the seed passed to
+/// [`Env::reset`]: all stochasticity flows from that seed.
+pub trait Env: Send {
+    /// Observation dimensionality.
+    fn obs_dim(&self) -> usize;
+
+    /// Action dimensionality.
+    fn action_dim(&self) -> usize;
+
+    /// Resets the environment with an explicit seed; returns the initial
+    /// observation.
+    fn reset(&mut self, seed: u64) -> Vec<f32>;
+
+    /// Advances one step.
+    fn step(&mut self, action: &[f32]) -> StepResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_result_done() {
+        let mk = |t, tr| StepResult {
+            obs: vec![],
+            reward: 0.0,
+            terminated: t,
+            truncated: tr,
+        };
+        assert!(!mk(false, false).done());
+        assert!(mk(true, false).done());
+        assert!(mk(false, true).done());
+    }
+}

@@ -1,0 +1,79 @@
+//! A continuous-armed bandit: single-step episodes with a smooth reward
+//! peak at a hidden target action. Mirrors the structure of the quantum
+//! allocation task (one decision per episode, bounded reward) with a known
+//! optimum, so PPO convergence can be asserted exactly.
+
+use crate::env::{Env, StepResult};
+
+/// Reward: `exp(-‖a − target‖²)`, maximised (value 1) at `a = target`.
+#[derive(Debug, Clone)]
+pub struct ContinuousBandit {
+    target: Vec<f32>,
+}
+
+impl ContinuousBandit {
+    /// Creates a bandit with the given target action.
+    pub fn new(target: Vec<f32>) -> Self {
+        assert!(!target.is_empty(), "target must have at least one dim");
+        ContinuousBandit { target }
+    }
+
+    /// The optimal action.
+    pub fn target(&self) -> &[f32] {
+        &self.target
+    }
+}
+
+impl Env for ContinuousBandit {
+    fn obs_dim(&self) -> usize {
+        1
+    }
+
+    fn action_dim(&self) -> usize {
+        self.target.len()
+    }
+
+    fn reset(&mut self, _seed: u64) -> Vec<f32> {
+        vec![1.0]
+    }
+
+    fn step(&mut self, action: &[f32]) -> StepResult {
+        assert_eq!(action.len(), self.target.len(), "action dim mismatch");
+        let dist2: f64 = action
+            .iter()
+            .zip(&self.target)
+            .map(|(&a, &t)| ((a - t) as f64).powi(2))
+            .sum();
+        StepResult {
+            obs: vec![1.0],
+            reward: (-dist2).exp(),
+            terminated: true,
+            truncated: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_peaks_at_target() {
+        let mut env = ContinuousBandit::new(vec![0.5, -0.5]);
+        env.reset(0);
+        let at_target = env.step(&[0.5, -0.5]);
+        assert!((at_target.reward - 1.0).abs() < 1e-12);
+        assert!(at_target.terminated);
+        let off = env.step(&[1.5, -0.5]);
+        assert!(off.reward < at_target.reward);
+        assert!((off.reward - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_is_constant() {
+        let mut env = ContinuousBandit::new(vec![0.0]);
+        assert_eq!(env.reset(1), vec![1.0]);
+        assert_eq!(env.reset(999), vec![1.0]);
+        assert_eq!(env.step(&[0.0]).obs, vec![1.0]);
+    }
+}

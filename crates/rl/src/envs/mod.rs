@@ -1,0 +1,8 @@
+//! Small test environments used to validate the PPO implementation before
+//! pointing it at the quantum cloud environment.
+
+pub mod bandit;
+pub mod pointmass;
+
+pub use bandit::ContinuousBandit;
+pub use pointmass::PointMass;

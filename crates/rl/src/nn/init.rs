@@ -1,0 +1,110 @@
+//! Weight initialisation schemes.
+//!
+//! Stable-Baselines3's MlpPolicy uses orthogonal initialisation with gain
+//! √2 on hidden layers, 0.01 on the policy head and 1.0 on the value head;
+//! we reproduce that so training dynamics (Fig. 5) match.
+
+use super::matrix::Matrix;
+use qcs_desim::dist::standard_normal;
+use qcs_desim::Xoshiro256StarStar;
+
+/// Fills a `[rows, cols]` matrix with a (semi-)orthogonal initialisation
+/// scaled by `gain`, via Gram–Schmidt on Gaussian vectors.
+///
+/// When `rows ≥ cols` the columns are orthonormal; otherwise the rows are.
+pub fn orthogonal(rows: usize, cols: usize, gain: f32, rng: &mut Xoshiro256StarStar) -> Matrix {
+    let transpose = rows < cols;
+    let (r, c) = if transpose { (cols, rows) } else { (rows, cols) };
+
+    // r >= c: build c orthonormal columns of length r.
+    let mut basis: Vec<Vec<f32>> = Vec::with_capacity(c);
+    while basis.len() < c {
+        let mut v: Vec<f32> = (0..r).map(|_| standard_normal(rng) as f32).collect();
+        // Remove projections onto the existing basis.
+        for b in &basis {
+            let dot: f32 = v.iter().zip(b).map(|(x, y)| x * y).sum();
+            for (x, y) in v.iter_mut().zip(b) {
+                *x -= dot * y;
+            }
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-4 {
+            continue; // degenerate draw; retry
+        }
+        v.iter_mut().for_each(|x| *x /= norm);
+        basis.push(v);
+    }
+
+    let mut m = Matrix::zeros(rows, cols);
+    for (j, b) in basis.iter().enumerate() {
+        for (i, &x) in b.iter().enumerate() {
+            let (rr, cc) = if transpose { (j, i) } else { (i, j) };
+            m.set(rr, cc, gain * x);
+        }
+    }
+    m
+}
+
+/// Uniform initialisation in `[-bound, bound]` (for biases / tests).
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut Xoshiro256StarStar) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = (rng.next_f32() * 2.0 - 1.0) * bound;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(m: &Matrix, j: usize) -> Vec<f32> {
+        (0..m.rows()).map(|i| m.get(i, j)).collect()
+    }
+
+    #[test]
+    fn tall_matrix_columns_orthonormal() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let m = orthogonal(8, 3, 1.0, &mut rng);
+        for j in 0..3 {
+            let cj = col(&m, j);
+            let norm: f32 = cj.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "col {j} norm {norm}");
+            for k in (j + 1)..3 {
+                let ck = col(&m, k);
+                let dot: f32 = cj.iter().zip(&ck).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-4, "cols {j},{k} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rows_orthonormal() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let m = orthogonal(2, 6, 1.0, &mut rng);
+        for i in 0..2 {
+            let norm: f32 = m.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4);
+        }
+        let dot: f32 = m.row(0).iter().zip(m.row(1)).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-4);
+    }
+
+    #[test]
+    fn gain_scales_norms() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let m = orthogonal(5, 5, 2.0, &mut rng);
+        for j in 0..5 {
+            let norm: f32 = col(&m, j).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let m = uniform(10, 10, 0.5, &mut rng);
+        assert!(m.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+        assert!(m.data().iter().any(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! A fully connected layer with gradient accumulation.
+
+use super::init::orthogonal;
+use super::matrix::Matrix;
+use qcs_desim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// `y = x · W + b` where `W` is `[in_dim, out_dim]` and inputs are batched
+/// row-wise (`x` is `[batch, in_dim]`).
+///
+/// Gradients accumulate into `grad_w` / `grad_b` until
+/// [`Linear::zero_grad`] is called, so several loss terms can contribute to
+/// one optimiser step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix `[in_dim, out_dim]`.
+    pub w: Matrix,
+    /// Bias vector `[out_dim]`.
+    pub b: Vec<f32>,
+    /// Accumulated weight gradient.
+    #[serde(skip)]
+    pub grad_w: Matrix,
+    /// Accumulated bias gradient.
+    #[serde(skip)]
+    pub grad_b: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with orthogonal weights (gain as given) and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, gain: f32, rng: &mut Xoshiro256StarStar) -> Self {
+        Linear {
+            w: orthogonal(in_dim, out_dim, gain, rng),
+            b: vec![0.0; out_dim],
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Ensures gradient buffers exist (after deserialisation they are
+    /// skipped) and zeroes them.
+    pub fn zero_grad(&mut self) {
+        if self.grad_w.rows() != self.w.rows() || self.grad_w.cols() != self.w.cols() {
+            self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        } else {
+            self.grad_w.fill_zero();
+        }
+        if self.grad_b.len() != self.b.len() {
+            self.grad_b = vec![0.0; self.b.len()];
+        } else {
+            self.grad_b.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Forward pass: `out = x · W + b`.
+    pub fn forward(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &bias) in row.iter_mut().zip(&self.b) {
+                *o += bias;
+            }
+        }
+    }
+
+    /// Backward pass. Given upstream gradient `d_out` (`[batch, out_dim]`)
+    /// and the cached input `x`, accumulates parameter gradients and writes
+    /// `d_x = d_out · Wᵀ` into `d_in`.
+    pub fn backward(&mut self, x: &Matrix, d_out: &Matrix, d_in: &mut Matrix) {
+        debug_assert_eq!(d_out.cols(), self.out_dim());
+        debug_assert_eq!(x.cols(), self.in_dim());
+        x.matmul_transpose_a_accum(d_out, &mut self.grad_w);
+        for r in 0..d_out.rows() {
+            for (gb, &g) in self.grad_b.iter_mut().zip(d_out.row(r)) {
+                *gb += g;
+            }
+        }
+        d_out.matmul_transpose_b_into(&self.w, d_in);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_with(w: Vec<f32>, b: Vec<f32>, in_dim: usize, out_dim: usize) -> Linear {
+        Linear {
+            w: Matrix::from_vec(in_dim, out_dim, w),
+            b,
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let l = layer_with(vec![1., 2., 3., 4.], vec![0.5, -0.5], 2, 2);
+        let x = Matrix::from_vec(1, 2, vec![1., 1.]);
+        let mut y = Matrix::zeros(0, 0);
+        l.forward(&x, &mut y);
+        // [1,1]·[[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_manual() {
+        let mut l = layer_with(vec![1., 2., 3., 4.], vec![0., 0.], 2, 2);
+        let x = Matrix::from_vec(1, 2, vec![2., 3.]);
+        let d_out = Matrix::from_vec(1, 2, vec![1., 1.]);
+        let mut d_in = Matrix::zeros(0, 0);
+        l.zero_grad();
+        l.backward(&x, &d_out, &mut d_in);
+        // dW = xᵀ d_out = [[2,2],[3,3]]; db = [1,1]; dx = d_out Wᵀ = [3,7]
+        assert_eq!(l.grad_w.data(), &[2., 2., 3., 3.]);
+        assert_eq!(l.grad_b, vec![1., 1.]);
+        assert_eq!(d_in.data(), &[3., 7.]);
+    }
+
+    #[test]
+    fn gradient_accumulates_until_zeroed() {
+        let mut l = layer_with(vec![1., 0., 0., 1.], vec![0., 0.], 2, 2);
+        let x = Matrix::from_vec(1, 2, vec![1., 1.]);
+        let d_out = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let mut d_in = Matrix::zeros(0, 0);
+        l.zero_grad();
+        l.backward(&x, &d_out, &mut d_in);
+        l.backward(&x, &d_out, &mut d_in);
+        assert_eq!(l.grad_b, vec![2., 4.]);
+        l.zero_grad();
+        assert_eq!(l.grad_b, vec![0., 0.]);
+    }
+
+    #[test]
+    fn serde_skips_grads() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut l = Linear::new(3, 2, 1.0, &mut rng);
+        l.zero_grad();
+        let s = serde_json::to_string(&l).unwrap();
+        let mut l2: Linear = serde_json::from_str(&s).unwrap();
+        assert_eq!(l.w, l2.w);
+        l2.zero_grad(); // must rebuild empty grad buffers without panicking
+        assert_eq!(l2.grad_w.rows(), 3);
+    }
+}

@@ -1,0 +1,238 @@
+//! A minimal row-major `f32` matrix sized for MLP policies.
+//!
+//! Inner loops are ordered `(i, k, j)` so the innermost loop streams both
+//! the `B` row and the output row sequentially (cache-friendly, auto-
+//! vectorisable), per the perf-book guidance. No allocations happen inside
+//! hot loops: all `matmul_*` variants write into caller-provided outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+///
+/// `Default` is the empty `0×0` matrix (used for lazily sized scratch
+/// buffers and serde-skipped gradient fields).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable data slice (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable data slice (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row accessor.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row accessor.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Resizes to `rows × cols` (zeroing) while reusing the allocation when
+    /// possible. Used by workhorse caches.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// `out = self · b`. Shapes: `[m,k] · [k,n] → [m,n]`.
+    pub fn matmul_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch");
+        out.reshape_zeroed(self.rows, b.cols);
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+    }
+
+    /// `out = self · bᵀ`. Shapes: `[m,k] · ([n,k])ᵀ → [m,n]`.
+    pub fn matmul_transpose_b_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, b.cols, "matmul_tb shape mismatch");
+        out.reshape_zeroed(self.rows, b.rows);
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `out += selfᵀ · b`. Shapes: `([m,k])ᵀ · [m,n] → [k,n]`. Accumulates
+    /// (used for gradient accumulation across minibatches).
+    pub fn matmul_transpose_a_accum(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, b.rows, "matmul_ta shape mismatch");
+        assert_eq!(out.rows, self.cols, "matmul_ta out rows mismatch");
+        assert_eq!(out.cols, b.cols, "matmul_ta out cols mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let b_row = &b.data[i * n..(i + 1) * n];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tb_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        // b is [2,3]; a · bᵀ = [2,2]
+        let b = Matrix::from_vec(2, 3, vec![1., 0., 1., 2., 1., 0.]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transpose_b_into(&b, &mut out);
+        // row0: [1+0+3, 2+2+0] = [4,4]; row1: [4+0+6, 8+5+0] = [10,13]
+        assert_eq!(out.data(), &[4., 4., 10., 13.]);
+    }
+
+    #[test]
+    fn matmul_ta_accumulates() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_transpose_a_accum(&b, &mut out);
+        // aᵀ·b = [[1,3],[2,4]]·[[5,6],[7,8]] = [[26,30],[38,44]]
+        assert_eq!(out.data(), &[26., 30., 38., 44.]);
+        a.matmul_transpose_a_accum(&b, &mut out);
+        assert_eq!(out.data(), &[52., 60., 76., 88.]);
+    }
+
+    #[test]
+    fn row_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.row_mut(1).copy_from_slice(&[1., 2., 3.]);
+        assert_eq!(m.row(1), &[1., 2., 3.]);
+        assert_eq!(m.get(1, 2), 3.0);
+        m.set(0, 0, 9.0);
+        assert_eq!(m.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn reshape_reuses_allocation() {
+        let mut m = Matrix::zeros(4, 4);
+        m.set(0, 0, 5.0);
+        m.reshape_zeroed(2, 2);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.data(), &[0., 0., 0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let s = serde_json::to_string(&m).unwrap();
+        let m2: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, m2);
+    }
+}

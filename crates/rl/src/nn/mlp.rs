@@ -1,0 +1,309 @@
+//! Multi-layer perceptrons with cached forward passes and explicit
+//! backpropagation.
+
+use super::linear::Linear;
+use super::matrix::Matrix;
+use qcs_desim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Hidden-layer activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent (Stable-Baselines3 MlpPolicy default).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `y = f(x)`.
+    #[inline]
+    fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Scratch space for one forward/backward pass. Reuse across calls to avoid
+/// per-minibatch allocation.
+#[derive(Debug, Default)]
+pub struct MlpCache {
+    /// `activations[0]` is the input; `activations[i+1]` is the output of
+    /// layer `i` (post-activation for hidden layers, raw for the last).
+    activations: Vec<Matrix>,
+    /// Gradient scratch buffers.
+    d_a: Matrix,
+    d_b: Matrix,
+}
+
+impl MlpCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached network output of the last forward pass.
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("no forward pass cached")
+    }
+}
+
+/// A dense feed-forward network: hidden layers with a fixed activation, and
+/// a linear output layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[16, 64, 64, 5]`.
+    /// `gains[i]` is the orthogonal-init gain of layer `i`; pass SB3-style
+    /// gains (√2 for hidden, small for heads).
+    pub fn new(
+        sizes: &[usize],
+        gains: &[f32],
+        activation: Activation,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert_eq!(gains.len(), sizes.len() - 1, "one gain per layer");
+        let layers = sizes
+            .windows(2)
+            .zip(gains)
+            .map(|(w, &g)| Linear::new(w[0], w[1], g, rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Convenience: SB3-style network `[input, 64, 64, output]` with tanh
+    /// hidden layers and a head gain of `head_gain`.
+    pub fn sb3_default(
+        input: usize,
+        output: usize,
+        head_gain: f32,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        let sqrt2 = std::f32::consts::SQRT_2;
+        Mlp::new(
+            &[input, 64, 64, output],
+            &[sqrt2, sqrt2, head_gain],
+            Activation::Tanh,
+            rng,
+        )
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().unwrap().in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Layer access (for the optimiser).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Layer access (read-only).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Forward pass for a batch `x: [batch, in_dim]`, caching activations
+    /// for [`Mlp::backward`]. Returns a reference to the output
+    /// `[batch, out_dim]` stored in the cache.
+    pub fn forward<'c>(&self, x: &Matrix, cache: &'c mut MlpCache) -> &'c Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "input dim mismatch");
+        let n_buffers = self.layers.len() + 1;
+        cache
+            .activations
+            .resize_with(n_buffers, || Matrix::zeros(0, 0));
+        cache.activations[0] = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Split borrow: input is activations[i], output activations[i+1].
+            let (head, tail) = cache.activations.split_at_mut(i + 1);
+            let input = &head[i];
+            let out = &mut tail[0];
+            layer.forward(input, out);
+            if i + 1 < self.layers.len() {
+                for v in out.data_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+        }
+        cache.activations.last().unwrap()
+    }
+
+    /// Forward pass without caching, for inference. Writes into `out`.
+    pub fn infer(&self, x: &Matrix, scratch: &mut MlpCache, out: &mut Matrix) {
+        let y = self.forward(x, scratch);
+        out.reshape_zeroed(y.rows(), y.cols());
+        out.data_mut().copy_from_slice(y.data());
+    }
+
+    /// Backward pass: `d_out` is the loss gradient w.r.t. the network
+    /// output; parameter gradients accumulate into the layers. Returns
+    /// nothing — input gradients are not needed for policy training.
+    pub fn backward(&mut self, cache: &mut MlpCache, d_out: &Matrix) {
+        assert_eq!(
+            cache.activations.len(),
+            self.layers.len() + 1,
+            "cache does not match a forward pass"
+        );
+        let n = self.layers.len();
+        cache.d_a.reshape_zeroed(d_out.rows(), d_out.cols());
+        cache.d_a.data_mut().copy_from_slice(d_out.data());
+
+        for i in (0..n).rev() {
+            // For hidden layers the cached activation is post-activation;
+            // fold the activation derivative into the upstream gradient.
+            if i + 1 < n {
+                let act_out = &cache.activations[i + 1];
+                for (g, &y) in cache.d_a.data_mut().iter_mut().zip(act_out.data()) {
+                    *g *= self.activation.derivative_from_output(y);
+                }
+            }
+            let input = &cache.activations[i];
+            self.layers[i].backward(input, &cache.d_a, &mut cache.d_b);
+            std::mem::swap(&mut cache.d_a, &mut cache.d_b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        Mlp::new(
+            &[3, 8, 2],
+            &[std::f32::consts::SQRT_2, 0.5],
+            Activation::Tanh,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn shapes() {
+        let m = tiny_mlp(1);
+        assert_eq!(m.in_dim(), 3);
+        assert_eq!(m.out_dim(), 2);
+        let x = Matrix::zeros(5, 3);
+        let mut cache = MlpCache::new();
+        let y = m.forward(&x, &mut cache);
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let m = tiny_mlp(2);
+        let x = Matrix::from_vec(1, 3, vec![0.1, -0.2, 0.3]);
+        let mut c1 = MlpCache::new();
+        let mut c2 = MlpCache::new();
+        let y1 = m.forward(&x, &mut c1).clone();
+        let y2 = m.forward(&x, &mut c2).clone();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn zero_input_gives_bias_output() {
+        let mut m = tiny_mlp(3);
+        // Set output bias to known values; zero input → tanh(0)=0 through
+        // hidden layers → output = bias.
+        let nl = m.layers.len();
+        m.layers_mut()[nl - 1].b = vec![0.7, -0.3];
+        let x = Matrix::zeros(1, 3);
+        let mut cache = MlpCache::new();
+        let y = m.forward(&x, &mut cache);
+        assert!((y.get(0, 0) - 0.7).abs() < 1e-6);
+        assert!((y.get(0, 1) + 0.3).abs() < 1e-6);
+    }
+
+    /// Finite-difference gradient check on a scalar loss L = sum(output).
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut m = tiny_mlp(4);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -1.0, 0.25, 0.1, 0.9, -0.4]);
+        let mut cache = MlpCache::new();
+
+        m.zero_grad();
+        let y = m.forward(&x, &mut cache);
+        let d_out = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        m.backward(&mut cache, &d_out);
+
+        let loss = |m: &Mlp| -> f64 {
+            let mut c = MlpCache::new();
+            m.forward(&x, &mut c).data().iter().map(|&v| v as f64).sum()
+        };
+
+        let eps = 1e-3f32;
+        // Check a sample of weights in every layer.
+        for li in 0..m.layers.len() {
+            let n_params = m.layers[li].w.data().len();
+            for pi in [0, n_params / 2, n_params - 1] {
+                let orig = m.layers[li].w.data()[pi];
+                m.layers[li].w.data_mut()[pi] = orig + eps;
+                let up = loss(&m);
+                m.layers[li].w.data_mut()[pi] = orig - eps;
+                let down = loss(&m);
+                m.layers[li].w.data_mut()[pi] = orig;
+                let numeric = (up - down) / (2.0 * eps as f64);
+                let analytic = m.layers[li].grad_w.data()[pi] as f64;
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                    "layer {li} param {pi}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_activation_forward() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let m = Mlp::new(&[2, 4, 1], &[1.0, 1.0], Activation::Relu, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let mut cache = MlpCache::new();
+        let _ = m.forward(&x, &mut cache);
+        // Hidden activations must be non-negative.
+        assert!(cache.activations[1].data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_outputs() {
+        let m = tiny_mlp(6);
+        let s = serde_json::to_string(&m).unwrap();
+        let m2: Mlp = serde_json::from_str(&s).unwrap();
+        let x = Matrix::from_vec(1, 3, vec![0.3, 0.6, -0.9]);
+        let mut c1 = MlpCache::new();
+        let mut c2 = MlpCache::new();
+        assert_eq!(m.forward(&x, &mut c1).data(), m2.forward(&x, &mut c2).data());
+    }
+}

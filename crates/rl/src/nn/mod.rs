@@ -1,0 +1,10 @@
+//! Dense neural networks with explicit backpropagation.
+
+pub mod init;
+pub mod linear;
+pub mod matrix;
+pub mod mlp;
+
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use mlp::{Activation, Mlp, MlpCache};

@@ -1,0 +1,265 @@
+//! Observation / reward normalisation (the SB3 `VecNormalize` equivalent).
+//!
+//! Running mean/variance via Chan's parallel-update form of Welford's
+//! algorithm, wrapped around any [`Env`]. Normalisation statistics update
+//! only in training mode, so a trained policy can be evaluated under frozen
+//! statistics (the standard deployment discipline).
+
+use crate::env::{Env, StepResult};
+use serde::{Deserialize, Serialize};
+
+/// Running per-dimension mean and variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningMeanStd {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+    count: f64,
+}
+
+impl RunningMeanStd {
+    /// Creates statistics for `dim`-dimensional samples (mean 0, var 1,
+    /// tiny prior count for numerical stability — SB3's convention).
+    pub fn new(dim: usize) -> Self {
+        RunningMeanStd {
+            mean: vec![0.0; dim],
+            var: vec![1.0; dim],
+            count: 1e-4,
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Samples absorbed so far (excluding the stability prior).
+    pub fn count(&self) -> f64 {
+        self.count - 1e-4
+    }
+
+    /// Current mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Current variance vector.
+    pub fn var(&self) -> &[f64] {
+        &self.var
+    }
+
+    /// Absorbs one sample.
+    pub fn update(&mut self, sample: &[f64]) {
+        assert_eq!(sample.len(), self.mean.len(), "sample dimensionality");
+        let new_count = self.count + 1.0;
+        for ((m, v), &x) in self.mean.iter_mut().zip(self.var.iter_mut()).zip(sample) {
+            let delta = x - *m;
+            // Chan et al. batch-merge with batch size 1.
+            let m2 = *v * self.count + delta * delta * self.count / new_count;
+            *m += delta / new_count;
+            *v = m2 / new_count;
+        }
+        self.count = new_count;
+    }
+
+    /// Normalises a sample in place: `(x − μ) / √(σ² + ε)`, clipped to
+    /// `±clip`.
+    pub fn normalize(&self, sample: &mut [f64], clip: f64) {
+        assert_eq!(sample.len(), self.mean.len(), "sample dimensionality");
+        for ((x, &m), &v) in sample.iter_mut().zip(&self.mean).zip(&self.var) {
+            let z = (*x - m) / (v + 1e-8).sqrt();
+            *x = z.clamp(-clip, clip);
+        }
+    }
+}
+
+/// An [`Env`] wrapper that normalises observations (and optionally rewards
+/// by the running std of the discounted return, SB3-style).
+pub struct NormalizedEnv {
+    inner: Box<dyn Env>,
+    obs_rms: RunningMeanStd,
+    ret_rms: RunningMeanStd,
+    discounted_return: f64,
+    /// Discount used for the reward-normalisation return estimate.
+    pub gamma: f64,
+    /// Observation clip radius.
+    pub clip_obs: f64,
+    /// Reward clip radius.
+    pub clip_reward: f64,
+    /// Whether rewards are normalised too.
+    pub norm_reward: bool,
+    /// When `false`, statistics are frozen (evaluation mode).
+    pub training: bool,
+}
+
+impl NormalizedEnv {
+    /// Wraps an environment with fresh statistics (SB3 defaults:
+    /// `clip_obs = 10`, `clip_reward = 10`, `gamma = 0.99`).
+    pub fn new(inner: Box<dyn Env>, norm_reward: bool) -> Self {
+        let dim = inner.obs_dim();
+        NormalizedEnv {
+            inner,
+            obs_rms: RunningMeanStd::new(dim),
+            ret_rms: RunningMeanStd::new(1),
+            discounted_return: 0.0,
+            gamma: 0.99,
+            clip_obs: 10.0,
+            clip_reward: 10.0,
+            norm_reward,
+            training: true,
+        }
+    }
+
+    /// Freezes statistics (evaluation mode).
+    pub fn freeze(&mut self) {
+        self.training = false;
+    }
+
+    /// Read access to the observation statistics.
+    pub fn obs_stats(&self) -> &RunningMeanStd {
+        &self.obs_rms
+    }
+
+    fn normalize_obs(&mut self, obs: Vec<f32>) -> Vec<f32> {
+        let mut x: Vec<f64> = obs.iter().map(|&v| v as f64).collect();
+        if self.training {
+            self.obs_rms.update(&x);
+        }
+        self.obs_rms.normalize(&mut x, self.clip_obs);
+        x.into_iter().map(|v| v as f32).collect()
+    }
+}
+
+impl Env for NormalizedEnv {
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.inner.action_dim()
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f32> {
+        self.discounted_return = 0.0;
+        let obs = self.inner.reset(seed);
+        self.normalize_obs(obs)
+    }
+
+    fn step(&mut self, action: &[f32]) -> StepResult {
+        let r = self.inner.step(action);
+        let obs = self.normalize_obs(r.obs);
+        let reward = if self.norm_reward {
+            self.discounted_return = self.gamma * self.discounted_return + r.reward;
+            if self.training {
+                self.ret_rms.update(&[self.discounted_return]);
+            }
+            let scaled = r.reward / (self.ret_rms.var()[0] + 1e-8).sqrt();
+            if r.terminated || r.truncated {
+                self.discounted_return = 0.0;
+            }
+            scaled.clamp(-self.clip_reward, self.clip_reward)
+        } else {
+            r.reward
+        };
+        StepResult {
+            obs,
+            reward,
+            terminated: r.terminated,
+            truncated: r.truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::bandit::ContinuousBandit;
+
+    #[test]
+    fn running_stats_match_batch_moments() {
+        let samples: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 * 0.1, 50.0 - i as f64])
+            .collect();
+        let mut rms = RunningMeanStd::new(2);
+        for s in &samples {
+            rms.update(s);
+        }
+        for d in 0..2 {
+            let mean = samples.iter().map(|s| s[d]).sum::<f64>() / samples.len() as f64;
+            let var = samples.iter().map(|s| (s[d] - mean).powi(2)).sum::<f64>()
+                / samples.len() as f64;
+            // The 1e-4 stability prior (SB3 convention) biases the mean by
+            // O(prior/count · |μ|) ≈ 5e-6 here.
+            assert!((rms.mean()[d] - mean).abs() < 1e-4, "dim {d} mean");
+            assert!((rms.var()[d] - var).abs() / var.max(1.0) < 1e-3, "dim {d} var");
+        }
+        assert!((rms.count() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_standardises_and_clips() {
+        let mut rms = RunningMeanStd::new(1);
+        for i in 0..1000 {
+            rms.update(&[100.0 + (i % 10) as f64]);
+        }
+        let mut x = vec![104.5];
+        rms.normalize(&mut x, 10.0);
+        assert!(x[0].abs() < 1.0, "near-mean sample ≈ 0: {}", x[0]);
+        let mut far = vec![1e9];
+        rms.normalize(&mut far, 10.0);
+        assert_eq!(far[0], 10.0, "clipped at +clip");
+    }
+
+    #[test]
+    fn wrapped_env_emits_normalised_obs() {
+        // The bandit observation is the constant 0 vector; after updates the
+        // normalised observation must stay bounded and the env dims pass
+        // through.
+        let mut env = NormalizedEnv::new(Box::new(ContinuousBandit::new(vec![0.2, 0.1])), false);
+        assert_eq!(env.obs_dim(), 1);
+        assert_eq!(env.action_dim(), 2);
+        let obs = env.reset(1);
+        assert_eq!(obs.len(), 1);
+        for _ in 0..50 {
+            let r = env.step(&[0.0, 0.0]);
+            assert!(r.obs.iter().all(|v| v.is_finite() && v.abs() <= 10.0));
+        }
+        assert!(env.obs_stats().count() > 0.0);
+    }
+
+    #[test]
+    fn reward_normalisation_rescales() {
+        let mut env = NormalizedEnv::new(Box::new(ContinuousBandit::new(vec![0.0, 0.0])), true);
+        env.reset(1);
+        let mut raw_mag = 0.0f64;
+        let mut norm_mag = 0.0f64;
+        for _ in 0..200 {
+            let r = env.step(&[2.0, -2.0]); // far from optimum → large |reward|
+            norm_mag += r.reward.abs();
+            raw_mag += 1.0; // bandit reward magnitude is O(1)
+        }
+        // Normalised rewards should be scaled to ~unit magnitude (not huge).
+        assert!(norm_mag / raw_mag < 20.0);
+        assert!((norm_mag / raw_mag).is_finite());
+    }
+
+    #[test]
+    fn freezing_stops_updates() {
+        let mut env = NormalizedEnv::new(Box::new(ContinuousBandit::new(vec![0.0])), false);
+        env.reset(1);
+        for _ in 0..10 {
+            env.step(&[0.0]);
+        }
+        let before = env.obs_stats().count();
+        env.freeze();
+        for _ in 0..10 {
+            env.step(&[0.0]);
+        }
+        assert_eq!(env.obs_stats().count(), before, "frozen stats must not move");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn update_checks_dim() {
+        RunningMeanStd::new(2).update(&[1.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! The Adam optimiser.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimiser behind
+/// Stable-Baselines3's PPO. One `Adam` instance owns first/second-moment
+/// buffers for a fixed set of parameter tensors, registered lazily on the
+/// first step in call order (which must stay stable across steps).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default betas
+    /// `(0.9, 0.999)`, `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of optimisation steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update. `tensors` is a list of `(params, grads)` slices;
+    /// the list's order and shapes must be identical on every call.
+    pub fn step(&mut self, tensors: &mut [(&mut [f32], &[f32])]) {
+        if self.m.is_empty() {
+            for (p, _) in tensors.iter() {
+                self.m.push(vec![0.0; p.len()]);
+                self.v.push(vec![0.0; p.len()]);
+            }
+        }
+        assert_eq!(
+            self.m.len(),
+            tensors.len(),
+            "tensor registration changed between steps"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+
+        for (idx, (params, grads)) in tensors.iter_mut().enumerate() {
+            assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+            assert_eq!(
+                params.len(),
+                self.m[idx].len(),
+                "tensor {idx} changed shape between steps"
+            );
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for i in 0..params.len() {
+                let g = grads[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(x) = (x-3)^2; Adam should converge to 3.
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut [(&mut x, &g)]);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn multiple_tensors() {
+        let mut a = vec![1.0f32, -1.0];
+        let mut b = vec![5.0f32];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            let ga: Vec<f32> = a.iter().map(|&x| 2.0 * x).collect(); // min at 0
+            let gb: Vec<f32> = b.iter().map(|&x| 2.0 * (x - 2.0)).collect(); // min at 2
+            opt.step(&mut [(&mut a, &ga), (&mut b, &gb)]);
+        }
+        assert!(a.iter().all(|&x| x.abs() < 1e-2), "a = {a:?}");
+        assert!((b[0] - 2.0).abs() < 1e-2, "b = {}", b[0]);
+    }
+
+    #[test]
+    fn first_step_matches_reference() {
+        // With g=1 everywhere, the first Adam update is exactly -lr
+        // (bias-corrected m_hat = g, v_hat = g²).
+        let mut x = vec![0.0f32, 10.0];
+        let g = vec![1.0f32, 1.0];
+        let mut opt = Adam::new(0.001);
+        opt.step(&mut [(&mut x, &g)]);
+        assert!((x[0] + 0.001).abs() < 1e-6);
+        assert!((x[1] - 9.999).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_grad_length_panics() {
+        let mut x = vec![0.0f32, 1.0];
+        let g = vec![1.0f32];
+        Adam::new(0.1).step(&mut [(&mut x, &g)]);
+    }
+}

@@ -1,0 +1,226 @@
+//! The actor-critic model: a Gaussian MLP policy plus an MLP value function,
+//! mirroring Stable-Baselines3's `MlpPolicy` for Box action spaces.
+
+use crate::dist::DiagGaussian;
+use crate::nn::{Matrix, Mlp, MlpCache};
+use crate::opt::Adam;
+use qcs_desim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Actor-critic parameters: policy network (obs → action means), value
+/// network (obs → scalar), and a state-independent `log_std` vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActorCritic {
+    /// Policy network producing action means.
+    pub pi: Mlp,
+    /// Value network producing state values.
+    pub vf: Mlp,
+    /// Shared log standard deviations (one per action dim).
+    pub log_std: Vec<f32>,
+    /// Accumulated gradient for `log_std`.
+    #[serde(skip, default)]
+    pub grad_log_std: Vec<f32>,
+}
+
+impl ActorCritic {
+    /// Builds the SB3-default architecture: two 64-unit tanh hidden layers
+    /// for both networks, policy head gain 0.01, value head gain 1.0,
+    /// `log_std` initialised to 0 (σ = 1).
+    pub fn new(obs_dim: usize, action_dim: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        ActorCritic {
+            pi: Mlp::sb3_default(obs_dim, action_dim, 0.01, rng),
+            vf: Mlp::sb3_default(obs_dim, 1, 1.0, rng),
+            log_std: vec![0.0; action_dim],
+            grad_log_std: vec![0.0; action_dim],
+        }
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.pi.in_dim()
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.pi.out_dim()
+    }
+
+    /// Zeroes all gradients (policy, value, log_std).
+    pub fn zero_grad(&mut self) {
+        self.pi.zero_grad();
+        self.vf.zero_grad();
+        if self.grad_log_std.len() != self.log_std.len() {
+            self.grad_log_std = vec![0.0; self.log_std.len()];
+        }
+        self.grad_log_std.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Samples an action for a single observation; returns
+    /// `(action, log_prob, value)`.
+    pub fn act(
+        &self,
+        obs: &[f32],
+        rng: &mut Xoshiro256StarStar,
+        scratch: &mut ActScratch,
+    ) -> (Vec<f32>, f64, f64) {
+        let x = Matrix::from_vec(1, obs.len(), obs.to_vec());
+        let mean = self.pi.forward(&x, &mut scratch.pi_cache);
+        let dist = DiagGaussian {
+            mean: mean.row(0),
+            log_std: &self.log_std,
+        };
+        let action = dist.sample(rng);
+        let logp = dist.log_prob(&action);
+        let value = self.vf.forward(&x, &mut scratch.vf_cache).get(0, 0) as f64;
+        (action, logp, value)
+    }
+
+    /// Deterministic (mean) action for deployment.
+    pub fn act_deterministic(&self, obs: &[f32], scratch: &mut ActScratch) -> Vec<f32> {
+        let x = Matrix::from_vec(1, obs.len(), obs.to_vec());
+        let mean = self.pi.forward(&x, &mut scratch.pi_cache);
+        mean.row(0).to_vec()
+    }
+
+    /// State value estimate.
+    pub fn value(&self, obs: &[f32], scratch: &mut ActScratch) -> f64 {
+        let x = Matrix::from_vec(1, obs.len(), obs.to_vec());
+        self.vf.forward(&x, &mut scratch.vf_cache).get(0, 0) as f64
+    }
+
+    /// Applies accumulated gradients with Adam. The tensor registration
+    /// order is stable: policy layers (w, b), value layers (w, b), log_std.
+    pub fn apply_gradients(&mut self, opt: &mut Adam) {
+        let mut tensors: Vec<(&mut [f32], &[f32])> = Vec::new();
+        for l in self.pi.layers_mut() {
+            let (w, gw) = (&mut l.w, &l.grad_w);
+            tensors.push((w.data_mut(), gw.data()));
+            tensors.push((l.b.as_mut_slice(), l.grad_b.as_slice()));
+        }
+        for l in self.vf.layers_mut() {
+            let (w, gw) = (&mut l.w, &l.grad_w);
+            tensors.push((w.data_mut(), gw.data()));
+            tensors.push((l.b.as_mut_slice(), l.grad_b.as_slice()));
+        }
+        tensors.push((self.log_std.as_mut_slice(), self.grad_log_std.as_slice()));
+        opt.step(&mut tensors);
+    }
+
+    /// Global L2 norm of all gradients (for clipping / logging).
+    pub fn grad_norm(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for l in self.pi.layers().iter().chain(self.vf.layers()) {
+            acc += l.grad_w.data().iter().map(|g| g * g).sum::<f32>();
+            acc += l.grad_b.iter().map(|g| g * g).sum::<f32>();
+        }
+        acc += self.grad_log_std.iter().map(|g| g * g).sum::<f32>();
+        acc.sqrt()
+    }
+
+    /// Scales all gradients by `factor` (gradient clipping support).
+    pub fn scale_gradients(&mut self, factor: f32) {
+        for l in self.pi.layers_mut().iter_mut().chain(self.vf.layers_mut()) {
+            l.grad_w.data_mut().iter_mut().for_each(|g| *g *= factor);
+            l.grad_b.iter_mut().for_each(|g| *g *= factor);
+        }
+        self.grad_log_std.iter_mut().for_each(|g| *g *= factor);
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ActorCritic serialisation cannot fail")
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let mut ac: ActorCritic = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        ac.zero_grad(); // rebuild skipped gradient buffers
+        Ok(ac)
+    }
+}
+
+/// Reusable forward-pass scratch for [`ActorCritic::act`].
+#[derive(Debug, Default)]
+pub struct ActScratch {
+    /// Policy network cache.
+    pub pi_cache: MlpCache,
+    /// Value network cache.
+    pub vf_cache: MlpCache,
+}
+
+impl ActScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_initial_logstd() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let ac = ActorCritic::new(16, 5, &mut rng);
+        assert_eq!(ac.obs_dim(), 16);
+        assert_eq!(ac.action_dim(), 5);
+        assert_eq!(ac.log_std, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn act_returns_consistent_logprob() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let ac = ActorCritic::new(4, 2, &mut rng);
+        let mut scratch = ActScratch::new();
+        let obs = vec![0.1, -0.2, 0.3, 0.0];
+        let (action, logp, _v) = ac.act(&obs, &mut rng, &mut scratch);
+        // Recompute log-prob by hand.
+        let x = Matrix::from_vec(1, 4, obs.clone());
+        let mut cache = MlpCache::new();
+        let mean = ac.pi.forward(&x, &mut cache);
+        let d = DiagGaussian {
+            mean: mean.row(0),
+            log_std: &ac.log_std,
+        };
+        assert!((d.log_prob(&action) - logp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_action_is_mean() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let ac = ActorCritic::new(3, 2, &mut rng);
+        let mut scratch = ActScratch::new();
+        let obs = vec![0.5, 0.5, 0.5];
+        let a1 = ac.act_deterministic(&obs, &mut scratch);
+        let a2 = ac.act_deterministic(&obs, &mut scratch);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let ac = ActorCritic::new(6, 3, &mut rng);
+        let json = ac.to_json();
+        let ac2 = ActorCritic::from_json(&json).unwrap();
+        let mut s1 = ActScratch::new();
+        let mut s2 = ActScratch::new();
+        let obs = vec![0.1; 6];
+        assert_eq!(
+            ac.act_deterministic(&obs, &mut s1),
+            ac2.act_deterministic(&obs, &mut s2)
+        );
+    }
+
+    #[test]
+    fn grad_scaling_and_norm() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let mut ac = ActorCritic::new(2, 2, &mut rng);
+        ac.zero_grad();
+        ac.grad_log_std[0] = 3.0;
+        ac.grad_log_std[1] = 4.0;
+        assert!((ac.grad_norm() - 5.0).abs() < 1e-6);
+        ac.scale_gradients(0.5);
+        assert!((ac.grad_norm() - 2.5).abs() < 1e-6);
+    }
+}

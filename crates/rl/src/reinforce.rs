@@ -1,0 +1,234 @@
+//! REINFORCE (vanilla policy gradient) with a moving-average baseline — a
+//! deliberately simple reference algorithm next to PPO.
+//!
+//! Included for the algorithm ablation: on the single-step allocation task
+//! REINFORCE is the textbook baseline PPO is usually compared against, and
+//! having a second, independent learner is a strong cross-check of the
+//! environment (both must discover the same optimum).
+
+use crate::dist::DiagGaussian;
+use crate::env::Env;
+use crate::nn::{Matrix, MlpCache};
+use crate::opt::Adam;
+use crate::policy::{ActScratch, ActorCritic};
+use crate::ppo::{TrainLog, TrainLogEntry};
+use qcs_desim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// REINFORCE hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReinforceConfig {
+    /// Episodes collected per update.
+    pub episodes_per_update: usize,
+    /// Discount factor for multi-step episodes.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Exponential decay of the reward baseline.
+    pub baseline_decay: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        ReinforceConfig {
+            episodes_per_update: 64,
+            gamma: 0.99,
+            learning_rate: 3e-4,
+            baseline_decay: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+/// The REINFORCE trainer. Reuses [`ActorCritic`] for the policy network
+/// (the value head is ignored; the baseline is a scalar moving average).
+pub struct Reinforce {
+    /// The policy being trained.
+    pub ac: ActorCritic,
+    cfg: ReinforceConfig,
+    opt: Adam,
+    rng: Xoshiro256StarStar,
+    baseline: f64,
+    log: TrainLog,
+    timesteps: u64,
+    scratch: ActScratch,
+    pi_cache: MlpCache,
+}
+
+impl Reinforce {
+    /// Creates a trainer for the given dimensions.
+    pub fn new(obs_dim: usize, action_dim: usize, cfg: ReinforceConfig) -> Self {
+        let mut rng = Xoshiro256StarStar::new(cfg.seed);
+        let ac = ActorCritic::new(obs_dim, action_dim, &mut rng);
+        let opt = Adam::new(cfg.learning_rate);
+        Reinforce {
+            ac,
+            opt,
+            rng,
+            baseline: 0.0,
+            log: TrainLog::default(),
+            timesteps: 0,
+            scratch: ActScratch::new(),
+            pi_cache: MlpCache::new(),
+            cfg,
+        }
+    }
+
+    /// Training log (same schema as PPO's, for side-by-side comparison).
+    pub fn log(&self) -> &TrainLog {
+        &self.log
+    }
+
+    /// Trains for at least `total_timesteps` environment steps on a single
+    /// environment.
+    pub fn learn(&mut self, env: &mut dyn Env, total_timesteps: u64) {
+        let action_dim = self.ac.action_dim();
+        let obs_dim = self.ac.obs_dim();
+        let target = self.timesteps + total_timesteps;
+        let mut episode_seed = self.cfg.seed;
+
+        while self.timesteps < target {
+            // ---- collect a batch of episodes ----
+            let mut all_obs: Vec<Vec<f32>> = Vec::new();
+            let mut all_actions: Vec<Vec<f32>> = Vec::new();
+            let mut all_returns: Vec<f64> = Vec::new();
+            let mut ep_return_sum = 0.0;
+
+            for _ in 0..self.cfg.episodes_per_update {
+                episode_seed = episode_seed.wrapping_add(0x9E3779B97F4A7C15);
+                let mut obs = env.reset(episode_seed);
+                let mut rewards = Vec::new();
+                let mut ep_obs = Vec::new();
+                let mut ep_actions = Vec::new();
+                loop {
+                    let (action, _lp, _v) = self.ac.act(&obs, &mut self.rng, &mut self.scratch);
+                    let r = env.step(&action);
+                    ep_obs.push(obs);
+                    ep_actions.push(action);
+                    rewards.push(r.reward);
+                    self.timesteps += 1;
+                    let done = r.done();
+                    obs = r.obs;
+                    if done {
+                        break;
+                    }
+                }
+                // Discounted returns-to-go.
+                let mut g = 0.0;
+                let mut returns = vec![0.0; rewards.len()];
+                for t in (0..rewards.len()).rev() {
+                    g = rewards[t] + self.cfg.gamma * g;
+                    returns[t] = g;
+                }
+                ep_return_sum += returns.first().copied().unwrap_or(0.0);
+                all_obs.extend(ep_obs);
+                all_actions.extend(ep_actions);
+                all_returns.extend(returns);
+            }
+
+            let batch_mean_return = ep_return_sum / self.cfg.episodes_per_update as f64;
+            // Update the moving-average baseline *before* computing
+            // advantages for stability on the first batch.
+            if self.log.entries.is_empty() {
+                self.baseline = batch_mean_return;
+            } else {
+                self.baseline = self.cfg.baseline_decay * self.baseline
+                    + (1.0 - self.cfg.baseline_decay) * batch_mean_return;
+            }
+
+            // ---- one gradient step: maximise Σ (G−b)·log π(a|s) ----
+            let n = all_obs.len();
+            let x = Matrix::from_vec(
+                n,
+                obs_dim,
+                all_obs.iter().flatten().copied().collect(),
+            );
+            self.ac.zero_grad();
+            let means = self.ac.pi.forward(&x, &mut self.pi_cache);
+            let mut d_mean = Matrix::zeros(n, action_dim);
+            let mut dmu = vec![0.0f32; action_dim];
+            let mut dls = vec![0.0f32; action_dim];
+            let mut entropy = 0.0;
+            for i in 0..n {
+                let dist = DiagGaussian {
+                    mean: means.row(i),
+                    log_std: &self.ac.log_std,
+                };
+                entropy += dist.entropy();
+                let adv = all_returns[i] - self.baseline;
+                // loss = -(adv) * logp / n  →  dlogp = -adv/n.
+                let dlogp = (-adv / n as f64) as f32;
+                dist.dlogp_dmean(&all_actions[i], &mut dmu);
+                dist.dlogp_dlogstd(&all_actions[i], &mut dls);
+                for j in 0..action_dim {
+                    d_mean.set(i, j, dmu[j] * dlogp);
+                    self.ac.grad_log_std[j] += dls[j] * dlogp;
+                }
+            }
+            self.ac.pi.backward(&mut self.pi_cache, &d_mean);
+            let norm = self.ac.grad_norm();
+            if norm > 0.5 {
+                self.ac.scale_gradients(0.5 / norm);
+            }
+            self.ac.apply_gradients(&mut self.opt);
+
+            self.log.entries.push(TrainLogEntry {
+                timesteps: self.timesteps,
+                ep_rew_mean: batch_mean_return,
+                entropy_loss: -(entropy / n as f64),
+                policy_loss: 0.0,
+                value_loss: 0.0,
+                approx_kl: 0.0,
+                clip_fraction: 0.0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::bandit::ContinuousBandit;
+
+    #[test]
+    fn reinforce_improves_on_bandit() {
+        let cfg = ReinforceConfig {
+            episodes_per_update: 64,
+            learning_rate: 1e-2,
+            seed: 5,
+            ..ReinforceConfig::default()
+        };
+        let mut trainer = Reinforce::new(1, 2, cfg);
+        let mut env = ContinuousBandit::new(vec![0.4, -0.3]);
+        trainer.learn(&mut env, 15_000);
+        let log = trainer.log();
+        let first = log.entries.first().unwrap().ep_rew_mean;
+        let last = log.entries.last().unwrap().ep_rew_mean;
+        assert!(
+            last > first + 0.05,
+            "REINFORCE failed to learn: {first} -> {last}"
+        );
+        // The learned mean action should be near the target.
+        let mut scratch = ActScratch::new();
+        let a = trainer.ac.act_deterministic(&[1.0], &mut scratch);
+        assert!((a[0] - 0.4).abs() < 0.25, "a0 = {}", a[0]);
+        assert!((a[1] + 0.3).abs() < 0.25, "a1 = {}", a[1]);
+    }
+
+    #[test]
+    fn log_schema_matches_ppo() {
+        let cfg = ReinforceConfig {
+            episodes_per_update: 8,
+            seed: 1,
+            ..ReinforceConfig::default()
+        };
+        let mut trainer = Reinforce::new(1, 1, cfg);
+        let mut env = ContinuousBandit::new(vec![0.0]);
+        trainer.learn(&mut env, 64);
+        let csv = trainer.log().to_csv();
+        assert!(csv.starts_with("timesteps,ep_rew_mean,entropy_loss"));
+        assert!(trainer.log().entries.len() >= 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Hyper-parameter schedules (learning rate, clip range) over training
+//! progress.
+//!
+//! A schedule maps *remaining progress* — SB3's convention, where 1.0 is
+//! the start of training and 0.0 the end — to a value. Trainers expose
+//! `set_learning_rate`, so harnesses apply schedules between `learn`
+//! chunks:
+//!
+//! ```
+//! use qcs_rl::schedule::Schedule;
+//! let sched = Schedule::linear(3e-4, 0.0);
+//! let total = 100_000u64;
+//! for done in (0..total).step_by(10_000) {
+//!     let remaining = 1.0 - done as f64 / total as f64;
+//!     let lr = sched.value(remaining);
+//!     assert!(lr <= 3e-4 && lr >= 0.0);
+//!     // ppo.set_learning_rate(lr as f32); ppo.learn(&mut envs, 10_000);
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A schedule over remaining training progress `p ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Constant value.
+    Constant(f64),
+    /// Linear interpolation: `end + p · (start − end)` (value `start` at
+    /// p = 1, `end` at p = 0).
+    Linear {
+        /// Value at the start of training.
+        start: f64,
+        /// Value at the end of training.
+        end: f64,
+    },
+    /// Multiplicative step decay: `start · factor^⌊(1−p)/interval⌋`.
+    StepDecay {
+        /// Initial value.
+        start: f64,
+        /// Multiplier applied at each interval boundary (usually < 1).
+        factor: f64,
+        /// Progress fraction between decays (e.g. 0.25 → 4 decays).
+        interval: f64,
+    },
+}
+
+impl Schedule {
+    /// A linear schedule from `start` (p = 1) to `end` (p = 0).
+    pub fn linear(start: f64, end: f64) -> Self {
+        Schedule::Linear { start, end }
+    }
+
+    /// Evaluates the schedule at remaining progress `p ∈ [0, 1]`
+    /// (clamped).
+    pub fn value(&self, remaining_progress: f64) -> f64 {
+        let p = remaining_progress.clamp(0.0, 1.0);
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { start, end } => end + p * (start - end),
+            Schedule::StepDecay {
+                start,
+                factor,
+                interval,
+            } => {
+                assert!(interval > 0.0, "decay interval must be positive");
+                let steps = ((1.0 - p) / interval).floor();
+                start * factor.powf(steps)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_progress() {
+        let s = Schedule::Constant(0.2);
+        assert_eq!(s.value(1.0), 0.2);
+        assert_eq!(s.value(0.0), 0.2);
+    }
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = Schedule::linear(3e-4, 0.0);
+        assert_eq!(s.value(1.0), 3e-4);
+        assert_eq!(s.value(0.0), 0.0);
+        assert!((s.value(0.5) - 1.5e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_can_anneal_upward() {
+        let s = Schedule::linear(0.1, 0.4);
+        assert!(s.value(0.25) > s.value(0.75));
+    }
+
+    #[test]
+    fn progress_is_clamped() {
+        let s = Schedule::linear(1.0, 0.0);
+        assert_eq!(s.value(2.0), 1.0);
+        assert_eq!(s.value(-1.0), 0.0);
+    }
+
+    #[test]
+    fn step_decay_quantises() {
+        let s = Schedule::StepDecay {
+            start: 1.0,
+            factor: 0.5,
+            interval: 0.25,
+        };
+        assert_eq!(s.value(1.0), 1.0); // 0 decays
+        assert_eq!(s.value(0.8), 1.0); // still first interval
+        assert_eq!(s.value(0.74), 0.5); // one decay
+        assert_eq!(s.value(0.5), 0.25); // two decays
+        assert_eq!(s.value(0.0), 0.0625); // four decays
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Schedule::linear(3e-4, 1e-5);
+        let txt = serde_json::to_string(&s).unwrap();
+        let s2: Schedule = serde_json::from_str(&txt).unwrap();
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based finite-difference verification of the backpropagation
+//! implementation — the cornerstone correctness guarantee of the from-
+//! scratch PPO (substituting for torch's autograd tests).
+
+use proptest::prelude::*;
+use qcs_rl::nn::{Activation, Matrix, Mlp, MlpCache};
+use qcs_desim::Xoshiro256StarStar;
+
+/// Scalar test loss: weighted sum of outputs, L = Σ_bo c_bo · y_bo with
+/// fixed coefficients — its gradient w.r.t. y is exactly `c`.
+fn loss(m: &Mlp, x: &Matrix, coeffs: &Matrix) -> f64 {
+    let mut cache = MlpCache::new();
+    let y = m.forward(x, &mut cache);
+    y.data()
+        .iter()
+        .zip(coeffs.data())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum()
+}
+
+fn check_gradients(
+    seed: u64,
+    sizes: &[usize],
+    activation: Activation,
+    batch: usize,
+    inputs: &[f32],
+) {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let gains: Vec<f32> = vec![1.0; sizes.len() - 1];
+    let mut mlp = Mlp::new(sizes, &gains, activation, &mut rng);
+    let x = Matrix::from_vec(batch, sizes[0], inputs.to_vec());
+    let out_dim = *sizes.last().unwrap();
+    // Deterministic non-trivial coefficients.
+    let coeffs = Matrix::from_vec(
+        batch,
+        out_dim,
+        (0..batch * out_dim)
+            .map(|i| 0.5 + 0.25 * (i as f32 % 3.0) - 0.3 * ((i / 3) as f32 % 2.0))
+            .collect(),
+    );
+
+    let mut cache = MlpCache::new();
+    mlp.zero_grad();
+    mlp.forward(&x, &mut cache);
+    mlp.backward(&mut cache, &coeffs);
+
+    let eps = 1e-2f32;
+    // Closure: central difference with a kink guard. Returns None when the
+    // one-sided derivatives disagree (a ReLU pre-activation crossed zero
+    // inside ±eps — finite differences are meaningless there).
+    let check_param = |mlp: &mut Mlp,
+                           read: fn(&Mlp, usize, usize) -> f32,
+                           write: fn(&mut Mlp, usize, usize, f32),
+                           li: usize,
+                           pi: usize,
+                           analytic: f64,
+                           what: &str| {
+        let orig = read(mlp, li, pi);
+        let mid = loss(mlp, &x, &coeffs);
+        write(mlp, li, pi, orig + eps);
+        let up = loss(mlp, &x, &coeffs);
+        write(mlp, li, pi, orig - eps);
+        let down = loss(mlp, &x, &coeffs);
+        write(mlp, li, pi, orig);
+        let right = (up - mid) / eps as f64;
+        let left = (mid - down) / eps as f64;
+        if (right - left).abs() > 0.05 * (1.0 + right.abs().max(left.abs())) {
+            return; // kink: skip this parameter
+        }
+        let numeric = (up - down) / (2.0 * eps as f64);
+        let tol = 5e-2 * (1.0 + numeric.abs().max(analytic.abs()));
+        assert!(
+            (numeric - analytic).abs() < tol,
+            "layer {li} {what}[{pi}]: numeric {numeric:.6} vs analytic {analytic:.6}"
+        );
+    };
+
+    fn read_w(m: &Mlp, li: usize, pi: usize) -> f32 {
+        m.layers()[li].w.data()[pi]
+    }
+    fn write_w(m: &mut Mlp, li: usize, pi: usize, v: f32) {
+        m.layers_mut()[li].w.data_mut()[pi] = v;
+    }
+    fn read_b(m: &Mlp, li: usize, pi: usize) -> f32 {
+        m.layers()[li].b[pi]
+    }
+    fn write_b(m: &mut Mlp, li: usize, pi: usize, v: f32) {
+        m.layers_mut()[li].b[pi] = v;
+    }
+
+    for li in 0..mlp.layers().len() {
+        let nw = mlp.layers()[li].w.data().len();
+        // Sample a handful of parameters per layer rather than all of them:
+        // keeps the proptest fast while still covering every layer.
+        for pi in [0, nw / 3, (2 * nw) / 3, nw - 1] {
+            let analytic = mlp.layers()[li].grad_w.data()[pi] as f64;
+            check_param(&mut mlp, read_w, write_w, li, pi, analytic, "w");
+        }
+        let nb = mlp.layers()[li].b.len();
+        for bi in [0, nb - 1] {
+            let analytic = mlp.layers()[li].grad_b[bi] as f64;
+            check_param(&mut mlp, read_b, write_b, li, bi, analytic, "b");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tanh networks of random shapes: backprop matches finite differences.
+    #[test]
+    fn tanh_mlp_gradients(
+        seed in 0u64..10_000,
+        hidden in 2usize..12,
+        inputs in proptest::collection::vec(-1.5f32..1.5, 6),
+    ) {
+        check_gradients(seed, &[3, hidden, 2], Activation::Tanh, 2, &inputs);
+    }
+
+    /// ReLU networks: piecewise-linear derivative handled correctly.
+    /// Inputs are kept away from kink-inducing magnitudes by the tolerance.
+    #[test]
+    fn relu_mlp_gradients(
+        seed in 0u64..10_000,
+        inputs in proptest::collection::vec(0.2f32..1.5, 4),
+    ) {
+        check_gradients(seed, &[2, 6, 3], Activation::Relu, 2, &inputs);
+    }
+
+    /// Deep networks (3 hidden layers) propagate gradients through every
+    /// layer without vanishing to wrong values.
+    #[test]
+    fn deep_mlp_gradients(
+        seed in 0u64..10_000,
+        inputs in proptest::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        check_gradients(seed, &[4, 8, 8, 8, 2], Activation::Tanh, 1, &inputs);
+    }
+}

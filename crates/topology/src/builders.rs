@@ -1,0 +1,476 @@
+//! Coupling-map constructors: standard lattices plus the IBM Eagle-class
+//! 127-qubit heavy-hex layout.
+
+use crate::graph::Graph;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn line(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge((i - 1) as u32, i as u32);
+    }
+    g
+}
+
+/// Cycle graph (requires `n ≥ 3`).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = line(n);
+    g.add_edge((n - 1) as u32, 0);
+    g
+}
+
+/// `rows × cols` rectangular grid.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Complete graph K_n (all-to-all connectivity, e.g. trapped-ion devices).
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(a as u32, b as u32);
+        }
+    }
+    g
+}
+
+/// Generic heavy-hex lattice.
+///
+/// The lattice consists of `rows` horizontal qubit chains of length
+/// `row_len` (the first chain drops its last qubit and the last chain drops
+/// its first, as on IBM Eagle devices), joined by *connector* qubits placed
+/// every 4 columns. Connector columns alternate between starting at column 0
+/// (even gaps) and column 2 (odd gaps). Every qubit has degree ≤ 3, the
+/// defining property of the heavy-hex code lattice.
+///
+/// `heavy_hex(7, 15)` reproduces the 127-qubit Eagle map; see
+/// [`heavy_hex_eagle`].
+#[allow(clippy::needless_range_loop)] // row/column index loops mirror the lattice definition
+pub fn heavy_hex(rows: usize, row_len: usize) -> Graph {
+    assert!(rows >= 2, "heavy-hex needs at least 2 rows");
+    assert!(row_len >= 5, "heavy-hex rows need at least 5 columns");
+
+    // Columns present in each row: first row drops the last column, last row
+    // drops the first column, middle rows are full.
+    let row_cols: Vec<(usize, usize)> = (0..rows)
+        .map(|r| {
+            if r == 0 {
+                (0, row_len - 1)
+            } else if r == rows - 1 {
+                (1, row_len)
+            } else {
+                (0, row_len)
+            }
+        })
+        .collect();
+    let has_col = |r: usize, c: usize| c >= row_cols[r].0 && c < row_cols[r].1;
+
+    // Pass 1: decide connector columns per gap. Connectors live every 4
+    // columns, alternating start offset 0 / 2 per gap; only columns present
+    // in *both* adjacent rows qualify. If the pattern yields nothing (tiny
+    // lattices), fall back to the first shared column so the lattice stays
+    // connected.
+    let mut gap_cols: Vec<Vec<usize>> = Vec::with_capacity(rows - 1);
+    for r in 0..rows - 1 {
+        let start = if r % 2 == 0 { 0 } else { 2 };
+        let mut cols: Vec<usize> = (start..row_len)
+            .step_by(4)
+            .filter(|&c| has_col(r, c) && has_col(r + 1, c))
+            .collect();
+        if cols.is_empty() {
+            if let Some(c) = (0..row_len).find(|&c| has_col(r, c) && has_col(r + 1, c)) {
+                cols.push(c);
+            }
+        }
+        gap_cols.push(cols);
+    }
+
+    // Pass 2: assign node ids in IBM's interleaved layout
+    // (row 0, gap-0 connectors, row 1, gap-1 connectors, …).
+    let mut id_of_row_col = vec![vec![None::<u32>; row_len]; rows];
+    let mut connector_ids: Vec<Vec<u32>> = vec![Vec::new(); rows - 1];
+    let mut next_id: u32 = 0;
+    for r in 0..rows {
+        let (c0, c1) = row_cols[r];
+        for c in c0..c1 {
+            id_of_row_col[r][c] = Some(next_id);
+            next_id += 1;
+        }
+        if r + 1 < rows {
+            for _ in &gap_cols[r] {
+                connector_ids[r].push(next_id);
+                next_id += 1;
+            }
+        }
+    }
+
+    // Pass 3: edges.
+    let mut g = Graph::new(next_id as usize);
+    for r in 0..rows {
+        let (c0, c1) = row_cols[r];
+        for c in c0..c1.saturating_sub(1) {
+            if let (Some(a), Some(b)) = (id_of_row_col[r][c], id_of_row_col[r][c + 1]) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    for r in 0..rows - 1 {
+        for (k, &col) in gap_cols[r].iter().enumerate() {
+            let cid = connector_ids[r][k];
+            let upper = id_of_row_col[r][col].expect("connector column missing in upper row");
+            let lower = id_of_row_col[r + 1][col].expect("connector column missing in lower row");
+            g.add_edge(upper, cid);
+            g.add_edge(cid, lower);
+        }
+    }
+
+    g
+}
+
+/// The 127-qubit IBM Eagle-class heavy-hex coupling map (as on
+/// `ibm_strasbourg`, `ibm_brussels`, `ibm_kyiv`, `ibm_quebec`,
+/// `ibm_kawasaki`): 7 rows of 15 columns with alternating connector columns,
+/// 127 qubits, 144 couplings, maximum degree 3.
+pub fn heavy_hex_eagle() -> Graph {
+    let g = heavy_hex(7, 15);
+    debug_assert_eq!(g.num_nodes(), 127);
+    g
+}
+
+/// The 65-qubit IBM Hummingbird-class heavy-hex coupling map (as on
+/// `ibmq_manhattan` / `ibmq_brooklyn`): 5 rows of 11 columns, 65 qubits,
+/// 72 couplings. Useful for heterogeneous-fleet experiments mixing device
+/// generations.
+pub fn hummingbird65() -> Graph {
+    let g = heavy_hex(5, 11);
+    debug_assert_eq!(g.num_nodes(), 65);
+    g
+}
+
+/// The 27-qubit IBM Falcon-class coupling map (as on `ibm_cairo`,
+/// `ibm_mumbai`, `ibm_hanoi`): the standard 27-qubit heavy-hex fragment
+/// with 28 couplings and maximum degree 3.
+pub fn falcon27() -> Graph {
+    Graph::from_edges(
+        27,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ],
+    )
+}
+
+/// Heavy-square lattice: a `rows × cols` square grid of *vertex* qubits
+/// with an additional qubit on every grid edge (the "heavy" decoration, as
+/// in the heavy-square error-correction layout). Vertex qubits have degree
+/// ≤ 4, edge qubits degree 2. Node ids: vertices row-major first, then
+/// horizontal edge qubits, then vertical edge qubits.
+pub fn heavy_square(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "heavy-square needs positive dims");
+    let nv = rows * cols;
+    let nh = rows * (cols.saturating_sub(1));
+    let nvv = rows.saturating_sub(1) * cols;
+    let mut g = Graph::new(nv + nh + nvv);
+    let vid = |r: usize, c: usize| (r * cols + c) as u32;
+    // Horizontal edges: vertex (r,c) — hnode — vertex (r,c+1).
+    for r in 0..rows {
+        for c in 0..cols.saturating_sub(1) {
+            let h = (nv + r * (cols - 1) + c) as u32;
+            g.add_edge(vid(r, c), h);
+            g.add_edge(h, vid(r, c + 1));
+        }
+    }
+    // Vertical edges: vertex (r,c) — vnode — vertex (r+1,c).
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols {
+            let v = (nv + nh + r * cols + c) as u32;
+            g.add_edge(vid(r, c), v);
+            g.add_edge(v, vid(r + 1, c));
+        }
+    }
+    g
+}
+
+/// 2-D torus: a `rows × cols` grid with wrap-around links in both
+/// dimensions (every qubit has degree exactly 4). Requires `rows ≥ 3` and
+/// `cols ≥ 3` so the wrap-around edges are distinct from grid edges.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs dims ≥ 3 to stay simple");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// Seeded random connected graph: a random recursive tree (node `i` attaches
+/// to a uniformly random earlier node) plus up to `extra_edges` additional
+/// distinct random edges. Deterministic for a given `(n, extra_edges, seed)`;
+/// always connected for `n ≥ 1`. Used to model hypothetical coupling maps
+/// outside the heavy-hex family.
+pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    // Local splitmix64 stream: the topology crate stays dependency-free.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for v in 1..n as u64 {
+        let parent = next() % v;
+        g.add_edge(parent as u32, v as u32);
+    }
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let target = extra_edges.min(max_extra);
+    let mut added = 0usize;
+    // Rejection-sample distinct non-edges; the cap above guarantees
+    // termination, and a generous attempt budget keeps worst cases bounded.
+    let mut attempts = 0usize;
+    while added < target && attempts < 100 * (target + 1) {
+        attempts += 1;
+        let a = (next() % n as u64) as u32;
+        let b = (next() % n as u64) as u32;
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b);
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter, is_connected};
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn line_trivial() {
+        assert_eq!(line(0).num_nodes(), 0);
+        assert_eq!(line(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.neighbors(0).contains(&5));
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.num_edges(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(diameter(&g), 1);
+    }
+
+    #[test]
+    fn eagle_has_127_qubits_144_couplings() {
+        let g = heavy_hex_eagle();
+        assert_eq!(g.num_nodes(), 127);
+        assert_eq!(g.num_edges(), 144);
+        assert!(is_connected(&g), "Eagle lattice must be connected");
+        assert!(g.max_degree() <= 3, "heavy-hex property: degree ≤ 3");
+    }
+
+    #[test]
+    fn eagle_first_row_and_connectors() {
+        let g = heavy_hex_eagle();
+        // Row 0 is qubits 0..=13 chained.
+        for i in 0..13u32 {
+            assert!(g.has_edge(i, i + 1), "row edge {i}-{}", i + 1);
+        }
+        // First connector (qubit 14) joins column 0 of rows 0 and 1:
+        // row 1 starts at id 18 (14 row qubits + 4 connectors).
+        assert!(g.has_edge(0, 14));
+        assert!(g.has_edge(14, 18));
+        // Second connector at column 4.
+        assert!(g.has_edge(4, 15));
+        assert!(g.has_edge(15, 22));
+    }
+
+    #[test]
+    fn hummingbird_has_65_qubits_72_couplings() {
+        let g = hummingbird65();
+        assert_eq!(g.num_nodes(), 65);
+        assert_eq!(g.num_edges(), 72);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn falcon_has_27_qubits_28_couplings() {
+        let g = falcon27();
+        assert_eq!(g.num_nodes(), 27);
+        assert_eq!(g.num_edges(), 28);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 3, "falcon is heavy-hex: degree ≤ 3");
+        // The T-junction qubits of the published map.
+        for hub in [1u32, 7, 8, 12, 14, 18, 19, 25] {
+            assert_eq!(g.degree(hub), 3, "qubit {hub} should be a junction");
+        }
+    }
+
+    #[test]
+    fn heavy_square_shape() {
+        let g = heavy_square(3, 3);
+        // 9 vertices + 6 horizontal edge qubits + 6 vertical edge qubits.
+        assert_eq!(g.num_nodes(), 21);
+        // Each decorated grid edge contributes 2 couplings: 12 edges → 24.
+        assert_eq!(g.num_edges(), 24);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 4);
+        // Edge qubits have degree exactly 2.
+        for v in 9..21 {
+            assert_eq!(g.degree(v), 2, "edge qubit {v}");
+        }
+    }
+
+    #[test]
+    fn heavy_square_single_cell() {
+        let g = heavy_square(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = heavy_square(1, 2);
+        assert_eq!(g.num_nodes(), 3); // two vertices + one edge qubit
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 24); // 2 edges per node in a 4-regular graph
+        for v in 0..12 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "torus needs dims")]
+    fn torus_rejects_tiny_dims() {
+        torus(2, 4);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let g = random_connected(40, 20, seed);
+            assert_eq!(g.num_nodes(), 40);
+            assert!(g.num_edges() >= 39, "must contain a spanning tree");
+            assert!(is_connected(&g), "seed {seed} produced disconnected graph");
+            let g2 = random_connected(40, 20, seed);
+            assert_eq!(g, g2, "same seed must reproduce the same graph");
+        }
+        assert_ne!(
+            random_connected(40, 20, 1),
+            random_connected(40, 20, 2),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn random_connected_edge_cap() {
+        // Requesting more extras than the complete graph can hold must
+        // saturate, not loop forever.
+        let g = random_connected(5, 1000, 7);
+        assert!(g.num_edges() <= 10);
+        assert!(is_connected(&g));
+        // Degenerate sizes.
+        assert_eq!(random_connected(0, 5, 1).num_nodes(), 0);
+        assert_eq!(random_connected(1, 5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn generic_heavy_hex_degree_bound() {
+        for (r, c) in [(2, 5), (3, 7), (5, 11), (9, 15)] {
+            let g = heavy_hex(r, c);
+            assert!(g.max_degree() <= 3, "heavy_hex({r},{c}) degree > 3");
+            assert!(is_connected(&g), "heavy_hex({r},{c}) disconnected");
+        }
+    }
+
+    #[test]
+    fn heavy_hex_small_sizes_node_count() {
+        // rows * row_len - 2 row qubits + connectors.
+        let g = heavy_hex(2, 5);
+        // rows: (0..4) 4 qubits + (1..5) 4 qubits = 8; gap 0 connectors at
+        // cols 0,4: col 0 upper exists → yes; col 4 upper dropped → no.
+        assert_eq!(g.num_nodes(), 9);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,162 @@
+//! A compact undirected graph for qubit coupling maps.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over nodes `0..n`, stored as adjacency lists.
+///
+/// Designed for coupling maps: node count is small (≤ a few hundred), node
+/// ids are dense `u32`s, and the structure is immutable after construction
+/// in practice (builders create it, algorithms read it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list over nodes `0..n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds an undirected edge. Panics on self-loops, duplicate edges, or
+    /// out-of-range endpoints — all of which indicate a malformed coupling
+    /// map.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        assert!(a != b, "self-loop {a}-{b} not allowed in a coupling map");
+        let (ai, bi) = (a as usize, b as usize);
+        assert!(
+            ai < self.adj.len() && bi < self.adj.len(),
+            "edge {a}-{b} out of range for {} nodes",
+            self.adj.len()
+        );
+        assert!(
+            !self.adj[ai].contains(&b),
+            "duplicate edge {a}-{b} in coupling map"
+        );
+        self.adj[ai].push(b);
+        self.adj[bi].push(a);
+        self.num_edges += 1;
+    }
+
+    /// Whether nodes `a` and `b` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean degree (0 for the empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Iterates over all edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&b| (a as u32) < b)
+                .map(move |&b| (a as u32, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.mean_degree(), 2.0);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_edge_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+}

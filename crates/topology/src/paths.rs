@@ -1,0 +1,221 @@
+//! Shortest-path and distance metrics over coupling maps.
+//!
+//! Inter-qubit distance on the coupling map bounds SWAP overhead when a
+//! logical circuit is routed onto a device, so fleet heterogeneity shows up
+//! not only in error rates but also in these structural metrics. All
+//! functions are exact BFS computations; coupling maps are small (≤ a few
+//! hundred nodes), so O(V·(V+E)) all-pairs sweeps are cheap.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Marker for an unreachable node in distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS hop distances from `start` to every node. Unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, start: u32) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((start as usize) < n, "start node {start} out of range");
+    let mut queue = VecDeque::with_capacity(n);
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest path from `a` to `b` (inclusive of both endpoints), or
+/// `None` if they are disconnected. Ties are broken toward the
+/// lowest-numbered predecessor, so the result is deterministic.
+pub fn shortest_path(g: &Graph, a: u32, b: u32) -> Option<Vec<u32>> {
+    let n = g.num_nodes();
+    assert!((a as usize) < n && (b as usize) < n, "endpoint out of range");
+    if a == b {
+        return Some(vec![a]);
+    }
+    let mut prev = vec![UNREACHABLE; n];
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[a as usize] = 0;
+    queue.push_back(a);
+    'outer: while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dist[v as usize] + 1;
+                prev[w as usize] = v;
+                if w == b {
+                    break 'outer;
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    if dist[b as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![b];
+    let mut cur = b;
+    while cur != a {
+        cur = prev[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// All-pairs hop distances as a dense `n × n` matrix ([`UNREACHABLE`] for
+/// disconnected pairs).
+pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u32>> {
+    (0..g.num_nodes() as u32).map(|v| bfs_distances(g, v)).collect()
+}
+
+/// Eccentricity of `v`: the longest shortest path from `v`. `None` when the
+/// graph is disconnected from `v`'s perspective.
+pub fn eccentricity(g: &Graph, v: u32) -> Option<usize> {
+    let dist = bfs_distances(g, v);
+    let mut max = 0u32;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max as usize)
+}
+
+/// Graph radius (minimum eccentricity). `None` for disconnected or empty
+/// graphs.
+pub fn radius(g: &Graph) -> Option<usize> {
+    (0..g.num_nodes() as u32)
+        .map(|v| eccentricity(g, v))
+        .try_fold(usize::MAX, |acc, e| e.map(|e| acc.min(e)))
+        .filter(|&r| r != usize::MAX)
+}
+
+/// Mean hop distance over all unordered node pairs. `None` for disconnected
+/// graphs or graphs with fewer than 2 nodes. On a coupling map this tracks
+/// the expected SWAP-chain length between two uniformly random qubits.
+pub fn mean_distance(g: &Graph) -> Option<f64> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0u64;
+    for v in 0..n as u32 {
+        for (w, &d) in bfs_distances(g, v).iter().enumerate() {
+            if (w as u32) <= v {
+                continue;
+            }
+            if d == UNREACHABLE {
+                return None;
+            }
+            total += d as u64;
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some(total as f64 / pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{complete, grid, heavy_hex_eagle, line, ring};
+
+    #[test]
+    fn distances_on_a_line() {
+        let g = line(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distances_mark_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = grid(3, 4);
+        let p = shortest_path(&g, 0, 11).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&11));
+        // Manhattan distance on a 3×4 grid from (0,0) to (2,3) is 5 hops.
+        assert_eq!(p.len(), 6);
+        // Every hop must be an edge.
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_missing() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(shortest_path(&g, 1, 1), Some(vec![1]));
+        assert_eq!(shortest_path(&g, 0, 2), None);
+    }
+
+    #[test]
+    fn ring_eccentricity_is_half() {
+        let g = ring(8);
+        for v in 0..8 {
+            assert_eq!(eccentricity(&g, v), Some(4));
+        }
+        assert_eq!(radius(&g), Some(4));
+    }
+
+    #[test]
+    fn complete_graph_mean_distance_is_one() {
+        let g = complete(6);
+        assert_eq!(mean_distance(&g), Some(1.0));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn disconnected_metrics_are_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(eccentricity(&g, 0), None);
+        assert_eq!(radius(&g), None);
+        assert_eq!(mean_distance(&g), None);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric index pair reads clearest
+    fn eagle_distance_profile() {
+        let g = heavy_hex_eagle();
+        let apd = all_pairs_distances(&g);
+        assert_eq!(apd.len(), 127);
+        // Symmetry.
+        for a in 0..127usize {
+            for b in 0..127usize {
+                assert_eq!(apd[a][b], apd[b][a]);
+            }
+        }
+        // Heavy-hex is sparse: mean qubit distance on Eagle is ≈ 9–10 hops,
+        // far above a grid of the same size; assert the realistic band.
+        let mean = mean_distance(&g).unwrap();
+        assert!((7.0..14.0).contains(&mean), "mean distance {mean}");
+    }
+
+    #[test]
+    fn mean_distance_small_graphs() {
+        assert_eq!(mean_distance(&Graph::new(0)), None);
+        assert_eq!(mean_distance(&Graph::new(1)), None);
+        assert_eq!(mean_distance(&line(2)), Some(1.0));
+    }
+}

@@ -1,0 +1,366 @@
+//! Structural analysis of coupling maps: cut vertices, bridges, cores,
+//! clustering, and partition cut sizes.
+//!
+//! These feed two scheduler-facing needs:
+//!
+//! * **Robustness** — an articulation point is a qubit whose failure
+//!   disconnects the device; bridges are couplings with the same property.
+//!   Calibration-drift experiments use these to reason about worst-case
+//!   qubit outages.
+//! * **Partition quality** — when a job's qubits are split across or within
+//!   devices, [`edge_cut`] counts the couplings severed by the partition,
+//!   which is the quantity circuit cutting pays for (each cut gate incurs
+//!   exponential sampling overhead).
+
+use crate::graph::Graph;
+
+/// Articulation points (cut vertices): nodes whose removal increases the
+/// number of connected components. Iterative Tarjan lowlink over an explicit
+/// stack, so deep lattices cannot overflow the call stack. Output is sorted.
+pub fn articulation_points(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut disc = vec![0u32; n]; // discovery time, 0 = unvisited
+    let mut low = vec![0u32; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 1u32;
+
+    // Explicit DFS frame: (node, index into adjacency list).
+    let mut stack: Vec<(u32, usize)> = Vec::with_capacity(n);
+    for root in 0..n as u32 {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, 0));
+        let mut root_children = 0usize;
+
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let vi = v as usize;
+            if *i < g.neighbors(v).len() {
+                let w = g.neighbors(v)[*i];
+                *i += 1;
+                let wi = w as usize;
+                if disc[wi] == 0 {
+                    parent[wi] = v;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    disc[wi] = timer;
+                    low[wi] = timer;
+                    timer += 1;
+                    stack.push((w, 0));
+                } else if w != parent[vi] {
+                    low[vi] = low[vi].min(disc[wi]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                    if p != root && low[vi] >= disc[pi] {
+                        is_cut[pi] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_cut[root as usize] = true;
+        }
+    }
+    (0..n as u32).filter(|&v| is_cut[v as usize]).collect()
+}
+
+/// Bridges: edges whose removal disconnects their endpoints. Returned as
+/// `(a, b)` with `a < b`, sorted.
+pub fn bridges(g: &Graph) -> Vec<(u32, u32)> {
+    let n = g.num_nodes();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut timer = 1u32;
+    let mut out = Vec::new();
+
+    let mut stack: Vec<(u32, usize)> = Vec::with_capacity(n);
+    for root in 0..n as u32 {
+        if disc[root as usize] != 0 {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, 0));
+
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let vi = v as usize;
+            if *i < g.neighbors(v).len() {
+                let w = g.neighbors(v)[*i];
+                *i += 1;
+                let wi = w as usize;
+                if disc[wi] == 0 {
+                    parent[wi] = v;
+                    disc[wi] = timer;
+                    low[wi] = timer;
+                    timer += 1;
+                    stack.push((w, 0));
+                } else if w != parent[vi] {
+                    low[vi] = low[vi].min(disc[wi]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                    if low[vi] > disc[pi] {
+                        out.push((p.min(v), p.max(v)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Core number of every node: the largest `k` such that the node belongs to
+/// the `k`-core (the maximal subgraph where every node has degree ≥ `k`).
+/// Linear-time bucket peeling (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let max_deg = *degree.iter().max().unwrap();
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0u32; n];
+    for v in 0..n {
+        pos[v] = bin[degree[v]];
+        vert[pos[v]] = v as u32;
+        bin[degree[v]] += 1;
+    }
+    for d in (1..=max_deg + 1).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i] as usize;
+        for j in 0..g.neighbors(v as u32).len() {
+            let u = g.neighbors(v as u32)[j] as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with first node of its bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    pos[u] = pw;
+                    vert[pu] = w as u32;
+                    pos[w] = pu;
+                    vert[pw] = u as u32;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+        core[v] = degree[v];
+    }
+    core
+}
+
+/// Nodes of the `k`-core (sorted), possibly empty.
+pub fn k_core(g: &Graph, k: usize) -> Vec<u32> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= k)
+        .map(|(v, _)| v as u32)
+        .collect()
+}
+
+/// Local clustering coefficient of `v`: fraction of neighbor pairs that are
+/// themselves adjacent. 0 for degree < 2.
+pub fn clustering_coefficient(g: &Graph, v: u32) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    links as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Mean local clustering coefficient over all nodes (0 for empty graphs).
+/// Heavy-hex lattices are triangle-free, so this is exactly 0 for them —
+/// a cheap structural sanity check on generated coupling maps.
+pub fn mean_clustering(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n as u32).map(|v| clustering_coefficient(g, v)).sum::<f64>() / n as f64
+}
+
+/// Number of edges crossing a 2-way node partition. `in_a[v]` marks nodes on
+/// side A; all other nodes are side B. This is the count of couplings a
+/// circuit cutter would have to sever to split a device-resident circuit
+/// along this boundary.
+pub fn edge_cut(g: &Graph, in_a: &[bool]) -> usize {
+    assert_eq!(in_a.len(), g.num_nodes(), "partition mask length mismatch");
+    g.edges().filter(|&(a, b)| in_a[a as usize] != in_a[b as usize]).count()
+}
+
+/// Number of edges crossing a multi-way partition given per-node block
+/// labels (nodes sharing a label are in the same block).
+pub fn multiway_cut(g: &Graph, block_of: &[u32]) -> usize {
+    assert_eq!(block_of.len(), g.num_nodes(), "label vector length mismatch");
+    g.edges()
+        .filter(|&(a, b)| block_of[a as usize] != block_of[b as usize])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{complete, grid, heavy_hex_eagle, line, ring};
+
+    #[test]
+    fn line_interior_nodes_are_cut_vertices() {
+        let g = line(5);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        assert_eq!(bridges(&g), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_has_no_cut_vertices_or_bridges() {
+        let g = ring(6);
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn barbell_cut_vertex() {
+        // Two triangles joined by a bridge 2-3.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        assert_eq!(articulation_points(&g), vec![2, 3]);
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn star_center_is_cut_vertex() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(articulation_points(&g), vec![0]);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_eq!(articulation_points(&g), vec![1, 4]);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn eagle_heavy_hex_structure() {
+        let g = heavy_hex_eagle();
+        // Heavy-hex is 2-edge-connected in its interior but has degree-1
+        // spurs? No: Eagle has dangling connector-free row ends of degree 1?
+        // Every node participates in the lattice; verify triangle-freeness
+        // and that the 2-core is the cycle skeleton.
+        assert_eq!(mean_clustering(&g), 0.0, "heavy-hex is triangle-free");
+        let cores = core_numbers(&g);
+        assert!(cores.iter().all(|&c| c <= 2), "heavy-hex has no 3-core");
+        assert!(cores.contains(&2), "heavy-hex contains cycles");
+    }
+
+    #[test]
+    fn complete_graph_cores_and_clustering() {
+        let g = complete(5);
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+        assert_eq!(k_core(&g, 4), vec![0, 1, 2, 3, 4]);
+        assert!(k_core(&g, 5).is_empty());
+        assert_eq!(mean_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn core_numbers_mixed_graph() {
+        // Triangle with a pendant path: 0-1-2 triangle, 2-3-4 path.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1, 1]);
+        assert_eq!(k_core(&g, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn grid_edge_cut_column_split() {
+        let g = grid(3, 4); // rows of 4; cutting between col 1 and 2 severs 3 edges
+        let mut in_a = vec![false; 12];
+        for r in 0..3 {
+            for c in 0..2 {
+                in_a[r * 4 + c] = true;
+            }
+        }
+        assert_eq!(edge_cut(&g, &in_a), 3);
+    }
+
+    #[test]
+    fn multiway_cut_matches_two_way() {
+        let g = grid(3, 4);
+        let mut in_a = vec![false; 12];
+        let mut labels = vec![1u32; 12];
+        for r in 0..3 {
+            for c in 0..2 {
+                in_a[r * 4 + c] = true;
+                labels[r * 4 + c] = 0;
+            }
+        }
+        assert_eq!(edge_cut(&g, &in_a), multiway_cut(&g, &labels));
+        // Three-way: split remaining columns again.
+        for r in 0..3 {
+            labels[r * 4 + 3] = 2;
+        }
+        assert_eq!(multiway_cut(&g, &labels), 6);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = Graph::new(0);
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(mean_clustering(&g), 0.0);
+
+        let g1 = Graph::new(1);
+        assert!(articulation_points(&g1).is_empty());
+        assert_eq!(core_numbers(&g1), vec![0]);
+        assert_eq!(clustering_coefficient(&g1, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn edge_cut_checks_mask_length() {
+        edge_cut(&line(3), &[true]);
+    }
+}

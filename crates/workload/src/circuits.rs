@@ -1,0 +1,254 @@
+//! Circuit-backed workloads: jobs whose `(q, d, t₂)` footprints come from
+//! concrete generated circuits instead of sampled densities.
+//!
+//! The paper abstracts gates to counts; this module grounds that
+//! abstraction. Each job carries its [`Circuit`] and a
+//! [`CircuitLocality`] tag (chain-structured
+//! families cut cheaply; dense families do not), so circuit-cutting
+//! experiments can price cuts from real structure instead of an assumed
+//! locality.
+
+use qcs_circuit::{ghz, qaoa_maxcut, quantum_volume, random_layered, trotter_1d, Circuit};
+use qcs_desim::Xoshiro256StarStar;
+use qcs_qcloud::{CircuitLocality, JobId, QJob};
+use serde::{Deserialize, Serialize};
+
+/// The circuit families the generator can draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CircuitFamily {
+    /// Random layered circuits (structureless — worst case for cutting).
+    RandomLayered,
+    /// Quantum-volume model circuits (dense, all-to-all).
+    QuantumVolume,
+    /// GHZ preparation (chain).
+    Ghz,
+    /// QAOA MaxCut on a sparse random graph.
+    QaoaMaxCut,
+    /// Trotterised 1-D Ising dynamics (chain brickwork).
+    Trotter1d,
+}
+
+impl CircuitFamily {
+    /// The cut-locality class of the family.
+    pub fn locality(self) -> CircuitLocality {
+        match self {
+            CircuitFamily::Ghz | CircuitFamily::Trotter1d => CircuitLocality::Chain,
+            CircuitFamily::RandomLayered
+            | CircuitFamily::QuantumVolume
+            | CircuitFamily::QaoaMaxCut => CircuitLocality::Random,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CircuitFamily::RandomLayered => "random",
+            CircuitFamily::QuantumVolume => "qv",
+            CircuitFamily::Ghz => "ghz",
+            CircuitFamily::QaoaMaxCut => "qaoa",
+            CircuitFamily::Trotter1d => "trotter",
+        }
+    }
+}
+
+/// A job together with the circuit that produced its footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitJob {
+    /// The scheduling-level job (footprint + shots + arrival).
+    pub job: QJob,
+    /// The family the circuit was drawn from.
+    pub family: CircuitFamily,
+    /// The generating circuit.
+    pub circuit: Circuit,
+}
+
+/// Generator configuration: qubit/shot ranges plus a family mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitWorkloadConfig {
+    /// Inclusive qubit range (the paper's case study uses 130-250).
+    pub qubits: (u32, u32),
+    /// Inclusive shot range.
+    pub shots: (u64, u64),
+    /// Families to draw from, with relative weights.
+    pub mix: Vec<(CircuitFamily, f64)>,
+}
+
+impl Default for CircuitWorkloadConfig {
+    fn default() -> Self {
+        CircuitWorkloadConfig {
+            qubits: (130, 250),
+            shots: (10_000, 100_000),
+            mix: vec![
+                (CircuitFamily::RandomLayered, 0.4),
+                (CircuitFamily::QaoaMaxCut, 0.2),
+                (CircuitFamily::Trotter1d, 0.2),
+                (CircuitFamily::Ghz, 0.1),
+                (CircuitFamily::QuantumVolume, 0.1),
+            ],
+        }
+    }
+}
+
+/// Generates `n` circuit-backed jobs arriving at `t = 0` (the case-study
+/// convention). Deterministic in `seed`.
+pub fn circuit_workload(n: usize, config: &CircuitWorkloadConfig, seed: u64) -> Vec<CircuitJob> {
+    assert!(!config.mix.is_empty(), "family mix must not be empty");
+    assert!(
+        config.mix.iter().all(|&(_, w)| w >= 0.0) && config.mix.iter().any(|&(_, w)| w > 0.0),
+        "family weights must be non-negative with at least one positive"
+    );
+    assert!(config.qubits.0 >= 2 && config.qubits.0 <= config.qubits.1);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let weights: Vec<f64> = config.mix.iter().map(|&(_, w)| w).collect();
+    (0..n)
+        .map(|i| {
+            let fam_idx = qcs_desim::dist::weighted_index(&mut rng, &weights);
+            let family = config.mix[fam_idx].0;
+            let q = rng.range_u64(config.qubits.0 as u64, config.qubits.1 as u64) as u32;
+            let circuit_seed = rng.next_u64();
+            let circuit = build_circuit(family, q, circuit_seed, &mut rng);
+            let stats = circuit.stats();
+            let shots = rng.range_u64(config.shots.0, config.shots.1);
+            let job = QJob {
+                id: JobId(i as u64),
+                num_qubits: stats.num_qubits,
+                depth: stats.depth,
+                num_shots: shots,
+                two_qubit_gates: stats.two_qubit_gates,
+                arrival_time: 0.0,
+            };
+            CircuitJob {
+                job,
+                family,
+                circuit,
+            }
+        })
+        .collect()
+}
+
+/// Builds one circuit of the family at width `q`. Structural parameters
+/// (depth, rounds, densities) are drawn in the ranges that keep footprints
+/// comparable to the paper's synthetic jobs (d ∈ [5, 20]).
+fn build_circuit(
+    family: CircuitFamily,
+    q: u32,
+    circuit_seed: u64,
+    rng: &mut Xoshiro256StarStar,
+) -> Circuit {
+    match family {
+        CircuitFamily::RandomLayered => {
+            let depth = rng.range_u64(5, 20) as u32;
+            let frac = rng.range_f64(0.3, 0.7);
+            random_layered(q, depth, frac, circuit_seed)
+        }
+        CircuitFamily::QuantumVolume => quantum_volume(q, circuit_seed),
+        CircuitFamily::Ghz => ghz(q),
+        CircuitFamily::QaoaMaxCut => {
+            // Sparse random 3-ish-regular interaction graph.
+            let rounds = rng.range_u64(1, 3) as u32;
+            let g = qcs_topology::random_connected(q as usize, q as usize / 2, circuit_seed);
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            qaoa_maxcut(q, &edges, rounds, circuit_seed)
+        }
+        CircuitFamily::Trotter1d => {
+            let steps = rng.range_u64(2, 7) as u32;
+            trotter_1d(q, steps, 0.1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_match_circuits_exactly() {
+        let jobs = circuit_workload(60, &CircuitWorkloadConfig::default(), 42);
+        assert_eq!(jobs.len(), 60);
+        for cj in &jobs {
+            let s = cj.circuit.stats();
+            assert_eq!(cj.job.num_qubits, s.num_qubits);
+            assert_eq!(cj.job.depth, s.depth);
+            assert_eq!(cj.job.two_qubit_gates, s.two_qubit_gates);
+            cj.job.validate().unwrap();
+            assert!((130..=250).contains(&cj.job.num_qubits));
+            assert!((10_000..=100_000).contains(&cj.job.num_shots));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CircuitWorkloadConfig::default();
+        let a = circuit_workload(20, &cfg, 7);
+        let b = circuit_workload(20, &cfg, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, circuit_workload(20, &cfg, 8));
+    }
+
+    #[test]
+    fn family_mix_respected() {
+        let cfg = CircuitWorkloadConfig {
+            mix: vec![
+                (CircuitFamily::Ghz, 0.5),
+                (CircuitFamily::Trotter1d, 0.5),
+            ],
+            ..CircuitWorkloadConfig::default()
+        };
+        let jobs = circuit_workload(200, &cfg, 3);
+        let ghz_count = jobs.iter().filter(|j| j.family == CircuitFamily::Ghz).count();
+        assert!(jobs
+            .iter()
+            .all(|j| matches!(j.family, CircuitFamily::Ghz | CircuitFamily::Trotter1d)));
+        assert!(
+            (60..=140).contains(&ghz_count),
+            "50/50 mix grossly violated: {ghz_count}/200"
+        );
+    }
+
+    #[test]
+    fn single_family_workload() {
+        let cfg = CircuitWorkloadConfig {
+            mix: vec![(CircuitFamily::QuantumVolume, 1.0)],
+            qubits: (20, 30), // keep QV circuits small: t₂ grows as n²
+            ..CircuitWorkloadConfig::default()
+        };
+        let jobs = circuit_workload(10, &cfg, 1);
+        for cj in &jobs {
+            assert_eq!(cj.family, CircuitFamily::QuantumVolume);
+            // QV width n → depth n layers with 3-CX blocks.
+            assert!(cj.job.two_qubit_gates >= (cj.job.num_qubits / 2) * 3);
+        }
+    }
+
+    #[test]
+    fn locality_tags() {
+        assert_eq!(CircuitFamily::Ghz.locality(), CircuitLocality::Chain);
+        assert_eq!(CircuitFamily::Trotter1d.locality(), CircuitLocality::Chain);
+        assert_eq!(
+            CircuitFamily::QuantumVolume.locality(),
+            CircuitLocality::Random
+        );
+        for f in [
+            CircuitFamily::RandomLayered,
+            CircuitFamily::QuantumVolume,
+            CircuitFamily::Ghz,
+            CircuitFamily::QaoaMaxCut,
+            CircuitFamily::Trotter1d,
+        ] {
+            assert!(!f.label().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must not be empty")]
+    fn empty_mix_rejected() {
+        circuit_workload(
+            1,
+            &CircuitWorkloadConfig {
+                mix: vec![],
+                ..CircuitWorkloadConfig::default()
+            },
+            1,
+        );
+    }
+}

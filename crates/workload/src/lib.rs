@@ -1,0 +1,25 @@
+//! # qcs-workload — workload generation and job-file IO
+//!
+//! The paper's framework accepts jobs from "CSV/JSON files, or built-in
+//! models" (§3, Fig. 4). This crate provides:
+//!
+//! * [`suite`] — named workload presets, including the exact §7 case-study
+//!   configuration (1'000 jobs, q ~ U\[130,250\], d ~ U\[5,20\],
+//!   s ~ U\[10k,100k\]);
+//! * [`csv`] — deterministic job traces as CSV (hand-rolled: the format is
+//!   five columns);
+//! * [`json`] — the same via `serde_json`.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod circuits;
+pub mod csv;
+pub mod json;
+pub mod stats;
+pub mod suite;
+
+pub use arrival::{jobs_with_arrivals, poisson_process, uniform_arrivals, DiurnalProcess, Mmpp2};
+pub use circuits::{circuit_workload, CircuitFamily, CircuitJob, CircuitWorkloadConfig};
+pub use stats::WorkloadStats;
+pub use suite::{bursty_mmpp, paper_case_study, smoke, stress, Suite};

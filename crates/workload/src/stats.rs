@@ -1,0 +1,136 @@
+//! Workload characterisation: summary statistics of a job trace, used to
+//! sanity-check generated workloads and to report load factors in the
+//! harness.
+
+use qcs_desim::Welford;
+use qcs_qcloud::QJob;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a job trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Number of jobs.
+    pub count: usize,
+    /// Qubit-demand mean.
+    pub qubits_mean: f64,
+    /// Qubit-demand min/max.
+    pub qubits_range: (u64, u64),
+    /// Depth mean.
+    pub depth_mean: f64,
+    /// Shots mean.
+    pub shots_mean: f64,
+    /// Two-qubit-gate mean.
+    pub t2_mean: f64,
+    /// Total qubit·shot demand (a workload-size proxy).
+    pub total_qubit_shots: f64,
+    /// First arrival time.
+    pub first_arrival: f64,
+    /// Last arrival time.
+    pub last_arrival: f64,
+    /// Mean arrival rate over the arrival span (jobs/s); 0 for a batch.
+    pub arrival_rate: f64,
+}
+
+impl WorkloadStats {
+    /// Computes statistics over a job list (panics on an empty list — an
+    /// empty workload is a caller bug).
+    pub fn from_jobs(jobs: &[QJob]) -> Self {
+        assert!(!jobs.is_empty(), "empty workload");
+        let mut qubits = Welford::new();
+        let mut depth = Welford::new();
+        let mut shots = Welford::new();
+        let mut t2 = Welford::new();
+        let mut total_qs = 0.0;
+        let mut first = f64::INFINITY;
+        let mut last = f64::NEG_INFINITY;
+        let mut qmin = u64::MAX;
+        let mut qmax = 0u64;
+        for j in jobs {
+            qubits.push(j.num_qubits as f64);
+            depth.push(j.depth as f64);
+            shots.push(j.num_shots as f64);
+            t2.push(j.two_qubit_gates as f64);
+            total_qs += j.num_qubits as f64 * j.num_shots as f64;
+            first = first.min(j.arrival_time);
+            last = last.max(j.arrival_time);
+            qmin = qmin.min(j.num_qubits);
+            qmax = qmax.max(j.num_qubits);
+        }
+        let span = last - first;
+        WorkloadStats {
+            count: jobs.len(),
+            qubits_mean: qubits.mean(),
+            qubits_range: (qmin, qmax),
+            depth_mean: depth.mean(),
+            shots_mean: shots.mean(),
+            t2_mean: t2.mean(),
+            total_qubit_shots: total_qs,
+            first_arrival: first,
+            last_arrival: last,
+            arrival_rate: if span > 0.0 {
+                jobs.len() as f64 / span
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Estimated offered load against a fleet: mean fraction of the cloud's
+    /// qubit capacity demanded per mean job duration. Values ≫ 1 imply a
+    /// growing backlog (a closed batch like the case study is effectively
+    /// infinite load).
+    pub fn offered_load(&self, total_capacity: u64, mean_job_seconds: f64) -> f64 {
+        assert!(total_capacity > 0, "fleet has no qubits");
+        assert!(mean_job_seconds > 0.0, "job duration must be positive");
+        if self.arrival_rate == 0.0 {
+            return f64::INFINITY; // batch arrival: backlog by construction
+        }
+        self.arrival_rate * self.qubits_mean * mean_job_seconds / total_capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{paper_case_study, smoke};
+    use qcs_qcloud::jobgen::poisson_arrivals;
+    use qcs_qcloud::JobDistribution;
+
+    #[test]
+    fn case_study_statistics_match_distribution() {
+        let s = WorkloadStats::from_jobs(&paper_case_study(1).jobs);
+        assert_eq!(s.count, 1000);
+        // U[130, 250] mean = 190, U[5, 20] mean = 12.5, U[10k, 100k] = 55k.
+        assert!((s.qubits_mean - 190.0).abs() < 4.0, "{}", s.qubits_mean);
+        assert!((s.depth_mean - 12.5).abs() < 0.6, "{}", s.depth_mean);
+        assert!((s.shots_mean - 55_000.0).abs() < 3_000.0, "{}", s.shots_mean);
+        assert!(s.qubits_range.0 >= 130 && s.qubits_range.1 <= 250);
+        assert_eq!(s.arrival_rate, 0.0, "batch arrival");
+    }
+
+    #[test]
+    fn poisson_trace_rate_recovered() {
+        let jobs = poisson_arrivals(5_000, 0.2, &JobDistribution::default(), 2);
+        let s = WorkloadStats::from_jobs(&jobs);
+        assert!((s.arrival_rate - 0.2).abs() < 0.02, "{}", s.arrival_rate);
+        assert!(s.last_arrival > s.first_arrival);
+    }
+
+    #[test]
+    fn offered_load_semantics() {
+        let jobs = poisson_arrivals(2_000, 0.01, &JobDistribution::default(), 3);
+        let s = WorkloadStats::from_jobs(&jobs);
+        // 0.01 jobs/s × 190 qubits × 200 s / 635 qubits ≈ 0.60.
+        let rho = s.offered_load(635, 200.0);
+        assert!((0.4..0.8).contains(&rho), "load {rho}");
+        // Batch workload: infinite instantaneous load.
+        let batch = WorkloadStats::from_jobs(&smoke(10, 1).jobs);
+        assert!(batch.offered_load(635, 200.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn empty_trace_panics() {
+        let _ = WorkloadStats::from_jobs(&[]);
+    }
+}

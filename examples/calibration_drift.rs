@@ -1,0 +1,97 @@
+//! Noise-aware scheduling under calibration drift (the paper's §7.2
+//! limitation: fidelity estimates "do not account for … dynamic hardware
+//! variability").
+//!
+//! The error-aware policy ranks devices by a calibration snapshot. Here we
+//! let the *true* error rates drift (log-OU process) while the scheduler
+//! keeps using a stale snapshot, and measure how much fidelity the
+//! error-aware policy loses as its information ages.
+//!
+//! ```text
+//! cargo run --release --example calibration_drift
+//! ```
+
+use qcs::calibration::DriftModel;
+use qcs::desim::Xoshiro256StarStar;
+use qcs::prelude::*;
+
+fn run_with_staleness(drift_days: f64, seed: u64) -> (f64, f64) {
+    // Fleet whose *true* calibration has drifted `drift_days` since the
+    // snapshot the scheduler sees.
+    let mut fleet = qcs::calibration::ibm_fleet(seed);
+    let baseline: Vec<_> = fleet.iter().map(|d| d.calibration.clone()).collect();
+    let model = DriftModel::default();
+    let mut rng = Xoshiro256StarStar::new(seed ^ 0xD51F7);
+    for (dev, base) in fleet.iter_mut().zip(&baseline) {
+        model.step(
+            &mut dev.calibration,
+            base,
+            drift_days * 86_400.0,
+            &mut rng,
+        );
+    }
+
+    // The scheduler's ranking uses the *stale* error scores (from the
+    // baseline snapshot); execution fidelity uses the drifted truth. We
+    // model this by scheduling with a broker that saw the baseline scores:
+    // build the env from drifted profiles, but rank devices by the stale
+    // ordering (the stale ranking equals the baseline fleet's ranking,
+    // which is the construction-time ordering 0..5).
+    let jobs = qcs::workload::smoke(100, seed).jobs;
+    let env = QCloudSimEnv::new(
+        fleet,
+        Box::new(StaleRankBroker),
+        jobs,
+        SimParams::default(),
+        seed,
+    );
+    let s = env.run().summary;
+    (s.mean_fidelity, s.t_sim)
+}
+
+/// Ranks devices by the baseline ordering (device ids 0,1,… were created in
+/// ascending baseline error-score order) — i.e. a scheduler trusting a
+/// stale snapshot.
+struct StaleRankBroker;
+
+impl Broker for StaleRankBroker {
+    fn select(&mut self, job: &QJob, view: &CloudView) -> AllocationPlan {
+        let order: Vec<_> = view.devices.iter().map(|d| d.id).collect();
+        // Quality-strict like the paper's error-aware mode.
+        let target = qcs::qcloud::partition::capacity_fill(&order[..2], view, job.num_qubits);
+        let ok = target
+            .iter()
+            .all(|&(dev, amt)| view.devices[dev.index()].free >= amt);
+        if ok {
+            AllocationPlan::Dispatch(target)
+        } else {
+            AllocationPlan::Wait
+        }
+    }
+
+    fn name(&self) -> &str {
+        "stale-error-aware"
+    }
+}
+
+fn main() {
+    println!("staleness   μ_F (stale-ranked error-aware policy)");
+    let mut last = None;
+    for days in [0.0, 1.0, 3.0, 7.0, 14.0, 30.0] {
+        // Average over several seeds to smooth drift randomness.
+        let mut acc = 0.0;
+        let seeds = [11u64, 22, 33, 44];
+        for &s in &seeds {
+            acc += run_with_staleness(days, s).0;
+        }
+        let mu = acc / seeds.len() as f64;
+        println!("  {days:>4.0} d     {mu:.5}");
+        last = Some(mu);
+    }
+    let _ = last;
+    println!();
+    println!("As the snapshot ages the 'best two devices' ranking decays");
+    println!("toward arbitrary, and the error-aware policy's fidelity edge");
+    println!("erodes — quantifying the value of fresh calibration data that");
+    println!("the paper's error-aware mode presupposes.");
+}

@@ -1,0 +1,102 @@
+//! Circuit-backed workload: ground the paper's abstract job tuples in
+//! concrete generated circuits, schedule them, and ask — per circuit
+//! family — whether circuit *cutting* could have replaced real-time
+//! classical communication.
+//!
+//! ```text
+//! cargo run --release --example circuit_workload
+//! ```
+
+use qcs::circuit::{cut_circuit, CutCostModel};
+use qcs::prelude::*;
+use qcs::qcloud::model::comm::CommModel;
+use qcs::qcloud::model::exec_time::ExecTimeModel;
+use qcs::qcloud::model::fidelity::FidelityModel;
+use qcs::qcloud::{realtime_comm_outcome, FragmentSite};
+use qcs::workload::circuits::{circuit_workload, CircuitWorkloadConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    // 40 jobs whose (q, d, t2) footprints come from real circuits: a mix of
+    // random layered, QAOA, Trotter chains, GHZ and QV families.
+    let cfg = CircuitWorkloadConfig::default();
+    let circuit_jobs = circuit_workload(40, &cfg, 42);
+
+    println!("family mix:");
+    let mut by_family: BTreeMap<&str, usize> = BTreeMap::new();
+    for cj in &circuit_jobs {
+        *by_family.entry(cj.family.label()).or_insert(0) += 1;
+    }
+    for (f, n) in &by_family {
+        println!("  {f:>8}: {n} jobs");
+    }
+
+    // Schedule the footprints on the paper fleet under the speed policy.
+    let jobs: Vec<QJob> = circuit_jobs.iter().map(|cj| cj.job.clone()).collect();
+    let env = QCloudSimEnv::new(
+        qcs::calibration::ibm_fleet(42),
+        Box::new(SpeedBroker::new()),
+        jobs,
+        SimParams::default(),
+        42,
+    );
+    let result = env.run();
+    println!(
+        "\nscheduled {} circuit-backed jobs: makespan {:.0}s, mean fidelity {:.4}",
+        result.summary.jobs_finished, result.summary.t_sim, result.summary.mean_fidelity
+    );
+
+    // Per family: measure the real cut cost of splitting each circuit into
+    // ≤127-qubit fragments and compare with what the distributed execution
+    // actually paid.
+    println!("\ncutting feasibility per job (fragments ≤ 127 qubits):");
+    println!("  family      q    t2     cuts   shot-overhead   verdict");
+    let exec = ExecTimeModel::default();
+    let fid = FidelityModel::default();
+    let comm = CommModel::default();
+    for cj in circuit_jobs.iter().take(12) {
+        let plan = cut_circuit(&cj.circuit, 127, CutCostModel::default());
+        let model = CuttingExecModel {
+            cost: CutCostModel::default(),
+            locality: CircuitLocality::Fixed(plan.cut_gates),
+            exec,
+            fidelity: fid,
+        };
+        let q = cj.job.num_qubits;
+        let sites: Vec<FragmentSite> = plan
+            .subcircuits
+            .iter()
+            .map(|s| FragmentSite {
+                qubits: s.num_qubits,
+                clops: 220_000.0,
+                qv_layers: 7.0,
+                rates: qcs::qcloud::model::fidelity::DeviceErrorRates {
+                    single_qubit: 3e-4,
+                    two_qubit: 8e-3,
+                    readout: 1.5e-2,
+                },
+            })
+            .collect();
+        let cut = model.evaluate(&cj.job, &sites);
+        let rt = realtime_comm_outcome(&cj.job, &sites, &exec, &fid, &comm);
+        let verdict = if cut.wall_seconds < rt.wall_seconds {
+            "cutting wins"
+        } else if cut.sampling_overhead > 1e6 {
+            "cutting hopeless"
+        } else {
+            "comm wins"
+        };
+        println!(
+            "  {:>7} {:>4} {:>6} {:>7}   {:>12.3e}   {verdict}",
+            cj.family.label(),
+            q,
+            cj.job.two_qubit_gates,
+            plan.cut_gates,
+            cut.sampling_overhead,
+        );
+    }
+    println!(
+        "\n(the paper's §2 claim, quantified: only chain-structured circuits cut cheaply;\n \
+         dense families pay γ² = 9× shots per severed gate and lose by orders of magnitude)"
+    );
+}

@@ -1,0 +1,44 @@
+//! The paper's §7 case study at one-tenth scale: compare the speed,
+//! error-aware, fair, round-robin and random policies on the same 100-job
+//! trace and print a Table 2-style comparison.
+//!
+//! ```text
+//! cargo run --release --example compare_strategies
+//! ```
+
+use qcs::prelude::*;
+use qcs::qcloud::policies::by_name;
+
+fn main() {
+    let seed = 42;
+    let jobs = qcs::workload::smoke(100, seed).jobs;
+
+    println!("strategy    T_sim(s)     μ_F      σ_F    T_comm(s)  k̄     wait(s)");
+    for name in ["speed", "fidelity", "fair", "roundrobin", "random"] {
+        let env = QCloudSimEnv::new(
+            qcs::calibration::ibm_fleet(seed),
+            by_name(name, seed).expect("known policy"),
+            jobs.clone(),
+            SimParams::default(),
+            seed,
+        );
+        let r = env.run();
+        let s = &r.summary;
+        assert_eq!(s.jobs_unfinished, 0, "{name}: jobs starved");
+        println!(
+            "{:<10} {:>9.1}  {:.5}  {:.5}  {:>9.1}  {:.2}  {:>8.1}",
+            s.strategy,
+            s.t_sim,
+            s.mean_fidelity,
+            s.std_fidelity,
+            s.total_comm,
+            s.mean_devices_per_job,
+            s.mean_wait,
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper Table 2): the error-aware policy wins on");
+    println!("fidelity with the lowest T_comm but roughly doubles T_sim;");
+    println!("speed/fair finish fastest at intermediate fidelity.");
+}

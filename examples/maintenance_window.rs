@@ -1,0 +1,60 @@
+//! Scheduling through a device maintenance window (failure injection).
+//!
+//! Real clouds take QPUs offline for recalibration. This example drains
+//! `ibm_strasbourg` — half of the premium pair — for a window in the middle
+//! of the run and compares how each policy copes: the quality-strict
+//! error-aware policy stalls (it insists on the drained device), while the
+//! availability-greedy speed policy routes around the outage.
+//!
+//! ```text
+//! cargo run --release --example maintenance_window
+//! ```
+
+use qcs::prelude::*;
+use qcs::qcloud::policies::by_name;
+use qcs::qcloud::MaintenanceWindow;
+
+fn run(policy: &str, with_window: bool) -> SummaryStats {
+    let seed = 17;
+    let jobs = qcs::workload::smoke(60, seed).jobs;
+    let mut env = QCloudSimEnv::new(
+        qcs::calibration::ibm_fleet(seed),
+        by_name(policy, seed).unwrap(),
+        jobs,
+        SimParams::default(),
+        seed,
+    );
+    if with_window {
+        env.schedule_maintenance(
+            MaintenanceWindow {
+                device: 0,          // ibm_strasbourg
+                start: 2_000.0,     // mid-run
+                duration: 8_000.0,  // ~2.2 h offline
+            },
+        );
+    }
+    let r = env.run();
+    assert_eq!(r.summary.jobs_unfinished, 0, "{policy}: jobs starved");
+    r.summary
+}
+
+fn main() {
+    println!("policy     window   T_sim(s)    μ_F      mean_wait(s)");
+    for policy in ["speed", "fidelity", "fair"] {
+        for with_window in [false, true] {
+            let s = run(policy, with_window);
+            println!(
+                "{:<9}  {:<6}  {:>9.1}  {:.5}  {:>10.1}",
+                policy,
+                if with_window { "yes" } else { "no" },
+                s.t_sim,
+                s.mean_fidelity,
+                s.mean_wait,
+            );
+        }
+    }
+    println!();
+    println!("The outage costs the error-aware policy its whole window (it");
+    println!("waits for the premium pair), while speed/fair absorb it by");
+    println!("spilling to the remaining devices at a small fidelity cost.");
+}

@@ -1,0 +1,72 @@
+//! Train the PPO allocation policy (paper §4.1/§6.6), save it to JSON,
+//! reload it, and deploy it as a broker on a fresh workload.
+//!
+//! ```text
+//! cargo run --release --example train_rl_scheduler
+//! ```
+
+use qcs::prelude::*;
+use qcs::qcloud::policies::RlBroker;
+use qcs::rl::env::Env;
+
+fn main() {
+    let seed = 7;
+    let gym_cfg = GymConfig::default();
+
+    // --- 1. Build the vectorised training environment (4 worker threads).
+    let factories: Vec<Box<dyn FnOnce() -> Box<dyn Env> + Send>> = (0..4)
+        .map(|_| {
+            let cfg = gym_cfg.clone();
+            Box::new(move || {
+                Box::new(QCloudGymEnv::new(
+                    &qcs::calibration::ibm_fleet(seed),
+                    JobDistribution::default(),
+                    SimParams::default(),
+                    cfg,
+                )) as Box<dyn Env>
+            }) as Box<dyn FnOnce() -> Box<dyn Env> + Send>
+        })
+        .collect();
+    let mut envs = VecEnv::parallel(factories);
+
+    // --- 2. Train PPO (short budget for the example; the fig5 harness
+    //        runs the paper's full 100k timesteps).
+    let cfg = PpoConfig {
+        n_steps: 512,
+        seed,
+        ..PpoConfig::default()
+    };
+    let mut ppo = Ppo::new(gym_cfg.obs_dim(), gym_cfg.max_devices, cfg);
+    println!("training PPO for 20'000 timesteps...");
+    ppo.learn(&mut envs, 20_000);
+    for e in ppo.log().entries.iter().step_by(2) {
+        println!(
+            "  t = {:>6}  reward = {:.4}  entropy_loss = {:+.3}",
+            e.timesteps, e.ep_rew_mean, e.entropy_loss
+        );
+    }
+
+    // --- 3. Save + reload the policy (deployment artifact).
+    let json = ppo.ac.to_json();
+    println!("\npolicy serialised: {} bytes of JSON", json.len());
+    let broker = RlBroker::from_json(&json, gym_cfg).expect("reload policy");
+
+    // --- 4. Deploy on a fresh 100-job workload.
+    let jobs = qcs::workload::smoke(100, seed + 1).jobs;
+    let env = QCloudSimEnv::new(
+        qcs::calibration::ibm_fleet(seed),
+        Box::new(broker),
+        jobs,
+        SimParams::default(),
+        seed,
+    );
+    let r = env.run();
+    let s = &r.summary;
+    println!("\ndeployed rlbase on 100 jobs:");
+    println!("  T_sim = {:.1} s, μ_F = {:.5} ± {:.5}", s.t_sim, s.mean_fidelity, s.std_fidelity);
+    println!("  T_comm = {:.1} s, devices/job = {:.2}", s.total_comm, s.mean_devices_per_job);
+    println!("\nNote the paper's finding: trained on a fidelity-only reward,");
+    println!("the agent fragments jobs (k̄ high, T_comm high) because Eq. 6's");
+    println!("readout exponent √(q/k) rewards spreading. Retrain with");
+    println!("GymConfig::comm_aware_reward to see the incentive flip.");
+}

@@ -1,0 +1,68 @@
+//! # qcs — Quantum Cloud Scheduling simulator
+//!
+//! A production-quality Rust reproduction of *"Adaptive Job Scheduling in
+//! Quantum Clouds Using Reinforcement Learning"* (Luo, Zhao, Zhan, Guan —
+//! ICPP 2025, arXiv:2506.10889): a discrete-event simulator for quantum
+//! clouds in which jobs exceed any single QPU's capacity and are
+//! partitioned across devices linked by real-time classical communication,
+//! compared under four allocation strategies (speed, error-aware, fair,
+//! and PPO-trained reinforcement learning).
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`desim`] — deterministic discrete-event simulation kernel;
+//! * [`topology`] — qubit coupling-map graphs (incl. the 127-qubit
+//!   IBM Eagle heavy-hex lattice);
+//! * [`calibration`] — synthetic calibration snapshots, error scores,
+//!   drift;
+//! * [`rl`] — from-scratch PPO (Gym-style envs, MLP, Adam, GAE);
+//! * [`circuit`] — circuit IR, workload generators, and the CutQC-style
+//!   cutting cost model;
+//! * [`qcloud`] — the scheduling framework itself;
+//! * [`workload`] — job generation, arrival processes, CSV/JSON traces.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qcs::prelude::*;
+//!
+//! // Five IBM Eagle-class devices, 20 large jobs, the speed policy.
+//! let fleet = qcs::calibration::ibm_fleet(42);
+//! let jobs = qcs::workload::smoke(20, 42).jobs;
+//! let env = QCloudSimEnv::new(
+//!     fleet,
+//!     Box::new(SpeedBroker::new()),
+//!     jobs,
+//!     SimParams::default(),
+//!     42,
+//! );
+//! let result = env.run();
+//! assert_eq!(result.summary.jobs_finished, 20);
+//! println!("makespan = {:.0}s, mean fidelity = {:.4}",
+//!          result.summary.t_sim, result.summary.mean_fidelity);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qcs_calibration as calibration;
+pub use qcs_circuit as circuit;
+pub use qcs_desim as desim;
+pub use qcs_qcloud as qcloud;
+pub use qcs_rl as rl;
+pub use qcs_topology as topology;
+pub use qcs_workload as workload;
+
+/// The most common imports for building and running simulations.
+pub mod prelude {
+    pub use qcs_calibration::{ibm_fleet, DeviceProfile, ErrorScoreWeights};
+    pub use qcs_qcloud::policies::{
+        FairBroker, FidelityBroker, HybridBroker, MinFragBroker, RandomBroker, RlBroker,
+        RoundRobinBroker, SpeedBroker,
+    };
+    pub use qcs_qcloud::{
+        AllocationPlan, Broker, CircuitLocality, CloudView, CuttingExecModel, DeadlinePolicy,
+        DeviceView, GymConfig, JobDistribution, JobId, QCloudGymEnv, QCloudSimEnv, QJob,
+        QosReport, SimParams, SummaryStats,
+    };
+    pub use qcs_rl::{A2c, A2cConfig, Ppo, PpoConfig, VecEnv};
+}

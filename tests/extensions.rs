@@ -1,0 +1,165 @@
+//! Cross-crate integration tests for the extension layers: circuit-backed
+//! workloads, hybrid policies, cutting-vs-comm pricing, arrival processes
+//! and QoS reporting.
+
+use qcs::circuit::{cut_circuit, CutCostModel};
+use qcs::prelude::*;
+use qcs::qcloud::model::comm::CommModel;
+use qcs::qcloud::model::exec_time::ExecTimeModel;
+use qcs::qcloud::model::fidelity::{DeviceErrorRates, FidelityModel};
+use qcs::qcloud::policies::by_name;
+use qcs::qcloud::{realtime_comm_outcome, FragmentSite};
+use qcs::workload::arrival::{jobs_with_arrivals, poisson_process};
+use qcs::workload::circuits::{circuit_workload, CircuitWorkloadConfig};
+
+fn run_policy(broker: Box<dyn Broker>, jobs: Vec<QJob>, seed: u64) -> SummaryStats {
+    let env = QCloudSimEnv::new(
+        qcs::calibration::ibm_fleet(seed),
+        broker,
+        jobs,
+        SimParams::default(),
+        seed,
+    );
+    env.run().summary
+}
+
+#[test]
+fn circuit_backed_workload_schedules_end_to_end() {
+    let cjs = circuit_workload(25, &CircuitWorkloadConfig::default(), 11);
+    let jobs: Vec<QJob> = cjs.iter().map(|c| c.job.clone()).collect();
+    let summary = run_policy(Box::new(SpeedBroker::new()), jobs, 11);
+    assert_eq!(summary.jobs_finished, 25);
+    assert_eq!(summary.jobs_unfinished, 0);
+    assert!(summary.mean_fidelity > 0.3 && summary.mean_fidelity < 1.0);
+    assert!(summary.mean_devices_per_job >= 2.0, "all jobs must split");
+}
+
+#[test]
+fn strict_hybrid_at_full_weight_reproduces_fidelity_policy() {
+    let jobs = qcs::workload::smoke(40, 5).jobs;
+    let strict = run_policy(Box::new(HybridBroker::strict(1.0)), jobs.clone(), 5);
+    let fidelity = run_policy(Box::new(FidelityBroker::new()), jobs, 5);
+    assert_eq!(strict.jobs_finished, fidelity.jobs_finished);
+    assert!((strict.t_sim - fidelity.t_sim).abs() < 1e-6);
+    assert!((strict.mean_fidelity - fidelity.mean_fidelity).abs() < 1e-12);
+    assert!((strict.total_comm - fidelity.total_comm).abs() < 1e-9);
+}
+
+#[test]
+fn greedy_hybrid_at_zero_weight_reproduces_speed_policy() {
+    let jobs = qcs::workload::smoke(40, 6).jobs;
+    let hybrid = run_policy(Box::new(HybridBroker::new(0.0)), jobs.clone(), 6);
+    let speed = run_policy(Box::new(SpeedBroker::new()), jobs, 6);
+    assert!((hybrid.t_sim - speed.t_sim).abs() < 1e-6);
+    assert!((hybrid.mean_fidelity - speed.mean_fidelity).abs() < 1e-12);
+}
+
+#[test]
+fn minfrag_minimises_communication_among_greedy_policies() {
+    let jobs = qcs::workload::smoke(60, 7).jobs;
+    let minfrag = run_policy(by_name("minfrag", 7).unwrap(), jobs.clone(), 7);
+    let speed = run_policy(by_name("speed", 7).unwrap(), jobs.clone(), 7);
+    let fair = run_policy(by_name("fair", 7).unwrap(), jobs, 7);
+    assert!(
+        minfrag.total_comm <= speed.total_comm + 1e-9,
+        "minfrag {} vs speed {}",
+        minfrag.total_comm,
+        speed.total_comm
+    );
+    assert!(minfrag.total_comm <= fair.total_comm + 1e-9);
+    assert!(minfrag.mean_devices_per_job <= speed.mean_devices_per_job + 1e-12);
+}
+
+#[test]
+fn open_arrivals_all_jobs_complete_with_sane_qos() {
+    let arrivals = poisson_process(50, 0.01, 3);
+    let jobs = jobs_with_arrivals(&arrivals, &JobDistribution::default(), 0, 3);
+    let env = QCloudSimEnv::new(
+        qcs::calibration::ibm_fleet(3),
+        Box::new(FairBroker::new()),
+        jobs,
+        SimParams::default(),
+        3,
+    );
+    let result = env.run();
+    assert_eq!(result.summary.jobs_finished, 50);
+    let qos = QosReport::from_records(&result.records, DeadlinePolicy::default());
+    assert_eq!(qos.jobs, 50);
+    assert!(qos.wait_p50 >= 0.0);
+    assert!(qos.wait_p95 >= qos.wait_p50);
+    assert!(qos.wait_p99 >= qos.wait_p95);
+    assert!(qos.mean_slowdown >= 1.0);
+    assert!((0.0..=1.0).contains(&qos.deadline_miss_rate));
+}
+
+#[test]
+fn measured_cut_plans_price_consistently_with_job_level_model() {
+    // For a GHZ chain, the job-level Chain estimate and the measured cut
+    // plan must agree exactly: one cut for a bipartition.
+    let cjs = circuit_workload(
+        30,
+        &CircuitWorkloadConfig {
+            mix: vec![(qcs::workload::circuits::CircuitFamily::Ghz, 1.0)],
+            ..CircuitWorkloadConfig::default()
+        },
+        9,
+    );
+    let exec = ExecTimeModel::default();
+    let fid = FidelityModel::default();
+    for cj in cjs.iter().take(5) {
+        let plan = cut_circuit(&cj.circuit, 127, CutCostModel::default());
+        let q = cj.job.num_qubits;
+        let halves = vec![q / 2, q - q / 2];
+        let chain_model = CuttingExecModel::with_locality(CircuitLocality::Chain);
+        let estimated = chain_model.estimated_cuts(q, cj.job.two_qubit_gates, &halves);
+        // GHZ: t2 = q−1, one gate per bond → bipartition cuts exactly 1.
+        assert_eq!(estimated, 1, "q={q}");
+        assert_eq!(plan.cut_gates, 1, "measured plan for q={q}");
+    }
+    // And the comm outcome of the same fragments must carry the φ penalty
+    // that cutting avoids.
+    let cj = &cjs[0];
+    let rates = DeviceErrorRates {
+        single_qubit: 3e-4,
+        two_qubit: 8e-3,
+        readout: 1.5e-2,
+    };
+    let sites: Vec<FragmentSite> = [cj.job.num_qubits / 2, cj.job.num_qubits - cj.job.num_qubits / 2]
+        .iter()
+        .map(|&qubits| FragmentSite {
+            qubits,
+            clops: 220_000.0,
+            qv_layers: 7.0,
+            rates,
+        })
+        .collect();
+    let cut = CuttingExecModel::with_locality(CircuitLocality::Chain).evaluate(&cj.job, &sites);
+    let rt = realtime_comm_outcome(&cj.job, &sites, &exec, &fid, &CommModel::default());
+    assert!(
+        cut.fidelity > rt.fidelity,
+        "cutting avoids φ: {} vs {}",
+        cut.fidelity,
+        rt.fidelity
+    );
+    assert!(rt.comm_seconds > 0.0);
+    assert_eq!(cut.postprocessing_seconds, 4.0 / 1e8);
+}
+
+#[test]
+fn qos_reports_are_deterministic() {
+    let run = || {
+        let arrivals = poisson_process(30, 0.02, 8);
+        let jobs = jobs_with_arrivals(&arrivals, &JobDistribution::default(), 0, 8);
+        let env = QCloudSimEnv::new(
+            qcs::calibration::ibm_fleet(8),
+            Box::new(SpeedBroker::new()),
+            jobs,
+            SimParams::default(),
+            8,
+        );
+        let result = env.run();
+        let qos = QosReport::from_records(&result.records, DeadlinePolicy::default());
+        (qos.wait_p95, qos.mean_slowdown, result.summary.t_sim)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,138 @@
+//! Property-based integration tests over the paper's models: fidelity and
+//! timing invariants that must hold for any job/fleet configuration.
+
+use proptest::prelude::*;
+use qcs::prelude::*;
+use qcs::qcloud::model::comm::CommModel;
+use qcs::qcloud::model::exec_time::ExecTimeModel;
+use qcs::qcloud::model::fidelity::{DeviceErrorRates, FidelityModel, FidelityModelKind};
+use qcs::qcloud::partition::weights_to_parts;
+
+fn rates_strategy() -> impl Strategy<Value = DeviceErrorRates> {
+    (1e-5f64..5e-3, 1e-4f64..5e-2, 1e-4f64..1e-1).prop_map(|(s, t, r)| DeviceErrorRates {
+        single_qubit: s,
+        two_qubit: t,
+        readout: r,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fidelity is always a valid probability and decreases monotonically in
+    /// depth, gate count and device count.
+    #[test]
+    fn fidelity_bounded_and_monotone(
+        rates in rates_strategy(),
+        depth in 1u32..50,
+        t2 in 1u64..5000,
+        q in 10u64..300,
+        k in 1usize..6,
+    ) {
+        for kind in [FidelityModelKind::Section4, FidelityModelKind::Section6] {
+            let m = FidelityModel { kind };
+            let f = m.device_fidelity(&rates, depth, t2, q / k as u64 + 1, q, k);
+            prop_assert!((0.0..=1.0).contains(&f));
+
+            // Deeper circuit → no higher fidelity.
+            let deeper = m.device_fidelity(&rates, depth + 5, t2, q / k as u64 + 1, q, k);
+            prop_assert!(deeper <= f + 1e-12);
+
+            // More two-qubit gates → no higher fidelity.
+            let gatier = m.device_fidelity(&rates, depth, t2 * 2, q / k as u64 + 1, q, k);
+            prop_assert!(gatier <= f + 1e-12);
+        }
+    }
+
+    /// The φ communication penalty strictly decreases with device count
+    /// (for φ < 1) and final fidelity respects it.
+    #[test]
+    fn comm_penalty_monotone(k in 1usize..8, phi in 0.5f64..1.0) {
+        let c = CommModel { lambda: 0.02, phi };
+        prop_assert!(c.fidelity_penalty(k + 1) < c.fidelity_penalty(k) + 1e-15);
+        let m = FidelityModel::default();
+        let base = vec![0.8; k];
+        let more = vec![0.8; k + 1];
+        prop_assert!(m.final_fidelity(&more, phi) < m.final_fidelity(&base, phi) + 1e-12);
+    }
+
+    /// Communication time is linear in q and (k−1).
+    #[test]
+    fn comm_time_linear(q in 1u64..500, k in 2usize..6, lambda in 0.001f64..0.1) {
+        let c = CommModel { lambda, phi: 0.95 };
+        let t = c.comm_seconds(q, k);
+        prop_assert!((t - lambda * q as f64 * (k as f64 - 1.0)).abs() < 1e-9);
+        prop_assert!((c.comm_seconds(2 * q, k) - 2.0 * t).abs() < 1e-9);
+    }
+
+    /// Execution time is positive, linear in shots, inverse in CLOPS.
+    #[test]
+    fn exec_time_scaling(shots in 1u64..200_000, clops in 1_000f64..1e6) {
+        let m = ExecTimeModel::case_study();
+        let t = m.execution_seconds(shots, 7.0, clops);
+        prop_assert!(t > 0.0);
+        prop_assert!((m.execution_seconds(shots, 7.0, clops * 2.0) - t / 2.0).abs() < t * 1e-9 + 1e-12);
+    }
+
+    /// Action post-processing (§4.1): any weight vector over any feasible
+    /// limit set yields a partition that sums exactly to q and respects
+    /// per-device limits.
+    #[test]
+    fn weights_to_parts_invariants(
+        weights in proptest::collection::vec(-2.0f32..2.0, 5),
+        q in 1u64..600,
+        limits in proptest::collection::vec(0u64..200, 5),
+    ) {
+        let total: u64 = limits.iter().sum();
+        match weights_to_parts(&weights, q, &limits) {
+            Some(parts) => {
+                prop_assert!(total >= q);
+                let sum: u64 = parts.iter().map(|&(_, a)| a).sum();
+                prop_assert_eq!(sum, q);
+                for &(d, a) in &parts {
+                    prop_assert!(a > 0);
+                    prop_assert!(a <= limits[d.index()]);
+                }
+                // No duplicate devices.
+                let mut ids: Vec<_> = parts.iter().map(|&(d, _)| d).collect();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), parts.len());
+            }
+            None => prop_assert!(total < q, "refused a feasible allocation"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-stack property: for any small workload, every policy finishes
+    /// every job, no qubits leak, and all timestamps are ordered.
+    #[test]
+    fn any_workload_completes(
+        n_jobs in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        use qcs::qcloud::policies::by_name;
+        let jobs = qcs::workload::smoke(n_jobs, seed).jobs;
+        for policy in ["speed", "fidelity", "fair"] {
+            let env = QCloudSimEnv::new(
+                qcs::calibration::ibm_fleet(seed),
+                by_name(policy, seed).unwrap(),
+                jobs.clone(),
+                SimParams::default(),
+                seed,
+            );
+            let r = env.run();
+            prop_assert_eq!(r.summary.jobs_finished, n_jobs);
+            for rec in &r.records {
+                prop_assert!(rec.start >= rec.arrival);
+                prop_assert!(rec.exec_end > rec.start);
+                prop_assert!(rec.finish >= rec.exec_end);
+                prop_assert!((0.0..=1.0).contains(&rec.fidelity));
+                let allocated: u64 = rec.parts.iter().map(|&(_, a)| a).sum();
+                prop_assert_eq!(allocated, rec.num_qubits);
+            }
+        }
+    }
+}
