@@ -48,5 +48,10 @@ fn bench_partition_and_cut(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_stats, bench_partition_and_cut);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_stats,
+    bench_partition_and_cut
+);
 criterion_main!(benches);

@@ -1,11 +1,155 @@
 //! RL stack benchmarks: policy inference latency (the per-decision cost of
-//! the RL broker) and PPO optimisation throughput.
+//! the RL broker), rollout-collection throughput (per-env vs batched — the
+//! dominant cost of every training experiment), and PPO optimisation
+//! throughput.
+//!
+//! The rollout benchmarks also emit `BENCH_rollout.json` at the repository
+//! root with before/after steps-per-second, so the perf trajectory of the
+//! batched hot path is tracked across PRs.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use qcs_desim::Xoshiro256StarStar;
+use qcs_rl::env::{Env, StepInfo};
 use qcs_rl::envs::bandit::ContinuousBandit;
+use qcs_rl::envs::pointmass::PointMass;
+use qcs_rl::nn::Matrix;
 use qcs_rl::policy::{ActScratch, ActorCritic};
 use qcs_rl::{Ppo, PpoConfig, VecEnv};
+
+const N_ENVS: usize = 16;
+const HORIZON: usize = 64;
+
+fn pointmass_envs(n: usize) -> Vec<Box<dyn Env>> {
+    (0..n)
+        .map(|s| Box::new(PointMass::new(HORIZON).with_tag(s as u64)) as Box<dyn Env>)
+        .collect()
+}
+
+fn pointmass_vecenv(n: usize) -> VecEnv {
+    VecEnv::sequential(pointmass_envs(n))
+}
+
+/// The seed's matmul: row-at-a-time axpy accumulation into a zeroed output
+/// (reloading/storing the output row every `k` iteration), kept verbatim as
+/// the "before" kernel for the rollout-throughput comparison.
+fn seed_matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    out.reshape_zeroed(a.rows(), b.cols());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        let a_row = &a.data()[i * k..(i + 1) * k];
+        let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b.data()[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// The seed's per-sample MLP forward: allocate a fresh `[1, obs]` input,
+/// seed-kernel matmul + separate bias pass per layer, scalar libm `tanh`.
+fn seed_forward(net: &qcs_rl::nn::Mlp, obs: &[f32], bufs: &mut Vec<Matrix>) -> f64 {
+    bufs.resize_with(net.layers().len() + 1, || Matrix::zeros(0, 0));
+    bufs[0] = Matrix::from_vec(1, obs.len(), obs.to_vec());
+    for (i, layer) in net.layers().iter().enumerate() {
+        let (head, tail) = bufs.split_at_mut(i + 1);
+        let input = &head[i];
+        let out = &mut tail[0];
+        seed_matmul(input, &layer.w, out);
+        for (o, &bias) in out.row_mut(0).iter_mut().zip(&layer.b) {
+            *o += bias;
+        }
+        if i + 1 < net.layers().len() {
+            for v in out.data_mut() {
+                *v = v.tanh();
+            }
+        }
+    }
+    bufs.last().unwrap().get(0, 0) as f64
+}
+
+/// The seed's rollout loop: one policy + one value forward per env per step
+/// (1-row GEMVs through [`seed_forward`]), per-step action/observation
+/// allocations, and direct per-env stepping with seed-style auto-reset —
+/// deliberately NOT routed through the new `VecEnv` wrappers, so the
+/// recorded baseline pays exactly (and only) what the seed paid.
+fn rollout_per_env(ac: &ActorCritic, envs: &mut [Box<dyn Env>], steps: usize) -> f64 {
+    let mut rng = Xoshiro256StarStar::new(7);
+    let mut pi_bufs: Vec<Matrix> = Vec::new();
+    let mut vf_bufs: Vec<Matrix> = Vec::new();
+    // Seed-style reset: per-env base seeds from one SplitMix64 stream, and
+    // per-episode reseeding on done (matching the seed AutoReset wrapper).
+    let mut sm = qcs_desim::SplitMix64::new(11);
+    let base_seeds: Vec<u64> = envs.iter().map(|_| sm.next_u64()).collect();
+    let episode_seed = |base: u64, episode: u64| -> u64 {
+        qcs_desim::SplitMix64::new(base ^ episode.wrapping_mul(0x2545F4914F6CDD1D)).next_u64()
+    };
+    let mut episodes = vec![0u64; envs.len()];
+    let mut obs: Vec<Vec<f32>> = envs
+        .iter_mut()
+        .zip(&base_seeds)
+        .map(|(env, &s)| env.reset(episode_seed(s, 0)))
+        .collect();
+    let mut reward_acc = 0.0;
+    for _ in 0..steps {
+        for (e, env) in envs.iter_mut().enumerate() {
+            let _ = seed_forward(&ac.pi, &obs[e], &mut pi_bufs);
+            let mean = pi_bufs.last().unwrap().row(0);
+            let action: Vec<f32> = mean
+                .iter()
+                .zip(&ac.log_std)
+                .map(|(&mu, &ls)| mu + ls.exp() * qcs_desim::dist::standard_normal(&mut rng) as f32)
+                .collect();
+            let _value = seed_forward(&ac.vf, &obs[e], &mut vf_bufs);
+            let mut r = env.step(&action);
+            if r.done() {
+                episodes[e] += 1;
+                r.obs = env.reset(episode_seed(base_seeds[e], episodes[e]));
+            }
+            reward_acc += r.reward;
+            obs[e] = r.obs.clone();
+        }
+    }
+    reward_acc
+}
+
+/// The batched rollout hot path: one policy GEMM + one value GEMM per step
+/// over all envs, observations written into reusable matrices.
+fn rollout_batched(ac: &ActorCritic, envs: &mut VecEnv, steps: usize) -> f64 {
+    let n = envs.num_envs();
+    let mut rng = Xoshiro256StarStar::new(7);
+    let mut scratch = ActScratch::new();
+    let mut obs = Matrix::zeros(0, 0);
+    envs.reset_into(11, &mut obs);
+    let mut next_obs = Matrix::zeros(0, 0);
+    let mut actions = Matrix::zeros(0, 0);
+    let mut logps = vec![0.0; n];
+    let mut values = vec![0.0; n];
+    let mut infos = vec![StepInfo::default(); n];
+    let mut reward_acc = 0.0;
+    for _ in 0..steps {
+        ac.act_batch(
+            &obs,
+            &mut rng,
+            &mut scratch,
+            &mut actions,
+            &mut logps,
+            &mut values,
+        );
+        envs.step_into(&actions, &mut next_obs, &mut infos);
+        for info in &infos {
+            reward_acc += info.reward;
+        }
+        std::mem::swap(&mut obs, &mut next_obs);
+    }
+    reward_acc
+}
 
 fn bench_policy_forward(c: &mut Criterion) {
     let mut rng = Xoshiro256StarStar::new(1);
@@ -18,6 +162,101 @@ fn bench_policy_forward(c: &mut Criterion) {
     c.bench_function("rl/policy_sample_16obs_5act", |b| {
         b.iter(|| ac.act(&obs, &mut rng, &mut scratch))
     });
+
+    // Batched inference: 16 policies queries per call vs 16 act() calls.
+    let obs_mat = Matrix::from_vec(16, 16, (0..256).map(|i| (i % 7) as f32 * 0.1).collect());
+    let mut actions = Matrix::zeros(0, 0);
+    let mut logps = vec![0.0; 16];
+    let mut values = vec![0.0; 16];
+    c.bench_function("rl/act_batch_16x_16obs_5act", |b| {
+        b.iter(|| {
+            ac.act_batch(
+                &obs_mat,
+                &mut rng,
+                &mut scratch,
+                &mut actions,
+                &mut logps,
+                &mut values,
+            )
+        })
+    });
+    c.bench_function("rl/act_per_env_16x_16obs_5act", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for r in 0..16 {
+                let (_a, lp, _v) = ac.act(obs_mat.row(r), &mut rng, &mut scratch);
+                acc += lp;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_rollout(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::new(2);
+    let ac = ActorCritic::new(2, 2, &mut rng);
+    let steps = 256usize;
+
+    let mut group = c.benchmark_group("rl/rollout_pointmass_16env");
+    group.throughput(Throughput::Elements((steps * N_ENVS) as u64));
+    let mut raw_envs = pointmass_envs(N_ENVS);
+    group.bench_function("per_env", |b| {
+        b.iter(|| rollout_per_env(&ac, &mut raw_envs, steps))
+    });
+    let mut envs = pointmass_vecenv(N_ENVS);
+    group.bench_function("batched", |b| {
+        b.iter(|| rollout_batched(&ac, &mut envs, steps))
+    });
+    group.finish();
+
+    write_rollout_json(&ac);
+}
+
+/// Measures both rollout paths directly and records steps-per-second (and
+/// the speedup) in `BENCH_rollout.json` at the repository root.
+fn write_rollout_json(ac: &ActorCritic) {
+    if cfg!(debug_assertions) {
+        // Unoptimised numbers would corrupt the tracked perf trajectory;
+        // only measure from `cargo bench` (release) builds.
+        return;
+    }
+    let budget = 0.7f64;
+    let steps = 256usize;
+    let mut raw_envs = pointmass_envs(N_ENVS);
+    let mut envs = pointmass_vecenv(N_ENVS);
+
+    // Warm up, then repeat whole rollouts until the time budget runs out;
+    // report the best observed steps/second (least-noise estimate).
+    let run = |f: &mut dyn FnMut() -> f64| {
+        let _ = std::hint::black_box(f());
+        let start = Instant::now();
+        let mut best = 0.0f64;
+        loop {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.max((steps * N_ENVS) as f64 / dt);
+            if start.elapsed().as_secs_f64() > budget {
+                break;
+            }
+        }
+        best
+    };
+
+    let per_env_sps = run(&mut || rollout_per_env(ac, &mut raw_envs, steps));
+    let batched_sps = run(&mut || rollout_batched(ac, &mut envs, steps));
+    let speedup = batched_sps / per_env_sps;
+
+    let json = format!(
+        "{{\n  \"bench\": \"rollout_pointmass\",\n  \"n_envs\": {N_ENVS},\n  \"horizon\": {HORIZON},\n  \"steps_per_rollout\": {steps},\n  \"per_env_steps_per_sec\": {per_env_sps:.1},\n  \"batched_steps_per_sec\": {batched_sps:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rollout.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+    println!(
+        "rollout throughput: per-env {per_env_sps:.0} steps/s, batched {batched_sps:.0} steps/s ({speedup:.2}x) -> BENCH_rollout.json"
+    );
 }
 
 fn bench_ppo_iteration(c: &mut Criterion) {
@@ -47,5 +286,10 @@ fn bench_ppo_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policy_forward, bench_ppo_iteration);
+criterion_group!(
+    benches,
+    bench_policy_forward,
+    bench_rollout,
+    bench_ppo_iteration
+);
 criterion_main!(benches);

@@ -8,7 +8,9 @@ use qcs_topology::{
 };
 
 fn bench_builders(c: &mut Criterion) {
-    c.bench_function("topology/heavy_hex_eagle_build", |b| b.iter(heavy_hex_eagle));
+    c.bench_function("topology/heavy_hex_eagle_build", |b| {
+        b.iter(heavy_hex_eagle)
+    });
     c.bench_function("topology/heavy_hex_29x15_build", |b| {
         b.iter(|| heavy_hex(29, 15))
     });
@@ -28,7 +30,11 @@ fn bench_algorithms(c: &mut Criterion) {
     group.finish();
 
     c.bench_function("topology/disjoint_partition_3x40", |b| {
-        b.iter(|| disjoint_connected_partition(&g, &[40, 40, 40]).unwrap().len())
+        b.iter(|| {
+            disjoint_connected_partition(&g, &[40, 40, 40])
+                .unwrap()
+                .len()
+        })
     });
 }
 

@@ -194,13 +194,7 @@ fn reward_sweep(seed: u64) {
         s.jobs.truncate(n_jobs);
         s.jobs
     };
-    let mut table = AsciiTable::new(&[
-        "reward",
-        "train_reward",
-        "deploy_mu_F",
-        "T_comm",
-        "k_mean",
-    ]);
+    let mut table = AsciiTable::new(&["reward", "train_reward", "deploy_mu_F", "T_comm", "k_mean"]);
     for comm_aware in [false, true] {
         eprintln!(
             "[ablation] training {} policy ({timesteps} steps)...",
@@ -216,7 +210,12 @@ fn reward_sweep(seed: u64) {
         };
         let r = run_strategy(&spec, jobs.clone(), &SimParams::default(), seed);
         table.row(vec![
-            if comm_aware { "comm-aware" } else { "plain (paper)" }.into(),
+            if comm_aware {
+                "comm-aware"
+            } else {
+                "plain (paper)"
+            }
+            .into(),
             format!("{:.4}", out.ppo.log().final_reward()),
             format!("{:.5}", r.summary.mean_fidelity),
             format!("{:.1}", r.summary.total_comm),
@@ -311,15 +310,16 @@ fn algo_sweep(seed: u64) {
     // Evaluate both deterministically on a common env.
     let mut table = AsciiTable::new(&["algorithm", "final_train_reward", "eval_reward"]);
     for (name, ac, train_r) in [
-        (
-            "ppo",
-            &ppo_out.ppo.ac,
-            ppo_out.ppo.log().final_reward(),
-        ),
+        ("ppo", &ppo_out.ppo.ac, ppo_out.ppo.log().final_reward()),
         (
             "reinforce",
             &reinforce.ac,
-            reinforce.log().entries.last().map(|e| e.ep_rew_mean).unwrap_or(f64::NAN),
+            reinforce
+                .log()
+                .entries
+                .last()
+                .map(|e| e.ep_rew_mean)
+                .unwrap_or(f64::NAN),
         ),
     ] {
         let mut eval_env = mk_env();

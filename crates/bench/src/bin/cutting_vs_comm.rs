@@ -76,11 +76,17 @@ fn main() {
     // ---------- Part 1: density sweep under both localities ----------
     println!("\nPart 1 — density sweep (q=190, d=12, s=50k, 2 premium devices)\n");
     let mut table = AsciiTable::new(&[
-        "locality", "t2", "cuts", "overhead", "cut wall (s)", "comm wall (s)", "winner",
-        "F_cut", "F_comm",
+        "locality",
+        "t2",
+        "cuts",
+        "overhead",
+        "cut wall (s)",
+        "comm wall (s)",
+        "winner",
+        "F_cut",
+        "F_comm",
     ]);
-    let mut csv =
-        String::from("locality,t2,cuts,overhead,cut_wall,comm_wall,fid_cut,fid_comm\n");
+    let mut csv = String::from("locality,t2,cuts,overhead,cut_wall,comm_wall,fid_cut,fid_comm\n");
     let q = 190u64;
     for locality in [CircuitLocality::Chain, CircuitLocality::Random] {
         let model = CuttingExecModel {
@@ -118,8 +124,12 @@ fn main() {
             ]);
             csv.push_str(&format!(
                 "{loc},{t2},{},{:.6e},{:.6e},{:.3},{:.5},{:.5}\n",
-                cut.cuts, cut.sampling_overhead, cut.wall_seconds, rt.wall_seconds,
-                cut.fidelity, rt.fidelity
+                cut.cuts,
+                cut.sampling_overhead,
+                cut.wall_seconds,
+                rt.wall_seconds,
+                cut.fidelity,
+                rt.fidelity
             ));
         }
     }
@@ -129,7 +139,14 @@ fn main() {
     // ---------- Part 2: measured cuts on concrete circuits ----------
     println!("\nPart 2 — measured cut counts per circuit family (fragments ≤ 127 qubits)\n");
     let mut fam_table = AsciiTable::new(&[
-        "family", "q", "t2", "cuts", "overhead", "cut wall (s)", "comm wall (s)", "winner",
+        "family",
+        "q",
+        "t2",
+        "cuts",
+        "overhead",
+        "cut wall (s)",
+        "comm wall (s)",
+        "winner",
     ]);
     let mut fam_csv = String::from("family,q,t2,cuts,overhead,cut_wall,comm_wall,winner\n");
     let cfg = CircuitWorkloadConfig::default();

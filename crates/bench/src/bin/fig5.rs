@@ -56,9 +56,17 @@ fn main() {
 
     println!("Fig. 5 — PPO training progress ({timesteps} timesteps)");
     println!();
-    println!("avg episode reward  [{:.4} → {:.4}]", rewards.first().unwrap_or(&f64::NAN), rewards.last().unwrap_or(&f64::NAN));
+    println!(
+        "avg episode reward  [{:.4} → {:.4}]",
+        rewards.first().unwrap_or(&f64::NAN),
+        rewards.last().unwrap_or(&f64::NAN)
+    );
     println!("  {}", sparkline(&rewards, 80));
-    println!("entropy loss        [{:.3} → {:.3}]  (paper: ≈ −7 → −2)", entropy.first().unwrap_or(&f64::NAN), entropy.last().unwrap_or(&f64::NAN));
+    println!(
+        "entropy loss        [{:.3} → {:.3}]  (paper: ≈ −7 → −2)",
+        entropy.first().unwrap_or(&f64::NAN),
+        entropy.last().unwrap_or(&f64::NAN)
+    );
     println!("  {}", sparkline(&entropy, 80));
     println!();
     println!(
@@ -80,5 +88,9 @@ fn main() {
         "rl_policy.json"
     });
     std::fs::write(&policy_path, out.policy_json()).expect("cannot write policy");
-    eprintln!("[fig5] wrote {} and {}", csv_path.display(), policy_path.display());
+    eprintln!(
+        "[fig5] wrote {} and {}",
+        csv_path.display(),
+        policy_path.display()
+    );
 }

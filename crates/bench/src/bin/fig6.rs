@@ -45,7 +45,11 @@ fn main() {
     let params = SimParams::default();
     let specs = table2_strategies(policy_json, GymConfig::default());
 
-    eprintln!("[fig6] running {} strategies × {} jobs...", specs.len(), suite.jobs.len());
+    eprintln!(
+        "[fig6] running {} strategies × {} jobs...",
+        specs.len(),
+        suite.jobs.len()
+    );
     let results = run_strategies(&specs, &suite.jobs, &params, seed);
 
     // Common range across strategies so the four panels are comparable,

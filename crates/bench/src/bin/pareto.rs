@@ -40,7 +40,13 @@ fn main() {
     eprintln!("[pareto] {n_jobs} jobs, {steps} weight steps, seed {seed}");
 
     let mut table = AsciiTable::new(&[
-        "policy", "T_sim (s)", "mu_F", "sigma_F", "T_comm (s)", "k_bar", "mean_wait (s)",
+        "policy",
+        "T_sim (s)",
+        "mu_F",
+        "sigma_F",
+        "T_comm (s)",
+        "k_bar",
+        "mean_wait (s)",
     ]);
     let mut csv = String::from("policy,w,strict,t_sim,mu_f,sigma_f,t_comm,k_bar,mean_wait\n");
 
@@ -59,7 +65,11 @@ fn main() {
         ]);
         csv.push_str(&format!(
             "{label},{w:.2},{strict},{:.2},{:.6},{:.6},{:.2},{:.3},{:.2}\n",
-            s.t_sim, s.mean_fidelity, s.std_fidelity, s.total_comm, s.mean_devices_per_job,
+            s.t_sim,
+            s.mean_fidelity,
+            s.std_fidelity,
+            s.total_comm,
+            s.mean_devices_per_job,
             s.mean_wait
         ));
         eprintln!(

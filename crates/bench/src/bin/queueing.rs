@@ -14,8 +14,8 @@ use qcs_bench::runner::results_dir;
 use qcs_bench::table::AsciiTable;
 use qcs_calibration::ibm_fleet;
 use qcs_qcloud::policies::by_name;
-use qcs_qcloud::{DeadlinePolicy, QCloudSimEnv, QosReport, SimParams};
 use qcs_qcloud::JobDistribution;
+use qcs_qcloud::{DeadlinePolicy, QCloudSimEnv, QosReport, SimParams};
 use qcs_workload::arrival::{jobs_with_arrivals, poisson_process};
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -47,7 +47,12 @@ fn main() {
             arrivals.last().copied().unwrap_or(0.0)
         );
         let mut table = AsciiTable::new(&[
-            "policy", "wait p50 (s)", "wait p95 (s)", "wait p99 (s)", "slowdown", "BSLD",
+            "policy",
+            "wait p50 (s)",
+            "wait p95 (s)",
+            "wait p99 (s)",
+            "slowdown",
+            "BSLD",
             "miss rate",
         ]);
         for pol in policies {

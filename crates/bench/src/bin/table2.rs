@@ -52,11 +52,8 @@ fn main() {
         );
         let json = out.policy_json();
         std::fs::write(&policy_path, &json).expect("cannot cache policy");
-        std::fs::write(
-            dir.join("rl_training_log.csv"),
-            out.ppo.log().to_csv(),
-        )
-        .expect("cannot write training log");
+        std::fs::write(dir.join("rl_training_log.csv"), out.ppo.log().to_csv())
+            .expect("cannot write training log");
         json
     };
 
@@ -73,7 +70,10 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let results = run_strategies(&specs, &suite.jobs, &params, seed);
-    eprintln!("[table2] simulations done in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[table2] simulations done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     // --- Render. ---
     let mut table = AsciiTable::new(&[

@@ -1,9 +1,7 @@
 //! Strategy execution helpers shared by the harness binaries.
 
 use qcs_calibration::ibm_fleet;
-use qcs_qcloud::policies::{
-    by_name, FairBroker, FidelityBroker, RlBroker, SpeedBroker,
-};
+use qcs_qcloud::policies::{by_name, FairBroker, FidelityBroker, RlBroker, SpeedBroker};
 use qcs_qcloud::simenv::RunResult;
 use qcs_qcloud::{Broker, GymConfig, QCloudSimEnv, QJob, SimParams};
 
@@ -38,8 +36,7 @@ impl StrategySpec {
                 by_name(n, seed).unwrap_or_else(|| panic!("unknown strategy '{n}'"))
             }
             StrategySpec::Rl { policy_json, gym } => Box::new(
-                RlBroker::from_json(policy_json, gym.clone())
-                    .expect("invalid RL policy JSON"),
+                RlBroker::from_json(policy_json, gym.clone()).expect("invalid RL policy JSON"),
             ),
         }
     }
@@ -52,7 +49,13 @@ pub fn run_strategy(
     params: &SimParams,
     seed: u64,
 ) -> RunResult {
-    let env = QCloudSimEnv::new(ibm_fleet(seed), spec.broker(seed), jobs, params.clone(), seed);
+    let env = QCloudSimEnv::new(
+        ibm_fleet(seed),
+        spec.broker(seed),
+        jobs,
+        params.clone(),
+        seed,
+    );
     env.run()
 }
 
@@ -64,10 +67,8 @@ pub fn run_strategies(
     params: &SimParams,
     seed: u64,
 ) -> Vec<RunResult> {
-    let items: Vec<(StrategySpec, Vec<QJob>)> = specs
-        .iter()
-        .map(|s| (s.clone(), jobs.to_vec()))
-        .collect();
+    let items: Vec<(StrategySpec, Vec<QJob>)> =
+        specs.iter().map(|s| (s.clone(), jobs.to_vec())).collect();
     qcs_desim::parallel::par_map(items, specs.len(), |(spec, jobs)| {
         run_strategy(&spec, jobs, params, seed)
     })
@@ -116,13 +117,7 @@ mod tests {
         let params = SimParams::default();
         let spec = StrategySpec::Named("speed".into());
         let a = run_strategy(&spec, jobs.clone(), &params, 3);
-        let env = QCloudSimEnv::new(
-            ibm_fleet(3),
-            Box::new(SpeedBroker::new()),
-            jobs,
-            params,
-            3,
-        );
+        let env = QCloudSimEnv::new(ibm_fleet(3), Box::new(SpeedBroker::new()), jobs, params, 3);
         let b = env.run();
         assert_eq!(a.summary.t_sim, b.summary.t_sim);
         assert_eq!(a.summary.mean_fidelity, b.summary.mean_fidelity);

@@ -87,7 +87,11 @@ mod tests {
             first.entropy_loss,
             last.entropy_loss
         );
-        assert!(last.ep_rew_mean > 0.3, "reward collapsed: {}", last.ep_rew_mean);
+        assert!(
+            last.ep_rew_mean > 0.3,
+            "reward collapsed: {}",
+            last.ep_rew_mean
+        );
         // Initial entropy of a 5-dim unit Gaussian ≈ 7.09 → loss ≈ −7.
         assert!(
             (first.entropy_loss + 7.09).abs() < 0.8,
@@ -101,8 +105,7 @@ mod tests {
         use qcs_qcloud::Broker;
         let out = train_allocation_policy(2_000, 2, 13, false);
         let json = out.policy_json();
-        let broker =
-            qcs_qcloud::policies::RlBroker::from_json(&json, out.gym.clone()).unwrap();
+        let broker = qcs_qcloud::policies::RlBroker::from_json(&json, out.gym.clone()).unwrap();
         assert_eq!(broker.name(), "rlbase");
     }
 }

@@ -82,7 +82,10 @@ pub fn snapshot_from_csv(text: &str) -> Result<CalibrationSnapshot, String> {
             }
             Section::Qubits => {
                 if fields.len() != 5 {
-                    return Err(format!("line {n}: expected 5 qubit fields, got {}", fields.len()));
+                    return Err(format!(
+                        "line {n}: expected 5 qubit fields, got {}",
+                        fields.len()
+                    ));
                 }
                 let idx: usize = fields[0]
                     .parse()
@@ -107,7 +110,10 @@ pub fn snapshot_from_csv(text: &str) -> Result<CalibrationSnapshot, String> {
             }
             Section::Edges => {
                 if fields.len() != 4 {
-                    return Err(format!("line {n}: expected 4 edge fields, got {}", fields.len()));
+                    return Err(format!(
+                        "line {n}: expected 4 edge fields, got {}",
+                        fields.len()
+                    ));
                 }
                 let a: u32 = fields[1]
                     .parse()
@@ -150,7 +156,12 @@ mod tests {
 
     fn sample() -> CalibrationSnapshot {
         let mut rng = Xoshiro256StarStar::new(42);
-        synth_snapshot(&heavy_hex_eagle(), &SynthErrorRanges::default(), 0.0, &mut rng)
+        synth_snapshot(
+            &heavy_hex_eagle(),
+            &SynthErrorRanges::default(),
+            0.0,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -183,7 +194,9 @@ mod tests {
     #[test]
     fn rejects_sparse_qubit_rows() {
         let txt = "qubit,readout_error,rx_error,t1_us,t2_us\n2,0.1,0.001,100,100\n";
-        assert!(snapshot_from_csv(txt).unwrap_err().contains("dense and ordered"));
+        assert!(snapshot_from_csv(txt)
+            .unwrap_err()
+            .contains("dense and ordered"));
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl CalibrationSnapshot {
     pub fn validate(&self) -> Result<(), String> {
         for (i, q) in self.qubits.iter().enumerate() {
             if !(0.0..=1.0).contains(&q.readout_error) {
-                return Err(format!("qubit {i}: readout error {} out of [0,1]", q.readout_error));
+                return Err(format!(
+                    "qubit {i}: readout error {} out of [0,1]",
+                    q.readout_error
+                ));
             }
             if !(0.0..=1.0).contains(&q.rx_error) {
                 return Err(format!("qubit {i}: rx error {} out of [0,1]", q.rx_error));
@@ -156,13 +159,11 @@ mod tests {
                     t2_us: 180.0,
                 },
             ],
-            two_qubit_gates: vec![
-                TwoQubitGateCalibration {
-                    qubit_a: 0,
-                    qubit_b: 1,
-                    error: 0.008,
-                },
-            ],
+            two_qubit_gates: vec![TwoQubitGateCalibration {
+                qubit_a: 0,
+                qubit_b: 1,
+                error: 0.008,
+            }],
         }
     }
 

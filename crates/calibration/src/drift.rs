@@ -113,7 +113,8 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(9);
         DriftModel::default().step(&mut snap, &baseline, 3600.0, &mut rng);
         assert_ne!(snap, baseline);
-        snap.validate().expect("drifted snapshot must stay physical");
+        snap.validate()
+            .expect("drifted snapshot must stay physical");
         assert_eq!(snap.timestamp, 3600.0);
     }
 

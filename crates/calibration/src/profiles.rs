@@ -150,7 +150,10 @@ mod tests {
     fn fleet_clops_match_paper() {
         let fleet = ibm_fleet(1);
         let clops: Vec<f64> = fleet.iter().map(|d| d.spec.clops).collect();
-        assert_eq!(clops, vec![220_000.0, 220_000.0, 30_000.0, 32_000.0, 29_000.0]);
+        assert_eq!(
+            clops,
+            vec![220_000.0, 220_000.0, 30_000.0, 32_000.0, 29_000.0]
+        );
     }
 
     #[test]

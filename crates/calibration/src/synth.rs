@@ -78,8 +78,7 @@ pub fn synth_snapshot(
         let ro = sample_rate(rng, ranges.readout_mean, ranges.readout_rel_spread);
         let rx = sample_rate(rng, ranges.rx_mean, ranges.rx_rel_spread);
         let t1 = truncated_normal(rng, ranges.t1_mean_us, ranges.t1_mean_us * 0.2, 20.0, 1e4);
-        let t2_raw =
-            truncated_normal(rng, ranges.t2_mean_us, ranges.t2_mean_us * 0.25, 10.0, 1e4);
+        let t2_raw = truncated_normal(rng, ranges.t2_mean_us, ranges.t2_mean_us * 0.25, 10.0, 1e4);
         let t2 = t2_raw.min(2.0 * t1);
         qubits.push(QubitCalibration {
             readout_error: ro,
@@ -158,8 +157,7 @@ mod tests {
         let noisy_snap = synth_snapshot(&g, &noisy, 0.0, &mut r2);
         let w = crate::score::ErrorScoreWeights::default();
         assert!(
-            crate::score::error_score(&noisy_snap, &w)
-                > crate::score::error_score(&clean_snap, &w)
+            crate::score::error_score(&noisy_snap, &w) > crate::score::error_score(&clean_snap, &w)
         );
     }
 

@@ -80,7 +80,11 @@ impl Circuit {
         let mut qubit_layer = vec![0u32; self.num_qubits as usize];
         let mut depth = 0u32;
         for g in &self.gates {
-            let start = g.qubits().map(|q| qubit_layer[q as usize]).max().unwrap_or(0);
+            let start = g
+                .qubits()
+                .map(|q| qubit_layer[q as usize])
+                .max()
+                .unwrap_or(0);
             let layer = start + 1;
             for q in g.qubits() {
                 qubit_layer[q as usize] = layer;

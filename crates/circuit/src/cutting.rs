@@ -107,7 +107,11 @@ impl CutPlan {
 
     /// Largest fragment width in qubits.
     pub fn max_fragment_qubits(&self) -> u64 {
-        self.subcircuits.iter().map(|s| s.num_qubits).max().unwrap_or(0)
+        self.subcircuits
+            .iter()
+            .map(|s| s.num_qubits)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -117,7 +121,10 @@ impl CutPlan {
 ///
 /// Panics if `max_fragment_qubits` is zero.
 pub fn cut_circuit(circuit: &Circuit, max_fragment_qubits: u32, model: CutCostModel) -> CutPlan {
-    assert!(max_fragment_qubits >= 1, "fragments need at least one qubit");
+    assert!(
+        max_fragment_qubits >= 1,
+        "fragments need at least one qubit"
+    );
     let n = circuit.num_qubits();
     let k = (n as usize).div_ceil(max_fragment_qubits as usize).max(1);
     let assignment = balanced_blocks(circuit, k.min(n.max(1) as usize));
@@ -179,7 +186,11 @@ mod tests {
     #[test]
     fn ghz_single_cut_costs_nine() {
         let c = ghz(20);
-        let plan = plan_from_assignment(&c, contiguous_blocks(20, &[10, 10]), CutCostModel::default());
+        let plan = plan_from_assignment(
+            &c,
+            contiguous_blocks(20, &[10, 10]),
+            CutCostModel::default(),
+        );
         assert_eq!(plan.cut_gates, 1);
         assert_eq!(plan.sampling_overhead(), 9.0);
         assert_eq!(plan.shots_required(1000), 9000);

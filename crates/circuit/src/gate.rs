@@ -89,14 +89,24 @@ pub struct Gate {
 impl Gate {
     /// A one-qubit gate on `q`. Panics if `kind` is two-qubit.
     pub fn one(kind: GateKind, q: u32) -> Self {
-        assert_eq!(kind.arity(), 1, "{} is not a one-qubit gate", kind.mnemonic());
+        assert_eq!(
+            kind.arity(),
+            1,
+            "{} is not a one-qubit gate",
+            kind.mnemonic()
+        );
         Gate { kind, a: q, b: q }
     }
 
     /// A two-qubit gate on distinct qubits `a`, `b`. Panics if `kind` is
     /// one-qubit or the qubits coincide.
     pub fn two(kind: GateKind, a: u32, b: u32) -> Self {
-        assert_eq!(kind.arity(), 2, "{} is not a two-qubit gate", kind.mnemonic());
+        assert_eq!(
+            kind.arity(),
+            2,
+            "{} is not a two-qubit gate",
+            kind.mnemonic()
+        );
         assert_ne!(a, b, "two-qubit gate on a single qubit");
         Gate { kind, a, b }
     }

@@ -237,7 +237,11 @@ mod tests {
             let a = balanced_blocks(&c, k);
             let q = PartitionQuality::evaluate(&c, &a);
             assert_eq!(q.blocks, k, "k={k}");
-            assert!(q.max_block <= 16usize.div_ceil(k), "k={k} max {}", q.max_block);
+            assert!(
+                q.max_block <= 16usize.div_ceil(k),
+                "k={k} max {}",
+                q.max_block
+            );
             assert!(q.min_block >= 1);
         }
     }
@@ -259,8 +263,7 @@ mod tests {
         let qv = quantum_volume(16, 1);
         let chain = trotter_1d(16, 10, 0.1);
         let qv_cut = PartitionQuality::evaluate(&qv, &balanced_blocks(&qv, 2)).cut_gates;
-        let chain_cut =
-            PartitionQuality::evaluate(&chain, &balanced_blocks(&chain, 2)).cut_gates;
+        let chain_cut = PartitionQuality::evaluate(&chain, &balanced_blocks(&chain, 2)).cut_gates;
         assert!(
             qv_cut > 4 * chain_cut,
             "QV cut {qv_cut} should dwarf chain cut {chain_cut}"
@@ -269,7 +272,8 @@ mod tests {
 
     #[test]
     fn refinement_does_not_violate_balance() {
-        let edges: Vec<(u32, u32)> = (0..20u32).flat_map(|a| ((a + 1)..20).map(move |b| (a, b)))
+        let edges: Vec<(u32, u32)> = (0..20u32)
+            .flat_map(|a| ((a + 1)..20).map(move |b| (a, b)))
             .filter(|&(a, b)| (a + b) % 3 == 0)
             .collect();
         let c = qaoa_maxcut(20, &edges, 2, 3);

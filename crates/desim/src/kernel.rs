@@ -195,7 +195,8 @@ impl Simulation {
         initial_level: u64,
     ) -> ContainerId {
         let id = ContainerId(self.containers.len() as u32);
-        self.containers.push(Container::new(label, capacity, initial_level));
+        self.containers
+            .push(Container::new(label, capacity, initial_level));
         self.get_queues.push(VecDeque::new());
         self.put_queues.push(VecDeque::new());
         id
@@ -626,6 +627,7 @@ impl Simulation {
 
         // Enqueue in (priority, order) position — no overtaking within a
         // priority even if satisfiable.
+        let n_parts = parts.len();
         let rid = self.alloc_req(PendingReq {
             pid,
             dir,
@@ -633,9 +635,11 @@ impl Simulation {
             priority,
             order,
         });
-        let req = self.reqs[rid.0 as usize].as_ref().unwrap();
-        let containers: Vec<ContainerId> = req.parts.iter().map(|&(c, _)| c).collect();
-        for &c in &containers {
+        for pi in 0..n_parts {
+            // Re-borrow the request per part instead of collecting its
+            // container ids into a temporary Vec — enqueueing is on the
+            // blocking path and must not allocate when tracing is off.
+            let c = self.reqs[rid.0 as usize].as_ref().unwrap().parts[pi].0;
             // Queues stay sorted by key; scan for the insertion point (the
             // queues are short — bounded by blocked processes).
             let pos = {
@@ -660,6 +664,13 @@ impl Simulation {
         self.procs[pid.index()].state = ProcState::WaitingReq(rid);
         if self.trace.enabled() {
             let time = self.now();
+            let containers = self.reqs[rid.0 as usize]
+                .as_ref()
+                .unwrap()
+                .parts
+                .iter()
+                .map(|&(c, _)| c)
+                .collect();
             self.push_trace(TraceRecord {
                 time,
                 pid: Some(pid),
@@ -679,11 +690,6 @@ impl Simulation {
         }
     }
 
-    fn free_req(&mut self, rid: ReqId) {
-        self.reqs[rid.0 as usize] = None;
-        self.req_free.push(rid.0);
-    }
-
     /// Propagates grants after container levels changed. Processes the
     /// worklist in `dirty_scratch`; for each container, repeatedly tries to
     /// grant the head of its put queue then its get queue. A multi-container
@@ -692,7 +698,8 @@ impl Simulation {
     fn drain_queues(&mut self) {
         while let Some(c) = self.dirty_scratch.pop() {
             loop {
-                let granted = self.try_grant_head(c, ReqDir::Put) || self.try_grant_head(c, ReqDir::Get);
+                let granted =
+                    self.try_grant_head(c, ReqDir::Put) || self.try_grant_head(c, ReqDir::Get);
                 if !granted {
                     break;
                 }
@@ -734,8 +741,14 @@ impl Simulation {
         }
 
         // Grant: apply deltas, dequeue everywhere, schedule the process.
+        // Take the request out of its slot (it is freed either way) so its
+        // parts are used by move — no clone on the grant hot path.
+        let req = self.reqs[rid.0 as usize]
+            .take()
+            .expect("queued request missing (kernel bug)");
+        self.req_free.push(rid.0);
         let pid = req.pid;
-        let parts = req.parts.clone();
+        let parts = req.parts;
         let now = self.now();
         for &(rc, amt) in &parts {
             let delta = match dir {
@@ -753,7 +766,6 @@ impl Simulation {
             debug_assert_eq!(popped, Some(rid));
             self.dirty_scratch.push(rc);
         }
-        self.free_req(rid);
         self.procs[pid.index()].state = ProcState::Scheduled;
         let t = self.now;
         self.push_event(t, pid);
@@ -798,7 +810,8 @@ mod tests {
                 return Step::Done;
             }
             self.n -= 1;
-            self.fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.fired
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             Step::Wait(Effect::Timeout(self.dt))
         }
     }

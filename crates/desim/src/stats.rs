@@ -31,7 +31,11 @@ impl TimeWeighted {
     /// Records that the signal changed to `v` at time `t` (must be ≥ the
     /// previous change time).
     pub fn record(&mut self, t: f64, v: f64) {
-        debug_assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        debug_assert!(
+            t >= self.last_t,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
         self.integral += self.last_v * (t - self.last_t);
         self.last_t = t;
         self.last_v = v;
@@ -284,7 +288,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 10.0);
         tw.record(2.0, 20.0); // 10 for 2s
         tw.record(4.0, 0.0); // 20 for 2s
-        // mean over [0,8]: (10*2 + 20*2 + 0*4)/8 = 7.5
+                             // mean over [0,8]: (10*2 + 20*2 + 0*4)/8 = 7.5
         assert!((tw.mean_at(8.0) - 7.5).abs() < 1e-12);
         assert_eq!(tw.min(), 0.0);
         assert_eq!(tw.max(), 20.0);

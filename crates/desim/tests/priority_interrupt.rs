@@ -418,11 +418,7 @@ fn interrupt_cancellation_promotes_queue_head_immediately() {
     let log = log.lock().unwrap();
     assert_eq!(
         log.as_slice(),
-        &[
-            (0.0, "holder"),
-            (5.0, "gave-up"),
-            (10.0, "acquired"),
-        ]
+        &[(0.0, "holder"), (5.0, "gave-up"), (10.0, "acquired"),]
     );
 }
 
@@ -587,11 +583,14 @@ fn reneging_watchdog_pattern() {
     }));
     sim.run();
     // Resource becomes available at t = 30.
-    sim.spawn_after(30.0 - sim.now().max(0.0), Box::new(Sleeper {
-        dt: 0.0,
-        phase: 0,
-        log: Arc::new(Mutex::new(Vec::new())),
-    }));
+    sim.spawn_after(
+        30.0 - sim.now().max(0.0),
+        Box::new(Sleeper {
+            dt: 0.0,
+            phase: 0,
+            log: Arc::new(Mutex::new(Vec::new())),
+        }),
+    );
     sim.run();
     sim.deposit(c, 100);
     sim.run();

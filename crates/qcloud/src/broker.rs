@@ -190,7 +190,10 @@ pub(crate) mod tests {
         assert!(short.validate(&job, &v).unwrap_err().contains("needs 120"));
 
         let over = AllocationPlan::Dispatch(vec![(DeviceId(1), 120)]);
-        assert!(over.validate(&job, &v).unwrap_err().contains("exceeds free"));
+        assert!(over
+            .validate(&job, &v)
+            .unwrap_err()
+            .contains("exceeds free"));
 
         let dup = AllocationPlan::Dispatch(vec![(DeviceId(0), 60), (DeviceId(0), 60)]);
         assert!(dup.validate(&job, &v).unwrap_err().contains("duplicate"));

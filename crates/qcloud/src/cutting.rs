@@ -319,13 +319,7 @@ mod tests {
         let cut = m.evaluate(&j, &sites);
         assert_eq!(cut.cuts, 1);
         assert_eq!(cut.sampling_overhead, 9.0);
-        let comm = realtime_comm_outcome(
-            &j,
-            &sites,
-            &m.exec,
-            &m.fidelity,
-            &CommModel::default(),
-        );
+        let comm = realtime_comm_outcome(&j, &sites, &m.exec, &m.fidelity, &CommModel::default());
         // Fidelity: cutting avoids φ = 0.95 → strictly better.
         assert!(cut.fidelity > comm.fidelity);
     }
@@ -341,13 +335,7 @@ mod tests {
         let cut = m.evaluate(&j, &sites);
         assert!(cut.cuts > 200);
         assert_eq!(cut.shots, u64::MAX);
-        let comm = realtime_comm_outcome(
-            &j,
-            &sites,
-            &m.exec,
-            &m.fidelity,
-            &CommModel::default(),
-        );
+        let comm = realtime_comm_outcome(&j, &sites, &m.exec, &m.fidelity, &CommModel::default());
         assert!(
             cut.wall_seconds > 100.0 * comm.wall_seconds,
             "cutting {} should dwarf comm {}",

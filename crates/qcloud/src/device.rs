@@ -104,7 +104,12 @@ mod tests {
     fn register_creates_full_container() {
         let mut sim = Simulation::new(1);
         let profile = ibm_fleet(1).remove(0);
-        let d = QDevice::register(DeviceId(0), profile, &ErrorScoreWeights::default(), &mut sim);
+        let d = QDevice::register(
+            DeviceId(0),
+            profile,
+            &ErrorScoreWeights::default(),
+            &mut sim,
+        );
         assert_eq!(d.capacity(), 127);
         assert_eq!(sim.container(d.container).level(), 127);
         assert_eq!(sim.container(d.container).capacity(), 127);

@@ -180,9 +180,7 @@ impl QCloudGymEnv {
 
     fn sample_episode(&mut self) -> Vec<f32> {
         self.episode += 1;
-        self.job = self
-            .dist
-            .sample(JobId(self.episode), 0.0, &mut self.rng);
+        self.job = self.dist.sample(JobId(self.episode), 0.0, &mut self.rng);
         self.frees = self
             .devices
             .iter()

@@ -39,13 +39,16 @@ pub mod model;
 pub mod partition;
 pub mod policies;
 pub mod records;
-pub mod sla;
 pub mod simenv;
+pub mod sla;
 
 pub use broker::{AllocationPlan, Broker, CloudView, DeviceView};
 pub use cloud::QCloud;
 pub use config::SimParams;
-pub use cutting::{realtime_comm_outcome, CircuitLocality, CommOutcome, CuttingExecModel, CuttingOutcome, FragmentSite};
+pub use cutting::{
+    realtime_comm_outcome, CircuitLocality, CommOutcome, CuttingExecModel, CuttingOutcome,
+    FragmentSite,
+};
 pub use device::{DeviceId, QDevice};
 pub use gym::{GymConfig, QCloudGymEnv};
 pub use job::{JobDistribution, JobId, QJob};
@@ -54,5 +57,5 @@ pub use model::comm::CommModel;
 pub use model::exec_time::ExecTimeModel;
 pub use model::fidelity::{FidelityModel, FidelityModelKind};
 pub use records::{JobRecord, JobRecordsManager, SummaryStats};
-pub use sla::{bounded_slowdown, percentile, slowdown, DeadlinePolicy, QosReport};
 pub use simenv::QCloudSimEnv;
+pub use sla::{bounded_slowdown, percentile, slowdown, DeadlinePolicy, QosReport};

@@ -152,10 +152,13 @@ mod tests {
         };
         let f2 = s4.two_qubit_fidelity(0.01, 10_000);
         assert!((f2 - 0.99f64.powf(10.0)).abs() < 1e-12); // 10000^0.25 = 10
-        // Readout exponent uses a_i, not q/k.
+                                                          // Readout exponent uses a_i, not q/k.
         let f_a = s4.device_fidelity(&rates(), 10, 100, 100, 200, 2);
         let f_b = s4.device_fidelity(&rates(), 10, 100, 25, 200, 2);
-        assert!(f_b > f_a, "smaller partition should have higher readout fidelity");
+        assert!(
+            f_b > f_a,
+            "smaller partition should have higher readout fidelity"
+        );
     }
 
     #[test]

@@ -72,18 +72,17 @@ pub fn capacity_fill(order: &[DeviceId], view: &CloudView, need: u64) -> Vec<(De
 ///    devices with headroom, largest weight first.
 ///
 /// Returns `None` if the limits cannot absorb `q` in total.
-pub fn weights_to_parts(
-    weights: &[f32],
-    q: u64,
-    limits: &[u64],
-) -> Option<Vec<(DeviceId, u64)>> {
+pub fn weights_to_parts(weights: &[f32], q: u64, limits: &[u64]) -> Option<Vec<(DeviceId, u64)>> {
     assert_eq!(weights.len(), limits.len(), "one weight per device");
     let total_limit: u64 = limits.iter().sum();
     if total_limit < q {
         return None;
     }
     let eps = 1e-8f64;
-    let clamped: Vec<f64> = weights.iter().map(|&w| (w as f64).clamp(0.0, 1.0)).collect();
+    let clamped: Vec<f64> = weights
+        .iter()
+        .map(|&w| (w as f64).clamp(0.0, 1.0))
+        .collect();
     let sum: f64 = clamped.iter().sum::<f64>() + eps;
 
     let mut parts: Vec<u64> = clamped
@@ -167,7 +166,10 @@ mod tests {
         let v = test_view(&[100, 50, 127]);
         let order = [DeviceId(0), DeviceId(1), DeviceId(2)];
         let parts = greedy_fill(&order, &v, 180).unwrap();
-        assert_eq!(parts, vec![(DeviceId(0), 100), (DeviceId(1), 50), (DeviceId(2), 30)]);
+        assert_eq!(
+            parts,
+            vec![(DeviceId(0), 100), (DeviceId(1), 50), (DeviceId(2), 30)]
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl Broker for HybridBroker {
             .iter()
             .map(|d| d.error_score)
             .fold(f64::EPSILON, f64::max);
-        let max_clops = view.devices.iter().map(|d| d.clops).fold(f64::EPSILON, f64::max);
+        let max_clops = view
+            .devices
+            .iter()
+            .map(|d| d.clops)
+            .fold(f64::EPSILON, f64::max);
         let w = self.weight;
         let order = view.order_by(|d| {
             let err_norm = d.error_score / max_err;
@@ -120,7 +124,10 @@ mod tests {
         let view = test_view(&[127, 127, 127]);
         let mut h = HybridBroker::new(0.0);
         let mut s = crate::policies::SpeedBroker::new();
-        assert_eq!(h.select(&test_job(200), &view), s.select(&test_job(200), &view));
+        assert_eq!(
+            h.select(&test_job(200), &view),
+            s.select(&test_job(200), &view)
+        );
     }
 
     #[test]
@@ -154,7 +161,11 @@ mod tests {
             let AllocationPlan::Dispatch(parts) = h.select(&test_job(140), &view) else {
                 panic!("expected dispatch at w={w}");
             };
-            assert_ne!(parts[0].0, DeviceId(2), "dominated device chosen first at w={w}");
+            assert_ne!(
+                parts[0].0,
+                DeviceId(2),
+                "dominated device chosen first at w={w}"
+            );
         }
     }
 

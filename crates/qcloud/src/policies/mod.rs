@@ -52,7 +52,14 @@ mod tests {
 
     #[test]
     fn by_name_resolves_known_policies() {
-        for n in ["speed", "fidelity", "fair", "roundrobin", "random", "minfrag"] {
+        for n in [
+            "speed",
+            "fidelity",
+            "fair",
+            "roundrobin",
+            "random",
+            "minfrag",
+        ] {
             assert_eq!(by_name(n, 0).unwrap().name(), n);
         }
         assert_eq!(by_name("hybrid", 0).unwrap().name(), "hybrid(0.50)");
@@ -60,7 +67,10 @@ mod tests {
             by_name("hybrid-strict", 0).unwrap().name(),
             "hybrid-strict(0.50)"
         );
-        assert!(by_name("rlbase", 0).is_none(), "rlbase needs a trained policy");
+        assert!(
+            by_name("rlbase", 0).is_none(),
+            "rlbase needs a trained policy"
+        );
         assert!(by_name("nope", 0).is_none());
     }
 }

@@ -2,9 +2,9 @@
 //! load without inspecting calibration or speed.
 
 use crate::broker::{AllocationPlan, Broker, CloudView};
+use crate::device::DeviceId;
 use crate::job::QJob;
 use crate::partition::greedy_fill;
-use crate::device::DeviceId;
 
 /// Rotating-start, availability-greedy baseline (not in the paper; useful
 /// as a sanity anchor between `fair` and `random`).
@@ -24,9 +24,7 @@ impl Broker for RoundRobinBroker {
     fn select(&mut self, job: &QJob, view: &CloudView) -> AllocationPlan {
         let n = view.devices.len();
         let start = self.next_start % n;
-        let order: Vec<DeviceId> = (0..n)
-            .map(|i| view.devices[(start + i) % n].id)
-            .collect();
+        let order: Vec<DeviceId> = (0..n).map(|i| view.devices[(start + i) % n].id).collect();
         match greedy_fill(&order, view, job.num_qubits) {
             Some(parts) => {
                 self.next_start = (start + 1) % n;

@@ -20,7 +20,8 @@ impl SpeedBroker {
 impl Broker for SpeedBroker {
     fn select(&mut self, job: &QJob, view: &CloudView) -> AllocationPlan {
         // Highest CLOPS first; ties broken by lower error score, then id.
-        let order = view.order_by(|d| (std::cmp::Reverse(ordered(d.clops)), ordered(d.error_score)));
+        let order =
+            view.order_by(|d| (std::cmp::Reverse(ordered(d.clops)), ordered(d.error_score)));
         match greedy_fill(&order, view, job.num_qubits) {
             Some(parts) => AllocationPlan::Dispatch(parts),
             None => AllocationPlan::Wait,

@@ -74,7 +74,11 @@ fn build_view(
                     // policy will place new sub-jobs on it.
                     free: if off { 0 } else { cx.level(d.container) },
                     capacity: d.capacity,
-                    busy_fraction: if off { 1.0 } else { cx.busy_fraction(d.container) },
+                    busy_fraction: if off {
+                        1.0
+                    } else {
+                        cx.busy_fraction(d.container)
+                    },
                     mean_utilization: cx.mean_utilization(d.container),
                     error_score: d.error_score,
                     clops: d.clops,
@@ -491,14 +495,15 @@ impl QCloudSimEnv {
         if window.start <= 0.0 {
             self.offline.set_offline(window.device, true);
         }
-        self.sim.spawn(Box::new(crate::maintenance::MaintenanceProc {
-            device: window.device,
-            start: window.start,
-            end: window.start + window.duration,
-            offline: self.offline.clone(),
-            scheduler_pid: self.scheduler_pid.clone(),
-            phase: 0,
-        }));
+        self.sim
+            .spawn(Box::new(crate::maintenance::MaintenanceProc {
+                device: window.device,
+                start: window.start,
+                end: window.start + window.duration,
+                offline: self.offline.clone(),
+                scheduler_pid: self.scheduler_pid.clone(),
+                phase: 0,
+            }));
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -732,14 +737,8 @@ mod tests {
             backfill_depth: 4,
             ..SimParams::default()
         };
-        let res = QCloudSimEnv::new(
-            ibm_fleet(29),
-            Box::new(FairBroker::new()),
-            jobs,
-            params,
-            29,
-        )
-        .run();
+        let res =
+            QCloudSimEnv::new(ibm_fleet(29), Box::new(FairBroker::new()), jobs, params, 29).run();
         assert_eq!(res.summary.jobs_unfinished, 0);
         for r in &res.records {
             assert!((0.0..=1.0).contains(&r.fidelity));
@@ -760,13 +759,11 @@ mod tests {
             SimParams::default(),
             31,
         );
-        env.schedule_maintenance(
-            crate::maintenance::MaintenanceWindow {
-                device: 0, // ibm_strasbourg — half of the premium pair
-                start: 0.0,
-                duration: window,
-            },
-        );
+        env.schedule_maintenance(crate::maintenance::MaintenanceWindow {
+            device: 0, // ibm_strasbourg — half of the premium pair
+            start: 0.0,
+            duration: window,
+        });
         let res = env.run();
         assert_eq!(res.summary.jobs_finished, 5);
         // Nothing could start before the window ended (the strict policy
@@ -811,13 +808,11 @@ mod tests {
             SimParams::default(),
             37,
         );
-        env.schedule_maintenance(
-            crate::maintenance::MaintenanceWindow {
-                device: 4, // ibm_kawasaki — never selected by the strict pair
-                start: 10.0,
-                duration: 5_000.0,
-            },
-        );
+        env.schedule_maintenance(crate::maintenance::MaintenanceWindow {
+            device: 4, // ibm_kawasaki — never selected by the strict pair
+            start: 10.0,
+            duration: 5_000.0,
+        });
         let res = env.run();
         assert_eq!(res.summary.t_sim, plain.summary.t_sim);
         assert_eq!(res.summary.mean_fidelity, plain.summary.mean_fidelity);

@@ -6,8 +6,8 @@ use qcs_qcloud::broker::{AllocationPlan, Broker, CloudView, DeviceView};
 use qcs_qcloud::model::fidelity::DeviceErrorRates;
 use qcs_qcloud::policies::{HybridBroker, MinFragBroker};
 use qcs_qcloud::{
-    bounded_slowdown, percentile, CircuitLocality, CuttingExecModel, DeviceId, FragmentSite,
-    JobId, QJob,
+    bounded_slowdown, percentile, CircuitLocality, CuttingExecModel, DeviceId, FragmentSite, JobId,
+    QJob,
 };
 
 fn view_from(frees: &[u64]) -> CloudView {
@@ -44,9 +44,7 @@ fn job(q: u64) -> QJob {
 fn even_parts(q: u64, k: usize) -> Vec<u64> {
     let base = q / k as u64;
     let rem = (q % k as u64) as usize;
-    (0..k)
-        .map(|i| base + u64::from(i < rem))
-        .collect()
+    (0..k).map(|i| base + u64::from(i < rem)).collect()
 }
 
 proptest! {

@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use crate::buffer::RolloutBuffer;
 use crate::dist::DiagGaussian;
+use crate::env::StepInfo;
 use crate::nn::{Matrix, MlpCache};
 use crate::opt::Adam;
 use crate::policy::{ActScratch, ActorCritic};
@@ -121,48 +122,56 @@ impl A2c {
     }
 
     /// Trains for (at least) `total_timesteps` environment steps.
-    #[allow(clippy::needless_range_loop)] // per-env index spans parallel vecs
+    ///
+    /// Uses the same batched, allocation-free rollout path as
+    /// [`crate::ppo::Ppo::learn`]: one policy/value GEMM pair per step over
+    /// all environments, observations swapped between two reusable
+    /// matrices, transitions bulk-copied into the rollout slabs.
     pub fn learn(&mut self, envs: &mut VecEnv, total_timesteps: u64) {
         let n_envs = envs.num_envs();
         let obs_dim = self.ac.obs_dim();
         let action_dim = self.ac.action_dim();
         let mut buffer = RolloutBuffer::new(self.config.n_steps, n_envs, obs_dim, action_dim);
-        let mut obs = envs.reset_all(self.config.seed);
+
+        let mut obs = Matrix::zeros(n_envs, obs_dim);
+        let mut next_obs = Matrix::zeros(n_envs, obs_dim);
+        let mut actions = Matrix::zeros(n_envs, action_dim);
+        let mut values = vec![0.0f64; n_envs];
+        let mut logps = vec![0.0f64; n_envs];
+        let mut infos = vec![StepInfo::default(); n_envs];
         let mut ep_return_acc = vec![0.0f64; n_envs];
+
+        envs.reset_into(self.config.seed, &mut obs);
 
         let target = self.timesteps + total_timesteps;
         while self.timesteps < target {
             buffer.clear();
             for _ in 0..self.config.n_steps {
-                let mut actions: Vec<Vec<f32>> = Vec::with_capacity(n_envs);
-                let mut values = Vec::with_capacity(n_envs);
-                let mut logps = Vec::with_capacity(n_envs);
-                for e in 0..n_envs {
-                    let (a, lp, v) = self.ac.act(&obs[e], &mut self.rng, &mut self.scratch);
-                    actions.push(a);
-                    values.push(v);
-                    logps.push(lp);
-                }
-                let results = envs.step(&actions);
-                for e in 0..n_envs {
-                    let r = &results[e];
-                    buffer.push(&obs[e], &actions[e], r.reward, r.done(), values[e], logps[e]);
-                    ep_return_acc[e] += r.reward;
-                    if r.done() {
+                self.ac.act_batch(
+                    &obs,
+                    &mut self.rng,
+                    &mut self.scratch,
+                    &mut actions,
+                    &mut logps,
+                    &mut values,
+                );
+                envs.step_into(&actions, &mut next_obs, &mut infos);
+                buffer.push_step(&obs, &actions, &infos, &values, &logps);
+                for (e, info) in infos.iter().enumerate() {
+                    ep_return_acc[e] += info.reward;
+                    if info.done() {
                         if self.ep_returns.len() == 100 {
                             self.ep_returns.pop_front();
                         }
                         self.ep_returns.push_back(ep_return_acc[e]);
                         ep_return_acc[e] = 0.0;
                     }
-                    obs[e] = r.obs.clone();
                 }
+                std::mem::swap(&mut obs, &mut next_obs);
                 self.timesteps += n_envs as u64;
             }
-            let last_values: Vec<f64> = (0..n_envs)
-                .map(|e| self.ac.value(&obs[e], &mut self.scratch))
-                .collect();
-            buffer.compute_advantages(&last_values, self.config.gamma, self.config.gae_lambda);
+            self.ac.value_batch(&obs, &mut self.scratch, &mut values);
+            buffer.compute_advantages(&values, self.config.gamma, self.config.gae_lambda);
 
             let diag = self.update(&buffer);
             let ep_rew_mean = if self.ep_returns.is_empty() {
@@ -250,7 +259,8 @@ impl A2c {
             let v = values.get(i, 0) as f64;
             let err = v - buffer.returns[i];
             value_loss += err * err;
-            self.dv.set(i, 0, (cfg.vf_coef * 2.0 * err / n as f64) as f32);
+            self.dv
+                .set(i, 0, (cfg.vf_coef * 2.0 * err / n as f64) as f32);
         }
         policy_loss /= n as f64;
         value_loss /= n as f64;
@@ -313,7 +323,14 @@ mod tests {
     #[test]
     fn a2c_is_deterministic_given_seed() {
         let run = || {
-            let mut a2c = A2c::new(1, 2, A2cConfig { seed: 11, ..A2cConfig::default() });
+            let mut a2c = A2c::new(
+                1,
+                2,
+                A2cConfig {
+                    seed: 11,
+                    ..A2cConfig::default()
+                },
+            );
             let mut envs = bandit_vecenv(2);
             a2c.learn(&mut envs, 1_000);
             a2c.log().to_csv()
@@ -323,7 +340,14 @@ mod tests {
 
     #[test]
     fn timestep_accounting_rounds_to_iterations() {
-        let mut a2c = A2c::new(1, 2, A2cConfig { seed: 1, ..A2cConfig::default() });
+        let mut a2c = A2c::new(
+            1,
+            2,
+            A2cConfig {
+                seed: 1,
+                ..A2cConfig::default()
+            },
+        );
         let mut envs = bandit_vecenv(3);
         a2c.learn(&mut envs, 100);
         // 5 steps × 3 envs = 15/iter → 7 iterations = 105 ≥ 100.

@@ -1,9 +1,16 @@
 //! Rollout storage and Generalised Advantage Estimation.
 
+use crate::env::StepInfo;
+use crate::nn::Matrix;
+
 /// Fixed-size rollout storage for `n_envs` environments × `n_steps` steps.
 ///
-/// Layout is step-major: index `t * n_envs + e`. Buffers are allocated once
-/// and reused across iterations ([`RolloutBuffer::clear`]).
+/// All storage is flat, strided `f32`/`f64` slabs allocated up-front at the
+/// full rollout capacity and reused across iterations
+/// ([`RolloutBuffer::clear`] just rewinds the write cursor). Layout is
+/// step-major: index `t * n_envs + e`, so one whole step's observations and
+/// actions are contiguous rows — [`RolloutBuffer::push_step`] stores a step
+/// for all environments with two `memcpy`s and no allocation.
 #[derive(Debug)]
 pub struct RolloutBuffer {
     n_steps: usize,
@@ -30,7 +37,8 @@ pub struct RolloutBuffer {
 }
 
 impl RolloutBuffer {
-    /// Allocates a buffer for the given rollout shape.
+    /// Allocates a buffer for the given rollout shape. The slabs are sized
+    /// for the full rollout immediately so the hot path never reallocates.
     pub fn new(n_steps: usize, n_envs: usize, obs_dim: usize, action_dim: usize) -> Self {
         let cap = n_steps * n_envs;
         RolloutBuffer {
@@ -38,12 +46,12 @@ impl RolloutBuffer {
             n_envs,
             obs_dim,
             action_dim,
-            obs: Vec::with_capacity(cap * obs_dim),
-            actions: Vec::with_capacity(cap * action_dim),
-            rewards: Vec::with_capacity(cap),
-            dones: Vec::with_capacity(cap),
-            values: Vec::with_capacity(cap),
-            log_probs: Vec::with_capacity(cap),
+            obs: vec![0.0; cap * obs_dim],
+            actions: vec![0.0; cap * action_dim],
+            rewards: vec![0.0; cap],
+            dones: vec![false; cap],
+            values: vec![0.0; cap],
+            log_probs: vec![0.0; cap],
             advantages: vec![0.0; cap],
             returns: vec![0.0; cap],
             len: 0,
@@ -80,14 +88,10 @@ impl RolloutBuffer {
         self.action_dim
     }
 
-    /// Clears stored transitions, keeping allocations.
+    /// Clears stored transitions by rewinding the write cursor; the slabs
+    /// stay allocated (and their stale contents are overwritten by
+    /// subsequent pushes).
     pub fn clear(&mut self) {
-        self.obs.clear();
-        self.actions.clear();
-        self.rewards.clear();
-        self.dones.clear();
-        self.values.clear();
-        self.log_probs.clear();
         self.len = 0;
     }
 
@@ -105,13 +109,51 @@ impl RolloutBuffer {
         assert!(self.len < self.capacity(), "rollout buffer overflow");
         assert_eq!(obs.len(), self.obs_dim, "obs dim mismatch");
         assert_eq!(action.len(), self.action_dim, "action dim mismatch");
-        self.obs.extend_from_slice(obs);
-        self.actions.extend_from_slice(action);
-        self.rewards.push(reward);
-        self.dones.push(done);
-        self.values.push(value);
-        self.log_probs.push(log_prob);
+        let i = self.len;
+        self.obs[i * self.obs_dim..(i + 1) * self.obs_dim].copy_from_slice(obs);
+        self.actions[i * self.action_dim..(i + 1) * self.action_dim].copy_from_slice(action);
+        self.rewards[i] = reward;
+        self.dones[i] = done;
+        self.values[i] = value;
+        self.log_probs[i] = log_prob;
         self.len += 1;
+    }
+
+    /// Appends one whole vectorised step: row `e` of `obs`/`actions` and
+    /// entry `e` of `infos`/`values`/`log_probs` form env `e`'s transition.
+    /// Equivalent to `n_envs` [`RolloutBuffer::push`] calls in env order,
+    /// but the contiguous step-major layout makes it two bulk copies.
+    pub fn push_step(
+        &mut self,
+        obs: &Matrix,
+        actions: &Matrix,
+        infos: &[StepInfo],
+        values: &[f64],
+        log_probs: &[f64],
+    ) {
+        let n = self.n_envs;
+        assert!(self.len + n <= self.capacity(), "rollout buffer overflow");
+        assert_eq!(self.len % n, 0, "push_step interleaved with partial push");
+        assert_eq!((obs.rows(), obs.cols()), (n, self.obs_dim), "obs shape");
+        assert_eq!(
+            (actions.rows(), actions.cols()),
+            (n, self.action_dim),
+            "actions shape"
+        );
+        assert_eq!(infos.len(), n, "one StepInfo per env");
+        assert_eq!(values.len(), n, "one value per env");
+        assert_eq!(log_probs.len(), n, "one log-prob per env");
+        let i = self.len;
+        self.obs[i * self.obs_dim..(i + n) * self.obs_dim].copy_from_slice(obs.data());
+        self.actions[i * self.action_dim..(i + n) * self.action_dim]
+            .copy_from_slice(actions.data());
+        for (e, info) in infos.iter().enumerate() {
+            self.rewards[i + e] = info.reward;
+            self.dones[i + e] = info.done();
+        }
+        self.values[i..i + n].copy_from_slice(values);
+        self.log_probs[i..i + n].copy_from_slice(log_probs);
+        self.len += n;
     }
 
     /// Observation row `i`.
@@ -132,7 +174,11 @@ impl RolloutBuffer {
     #[allow(clippy::needless_range_loop)] // env/step index arithmetic is clearer explicit
     pub fn compute_advantages(&mut self, last_values: &[f64], gamma: f64, gae_lambda: f64) {
         assert_eq!(self.len, self.capacity(), "rollout incomplete");
-        assert_eq!(last_values.len(), self.n_envs, "one bootstrap value per env");
+        assert_eq!(
+            last_values.len(),
+            self.n_envs,
+            "one bootstrap value per env"
+        );
         for e in 0..self.n_envs {
             let mut gae = 0.0f64;
             for t in (0..self.n_steps).rev() {

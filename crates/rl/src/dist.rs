@@ -20,11 +20,18 @@ pub struct DiagGaussian<'a> {
 impl DiagGaussian<'_> {
     /// Draws one action.
     pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> Vec<f32> {
-        self.mean
-            .iter()
-            .zip(self.log_std)
-            .map(|(&mu, &ls)| mu + ls.exp() * standard_normal(rng) as f32)
-            .collect()
+        let mut out = vec![0.0; self.mean.len()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draws one action into `out` (allocation-free; identical RNG
+    /// consumption and results to [`DiagGaussian::sample`]).
+    pub fn sample_into(&self, rng: &mut Xoshiro256StarStar, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.mean.len());
+        for ((o, &mu), &ls) in out.iter_mut().zip(self.mean).zip(self.log_std) {
+            *o = mu + ls.exp() * standard_normal(rng) as f32;
+        }
     }
 
     /// Log-density of `action`.
@@ -82,7 +89,11 @@ impl Categorical<'_> {
             .logits
             .iter()
             .fold(f64::NEG_INFINITY, |m, &x| m.max(x as f64));
-        let exps: Vec<f64> = self.logits.iter().map(|&x| (x as f64 - max).exp()).collect();
+        let exps: Vec<f64> = self
+            .logits
+            .iter()
+            .map(|&x| (x as f64 - max).exp())
+            .collect();
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
     }
@@ -189,8 +200,16 @@ mod tests {
             mp[j] += eps;
             let mut mm = mean;
             mm[j] -= eps;
-            let up = DiagGaussian { mean: &mp, log_std: &log_std }.log_prob(&action);
-            let dn = DiagGaussian { mean: &mm, log_std: &log_std }.log_prob(&action);
+            let up = DiagGaussian {
+                mean: &mp,
+                log_std: &log_std,
+            }
+            .log_prob(&action);
+            let dn = DiagGaussian {
+                mean: &mm,
+                log_std: &log_std,
+            }
+            .log_prob(&action);
             let num = ((up - dn) / (2.0 * eps as f64)) as f32;
             assert!((num - dmu[j]).abs() < 1e-2, "dmu[{j}]: {num} vs {}", dmu[j]);
 
@@ -198,8 +217,16 @@ mod tests {
             lp[j] += eps;
             let mut lm = log_std;
             lm[j] -= eps;
-            let up = DiagGaussian { mean: &mean, log_std: &lp }.log_prob(&action);
-            let dn = DiagGaussian { mean: &mean, log_std: &lm }.log_prob(&action);
+            let up = DiagGaussian {
+                mean: &mean,
+                log_std: &lp,
+            }
+            .log_prob(&action);
+            let dn = DiagGaussian {
+                mean: &mean,
+                log_std: &lm,
+            }
+            .log_prob(&action);
             let num = ((up - dn) / (2.0 * eps as f64)) as f32;
             assert!((num - dls[j]).abs() < 1e-2, "dls[{j}]: {num} vs {}", dls[j]);
         }

@@ -23,6 +23,26 @@ impl StepResult {
     }
 }
 
+/// Step outcome without the observation — the observation is written into a
+/// caller-provided buffer by [`Env::step_into`], keeping the rollout hot
+/// path allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepInfo {
+    /// Scalar reward.
+    pub reward: f64,
+    /// Episode ended at a terminal state.
+    pub terminated: bool,
+    /// Episode ended by an artificial horizon.
+    pub truncated: bool,
+}
+
+impl StepInfo {
+    /// Whether the episode is over for rollout purposes.
+    pub fn done(&self) -> bool {
+        self.terminated || self.truncated
+    }
+}
+
 /// A reinforcement-learning environment with continuous observation and
 /// action vectors (Gymnasium `Box` spaces).
 ///
@@ -41,6 +61,27 @@ pub trait Env: Send {
 
     /// Advances one step.
     fn step(&mut self, action: &[f32]) -> StepResult;
+
+    /// Resets the environment, writing the initial observation into
+    /// `obs_out` (length `obs_dim`). The default delegates to
+    /// [`Env::reset`]; environments override it to avoid the allocation.
+    fn reset_into(&mut self, seed: u64, obs_out: &mut [f32]) {
+        let obs = self.reset(seed);
+        obs_out.copy_from_slice(&obs);
+    }
+
+    /// Advances one step, writing the next observation into `obs_out`
+    /// (length `obs_dim`). The default delegates to [`Env::step`];
+    /// environments override it to make stepping allocation-free.
+    fn step_into(&mut self, action: &[f32], obs_out: &mut [f32]) -> StepInfo {
+        let r = self.step(action);
+        obs_out.copy_from_slice(&r.obs);
+        StepInfo {
+            reward: r.reward,
+            terminated: r.terminated,
+            truncated: r.truncated,
+        }
+    }
 }
 
 #[cfg(test)]

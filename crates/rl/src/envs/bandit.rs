@@ -3,7 +3,7 @@
 //! allocation task (one decision per episode, bounded reward) with a known
 //! optimum, so PPO convergence can be asserted exactly.
 
-use crate::env::{Env, StepResult};
+use crate::env::{Env, StepInfo, StepResult};
 
 /// Reward: `exp(-‖a − target‖²)`, maximised (value 1) at `a = target`.
 #[derive(Debug, Clone)]
@@ -38,14 +38,29 @@ impl Env for ContinuousBandit {
     }
 
     fn step(&mut self, action: &[f32]) -> StepResult {
+        let mut obs = vec![0.0; 1];
+        let info = self.step_into(action, &mut obs);
+        StepResult {
+            obs,
+            reward: info.reward,
+            terminated: info.terminated,
+            truncated: info.truncated,
+        }
+    }
+
+    fn reset_into(&mut self, _seed: u64, obs_out: &mut [f32]) {
+        obs_out[0] = 1.0;
+    }
+
+    fn step_into(&mut self, action: &[f32], obs_out: &mut [f32]) -> StepInfo {
         assert_eq!(action.len(), self.target.len(), "action dim mismatch");
         let dist2: f64 = action
             .iter()
             .zip(&self.target)
             .map(|(&a, &t)| ((a - t) as f64).powi(2))
             .sum();
-        StepResult {
-            obs: vec![1.0],
+        obs_out[0] = 1.0;
+        StepInfo {
             reward: (-dist2).exp(),
             terminated: true,
             truncated: false,

@@ -1,7 +1,7 @@
 //! A 2-D point-mass navigation task with a finite horizon — exercises the
 //! multi-step GAE path (the bandit only tests single-step episodes).
 
-use crate::env::{Env, StepResult};
+use crate::env::{Env, StepInfo, StepResult};
 use qcs_desim::Xoshiro256StarStar;
 
 /// The agent starts at a random position in `[-1, 1]²` and is rewarded for
@@ -45,24 +45,41 @@ impl Env for PointMass {
     }
 
     fn reset(&mut self, seed: u64) -> Vec<f32> {
+        let mut obs = vec![0.0; 2];
+        self.reset_into(seed, &mut obs);
+        obs
+    }
+
+    fn step(&mut self, action: &[f32]) -> StepResult {
+        let mut obs = vec![0.0; 2];
+        let info = self.step_into(action, &mut obs);
+        StepResult {
+            obs,
+            reward: info.reward,
+            terminated: info.terminated,
+            truncated: info.truncated,
+        }
+    }
+
+    fn reset_into(&mut self, seed: u64, obs_out: &mut [f32]) {
         let mut rng = Xoshiro256StarStar::new(seed ^ self.tag.wrapping_mul(0x9E3779B97F4A7C15));
         self.pos = [
             rng.range_f64(-1.0, 1.0) as f32,
             rng.range_f64(-1.0, 1.0) as f32,
         ];
         self.t = 0;
-        self.pos.to_vec()
+        obs_out.copy_from_slice(&self.pos);
     }
 
-    fn step(&mut self, action: &[f32]) -> StepResult {
+    fn step_into(&mut self, action: &[f32], obs_out: &mut [f32]) -> StepInfo {
         assert_eq!(action.len(), 2, "action dim mismatch");
         self.t += 1;
         for (p, &a) in self.pos.iter_mut().zip(action) {
             *p = (*p + a.clamp(-0.2, 0.2)).clamp(-2.0, 2.0);
         }
         let dist = ((self.pos[0] * self.pos[0] + self.pos[1] * self.pos[1]) as f64).sqrt();
-        StepResult {
-            obs: self.pos.to_vec(),
+        obs_out.copy_from_slice(&self.pos);
+        StepInfo {
             reward: -dist,
             terminated: false,
             truncated: self.t >= self.horizon,

@@ -41,7 +41,10 @@ pub fn evaluate(
     let mut lengths = Welford::new();
 
     for ep in 0..episodes {
-        let mut obs = env.reset(seed.wrapping_add(ep as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut obs = env.reset(
+            seed.wrapping_add(ep as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15),
+        );
         let mut ep_return = 0.0;
         let mut steps = 0usize;
         loop {

@@ -13,8 +13,10 @@
 //!   estimation;
 //! * [`ppo::Ppo`] — Proximal Policy Optimization with the clipped surrogate
 //!   objective and Stable-Baselines3 default hyper-parameters;
-//! * [`vecenv::VecEnv`] — sequential or worker-thread-parallel vectorised
-//!   environments (crossbeam channels, deterministic per-env streams).
+//! * [`vecenv::VecEnv`] — sequential or chunked-worker-parallel vectorised
+//!   environments (std::mpsc buffer round-tripping, deterministic per-env
+//!   streams, batched `step_into` writing straight into the shared
+//!   observation matrix).
 //!
 //! Gradient correctness is property-tested against finite differences (see
 //! `tests/grad_check.rs`), and the PPO implementation is validated on the

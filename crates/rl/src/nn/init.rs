@@ -14,7 +14,11 @@ use qcs_desim::Xoshiro256StarStar;
 /// When `rows ≥ cols` the columns are orthonormal; otherwise the rows are.
 pub fn orthogonal(rows: usize, cols: usize, gain: f32, rng: &mut Xoshiro256StarStar) -> Matrix {
     let transpose = rows < cols;
-    let (r, c) = if transpose { (cols, rows) } else { (rows, cols) };
+    let (r, c) = if transpose {
+        (cols, rows)
+    } else {
+        (rows, cols)
+    };
 
     // r >= c: build c orthonormal columns of length r.
     let mut basis: Vec<Vec<f32>> = Vec::with_capacity(c);

@@ -61,15 +61,10 @@ impl Linear {
         }
     }
 
-    /// Forward pass: `out = x · W + b`.
+    /// Forward pass: `out = x · W + b`, as one fused blocked kernel (the
+    /// bias seeds the accumulators — no separate zero-fill or bias pass).
     pub fn forward(&self, x: &Matrix, out: &mut Matrix) {
-        x.matmul_into(&self.w, out);
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (o, &bias) in row.iter_mut().zip(&self.b) {
-                *o += bias;
-            }
-        }
+        x.matmul_bias_into(&self.w, &self.b, out);
     }
 
     /// Backward pass. Given upstream gradient `d_out` (`[batch, out_dim]`)

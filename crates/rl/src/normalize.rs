@@ -185,12 +185,15 @@ mod tests {
         }
         for d in 0..2 {
             let mean = samples.iter().map(|s| s[d]).sum::<f64>() / samples.len() as f64;
-            let var = samples.iter().map(|s| (s[d] - mean).powi(2)).sum::<f64>()
-                / samples.len() as f64;
+            let var =
+                samples.iter().map(|s| (s[d] - mean).powi(2)).sum::<f64>() / samples.len() as f64;
             // The 1e-4 stability prior (SB3 convention) biases the mean by
             // O(prior/count · |μ|) ≈ 5e-6 here.
             assert!((rms.mean()[d] - mean).abs() < 1e-4, "dim {d} mean");
-            assert!((rms.var()[d] - var).abs() / var.max(1.0) < 1e-3, "dim {d} var");
+            assert!(
+                (rms.var()[d] - var).abs() / var.max(1.0) < 1e-3,
+                "dim {d} var"
+            );
         }
         assert!((rms.count() - 200.0).abs() < 1e-9);
     }
@@ -254,7 +257,11 @@ mod tests {
         for _ in 0..10 {
             env.step(&[0.0]);
         }
-        assert_eq!(env.obs_stats().count(), before, "frozen stats must not move");
+        assert_eq!(
+            env.obs_stats().count(),
+            before,
+            "frozen stats must not move"
+        );
     }
 
     #[test]

@@ -63,29 +63,98 @@ impl ActorCritic {
         rng: &mut Xoshiro256StarStar,
         scratch: &mut ActScratch,
     ) -> (Vec<f32>, f64, f64) {
-        let x = Matrix::from_vec(1, obs.len(), obs.to_vec());
-        let mean = self.pi.forward(&x, &mut scratch.pi_cache);
+        let mut action = vec![0.0; self.action_dim()];
+        let (logp, value) = self.act_into(obs, rng, scratch, &mut action);
+        (action, logp, value)
+    }
+
+    /// Allocation-free [`ActorCritic::act`]: samples an action into
+    /// `action_out`; returns `(log_prob, value)`. Bit-identical outputs and
+    /// RNG consumption to `act`.
+    pub fn act_into(
+        &self,
+        obs: &[f32],
+        rng: &mut Xoshiro256StarStar,
+        scratch: &mut ActScratch,
+        action_out: &mut [f32],
+    ) -> (f64, f64) {
+        scratch.load_obs_row(obs);
+        let mean = self.pi.forward(&scratch.obs_mat, &mut scratch.pi_cache);
         let dist = DiagGaussian {
             mean: mean.row(0),
             log_std: &self.log_std,
         };
-        let action = dist.sample(rng);
-        let logp = dist.log_prob(&action);
-        let value = self.vf.forward(&x, &mut scratch.vf_cache).get(0, 0) as f64;
-        (action, logp, value)
+        dist.sample_into(rng, action_out);
+        let logp = dist.log_prob(action_out);
+        let value = self
+            .vf
+            .forward(&scratch.obs_mat, &mut scratch.vf_cache)
+            .get(0, 0) as f64;
+        (logp, value)
+    }
+
+    /// Batched [`ActorCritic::act`] over a `[n, obs_dim]` observation
+    /// matrix: one policy GEMM and one value GEMM for all environments
+    /// instead of `n` per-row GEMVs. Actions are sampled row by row from
+    /// the batched means in the same order (and with the same RNG stream)
+    /// as `n` sequential `act` calls, so actions, log-probs and values are
+    /// bit-identical to the per-env path. Writes into caller-provided
+    /// buffers; performs no heap allocation after warm-up.
+    pub fn act_batch(
+        &self,
+        obs: &Matrix,
+        rng: &mut Xoshiro256StarStar,
+        scratch: &mut ActScratch,
+        actions: &mut Matrix,
+        log_probs: &mut [f64],
+        values: &mut [f64],
+    ) {
+        let n = obs.rows();
+        assert_eq!(obs.cols(), self.obs_dim(), "obs dim mismatch");
+        assert_eq!(log_probs.len(), n, "one log-prob slot per row");
+        assert_eq!(values.len(), n, "one value slot per row");
+        actions.reshape_for_overwrite(n, self.action_dim());
+        let means = self.pi.forward(obs, &mut scratch.pi_cache);
+        for (r, lp) in log_probs.iter_mut().enumerate() {
+            let dist = DiagGaussian {
+                mean: means.row(r),
+                log_std: &self.log_std,
+            };
+            let action_row = actions.row_mut(r);
+            dist.sample_into(rng, action_row);
+            *lp = dist.log_prob(action_row);
+        }
+        let vals = self.vf.forward(obs, &mut scratch.vf_cache);
+        for (r, v) in values.iter_mut().enumerate() {
+            *v = vals.get(r, 0) as f64;
+        }
     }
 
     /// Deterministic (mean) action for deployment.
     pub fn act_deterministic(&self, obs: &[f32], scratch: &mut ActScratch) -> Vec<f32> {
-        let x = Matrix::from_vec(1, obs.len(), obs.to_vec());
-        let mean = self.pi.forward(&x, &mut scratch.pi_cache);
+        scratch.load_obs_row(obs);
+        let mean = self.pi.forward(&scratch.obs_mat, &mut scratch.pi_cache);
         mean.row(0).to_vec()
     }
 
     /// State value estimate.
     pub fn value(&self, obs: &[f32], scratch: &mut ActScratch) -> f64 {
-        let x = Matrix::from_vec(1, obs.len(), obs.to_vec());
-        self.vf.forward(&x, &mut scratch.vf_cache).get(0, 0) as f64
+        scratch.load_obs_row(obs);
+        self.vf
+            .forward(&scratch.obs_mat, &mut scratch.vf_cache)
+            .get(0, 0) as f64
+    }
+
+    /// Batched state-value estimates over a `[n, obs_dim]` observation
+    /// matrix: one GEMM, bit-identical per-row results to `n` sequential
+    /// [`ActorCritic::value`] calls.
+    pub fn value_batch(&self, obs: &Matrix, scratch: &mut ActScratch, values: &mut [f64]) {
+        assert_eq!(obs.cols(), self.obs_dim(), "obs dim mismatch");
+        assert_eq!(values.len(), obs.rows(), "one value slot per row");
+        let vals = self.vf.forward(obs, &mut scratch.vf_cache);
+        for (r, v) in values.iter_mut().enumerate() {
+            *v = vals.get(r, 0) as f64;
+        }
     }
 
     /// Applies accumulated gradients with Adam. The tensor registration
@@ -139,19 +208,29 @@ impl ActorCritic {
     }
 }
 
-/// Reusable forward-pass scratch for [`ActorCritic::act`].
+/// Reusable forward-pass scratch for [`ActorCritic::act`] and the batched
+/// inference paths.
 #[derive(Debug, Default)]
 pub struct ActScratch {
     /// Policy network cache.
     pub pi_cache: MlpCache,
     /// Value network cache.
     pub vf_cache: MlpCache,
+    /// Single-row observation staging buffer for the per-sample paths.
+    obs_mat: Matrix,
 }
 
 impl ActScratch {
     /// An empty scratch buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stages a single observation as a `[1, obs_dim]` matrix without
+    /// allocating (after warm-up).
+    fn load_obs_row(&mut self, obs: &[f32]) {
+        self.obs_mat.reshape_for_overwrite(1, obs.len());
+        self.obs_mat.row_mut(0).copy_from_slice(obs);
     }
 }
 

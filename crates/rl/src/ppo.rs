@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use crate::buffer::RolloutBuffer;
 use crate::dist::DiagGaussian;
+use crate::env::StepInfo;
 use crate::nn::{Matrix, MlpCache};
 use crate::opt::Adam;
 use crate::policy::{ActScratch, ActorCritic};
@@ -108,7 +109,10 @@ impl TrainLog {
 
     /// The final logged mean episode reward (NaN if no entries).
     pub fn final_reward(&self) -> f64 {
-        self.entries.last().map(|e| e.ep_rew_mean).unwrap_or(f64::NAN)
+        self.entries
+            .last()
+            .map(|e| e.ep_rew_mean)
+            .unwrap_or(f64::NAN)
     }
 }
 
@@ -172,51 +176,62 @@ impl Ppo {
     }
 
     /// Trains for (at least) `total_timesteps` environment steps.
-    #[allow(clippy::needless_range_loop)] // per-env index used across several parallel vecs
+    ///
+    /// Rollout collection is batched and allocation-free: each step runs
+    /// one policy GEMM and one value GEMM over the `[n_envs, obs_dim]`
+    /// observation matrix ([`ActorCritic::act_batch`]), steps all
+    /// environments through [`VecEnv::step_into`] into a swap buffer, and
+    /// bulk-copies the transition into the rollout slabs. Trajectories are
+    /// bit-identical to the historical one-`act`-call-per-env loop.
     pub fn learn(&mut self, envs: &mut VecEnv, total_timesteps: u64) {
         let n_envs = envs.num_envs();
         let obs_dim = self.ac.obs_dim();
         let action_dim = self.ac.action_dim();
         let mut buffer = RolloutBuffer::new(self.config.n_steps, n_envs, obs_dim, action_dim);
-        let mut obs = envs.reset_all(self.config.seed);
+
+        // Rollout scratch, allocated once per `learn`.
+        let mut obs = Matrix::zeros(n_envs, obs_dim);
+        let mut next_obs = Matrix::zeros(n_envs, obs_dim);
+        let mut actions = Matrix::zeros(n_envs, action_dim);
+        let mut values = vec![0.0f64; n_envs];
+        let mut logps = vec![0.0f64; n_envs];
+        let mut infos = vec![StepInfo::default(); n_envs];
         let mut ep_return_acc = vec![0.0f64; n_envs];
+
+        envs.reset_into(self.config.seed, &mut obs);
 
         let target = self.timesteps + total_timesteps;
         while self.timesteps < target {
             // ---------------- rollout collection ----------------
             buffer.clear();
             for _ in 0..self.config.n_steps {
-                let mut actions: Vec<Vec<f32>> = Vec::with_capacity(n_envs);
-                let mut values = Vec::with_capacity(n_envs);
-                let mut logps = Vec::with_capacity(n_envs);
-                for e in 0..n_envs {
-                    let (a, lp, v) = self.ac.act(&obs[e], &mut self.rng, &mut self.scratch);
-                    actions.push(a);
-                    values.push(v);
-                    logps.push(lp);
-                }
-                let results = envs.step(&actions);
-                for e in 0..n_envs {
-                    let r = &results[e];
-                    buffer.push(&obs[e], &actions[e], r.reward, r.done(), values[e], logps[e]);
-                    ep_return_acc[e] += r.reward;
-                    if r.done() {
+                self.ac.act_batch(
+                    &obs,
+                    &mut self.rng,
+                    &mut self.scratch,
+                    &mut actions,
+                    &mut logps,
+                    &mut values,
+                );
+                envs.step_into(&actions, &mut next_obs, &mut infos);
+                buffer.push_step(&obs, &actions, &infos, &values, &logps);
+                for (e, info) in infos.iter().enumerate() {
+                    ep_return_acc[e] += info.reward;
+                    if info.done() {
                         if self.ep_returns.len() == 100 {
                             self.ep_returns.pop_front();
                         }
                         self.ep_returns.push_back(ep_return_acc[e]);
                         ep_return_acc[e] = 0.0;
                     }
-                    obs[e] = r.obs.clone();
                 }
+                std::mem::swap(&mut obs, &mut next_obs);
                 self.timesteps += n_envs as u64;
             }
 
             // Bootstrap values for the observation after the last step.
-            let last_values: Vec<f64> = (0..n_envs)
-                .map(|e| self.ac.value(&obs[e], &mut self.scratch))
-                .collect();
-            buffer.compute_advantages(&last_values, self.config.gamma, self.config.gae_lambda);
+            self.ac.value_batch(&obs, &mut self.scratch, &mut values);
+            buffer.compute_advantages(&values, self.config.gamma, self.config.gae_lambda);
 
             // ---------------- optimisation ----------------
             let diag = self.update(&buffer);
@@ -420,7 +435,10 @@ mod tests {
         // Entropy should have dropped (more deterministic policy).
         let e0 = log.entries.first().unwrap().entropy_loss;
         let e1 = log.entries.last().unwrap().entropy_loss;
-        assert!(e1 > e0, "entropy loss should increase (entropy shrink): {e0} -> {e1}");
+        assert!(
+            e1 > e0,
+            "entropy loss should increase (entropy shrink): {e0} -> {e1}"
+        );
     }
 
     #[test]

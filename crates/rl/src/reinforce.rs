@@ -55,6 +55,13 @@ pub struct Reinforce {
     timesteps: u64,
     scratch: ActScratch,
     pi_cache: MlpCache,
+    // Reusable batch storage (flat, strided; grown once then reused).
+    all_obs: Vec<f32>,
+    all_actions: Vec<f32>,
+    all_returns: Vec<f64>,
+    rewards: Vec<f64>,
+    obs_mat: Matrix,
+    d_mean: Matrix,
 }
 
 impl Reinforce {
@@ -72,6 +79,12 @@ impl Reinforce {
             timesteps: 0,
             scratch: ActScratch::new(),
             pi_cache: MlpCache::new(),
+            all_obs: Vec::new(),
+            all_actions: Vec::new(),
+            all_returns: Vec::new(),
+            rewards: Vec::new(),
+            obs_mat: Matrix::zeros(0, 0),
+            d_mean: Matrix::zeros(0, 0),
             cfg,
         }
     }
@@ -83,49 +96,56 @@ impl Reinforce {
 
     /// Trains for at least `total_timesteps` environment steps on a single
     /// environment.
+    ///
+    /// The collection loop is allocation-free per step: observations and
+    /// actions append into flat, strided batch slabs (grown once, reused
+    /// across updates), the policy samples through
+    /// [`ActorCritic::act_into`], and the environment steps through
+    /// [`Env::step_into`] into a fixed observation buffer.
     pub fn learn(&mut self, env: &mut dyn Env, total_timesteps: u64) {
         let action_dim = self.ac.action_dim();
         let obs_dim = self.ac.obs_dim();
         let target = self.timesteps + total_timesteps;
         let mut episode_seed = self.cfg.seed;
+        let mut obs = vec![0.0f32; obs_dim];
+        let mut action = vec![0.0f32; action_dim];
 
         while self.timesteps < target {
             // ---- collect a batch of episodes ----
-            let mut all_obs: Vec<Vec<f32>> = Vec::new();
-            let mut all_actions: Vec<Vec<f32>> = Vec::new();
-            let mut all_returns: Vec<f64> = Vec::new();
+            self.all_obs.clear();
+            self.all_actions.clear();
+            self.all_returns.clear();
             let mut ep_return_sum = 0.0;
 
             for _ in 0..self.cfg.episodes_per_update {
                 episode_seed = episode_seed.wrapping_add(0x9E3779B97F4A7C15);
-                let mut obs = env.reset(episode_seed);
-                let mut rewards = Vec::new();
-                let mut ep_obs = Vec::new();
-                let mut ep_actions = Vec::new();
+                env.reset_into(episode_seed, &mut obs);
+                self.rewards.clear();
+                let ep_start = self.all_returns.len();
                 loop {
-                    let (action, _lp, _v) = self.ac.act(&obs, &mut self.rng, &mut self.scratch);
-                    let r = env.step(&action);
-                    ep_obs.push(obs);
-                    ep_actions.push(action);
-                    rewards.push(r.reward);
+                    let (_lp, _v) =
+                        self.ac
+                            .act_into(&obs, &mut self.rng, &mut self.scratch, &mut action);
+                    // Store s_t and a_t before `obs` is overwritten with
+                    // s_{t+1}.
+                    self.all_obs.extend_from_slice(&obs);
+                    self.all_actions.extend_from_slice(&action);
+                    let info = env.step_into(&action, &mut obs);
+                    self.rewards.push(info.reward);
                     self.timesteps += 1;
-                    let done = r.done();
-                    obs = r.obs;
-                    if done {
+                    if info.done() {
                         break;
                     }
                 }
-                // Discounted returns-to-go.
+                // Discounted returns-to-go, written in place after the
+                // episode's slots are reserved.
+                self.all_returns.resize(ep_start + self.rewards.len(), 0.0);
                 let mut g = 0.0;
-                let mut returns = vec![0.0; rewards.len()];
-                for t in (0..rewards.len()).rev() {
-                    g = rewards[t] + self.cfg.gamma * g;
-                    returns[t] = g;
+                for t in (0..self.rewards.len()).rev() {
+                    g = self.rewards[t] + self.cfg.gamma * g;
+                    self.all_returns[ep_start + t] = g;
                 }
-                ep_return_sum += returns.first().copied().unwrap_or(0.0);
-                all_obs.extend(ep_obs);
-                all_actions.extend(ep_actions);
-                all_returns.extend(returns);
+                ep_return_sum += self.all_returns.get(ep_start).copied().unwrap_or(0.0);
             }
 
             let batch_mean_return = ep_return_sum / self.cfg.episodes_per_update as f64;
@@ -139,15 +159,12 @@ impl Reinforce {
             }
 
             // ---- one gradient step: maximise Σ (G−b)·log π(a|s) ----
-            let n = all_obs.len();
-            let x = Matrix::from_vec(
-                n,
-                obs_dim,
-                all_obs.iter().flatten().copied().collect(),
-            );
+            let n = self.all_returns.len();
+            self.obs_mat.reshape_for_overwrite(n, obs_dim);
+            self.obs_mat.data_mut().copy_from_slice(&self.all_obs);
             self.ac.zero_grad();
-            let means = self.ac.pi.forward(&x, &mut self.pi_cache);
-            let mut d_mean = Matrix::zeros(n, action_dim);
+            let means = self.ac.pi.forward(&self.obs_mat, &mut self.pi_cache);
+            self.d_mean.reshape_for_overwrite(n, action_dim);
             let mut dmu = vec![0.0f32; action_dim];
             let mut dls = vec![0.0f32; action_dim];
             let mut entropy = 0.0;
@@ -157,17 +174,20 @@ impl Reinforce {
                     log_std: &self.ac.log_std,
                 };
                 entropy += dist.entropy();
-                let adv = all_returns[i] - self.baseline;
+                let adv = self.all_returns[i] - self.baseline;
                 // loss = -(adv) * logp / n  →  dlogp = -adv/n.
                 let dlogp = (-adv / n as f64) as f32;
-                dist.dlogp_dmean(&all_actions[i], &mut dmu);
-                dist.dlogp_dlogstd(&all_actions[i], &mut dls);
+                let act_row = &self.all_actions[i * action_dim..(i + 1) * action_dim];
+                dist.dlogp_dmean(act_row, &mut dmu);
+                dist.dlogp_dlogstd(act_row, &mut dls);
                 for j in 0..action_dim {
-                    d_mean.set(i, j, dmu[j] * dlogp);
+                    self.d_mean.set(i, j, dmu[j] * dlogp);
                     self.ac.grad_log_std[j] += dls[j] * dlogp;
                 }
             }
+            let d_mean = std::mem::replace(&mut self.d_mean, Matrix::zeros(0, 0));
             self.ac.pi.backward(&mut self.pi_cache, &d_mean);
+            self.d_mean = d_mean;
             let norm = self.ac.grad_norm();
             if norm > 0.5 {
                 self.ac.scale_gradients(0.5 / norm);

@@ -3,8 +3,8 @@
 //! scratch PPO (substituting for torch's autograd tests).
 
 use proptest::prelude::*;
-use qcs_rl::nn::{Activation, Matrix, Mlp, MlpCache};
 use qcs_desim::Xoshiro256StarStar;
+use qcs_rl::nn::{Activation, Matrix, Mlp, MlpCache};
 
 /// Scalar test loss: weighted sum of outputs, L = Σ_bo c_bo · y_bo with
 /// fixed coefficients — its gradient w.r.t. y is exactly `c`.
@@ -49,12 +49,12 @@ fn check_gradients(
     // one-sided derivatives disagree (a ReLU pre-activation crossed zero
     // inside ±eps — finite differences are meaningless there).
     let check_param = |mlp: &mut Mlp,
-                           read: fn(&Mlp, usize, usize) -> f32,
-                           write: fn(&mut Mlp, usize, usize, f32),
-                           li: usize,
-                           pi: usize,
-                           analytic: f64,
-                           what: &str| {
+                       read: fn(&Mlp, usize, usize) -> f32,
+                       write: fn(&mut Mlp, usize, usize, f32),
+                       li: usize,
+                       pi: usize,
+                       analytic: f64,
+                       what: &str| {
         let orig = read(mlp, li, pi);
         let mid = loss(mlp, &x, &coeffs);
         write(mlp, li, pi, orig + eps);

@@ -235,7 +235,10 @@ pub fn heavy_square(rows: usize, cols: usize) -> Graph {
 /// dimensions (every qubit has degree exactly 4). Requires `rows ≥ 3` and
 /// `cols ≥ 3` so the wrap-around edges are distinct from grid edges.
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus needs dims ≥ 3 to stay simple");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus needs dims ≥ 3 to stay simple"
+    );
     let mut g = Graph::new(rows * cols);
     let id = |r: usize, c: usize| (r * cols + c) as u32;
     for r in 0..rows {

@@ -41,7 +41,10 @@ pub fn bfs_distances(g: &Graph, start: u32) -> Vec<u32> {
 /// lowest-numbered predecessor, so the result is deterministic.
 pub fn shortest_path(g: &Graph, a: u32, b: u32) -> Option<Vec<u32>> {
     let n = g.num_nodes();
-    assert!((a as usize) < n && (b as usize) < n, "endpoint out of range");
+    assert!(
+        (a as usize) < n && (b as usize) < n,
+        "endpoint out of range"
+    );
     if a == b {
         return Some(vec![a]);
     }
@@ -78,7 +81,9 @@ pub fn shortest_path(g: &Graph, a: u32, b: u32) -> Option<Vec<u32>> {
 /// All-pairs hop distances as a dense `n × n` matrix ([`UNREACHABLE`] for
 /// disconnected pairs).
 pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u32>> {
-    (0..g.num_nodes() as u32).map(|v| bfs_distances(g, v)).collect()
+    (0..g.num_nodes() as u32)
+        .map(|v| bfs_distances(g, v))
+        .collect()
 }
 
 /// Eccentricity of `v`: the longest shortest path from `v`. `None` when the

@@ -221,7 +221,10 @@ pub fn mean_clustering(g: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n as u32).map(|v| clustering_coefficient(g, v)).sum::<f64>() / n as f64
+    (0..n as u32)
+        .map(|v| clustering_coefficient(g, v))
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Number of edges crossing a 2-way node partition. `in_a[v]` marks nodes on
@@ -230,13 +233,19 @@ pub fn mean_clustering(g: &Graph) -> f64 {
 /// along this boundary.
 pub fn edge_cut(g: &Graph, in_a: &[bool]) -> usize {
     assert_eq!(in_a.len(), g.num_nodes(), "partition mask length mismatch");
-    g.edges().filter(|&(a, b)| in_a[a as usize] != in_a[b as usize]).count()
+    g.edges()
+        .filter(|&(a, b)| in_a[a as usize] != in_a[b as usize])
+        .count()
 }
 
 /// Number of edges crossing a multi-way partition given per-node block
 /// labels (nodes sharing a label are in the same block).
 pub fn multiway_cut(g: &Graph, block_of: &[u32]) -> usize {
-    assert_eq!(block_of.len(), g.num_nodes(), "label vector length mismatch");
+    assert_eq!(
+        block_of.len(),
+        g.num_nodes(),
+        "label vector length mismatch"
+    );
     g.edges()
         .filter(|&(a, b)| block_of[a as usize] != block_of[b as usize])
         .count()

@@ -68,7 +68,11 @@ impl Mmpp2 {
         // Time at which the modulating chain next switches state.
         let mut switch_at = exponential(&mut rng, 1.0 / self.calm_mean_sojourn);
         while out.len() < n {
-            let rate = if in_burst { self.burst_rate } else { self.calm_rate };
+            let rate = if in_burst {
+                self.burst_rate
+            } else {
+                self.calm_rate
+            };
             let dt = exponential(&mut rng, rate);
             if t + dt < switch_at {
                 t += dt;
@@ -91,8 +95,7 @@ impl Mmpp2 {
 
     /// Long-run average arrival rate (jobs/s).
     pub fn mean_rate(&self) -> f64 {
-        let pi_calm =
-            self.calm_mean_sojourn / (self.calm_mean_sojourn + self.burst_mean_sojourn);
+        let pi_calm = self.calm_mean_sojourn / (self.calm_mean_sojourn + self.burst_mean_sojourn);
         pi_calm * self.calm_rate + (1.0 - pi_calm) * self.burst_rate
     }
 }
@@ -257,7 +260,10 @@ mod tests {
             "peak {peak} vs trough {trough}"
         );
         let empirical = ts.len() as f64 / ts.last().unwrap();
-        assert!((empirical - 1.0).abs() < 0.1, "mean rate ≈ base, got {empirical}");
+        assert!(
+            (empirical - 1.0).abs() < 0.1,
+            "mean rate ≈ base, got {empirical}"
+        );
     }
 
     #[test]

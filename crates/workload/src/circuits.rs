@@ -188,14 +188,14 @@ mod tests {
     #[test]
     fn family_mix_respected() {
         let cfg = CircuitWorkloadConfig {
-            mix: vec![
-                (CircuitFamily::Ghz, 0.5),
-                (CircuitFamily::Trotter1d, 0.5),
-            ],
+            mix: vec![(CircuitFamily::Ghz, 0.5), (CircuitFamily::Trotter1d, 0.5)],
             ..CircuitWorkloadConfig::default()
         };
         let jobs = circuit_workload(200, &cfg, 3);
-        let ghz_count = jobs.iter().filter(|j| j.family == CircuitFamily::Ghz).count();
+        let ghz_count = jobs
+            .iter()
+            .filter(|j| j.family == CircuitFamily::Ghz)
+            .count();
         assert!(jobs
             .iter()
             .all(|j| matches!(j.family, CircuitFamily::Ghz | CircuitFamily::Trotter1d)));

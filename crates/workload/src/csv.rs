@@ -71,7 +71,8 @@ pub fn from_csv(text: &str) -> Result<Vec<QJob>, String> {
                 0.0
             },
         };
-        job.validate().map_err(|e| format!("line {}: {e}", ln + 1))?;
+        job.validate()
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
         jobs.push(job);
     }
     Ok(jobs)
@@ -91,8 +92,8 @@ pub fn read_file(path: &std::path::Path) -> Result<Vec<QJob>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcs_qcloud::JobDistribution;
     use qcs_desim::Xoshiro256StarStar;
+    use qcs_qcloud::JobDistribution;
 
     fn jobs(n: usize) -> Vec<QJob> {
         let dist = JobDistribution::default();
@@ -142,7 +143,8 @@ mod tests {
 
     #[test]
     fn invalid_job_rejected() {
-        let csv = "job_id,num_qubits,depth,num_shots,two_qubit_gates,arrival_time\n1,0,10,50000,500,0\n";
+        let csv =
+            "job_id,num_qubits,depth,num_shots,two_qubit_gates,arrival_time\n1,0,10,50000,500,0\n";
         let err = from_csv(csv).unwrap_err();
         assert!(err.contains("zero qubits"), "{err}");
     }

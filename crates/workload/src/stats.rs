@@ -103,7 +103,11 @@ mod tests {
         // U[130, 250] mean = 190, U[5, 20] mean = 12.5, U[10k, 100k] = 55k.
         assert!((s.qubits_mean - 190.0).abs() < 4.0, "{}", s.qubits_mean);
         assert!((s.depth_mean - 12.5).abs() < 0.6, "{}", s.depth_mean);
-        assert!((s.shots_mean - 55_000.0).abs() < 3_000.0, "{}", s.shots_mean);
+        assert!(
+            (s.shots_mean - 55_000.0).abs() < 3_000.0,
+            "{}",
+            s.shots_mean
+        );
         assert!(s.qubits_range.0 >= 130 && s.qubits_range.1 <= 250);
         assert_eq!(s.arrival_rate, 0.0, "batch arrival");
     }

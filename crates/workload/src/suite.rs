@@ -83,10 +83,7 @@ mod tests {
         let s = paper_case_study(42);
         assert_eq!(s.jobs.len(), 1_000);
         assert!(s.jobs.iter().all(|j| j.arrival_time == 0.0));
-        assert!(s
-            .jobs
-            .iter()
-            .all(|j| (130..=250).contains(&j.num_qubits)));
+        assert!(s.jobs.iter().all(|j| (130..=250).contains(&j.num_qubits)));
         assert!(s.jobs.iter().all(|j| (5..=20).contains(&j.depth)));
         assert!(s
             .jobs

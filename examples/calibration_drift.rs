@@ -23,12 +23,7 @@ fn run_with_staleness(drift_days: f64, seed: u64) -> (f64, f64) {
     let model = DriftModel::default();
     let mut rng = Xoshiro256StarStar::new(seed ^ 0xD51F7);
     for (dev, base) in fleet.iter_mut().zip(&baseline) {
-        model.step(
-            &mut dev.calibration,
-            base,
-            drift_days * 86_400.0,
-            &mut rng,
-        );
+        model.step(&mut dev.calibration, base, drift_days * 86_400.0, &mut rng);
     }
 
     // The scheduler's ranking uses the *stale* error scores (from the

@@ -44,10 +44,12 @@ fn main() {
         }
     };
 
-    println!("trace: {} jobs, first arrival {:.1}s, last arrival {:.1}s",
+    println!(
+        "trace: {} jobs, first arrival {:.1}s, last arrival {:.1}s",
         jobs.len(),
         jobs.first().map(|j| j.arrival_time).unwrap_or(0.0),
-        jobs.last().map(|j| j.arrival_time).unwrap_or(0.0));
+        jobs.last().map(|j| j.arrival_time).unwrap_or(0.0)
+    );
 
     let (t1, f1) = run_once(jobs.clone());
     let (t2, f2) = run_once(jobs);

@@ -30,7 +30,9 @@ impl Broker for HybridBroker {
                     .total_cmp(&view.devices[a].clops)
                     .then(a.cmp(&b))
             });
-            ids.into_iter().map(|i| view.devices[i].id).collect::<Vec<_>>()
+            ids.into_iter()
+                .map(|i| view.devices[i].id)
+                .collect::<Vec<_>>()
         } else {
             // Short job: cleanest first.
             let mut ids: Vec<_> = (0..view.devices.len()).collect();
@@ -40,7 +42,9 @@ impl Broker for HybridBroker {
                     .total_cmp(&view.devices[b].error_score)
                     .then(a.cmp(&b))
             });
-            ids.into_iter().map(|i| view.devices[i].id).collect::<Vec<_>>()
+            ids.into_iter()
+                .map(|i| view.devices[i].id)
+                .collect::<Vec<_>>()
         };
         match greedy_fill(&order, view, job.num_qubits) {
             Some(parts) => AllocationPlan::Dispatch(parts),

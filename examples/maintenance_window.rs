@@ -25,13 +25,11 @@ fn run(policy: &str, with_window: bool) -> SummaryStats {
         seed,
     );
     if with_window {
-        env.schedule_maintenance(
-            MaintenanceWindow {
-                device: 0,          // ibm_strasbourg
-                start: 2_000.0,     // mid-run
-                duration: 8_000.0,  // ~2.2 h offline
-            },
-        );
+        env.schedule_maintenance(MaintenanceWindow {
+            device: 0,         // ibm_strasbourg
+            start: 2_000.0,    // mid-run
+            duration: 8_000.0, // ~2.2 h offline
+        });
     }
     let r = env.run();
     assert_eq!(r.summary.jobs_unfinished, 0, "{policy}: jobs starved");

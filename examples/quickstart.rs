@@ -55,7 +55,10 @@ fn main() {
     println!("\nsummary ({}):", s.strategy);
     println!("  jobs finished     : {}", s.jobs_finished);
     println!("  makespan T_sim    : {:.1} s", s.t_sim);
-    println!("  fidelity μ ± σ    : {:.5} ± {:.5}", s.mean_fidelity, s.std_fidelity);
+    println!(
+        "  fidelity μ ± σ    : {:.5} ± {:.5}",
+        s.mean_fidelity, s.std_fidelity
+    );
     println!("  total comm T_comm : {:.1} s", s.total_comm);
     println!("  mean devices/job  : {:.2}", s.mean_devices_per_job);
     println!("\ndevice utilization:");

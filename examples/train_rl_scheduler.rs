@@ -63,8 +63,14 @@ fn main() {
     let r = env.run();
     let s = &r.summary;
     println!("\ndeployed rlbase on 100 jobs:");
-    println!("  T_sim = {:.1} s, μ_F = {:.5} ± {:.5}", s.t_sim, s.mean_fidelity, s.std_fidelity);
-    println!("  T_comm = {:.1} s, devices/job = {:.2}", s.total_comm, s.mean_devices_per_job);
+    println!(
+        "  T_sim = {:.1} s, μ_F = {:.5} ± {:.5}",
+        s.t_sim, s.mean_fidelity, s.std_fidelity
+    );
+    println!(
+        "  T_comm = {:.1} s, devices/job = {:.2}",
+        s.total_comm, s.mean_devices_per_job
+    );
     println!("\nNote the paper's finding: trained on a fidelity-only reward,");
     println!("the agent fragments jobs (k̄ high, T_comm high) because Eq. 6's");
     println!("readout exponent √(q/k) rewards spreading. Retrain with");

@@ -61,8 +61,8 @@ pub mod prelude {
     };
     pub use qcs_qcloud::{
         AllocationPlan, Broker, CircuitLocality, CloudView, CuttingExecModel, DeadlinePolicy,
-        DeviceView, GymConfig, JobDistribution, JobId, QCloudGymEnv, QCloudSimEnv, QJob,
-        QosReport, SimParams, SummaryStats,
+        DeviceView, GymConfig, JobDistribution, JobId, QCloudGymEnv, QCloudSimEnv, QJob, QosReport,
+        SimParams, SummaryStats,
     };
     pub use qcs_rl::{A2c, A2cConfig, Ppo, PpoConfig, VecEnv};
 }

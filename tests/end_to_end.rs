@@ -178,7 +178,11 @@ fn deterministic_across_full_stack() {
 fn paper_constraint_eq1_holds_for_generated_workloads() {
     let jobs = qcs::workload::paper_case_study(1).jobs;
     let fleet = qcs::calibration::ibm_fleet(1);
-    let max_single = fleet.iter().map(|d| d.spec.num_qubits as u64).max().unwrap();
+    let max_single = fleet
+        .iter()
+        .map(|d| d.spec.num_qubits as u64)
+        .max()
+        .unwrap();
     let total: u64 = fleet.iter().map(|d| d.spec.num_qubits as u64).sum();
     for j in &jobs {
         assert!(j.num_qubits > max_single, "job must exceed any single QPU");

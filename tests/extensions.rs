@@ -124,15 +124,18 @@ fn measured_cut_plans_price_consistently_with_job_level_model() {
         two_qubit: 8e-3,
         readout: 1.5e-2,
     };
-    let sites: Vec<FragmentSite> = [cj.job.num_qubits / 2, cj.job.num_qubits - cj.job.num_qubits / 2]
-        .iter()
-        .map(|&qubits| FragmentSite {
-            qubits,
-            clops: 220_000.0,
-            qv_layers: 7.0,
-            rates,
-        })
-        .collect();
+    let sites: Vec<FragmentSite> = [
+        cj.job.num_qubits / 2,
+        cj.job.num_qubits - cj.job.num_qubits / 2,
+    ]
+    .iter()
+    .map(|&qubits| FragmentSite {
+        qubits,
+        clops: 220_000.0,
+        qv_layers: 7.0,
+        rates,
+    })
+    .collect();
     let cut = CuttingExecModel::with_locality(CircuitLocality::Chain).evaluate(&cj.job, &sites);
     let rt = realtime_comm_outcome(&cj.job, &sites, &exec, &fid, &CommModel::default());
     assert!(

@@ -1,0 +1,339 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `throughput`/`sample_size`/`bench_with_input`,
+//! `BenchmarkId`, and `black_box` — over a simple wall-clock harness:
+//! each benchmark is warmed up briefly, then timed for a fixed number of
+//! samples, and the median per-iteration time (plus derived throughput)
+//! is printed.
+//!
+//! Running with `--test` (what `cargo test` passes to `harness = false`
+//! targets) executes every benchmark body once without timing, so benches
+//! stay compile- and run-checked in CI without costing bench time.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (split across samples).
+const MEASURE_TIME: Duration = Duration::from_millis(600);
+/// Warm-up time per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(150);
+
+fn test_mode() -> bool {
+    // `cargo test` compiles benches without optimisations; measuring those
+    // is meaningless, so run each body once as a smoke test instead (the
+    // `--test` flag forces the same, matching real criterion).
+    cfg!(debug_assertions) || std::env::args().any(|a| a == "--test")
+}
+
+/// Measures one closure; returns (median seconds/iter, iters measured).
+fn measure<O, F: FnMut() -> O>(mut f: F) -> (f64, u64) {
+    // Warm-up: find an iteration count that takes a measurable time.
+    let mut iters_per_sample = 1u64;
+    let warmup_start = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if warmup_start.elapsed() >= WARMUP_TIME {
+            if dt < Duration::from_micros(100) && iters_per_sample < u64::MAX / 2 {
+                iters_per_sample *= 2;
+            }
+            break;
+        }
+        if dt < Duration::from_millis(10) && iters_per_sample < u64::MAX / 2 {
+            iters_per_sample *= 2;
+        }
+    }
+
+    // Sampling: fixed wall-clock budget, median of per-sample means.
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    let mut total_iters = 0u64;
+    while start.elapsed() < MEASURE_TIME || samples.len() < 5 {
+        let t0 = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        samples.push(dt / iters_per_sample as f64);
+        total_iters += iters_per_sample;
+        if samples.len() >= 200 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[samples.len() / 2], total_iters)
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    results: &'a mut Vec<BenchResult>,
+}
+
+/// One benchmark's outcome (also exposed for custom reporters).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name.
+    pub name: String,
+    /// Median seconds per iteration.
+    pub secs_per_iter: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<u64>,
+}
+
+impl Bencher<'_> {
+    /// Benchmarks `f`, timing repeated calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            black_box(f());
+            println!("test {} ... ok (bench smoke)", self.name);
+            return;
+        }
+        let (secs, _) = measure(&mut f);
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
+            None => None,
+        };
+        let mut line = format!("{:<56} {:>12}/iter", self.name, fmt_time(secs));
+        if let Some(n) = tp {
+            let rate = n as f64 / secs;
+            line.push_str(&format!("  ({rate:.3e} elem/s)"));
+        }
+        println!("{line}");
+        self.results.push(BenchResult {
+            name: self.name.clone(),
+            secs_per_iter: secs,
+            throughput: tp,
+        });
+    }
+}
+
+/// A named group of benchmarks sharing throughput/config annotations.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// stand-in uses a wall-clock budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the work done per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            name,
+            throughput: self.throughput,
+            results: &mut self.criterion.results,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id` within this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            name,
+            throughput: self.throughput,
+            results: &mut self.criterion.results,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Creates a fresh harness.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            name: id.to_string(),
+            throughput: None,
+            results: &mut self.results,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// All results recorded so far (for custom reporters).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        if !test_mode() && !self.results.is_empty() {
+            println!("({} benchmarks measured)", self.results.len());
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let (secs, iters) = measure(|| std::hint::black_box(1 + 1));
+        assert!(secs > 0.0);
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace's PRNGs carry their own algorithms (splitmix64,
+//! xoshiro256**) and only implement [`RngCore`] so external distribution
+//! machinery *could* be layered on top. The build environment has no
+//! registry access, so this crate provides exactly that trait surface with
+//! the same signatures as `rand` 0.8 / `rand_core` 0.6.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (never produced by this workspace's
+/// infallible generators).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG trait (same shape as `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

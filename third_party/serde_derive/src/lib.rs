@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! non-generic structs and enums without syn/quote (neither is available
+//! offline): the item's token stream is parsed by hand into a small shape
+//! description, and the impl is emitted as a string.
+//!
+//! Supported surface (what this workspace uses):
+//! * named-field structs, tuple structs (newtype transparent), unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation);
+//! * field attributes `#[serde(skip)]` and `#[serde(default)]` — `skip`
+//!   fields are omitted on serialise and rebuilt with `Default::default()`,
+//!   `default` fields tolerate absence in the input.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes one `#[...]` attribute if present; returns its tokens.
+fn take_attr(tokens: &[TokenTree], pos: &mut usize) -> Option<TokenStream> {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    *pos += 2;
+                    return Some(g.stream());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Folds any number of leading attributes into a [`FieldAttrs`].
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
+    let mut out = FieldAttrs::default();
+    while let Some(stream) = take_attr(tokens, pos) {
+        let inner: Vec<TokenTree> = stream.into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments, cfg, etc.
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        for tt in args.stream() {
+            if let TokenTree::Ident(id) = tt {
+                match id.to_string().as_str() {
+                    "skip" => out.skip = true,
+                    "default" => out.default = true,
+                    other => panic!("serde stand-in: unsupported attribute `{other}`"),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type (or any token run) up to a top-level `,`, tracking
+/// `<...>` angle-bracket depth. Returns true if it stopped at a comma
+/// (which is consumed).
+fn skip_until_comma(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut angle: i32 = 0;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *pos += 1;
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+    false
+}
+
+/// Parses `{ field: Type, ... }` bodies into named fields.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!(
+                "serde stand-in: expected field name, got {:?}",
+                tokens.get(pos)
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde stand-in: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut pos);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the comma-separated fields of a `( ... )` tuple body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        let _ = take_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        if !skip_until_comma(&tokens, &mut pos) {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _ = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!(
+                "serde stand-in: expected variant name, got {:?}",
+                tokens.get(pos)
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to and including the separating comma (also skips
+        // explicit discriminants, which this workspace doesn't use).
+        skip_until_comma(&tokens, &mut pos);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    while take_attr(&tokens, &mut pos).is_some() {}
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+        panic!("serde stand-in: expected type name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde stand-in: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde stand-in: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_named_fields_to_value(fields: &[Field], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut s = String::from("{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        s.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name)
+        ));
+    }
+    s.push_str("::serde::Value::Obj(__fields) }");
+    s
+}
+
+fn gen_named_fields_from_value(fields: &[Field], source: &str, type_path: &str) -> String {
+    // Emits a `Type { f: ..., ... }` literal reading from `source: &Value`.
+    let mut s = format!("{type_path} {{\n");
+    for f in fields {
+        if f.attrs.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+            continue;
+        }
+        let missing = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"missing field `{}` in {}\")))",
+                f.name, type_path
+            )
+        };
+        s.push_str(&format!(
+            "{n}: match ::serde::Value::get_field({source}, \"{n}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            n = f.name,
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => gen_named_fields_to_value(fields, &|f| format!("&self.{f}")),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = gen_named_fields_to_value(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let literal = gen_named_fields_from_value(fields, "__v", name);
+            format!(
+                "if __v.as_obj().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"object for {name}\", __v));\n}}\n\
+                 ::std::result::Result::Ok({literal})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\", __v))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple length for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged-null form {"Variant": null}.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __inner.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\", __inner))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let literal =
+                            gen_named_fields_from_value(fields, "__inner", &format!("{name}::{vn}"));
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({literal}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the stand-in `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stand-in: generated invalid Serialize impl")
+}
+
+/// Derives the stand-in `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stand-in: generated invalid Deserialize impl")
+}
