@@ -1,0 +1,149 @@
+//! Scheduler-loop benchmarks for the queue-aware redesign: jobs/second
+//! through the full simulation at 1k/10k pending jobs, seed-style
+//! snapshot-rebuild-per-consult (`SnapshotAdapter`) vs the incremental
+//! `CloudState` path (`FifoAdapter`), plus the discipline scenario the old
+//! API could not express — EASY backfilling vs FIFO on a fragmented
+//! mixed-size workload.
+//!
+//! Release runs (`cargo bench -p qcs-bench --bench sched`) also emit
+//! `BENCH_sched.json` at the repository root: scheduler-loop throughput
+//! for both paths and the `fifo+speed` vs `backfill+speed` comparison
+//! (makespan, mean wait, mean device utilisation), so the perf trajectory
+//! and the discipline win are tracked across PRs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_calibration::ibm_fleet;
+use qcs_qcloud::jobgen::{batch_at_zero, bimodal_arrivals};
+use qcs_qcloud::policies::scheduler_by_name;
+use qcs_qcloud::simenv::RunResult;
+use qcs_qcloud::{JobDistribution, QCloudSimEnv, QJob, SimParams};
+
+const SEED: u64 = 7;
+
+fn run_spec(spec: &str, jobs: Vec<QJob>) -> RunResult {
+    let env = QCloudSimEnv::with_scheduler(
+        ibm_fleet(SEED),
+        scheduler_by_name(spec, SEED, 1).expect("known spec"),
+        jobs,
+        SimParams::default(),
+        SEED,
+    );
+    env.run()
+}
+
+/// The bimodal head-of-line-blocking workload: every 4th job spans the
+/// whole fleet (and runs long), the rest are small and short. Strict FIFO
+/// idles most of the fleet whenever a big head is blocked.
+fn fragmented_jobs(n: usize) -> Vec<QJob> {
+    bimodal_arrivals(n, 0.1, 4, SEED)
+}
+
+fn bench_pending_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/pending_scaling");
+    group.sample_size(10);
+    let sizes: &[usize] = if cfg!(debug_assertions) {
+        &[1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    for &n in sizes {
+        let jobs = batch_at_zero(n, &JobDistribution::default(), SEED);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("snapshot_rebuild", n), &jobs, |b, jobs| {
+            b.iter(|| run_spec("snapshot+speed", jobs.clone()).summary.t_sim)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_state", n),
+            &jobs,
+            |b, jobs| b.iter(|| run_spec("speed", jobs.clone()).summary.t_sim),
+        );
+    }
+    group.finish();
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/disciplines_1k_fragmented");
+    group.sample_size(10);
+    let jobs = fragmented_jobs(if cfg!(debug_assertions) { 200 } else { 1_000 });
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for spec in ["speed", "backfill+speed", "priority:sjf+speed"] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &s| {
+            b.iter(|| run_spec(s, jobs.clone()).summary.t_sim)
+        });
+    }
+    group.finish();
+
+    write_sched_json();
+}
+
+/// Measures both scheduler-loop paths and the backfill-vs-FIFO scenario
+/// directly, recording to `BENCH_sched.json` at the repository root.
+fn write_sched_json() {
+    if cfg!(debug_assertions) {
+        // Unoptimised numbers would corrupt the tracked perf trajectory;
+        // only measure from `cargo bench` (release) builds.
+        return;
+    }
+    let budget = 0.7f64;
+    let jobs_per_sec = |spec: &str, jobs: &[QJob]| -> f64 {
+        let _ = std::hint::black_box(run_spec(spec, jobs.to_vec()));
+        let start = Instant::now();
+        let mut best = 0.0f64;
+        loop {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(run_spec(spec, jobs.to_vec()));
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.max(jobs.len() as f64 / dt);
+            if start.elapsed().as_secs_f64() > budget {
+                break;
+            }
+        }
+        best
+    };
+
+    let jobs_1k = batch_at_zero(1_000, &JobDistribution::default(), SEED);
+    let jobs_10k = batch_at_zero(10_000, &JobDistribution::default(), SEED);
+    let snap_1k = jobs_per_sec("snapshot+speed", &jobs_1k);
+    let incr_1k = jobs_per_sec("speed", &jobs_1k);
+    let snap_10k = jobs_per_sec("snapshot+speed", &jobs_10k);
+    let incr_10k = jobs_per_sec("speed", &jobs_10k);
+
+    // Discipline comparison on the fragmented workload (deterministic —
+    // single runs, not timing-sensitive).
+    let frag = fragmented_jobs(1_000);
+    let fifo = run_spec("speed", frag.clone());
+    let easy = run_spec("backfill+speed", frag);
+    let fifo_util = fifo.mean_device_utilization();
+    let easy_util = easy.mean_device_utilization();
+
+    let json = format!(
+        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {{ \"t_sim\": {:.2}, \"mean_wait\": {:.2}, \"mean_utilization\": {:.4} }},\n    \"backfill_speed\": {{ \"t_sim\": {:.2}, \"mean_wait\": {:.2}, \"mean_utilization\": {:.4}, \"queue_jumps\": {} }},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4}\n  }}\n}}\n",
+        incr_1k / snap_1k,
+        incr_10k / snap_10k,
+        fifo.summary.t_sim,
+        fifo.summary.mean_wait,
+        fifo_util,
+        easy.summary.t_sim,
+        easy.summary.mean_wait,
+        easy_util,
+        easy.telemetry.out_of_order,
+        fifo.summary.t_sim / easy.summary.t_sim,
+        easy_util / fifo_util,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+    println!(
+        "sched loop: 1k snapshot {snap_1k:.0} vs incremental {incr_1k:.0} jobs/s; \
+         10k snapshot {snap_10k:.0} vs incremental {incr_10k:.0} jobs/s; \
+         backfill makespan x{:.3}, utilization x{:.3} -> BENCH_sched.json",
+        fifo.summary.t_sim / easy.summary.t_sim,
+        easy_util / fifo_util,
+    );
+}
+
+criterion_group!(benches, bench_pending_scaling, bench_disciplines);
+criterion_main!(benches);

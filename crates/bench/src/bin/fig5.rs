@@ -2,11 +2,16 @@
 //! (left axis) and entropy loss (right axis) over training timesteps.
 //!
 //! ```text
-//! cargo run -p qcs-bench --release --bin fig5 [-- --timesteps 100000 --seed 42 --comm-aware]
+//! cargo run -p qcs-bench --release --bin fig5 [-- --timesteps 100000 --seed 42 --comm-aware --queue-aware]
 //! ```
+//!
+//! `--queue-aware` trains on the 19-dim observation with the three queue
+//! features appended (see `GymConfig::queue_aware`); the default is the
+//! paper's 16-dim state.
 
 use qcs_bench::runner::results_dir;
-use qcs_bench::train::train_allocation_policy;
+use qcs_bench::train::train_allocation_policy_with;
+use qcs_qcloud::GymConfig;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -42,12 +47,19 @@ fn main() {
     let seed: u64 = arg("--seed", 42);
     let n_envs: usize = arg("--envs", 4);
     let comm_aware = std::env::args().any(|a| a == "--comm-aware");
+    let queue_aware = std::env::args().any(|a| a == "--queue-aware");
 
     eprintln!(
-        "[fig5] training PPO for {timesteps} timesteps on {n_envs} envs (comm_aware = {comm_aware})..."
+        "[fig5] training PPO for {timesteps} timesteps on {n_envs} envs \
+         (comm_aware = {comm_aware}, queue_aware = {queue_aware})..."
     );
+    let gym = GymConfig {
+        comm_aware_reward: comm_aware,
+        queue_aware,
+        ..GymConfig::default()
+    };
     let t0 = std::time::Instant::now();
-    let out = train_allocation_policy(timesteps, n_envs, seed, comm_aware);
+    let out = train_allocation_policy_with(gym, timesteps, n_envs, seed);
     eprintln!("[fig5] done in {:.1}s", t0.elapsed().as_secs_f64());
 
     let log = out.ppo.log();
@@ -76,17 +88,18 @@ fn main() {
     );
 
     let dir = results_dir();
-    let csv_path = dir.join(if comm_aware {
-        "fig5_training_comm_aware.csv"
-    } else {
-        "fig5_training.csv"
-    });
+    // Variant-specific filenames: a queue-aware policy has a different
+    // observation layout and must not clobber the cached 16-dim policy
+    // `table2`/`fig6` deploy.
+    let variant = match (comm_aware, queue_aware) {
+        (false, false) => "",
+        (true, false) => "_comm_aware",
+        (false, true) => "_queue_aware",
+        (true, true) => "_comm_queue_aware",
+    };
+    let csv_path = dir.join(format!("fig5_training{variant}.csv"));
     std::fs::write(&csv_path, log.to_csv()).expect("cannot write training CSV");
-    let policy_path = dir.join(if comm_aware {
-        "rl_policy_comm_aware.json"
-    } else {
-        "rl_policy.json"
-    });
+    let policy_path = dir.join(format!("rl_policy{variant}.json"));
     std::fs::write(&policy_path, out.policy_json()).expect("cannot write policy");
     eprintln!(
         "[fig5] wrote {} and {}",

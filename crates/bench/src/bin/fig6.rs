@@ -8,7 +8,10 @@
 //! Requires a trained RL policy (run `table2` or `fig5` first, or this
 //! binary trains a quick one).
 
-use qcs_bench::runner::{results_dir, run_strategies, table2_strategies};
+//! `--strategies a,b,c` sweeps arbitrary scheduler specs (incl. composed
+//! disciplines like `backfill+speed`) instead of the paper's four.
+
+use qcs_bench::runner::{results_dir, run_strategies, table2_strategies, StrategySpec};
 use qcs_bench::train::train_allocation_policy;
 use qcs_qcloud::{GymConfig, SimParams, SummaryStats};
 use qcs_workload::suite::paper_case_study;
@@ -27,10 +30,14 @@ fn main() {
     let seed: u64 = arg("--seed", 42);
     let bins: usize = arg("--bins", 40);
     let timesteps: u64 = arg("--timesteps", 60_000);
+    let strategies: String = arg("--strategies", "speed,fidelity,fair,rl".to_string());
+    let wants_rl = StrategySpec::list_wants_rl(&strategies);
 
     let dir = results_dir();
     let policy_path = dir.join("rl_policy.json");
-    let policy_json = if policy_path.exists() {
+    let policy_json = if !wants_rl {
+        String::new()
+    } else if policy_path.exists() {
         std::fs::read_to_string(&policy_path).expect("cannot read cached policy")
     } else {
         eprintln!("[fig6] no cached policy; training {timesteps} timesteps...");
@@ -43,7 +50,11 @@ fn main() {
     let mut suite = paper_case_study(seed);
     suite.jobs.truncate(n_jobs);
     let params = SimParams::default();
-    let specs = table2_strategies(policy_json, GymConfig::default());
+    let specs: Vec<StrategySpec> = if strategies == "speed,fidelity,fair,rl" {
+        table2_strategies(policy_json, GymConfig::default())
+    } else {
+        StrategySpec::parse_list(&strategies, &policy_json, &GymConfig::default())
+    };
 
     eprintln!(
         "[fig6] running {} strategies × {} jobs...",

@@ -13,7 +13,7 @@
 use qcs_bench::runner::results_dir;
 use qcs_bench::table::AsciiTable;
 use qcs_calibration::ibm_fleet;
-use qcs_qcloud::policies::by_name;
+use qcs_qcloud::policies::scheduler_by_name;
 use qcs_qcloud::JobDistribution;
 use qcs_qcloud::{DeadlinePolicy, QCloudSimEnv, QosReport, SimParams};
 use qcs_workload::arrival::{jobs_with_arrivals, poisson_process};
@@ -31,7 +31,18 @@ fn main() {
     let n_jobs: usize = arg("--jobs", 200);
     let seed: u64 = arg("--seed", 42);
     let params = SimParams::default();
-    let policies = ["speed", "fidelity", "fair", "minfrag"];
+    // Policies under FIFO, plus the queue-aware disciplines the redesign
+    // added — exactly where wait-time tails separate them.
+    let policies = [
+        "speed",
+        "fidelity",
+        "fair",
+        "minfrag",
+        "backfill+speed",
+        "priority:sjf+speed",
+        "priority:edf+speed",
+        "priority:aging+speed",
+    ];
     // Paper-scale service times are ~100 s on premium devices; sweep the
     // arrival rate from light to saturating load.
     let rates = [0.002, 0.005, 0.01, 0.02];
@@ -56,9 +67,14 @@ fn main() {
             "miss rate",
         ]);
         for pol in policies {
-            let broker = by_name(pol, seed).expect("known policy");
-            let env =
-                QCloudSimEnv::new(ibm_fleet(seed), broker, jobs.clone(), params.clone(), seed);
+            let sched = scheduler_by_name(pol, seed, 1).expect("known scheduler spec");
+            let env = QCloudSimEnv::with_scheduler(
+                ibm_fleet(seed),
+                sched,
+                jobs.clone(),
+                params.clone(),
+                seed,
+            );
             let result = env.run();
             let qos = QosReport::from_records(&result.records, DeadlinePolicy::default());
             table.row(vec![

@@ -6,10 +6,15 @@
 //! cargo run -p qcs-bench --release --bin table2 [-- --jobs 1000 --seed 42 --timesteps 100000]
 //! ```
 //!
+//! `--strategies a,b,c` swaps the paper's four rows for any list of
+//! scheduler specs: bare policies (`speed`, `minfrag`, `rl:<path>`),
+//! composed disciplines (`backfill+speed`, `priority:edf+fair`), or `rl`
+//! for the trained-and-cached RL row. `--help` lists the vocabulary.
+//!
 //! The RL row requires a trained policy; the binary trains one (caching it
 //! in `results/rl_policy.json`) unless `--no-cache` is passed.
 
-use qcs_bench::runner::{results_dir, run_strategies, table2_strategies};
+use qcs_bench::runner::{results_dir, run_strategies, table2_strategies, StrategySpec};
 use qcs_bench::table::AsciiTable;
 use qcs_bench::train::train_allocation_policy;
 use qcs_qcloud::{GymConfig, SimParams};
@@ -28,17 +33,37 @@ fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+fn print_help() {
+    println!("table2 — strategy comparison on the paper's case-study workload");
+    println!("  --jobs N --seed S --timesteps T --no-cache");
+    println!("  --strategies a,b,c   scheduler specs to compare (default: paper's four)");
+    println!("policies: {}", qcs_qcloud::policies::names().join(", "));
+    println!(
+        "disciplines (compose as <discipline>+<policy>): {}",
+        qcs_qcloud::policies::discipline_names().join(", ")
+    );
+    println!("plus `rl`: the trained-and-cached RL row");
+}
+
 fn main() {
+    if flag("--help") {
+        print_help();
+        return;
+    }
     let n_jobs: usize = arg("--jobs", 1_000);
     let seed: u64 = arg("--seed", 42);
     let timesteps: u64 = arg("--timesteps", 100_000);
     let no_cache = flag("--no-cache");
+    let strategies: String = arg("--strategies", "speed,fidelity,fair,rl".to_string());
+    let wants_rl = StrategySpec::list_wants_rl(&strategies);
 
     let dir = results_dir();
     let policy_path = dir.join("rl_policy.json");
 
     // --- RL policy: load cache or train (paper §6.6: 100k timesteps). ---
-    let policy_json = if policy_path.exists() && !no_cache {
+    let policy_json = if !wants_rl {
+        String::new()
+    } else if policy_path.exists() && !no_cache {
         eprintln!("[table2] using cached RL policy {}", policy_path.display());
         std::fs::read_to_string(&policy_path).expect("cannot read cached policy")
     } else {
@@ -57,11 +82,15 @@ fn main() {
         json
     };
 
-    // --- The case-study workload and the four strategies. ---
+    // --- The case-study workload and the requested strategies. ---
     let mut suite = paper_case_study(seed);
     suite.jobs.truncate(n_jobs);
     let params = SimParams::default();
-    let specs = table2_strategies(policy_json, GymConfig::default());
+    let specs: Vec<StrategySpec> = if strategies == "speed,fidelity,fair,rl" {
+        table2_strategies(policy_json, GymConfig::default())
+    } else {
+        StrategySpec::parse_list(&strategies, &policy_json, &GymConfig::default())
+    };
 
     eprintln!(
         "[table2] running {} strategies × {} jobs in parallel...",

@@ -19,4 +19,4 @@ pub mod train;
 
 pub use runner::{run_strategy, StrategySpec};
 pub use table::AsciiTable;
-pub use train::{train_allocation_policy, TrainOutcome};
+pub use train::{train_allocation_policy, train_allocation_policy_with, TrainOutcome};

@@ -1,15 +1,19 @@
 //! Strategy execution helpers shared by the harness binaries.
 
 use qcs_calibration::ibm_fleet;
-use qcs_qcloud::policies::{by_name, FairBroker, FidelityBroker, RlBroker, SpeedBroker};
+use qcs_qcloud::policies::{scheduler_by_name, FairBroker, FidelityBroker, RlBroker, SpeedBroker};
 use qcs_qcloud::simenv::RunResult;
-use qcs_qcloud::{Broker, GymConfig, QCloudSimEnv, QJob, SimParams};
+use qcs_qcloud::{Broker, FifoAdapter, GymConfig, QCloudSimEnv, QJob, Scheduler, SimParams};
 
 /// How to instantiate a strategy for a run.
 #[derive(Debug, Clone)]
 pub enum StrategySpec {
-    /// One of the built-in policies by name (`speed`, `fidelity`, `fair`,
-    /// `roundrobin`, `random`).
+    /// A policy or composed scheduler spec resolved through
+    /// [`scheduler_by_name`]: a bare policy (`speed`, `fidelity`, `fair`,
+    /// `roundrobin`, `random`, `minfrag`, `hybrid`, `rl:<path>`) runs
+    /// under the paper's FIFO discipline; `<discipline>+<policy>` composes
+    /// a queue-aware discipline with it (`backfill+speed`,
+    /// `priority:edf+fair`, …).
     Named(String),
     /// The RL policy, from a serialised [`qcs_rl::ActorCritic`] JSON.
     Rl {
@@ -29,15 +33,17 @@ impl StrategySpec {
         }
     }
 
-    /// Builds the broker.
-    pub fn broker(&self, seed: u64) -> Box<dyn Broker> {
+    /// Builds the queue-aware scheduler; `window` is the FIFO scan window
+    /// (`params.backfill_depth + 1` for parity with [`QCloudSimEnv::new`]).
+    pub fn scheduler(&self, seed: u64, window: usize) -> Box<dyn Scheduler> {
         match self {
-            StrategySpec::Named(n) => {
-                by_name(n, seed).unwrap_or_else(|| panic!("unknown strategy '{n}'"))
+            StrategySpec::Named(n) => scheduler_by_name(n, seed, window)
+                .unwrap_or_else(|| panic!("unknown strategy '{n}'")),
+            StrategySpec::Rl { policy_json, gym } => {
+                let broker =
+                    RlBroker::from_json(policy_json, gym.clone()).expect("invalid RL policy JSON");
+                Box::new(FifoAdapter::new(Box::new(broker), window))
             }
-            StrategySpec::Rl { policy_json, gym } => Box::new(
-                RlBroker::from_json(policy_json, gym.clone()).expect("invalid RL policy JSON"),
-            ),
         }
     }
 }
@@ -49,9 +55,9 @@ pub fn run_strategy(
     params: &SimParams,
     seed: u64,
 ) -> RunResult {
-    let env = QCloudSimEnv::new(
+    let env = QCloudSimEnv::with_scheduler(
         ibm_fleet(seed),
-        spec.broker(seed),
+        spec.scheduler(seed, params.backfill_depth + 1),
         jobs,
         params.clone(),
         seed,
@@ -72,6 +78,36 @@ pub fn run_strategies(
     qcs_desim::parallel::par_map(items, specs.len(), |(spec, jobs)| {
         run_strategy(&spec, jobs, params, seed)
     })
+}
+
+impl StrategySpec {
+    /// Whether any entry in a comma-separated `--strategies` list names the
+    /// trained-RL row (`rl` / `rlbase`), i.e. whether the caller must
+    /// supply a policy JSON to [`StrategySpec::parse_list`].
+    pub fn list_wants_rl(list: &str) -> bool {
+        list.split(',').any(|s| matches!(s.trim(), "rl" | "rlbase"))
+    }
+
+    /// Parses a comma-separated `--strategies` list into specs: `rl` /
+    /// `rlbase` become the trained-RL row (deployed from `policy_json`
+    /// under `gym`), everything else is a [`StrategySpec::Named`] scheduler
+    /// spec resolved at run time. Empty entries are skipped.
+    pub fn parse_list(list: &str, policy_json: &str, gym: &GymConfig) -> Vec<StrategySpec> {
+        list.split(',')
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if matches!(s, "rl" | "rlbase") {
+                    StrategySpec::Rl {
+                        policy_json: policy_json.to_string(),
+                        gym: gym.clone(),
+                    }
+                } else {
+                    StrategySpec::Named(s.to_string())
+                }
+            })
+            .collect()
+    }
 }
 
 /// The paper's four Table 2 strategies; the RL row requires a trained
@@ -143,6 +179,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown strategy")]
     fn unknown_strategy_panics() {
-        StrategySpec::Named("warp".into()).broker(0);
+        StrategySpec::Named("warp".into()).scheduler(0, 1);
+    }
+
+    #[test]
+    fn strategy_list_parsing_handles_rl_aliases() {
+        assert!(StrategySpec::list_wants_rl("speed,rl"));
+        assert!(StrategySpec::list_wants_rl("speed, rlbase ,fair"));
+        assert!(!StrategySpec::list_wants_rl("speed,rl:path.json"));
+        let gym = GymConfig::default();
+        let specs = StrategySpec::parse_list("speed,,rlbase, backfill+fair ", "{}", &gym);
+        assert_eq!(specs.len(), 3);
+        assert!(matches!(&specs[0], StrategySpec::Named(n) if n == "speed"));
+        assert!(matches!(&specs[1], StrategySpec::Rl { policy_json, .. } if policy_json == "{}"));
+        assert!(matches!(&specs[2], StrategySpec::Named(n) if n == "backfill+fair"));
+    }
+
+    #[test]
+    fn composed_discipline_specs_run() {
+        let jobs = smoke(15, 9).jobs;
+        let params = SimParams::default();
+        for spec in [
+            "backfill+speed",
+            "priority:sjf+fair",
+            "priority:edf+minfrag",
+        ] {
+            let res = run_strategy(&StrategySpec::Named(spec.into()), jobs.clone(), &params, 9);
+            assert_eq!(res.summary.jobs_unfinished, 0, "{spec}");
+        }
     }
 }

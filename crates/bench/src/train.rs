@@ -39,6 +39,18 @@ pub fn train_allocation_policy(
         comm_aware_reward: comm_aware,
         ..GymConfig::default()
     };
+    train_allocation_policy_with(gym, total_timesteps, n_envs, seed)
+}
+
+/// [`train_allocation_policy`] with an explicit [`GymConfig`] — e.g. to
+/// train on the queue-aware observation extension
+/// ([`GymConfig::queue_aware`], `fig5 --queue-aware`).
+pub fn train_allocation_policy_with(
+    gym: GymConfig,
+    total_timesteps: u64,
+    n_envs: usize,
+    seed: u64,
+) -> TrainOutcome {
     let mk_env = |fleet_seed: u64, gym: GymConfig| -> Box<dyn Env> {
         Box::new(QCloudGymEnv::new(
             &ibm_fleet(fleet_seed),
@@ -98,6 +110,18 @@ mod tests {
             "initial entropy loss {} far from −7.09 (Fig. 5)",
             first.entropy_loss
         );
+    }
+
+    #[test]
+    fn queue_aware_training_runs_on_wider_observations() {
+        let gym = GymConfig {
+            queue_aware: true,
+            ..GymConfig::default()
+        };
+        let out = train_allocation_policy_with(gym, 2_000, 2, 17);
+        assert_eq!(out.gym.obs_dim(), 19);
+        assert_eq!(out.ppo.ac.obs_dim(), 19);
+        assert!(out.ppo.log().final_reward() > 0.0);
     }
 
     #[test]

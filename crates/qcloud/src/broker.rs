@@ -1,9 +1,9 @@
-//! The broker interface: device-selection policies (paper §5).
+//! The broker interface: per-job device-selection policies (paper §5).
 //!
-//! A [`Broker`] is consulted by the cloud-level FIFO scheduler every time
-//! the head-of-queue job could be dispatched. It sees a [`CloudView`]
-//! snapshot (free qubits, error scores, CLOPS, utilisation) and returns an
-//! [`AllocationPlan`]:
+//! A [`Broker`] answers the narrow question "how would you place *this*
+//! job on *this* fleet snapshot?": it sees one [`QJob`] plus a
+//! [`CloudView`] (free qubits, error scores, CLOPS, utilisation) and
+//! returns an [`AllocationPlan`]:
 //!
 //! * [`AllocationPlan::Dispatch`] — concrete per-device partition summing
 //!   to the job's qubit demand, *satisfiable right now* (the scheduler
@@ -11,6 +11,15 @@
 //! * [`AllocationPlan::Wait`] — the policy declines to dispatch under the
 //!   current availability (e.g. the error-aware policy insists on the
 //!   premium devices); the scheduler re-consults after the next release.
+//!
+//! Queue-level decisions — *which* job to consider, in what order, and
+//! what several placements to make atomically — live a layer above, in the
+//! [`crate::sched::Scheduler`] trait. The paper's strict-FIFO loop runs
+//! every broker through [`crate::sched::FifoAdapter`] (head-of-line
+//! semantics preserved bit for bit); queue-aware disciplines (EASY
+//! backfilling, priority orders) reuse the same brokers for placement
+//! while re-ranking the queue themselves. Brokers therefore stay pure
+//! placement policies: no queue state, no reservation bookkeeping.
 
 use crate::device::DeviceId;
 use crate::job::QJob;

@@ -5,7 +5,12 @@
 //! * **State** (dim `1 + 3k`, `k = 5` devices → 16): normalised job qubit
 //!   count `q/q_max`, then per device the normalised free-qubit level
 //!   `Cᵢ/150`, the error score `Eᵢ`, and normalised CLOPS `Kᵢ/10⁶`
-//!   (zero-padded when fewer than `k` devices).
+//!   (zero-padded when fewer than `k` devices). With
+//!   [`GymConfig::queue_aware`] (default **off**, for paper parity) three
+//!   queue features are appended — normalised queue length, total queued
+//!   qubit demand, and head-of-queue waiting time — matching the
+//!   queue-aware scheduler redesign ([`crate::sched`]), so a policy can
+//!   learn congestion-sensitive allocation.
 //! * **Action** (dim `k`): unnormalised allocation weights; the environment
 //!   normalises (`âᵢ = aᵢ/(Σa+ε)·q`), rounds, and adjusts so `Σâᵢ = q`.
 //! * **Reward**: the mean per-device circuit fidelity `R = (1/k')Σ Fᵢ`
@@ -14,16 +19,21 @@
 //!   `φ^(k'−1)` communication penalty (the paper's "communication-aware
 //!   reward shaping" future-work item).
 //! * Episodes terminate after the single allocation decision.
+//!
+//! The environment implements native [`Env::reset_into`]/[`Env::step_into`]
+//! so rollout collection on the paper's env is allocation-free end to end
+//! (observations are written into caller buffers; the action
+//! post-processing reuses [`PartitionScratch`]).
 
 use crate::broker::CloudView;
 use crate::config::SimParams;
 use crate::device::DeviceId;
 use crate::job::{JobDistribution, JobId, QJob};
 use crate::model::fidelity::DeviceErrorRates;
-use crate::partition::weights_to_parts;
+use crate::partition::{weights_to_parts_into, PartitionScratch};
 use qcs_calibration::DeviceProfile;
 use qcs_desim::Xoshiro256StarStar;
-use qcs_rl::env::{Env, StepResult};
+use qcs_rl::env::{Env, StepInfo, StepResult};
 use serde::{Deserialize, Serialize};
 
 /// Observation/action normalisation and reward options.
@@ -44,6 +54,24 @@ pub struct GymConfig {
     /// Probability that a device appears partially busy at episode start
     /// (teaches availability awareness).
     pub busy_device_prob: f64,
+    /// Append the three queue features to the observation (default off:
+    /// the paper's 16-dim state). See [`QueueFeatures`].
+    #[serde(default)]
+    pub queue_aware: bool,
+    /// Queue-length normaliser for the queue features.
+    #[serde(default = "default_queue_len_norm")]
+    pub queue_len_norm: f64,
+    /// Head-wait normaliser (seconds) for the queue features.
+    #[serde(default = "default_queue_wait_norm")]
+    pub queue_wait_norm: f64,
+}
+
+fn default_queue_len_norm() -> f64 {
+    32.0
+}
+
+fn default_queue_wait_norm() -> f64 {
+    3_600.0
 }
 
 impl Default for GymConfig {
@@ -55,32 +83,76 @@ impl Default for GymConfig {
             clops_norm: 1e6,
             comm_aware_reward: false,
             busy_device_prob: 0.5,
+            queue_aware: false,
+            queue_len_norm: default_queue_len_norm(),
+            queue_wait_norm: default_queue_wait_norm(),
         }
     }
 }
 
 impl GymConfig {
-    /// Observation dimensionality `1 + 3k`.
+    /// Observation dimensionality: `1 + 3k`, plus 3 when
+    /// [`GymConfig::queue_aware`] is set.
     pub fn obs_dim(&self) -> usize {
-        1 + 3 * self.max_devices
+        1 + 3 * self.max_devices + if self.queue_aware { 3 } else { 0 }
     }
 }
 
+/// Aggregate pending-queue signals for queue-aware observations: what the
+/// scheduler loop knows beyond the head job. All zeros ≙ an empty queue.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueFeatures {
+    /// Jobs pending behind the one being placed.
+    pub backlog: usize,
+    /// Total qubit demand of the backlog.
+    pub backlog_qubits: u64,
+    /// How long the job being placed has already waited (s).
+    pub head_wait: f64,
+}
+
 /// Encodes the §4.1 state vector from a job's qubit demand and a fleet
-/// view. Shared by the training env and the deployed [`crate::policies::RlBroker`].
+/// view. Shared by the training env and the deployed
+/// [`crate::policies::RlBroker`]. Under a queue-aware config the deployed
+/// broker has no queue context and encodes [`QueueFeatures::default`]
+/// (an empty queue); use [`encode_observation_into`] to supply real
+/// features.
 pub fn encode_observation(job_qubits: u64, view: &CloudView, cfg: &GymConfig) -> Vec<f32> {
-    let mut obs = Vec::with_capacity(cfg.obs_dim());
-    obs.push((job_qubits as f64 / cfg.q_max_norm) as f32);
+    let mut obs = vec![0.0f32; cfg.obs_dim()];
+    encode_observation_into(&mut obs, job_qubits, view, &QueueFeatures::default(), cfg);
+    obs
+}
+
+/// Allocation-free observation encoding: writes into `out` (length
+/// [`GymConfig::obs_dim`]). `queue` is ignored unless
+/// [`GymConfig::queue_aware`] is set.
+pub fn encode_observation_into(
+    out: &mut [f32],
+    job_qubits: u64,
+    view: &CloudView,
+    queue: &QueueFeatures,
+    cfg: &GymConfig,
+) {
+    assert_eq!(out.len(), cfg.obs_dim(), "observation buffer mismatch");
+    out[0] = (job_qubits as f64 / cfg.q_max_norm) as f32;
     for slot in 0..cfg.max_devices {
+        let base = 1 + 3 * slot;
         if let Some(d) = view.devices.get(slot) {
-            obs.push((d.free as f64 / cfg.capacity_norm) as f32);
-            obs.push(d.error_score as f32);
-            obs.push((d.clops / cfg.clops_norm) as f32);
+            out[base] = (d.free as f64 / cfg.capacity_norm) as f32;
+            out[base + 1] = d.error_score as f32;
+            out[base + 2] = (d.clops / cfg.clops_norm) as f32;
         } else {
-            obs.extend_from_slice(&[0.0, 0.0, 0.0]);
+            out[base] = 0.0;
+            out[base + 1] = 0.0;
+            out[base + 2] = 0.0;
         }
     }
-    obs
+    if cfg.queue_aware {
+        let base = 1 + 3 * cfg.max_devices;
+        out[base] = (queue.backlog as f64 / cfg.queue_len_norm) as f32;
+        out[base + 1] =
+            (queue.backlog_qubits as f64 / (cfg.q_max_norm * cfg.queue_len_norm)) as f32;
+        out[base + 2] = (queue.head_wait / cfg.queue_wait_norm) as f32;
+    }
 }
 
 /// Static per-device data the environment simulates against.
@@ -103,7 +175,12 @@ pub struct QCloudGymEnv {
     // Current episode state.
     job: QJob,
     frees: Vec<u64>,
+    queue: QueueFeatures,
     episode: u64,
+    // Reusable buffers (allocation-free stepping).
+    view: CloudView,
+    scratch: PartitionScratch,
+    parts: Vec<(DeviceId, u64)>,
 }
 
 impl QCloudGymEnv {
@@ -119,7 +196,7 @@ impl QCloudGymEnv {
             profiles.len() <= cfg.max_devices,
             "more devices than observation slots"
         );
-        let devices = profiles
+        let devices: Vec<DeviceSlot> = profiles
             .iter()
             .map(|p| DeviceSlot {
                 error_rates: DeviceErrorRates {
@@ -133,6 +210,23 @@ impl QCloudGymEnv {
                 qv_layers: p.spec.qv_layers(),
             })
             .collect();
+        let view = CloudView {
+            devices: devices
+                .iter()
+                .enumerate()
+                .map(|(i, d)| crate::broker::DeviceView {
+                    id: DeviceId(i as u32),
+                    free: d.capacity,
+                    capacity: d.capacity,
+                    busy_fraction: 0.0,
+                    mean_utilization: 0.0,
+                    error_score: d.error_score,
+                    clops: d.clops,
+                    qv_layers: d.qv_layers,
+                })
+                .collect(),
+        };
+        let frees = devices.iter().map(|d| d.capacity).collect();
         QCloudGymEnv {
             cfg,
             params,
@@ -147,8 +241,12 @@ impl QCloudGymEnv {
                 two_qubit_gates: 1,
                 arrival_time: 0.0,
             },
-            frees: Vec::new(),
+            frees,
+            queue: QueueFeatures::default(),
             episode: 0,
+            view,
+            scratch: PartitionScratch::default(),
+            parts: Vec::new(),
         }
     }
 
@@ -157,44 +255,47 @@ impl QCloudGymEnv {
         &self.cfg
     }
 
-    fn view(&self) -> CloudView {
-        CloudView {
-            devices: self
-                .devices
-                .iter()
-                .zip(&self.frees)
-                .enumerate()
-                .map(|(i, (d, &free))| crate::broker::DeviceView {
-                    id: DeviceId(i as u32),
-                    free,
-                    capacity: d.capacity,
-                    busy_fraction: 1.0 - free as f64 / d.capacity.max(1) as f64,
-                    mean_utilization: 1.0 - free as f64 / d.capacity.max(1) as f64,
-                    error_score: d.error_score,
-                    clops: d.clops,
-                    qv_layers: d.qv_layers,
-                })
-                .collect(),
+    /// Draws the next episode (job, availability, queue context) and
+    /// refreshes the internal view. No allocation.
+    fn sample_episode(&mut self) {
+        self.episode += 1;
+        self.job = self.dist.sample(JobId(self.episode), 0.0, &mut self.rng);
+        for (i, d) in self.devices.iter().enumerate() {
+            let free = if self.rng.next_f64() < self.cfg.busy_device_prob {
+                // Partially busy: keep at least ~25% free so episodes
+                // are usually feasible.
+                self.rng.range_u64(d.capacity / 4, d.capacity)
+            } else {
+                d.capacity
+            };
+            self.frees[i] = free;
+            let v = &mut self.view.devices[i];
+            v.free = free;
+            let busy = 1.0 - free as f64 / d.capacity.max(1) as f64;
+            v.busy_fraction = busy;
+            v.mean_utilization = busy;
+        }
+        if self.cfg.queue_aware {
+            // Synthesise congestion: a geometric-ish backlog with demand
+            // drawn from the job distribution's qubit range and a head wait
+            // up to the normaliser.
+            let backlog = self.rng.range_u64(0, self.cfg.queue_len_norm as u64) as usize;
+            let (qlo, qhi) = self.dist.qubits;
+            let mut backlog_qubits = 0u64;
+            for _ in 0..backlog {
+                backlog_qubits += self.rng.range_u64(qlo, qhi);
+            }
+            self.queue = QueueFeatures {
+                backlog,
+                backlog_qubits,
+                head_wait: self.rng.range_f64(0.0, self.cfg.queue_wait_norm),
+            };
         }
     }
 
-    fn sample_episode(&mut self) -> Vec<f32> {
-        self.episode += 1;
-        self.job = self.dist.sample(JobId(self.episode), 0.0, &mut self.rng);
-        self.frees = self
-            .devices
-            .iter()
-            .map(|d| {
-                if self.rng.next_f64() < self.cfg.busy_device_prob {
-                    // Partially busy: keep at least ~25% free so episodes
-                    // are usually feasible.
-                    self.rng.range_u64(d.capacity / 4, d.capacity)
-                } else {
-                    d.capacity
-                }
-            })
-            .collect();
-        encode_observation(self.job.num_qubits, &self.view(), &self.cfg)
+    /// Writes the current episode's observation into `out`.
+    fn observe_into(&self, out: &mut [f32]) {
+        encode_observation_into(out, self.job.num_qubits, &self.view, &self.queue, &self.cfg);
     }
 
     /// The reward for allocating `parts` of the current job — mean device
@@ -204,25 +305,42 @@ impl QCloudGymEnv {
             return 0.0;
         }
         let k = parts.len();
-        let fids: Vec<f64> = parts
-            .iter()
-            .map(|&(dev, amt)| {
-                let d = &self.devices[dev.index()];
-                self.params.fidelity.device_fidelity(
-                    &d.error_rates,
-                    self.job.depth,
-                    self.job.two_qubit_gates,
-                    amt,
-                    self.job.num_qubits,
-                    k,
-                )
-            })
-            .collect();
-        let mean = fids.iter().sum::<f64>() / k as f64;
+        let mut sum = 0.0f64;
+        for &(dev, amt) in parts {
+            let d = &self.devices[dev.index()];
+            sum += self.params.fidelity.device_fidelity(
+                &d.error_rates,
+                self.job.depth,
+                self.job.two_qubit_gates,
+                amt,
+                self.job.num_qubits,
+                k,
+            );
+        }
+        let mean = sum / k as f64;
         if self.cfg.comm_aware_reward {
             mean * self.params.comm.fidelity_penalty(k)
         } else {
             mean
+        }
+    }
+
+    /// Scores `action` against the current episode without advancing it.
+    fn score_action(&mut self, action: &[f32]) -> f64 {
+        assert_eq!(action.len(), self.cfg.max_devices, "action dim mismatch");
+        let weights = &action[..self.devices.len()];
+        let feasible = weights_to_parts_into(
+            weights,
+            self.job.num_qubits,
+            &self.frees,
+            &mut self.scratch,
+            &mut self.parts,
+        );
+        if feasible {
+            self.reward_for(&self.parts)
+        } else {
+            // Infeasible system state (rare): no allocation, zero reward.
+            0.0
         }
     }
 }
@@ -237,23 +355,35 @@ impl Env for QCloudGymEnv {
     }
 
     fn reset(&mut self, seed: u64) -> Vec<f32> {
-        self.rng = Xoshiro256StarStar::new(seed);
-        self.episode = 0;
-        self.sample_episode()
+        let mut obs = vec![0.0f32; self.cfg.obs_dim()];
+        self.reset_into(seed, &mut obs);
+        obs
     }
 
     fn step(&mut self, action: &[f32]) -> StepResult {
-        assert_eq!(action.len(), self.cfg.max_devices, "action dim mismatch");
-        let weights = &action[..self.devices.len()];
-        let limits = self.frees.clone();
-        let reward = match weights_to_parts(weights, self.job.num_qubits, &limits) {
-            Some(parts) => self.reward_for(&parts),
-            // Infeasible system state (rare): no allocation, zero reward.
-            None => 0.0,
-        };
-        let obs = self.sample_episode();
+        let mut obs = vec![0.0f32; self.cfg.obs_dim()];
+        let info = self.step_into(action, &mut obs);
         StepResult {
             obs,
+            reward: info.reward,
+            terminated: info.terminated,
+            truncated: info.truncated,
+        }
+    }
+
+    fn reset_into(&mut self, seed: u64, obs_out: &mut [f32]) {
+        self.rng = Xoshiro256StarStar::new(seed);
+        self.episode = 0;
+        self.queue = QueueFeatures::default();
+        self.sample_episode();
+        self.observe_into(obs_out);
+    }
+
+    fn step_into(&mut self, action: &[f32], obs_out: &mut [f32]) -> StepInfo {
+        let reward = self.score_action(action);
+        self.sample_episode();
+        self.observe_into(obs_out);
+        StepInfo {
             reward,
             terminated: true,
             truncated: false,
@@ -275,6 +405,15 @@ mod tests {
         )
     }
 
+    fn env_with(cfg: GymConfig) -> QCloudGymEnv {
+        QCloudGymEnv::new(
+            &ibm_fleet(1),
+            JobDistribution::default(),
+            SimParams::default(),
+            cfg,
+        )
+    }
+
     #[test]
     fn observation_shape_matches_paper() {
         let mut e = env();
@@ -291,6 +430,66 @@ mod tests {
             assert!((0.0..=127.0 / 150.0 + 1e-6).contains(&free));
             assert!(err > 0.0 && err < 0.05);
             assert!(clops > 0.0 && clops <= 0.22 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn queue_aware_observation_appends_three_features() {
+        let cfg = GymConfig {
+            queue_aware: true,
+            ..GymConfig::default()
+        };
+        let mut e = env_with(cfg.clone());
+        assert_eq!(e.obs_dim(), 19, "16 + 3 queue features");
+        let obs = e.reset(2);
+        assert_eq!(obs.len(), 19);
+        for f in &obs[16..] {
+            assert!((0.0..=1.0 + 1e-6).contains(f), "queue feature {f}");
+        }
+        // Across episodes the synthetic backlog must actually vary.
+        let mut seen_nonzero = false;
+        for _ in 0..20 {
+            let r = e.step(&[1.0; 5]);
+            seen_nonzero |= r.obs[16] > 0.0;
+        }
+        assert!(seen_nonzero, "queue features never non-zero");
+    }
+
+    #[test]
+    fn queue_aware_flag_off_is_paper_parity() {
+        // Default-off must leave both the shape and the RNG stream exactly
+        // as the paper env: the flag draws extra random numbers only when
+        // enabled, so rewards and observations match the 16-dim env.
+        let mut plain = env();
+        let mut explicit = env_with(GymConfig {
+            queue_aware: false,
+            ..GymConfig::default()
+        });
+        let a = plain.reset(7);
+        let b = explicit.reset(7);
+        assert_eq!(a, b);
+        for _ in 0..50 {
+            let ra = plain.step(&[0.4, 0.8, 0.1, 0.0, 1.0]);
+            let rb = explicit.step(&[0.4, 0.8, 0.1, 0.0, 1.0]);
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn native_into_paths_match_allocating_paths() {
+        let mut a = env();
+        let mut b = env();
+        let mut obs = vec![0.0f32; a.obs_dim()];
+        b.reset_into(9, &mut obs);
+        assert_eq!(a.reset(9), obs);
+        for i in 0..100 {
+            let act = [0.1 * i as f32 % 1.0, 0.5, 0.9, 0.2, 0.7];
+            let r = a.step(&act);
+            let info = b.step_into(&act, &mut obs);
+            assert_eq!(r.obs, obs, "step {i}");
+            assert_eq!(r.reward, info.reward);
+            assert_eq!(r.terminated, info.terminated);
+            assert_eq!(r.truncated, info.truncated);
         }
     }
 
@@ -426,5 +625,18 @@ mod tests {
         let obs = encode_observation(190, &view, &cfg);
         assert_eq!(obs.len(), 16);
         assert!(obs[4..].iter().all(|&x| x == 0.0), "slots 2–5 zero-padded");
+    }
+
+    #[test]
+    fn gym_config_tolerates_pre_queue_aware_json() {
+        // Checkpoint configs serialised before the queue-aware fields were
+        // added must still load (serde defaults).
+        let old = r#"{"max_devices":5,"q_max_norm":250.0,"capacity_norm":150.0,"clops_norm":1000000.0,"comm_aware_reward":false,"busy_device_prob":0.5}"#;
+        let cfg: GymConfig = serde_json::from_str(old).unwrap();
+        assert!(!cfg.queue_aware);
+        assert_eq!(cfg.obs_dim(), 16);
+        let json = serde_json::to_string(&GymConfig::default()).unwrap();
+        let back: GymConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, GymConfig::default());
     }
 }

@@ -31,6 +31,47 @@ pub fn poisson_arrivals(n: usize, rate: f64, dist: &JobDistribution, seed: u64) 
         .collect()
 }
 
+/// Generates a bimodal open-system trace: every `big_every`-th job is a
+/// fleet-spanning long-runner (250 qubits, 100k shots), the rest are
+/// small, short jobs (20–60 qubits, 10–30k shots), with Poisson arrivals
+/// at `rate` jobs/second.
+///
+/// This is the head-of-line-blocking stress scenario: under strict FIFO a
+/// blocked big job idles most of the fleet while backfillable small jobs
+/// pile up behind it — the workload used by the `sched` bench and the
+/// backfill acceptance tests to separate queue-aware disciplines from the
+/// paper's FIFO scheduler.
+pub fn bimodal_arrivals(n: usize, rate: f64, big_every: usize, seed: u64) -> Vec<QJob> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    assert!(big_every >= 2, "big_every must leave room for small jobs");
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            t += qcs_desim::dist::exponential(&mut rng, rate);
+            if i % big_every == big_every - 1 {
+                QJob {
+                    id: JobId(i as u64),
+                    num_qubits: 250,
+                    depth: 15,
+                    num_shots: 100_000,
+                    two_qubit_gates: 900,
+                    arrival_time: t,
+                }
+            } else {
+                QJob {
+                    id: JobId(i as u64),
+                    num_qubits: rng.range_u64(20, 60),
+                    depth: 8,
+                    num_shots: rng.range_u64(10_000, 30_000),
+                    two_qubit_gates: 100,
+                    arrival_time: t,
+                }
+            }
+        })
+        .collect()
+}
+
 /// Generates bursty arrivals: `bursts` groups of `per_burst` jobs, the
 /// groups separated by `gap` seconds (jobs within a burst arrive together).
 pub fn bursty_arrivals(
@@ -75,6 +116,25 @@ pub fn validate_jobs(jobs: &[QJob], total_capacity: u64) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bimodal_mixes_sizes_deterministically() {
+        let jobs = bimodal_arrivals(40, 0.1, 4, 3);
+        assert_eq!(jobs.len(), 40);
+        let big = jobs.iter().filter(|j| j.num_qubits == 250).count();
+        assert_eq!(big, 10, "every 4th job is fleet-spanning");
+        for j in &jobs {
+            j.validate().unwrap();
+            if j.num_qubits != 250 {
+                assert!((20..=60).contains(&j.num_qubits));
+            }
+        }
+        // Arrivals strictly increase; trace is reproducible.
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival_time > w[0].arrival_time);
+        }
+        assert_eq!(jobs, bimodal_arrivals(40, 0.1, 4, 3));
+    }
 
     #[test]
     fn batch_all_at_zero() {

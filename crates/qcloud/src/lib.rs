@@ -12,15 +12,20 @@
 //!   quantum volume and calibration-derived error rates;
 //! * [`cloud::QCloud`] — the fleet, owning one qubit [`qcs_desim::Container`]
 //!   per device;
-//! * [`broker::Broker`] — the device-selection policy interface, with the
-//!   paper's four policies in [`policies`] (speed, error-aware/fidelity,
-//!   fair, RL) plus round-robin and random baselines;
+//! * [`broker::Broker`] — the per-job device-selection policy interface,
+//!   with the paper's four policies in [`policies`] (speed,
+//!   error-aware/fidelity, fair, RL) plus round-robin and random baselines;
+//! * [`sched::Scheduler`] — the queue-aware scheduling layer: batch
+//!   decisions over the whole pending queue against an incrementally
+//!   maintained [`sched::CloudState`], with the paper's FIFO discipline as
+//!   [`sched::FifoAdapter`] and EASY backfilling / priority disciplines as
+//!   alternatives (composable by name, e.g. `backfill+speed`);
 //! * [`model`] — the closed-form execution-time (Eq. 3), fidelity
 //!   (Eqs. 4–8) and communication (Eq. 9) models;
 //! * [`records::JobRecordsManager`] — lifecycle events and summary metrics;
-//! * [`simenv::QCloudSimEnv`] — orchestration: arrival process, FIFO
-//!   cloud-level scheduler, atomic multi-device reservation, parallel
-//!   execution, inter-device communication, release;
+//! * [`simenv::QCloudSimEnv`] — orchestration: arrival process, scheduler
+//!   loop, atomic multi-device reservation, parallel execution,
+//!   inter-device communication, release;
 //! * [`gym::QCloudGymEnv`] — the Gymnasium-style single-step training
 //!   environment of §4.1 (16-dim state, 5-dim continuous action).
 
@@ -39,6 +44,7 @@ pub mod model;
 pub mod partition;
 pub mod policies;
 pub mod records;
+pub mod sched;
 pub mod simenv;
 pub mod sla;
 
@@ -57,5 +63,9 @@ pub use model::comm::CommModel;
 pub use model::exec_time::ExecTimeModel;
 pub use model::fidelity::{FidelityModel, FidelityModelKind};
 pub use records::{JobRecord, JobRecordsManager, SummaryStats};
+pub use sched::{
+    BackfillScheduler, CloudState, Dispatch, FifoAdapter, PriorityDiscipline, PriorityScheduler,
+    SchedTelemetry, Scheduler, SchedulingDecision, SnapshotAdapter, WaitReason,
+};
 pub use simenv::QCloudSimEnv;
 pub use sla::{bounded_slowdown, percentile, slowdown, DeadlinePolicy, QosReport};

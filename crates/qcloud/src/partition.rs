@@ -62,6 +62,15 @@ pub fn capacity_fill(order: &[DeviceId], view: &CloudView, need: u64) -> Vec<(De
     parts
 }
 
+/// Reusable buffers for [`weights_to_parts_into`], so the RL training hot
+/// path (one action post-processing per environment step) never allocates.
+#[derive(Debug, Default, Clone)]
+pub struct PartitionScratch {
+    clamped: Vec<f64>,
+    parts: Vec<u64>,
+    order: Vec<usize>,
+}
+
 /// Converts continuous allocation weights into an integer partition of `q`
 /// qubits (the §4.1 action post-processing):
 ///
@@ -73,28 +82,55 @@ pub fn capacity_fill(order: &[DeviceId], view: &CloudView, need: u64) -> Vec<(De
 ///
 /// Returns `None` if the limits cannot absorb `q` in total.
 pub fn weights_to_parts(weights: &[f32], q: u64, limits: &[u64]) -> Option<Vec<(DeviceId, u64)>> {
+    let mut scratch = PartitionScratch::default();
+    let mut out = Vec::new();
+    if weights_to_parts_into(weights, q, limits, &mut scratch, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Allocation-free form of [`weights_to_parts`]: writes the partition into
+/// `out` (cleared first) using `scratch` buffers, returning `false` when
+/// the limits cannot absorb `q` (`out` is left empty). Identical arithmetic
+/// and results to the allocating form.
+pub fn weights_to_parts_into(
+    weights: &[f32],
+    q: u64,
+    limits: &[u64],
+    scratch: &mut PartitionScratch,
+    out: &mut Vec<(DeviceId, u64)>,
+) -> bool {
     assert_eq!(weights.len(), limits.len(), "one weight per device");
+    out.clear();
     let total_limit: u64 = limits.iter().sum();
     if total_limit < q {
-        return None;
+        return false;
     }
     let eps = 1e-8f64;
-    let clamped: Vec<f64> = weights
-        .iter()
-        .map(|&w| (w as f64).clamp(0.0, 1.0))
-        .collect();
+    scratch.clamped.clear();
+    scratch
+        .clamped
+        .extend(weights.iter().map(|&w| (w as f64).clamp(0.0, 1.0)));
+    let clamped = &scratch.clamped;
     let sum: f64 = clamped.iter().sum::<f64>() + eps;
 
-    let mut parts: Vec<u64> = clamped
-        .iter()
-        .zip(limits)
-        .map(|(&w, &lim)| (((w / sum) * q as f64).round() as u64).min(lim))
-        .collect();
+    scratch.parts.clear();
+    scratch.parts.extend(
+        clamped
+            .iter()
+            .zip(limits)
+            .map(|(&w, &lim)| (((w / sum) * q as f64).round() as u64).min(lim)),
+    );
+    let parts = &mut scratch.parts;
 
     // Fix the sum: first trim overshoot (smallest weights first), then fill
     // undershoot (largest weights first).
     let mut assigned: u64 = parts.iter().sum();
-    let mut order: Vec<usize> = (0..weights.len()).collect();
+    scratch.order.clear();
+    scratch.order.extend(0..weights.len());
+    let order = &mut scratch.order;
     order.sort_by(|&a, &b| clamped[b].partial_cmp(&clamped[a]).unwrap().then(a.cmp(&b)));
 
     while assigned > q {
@@ -110,7 +146,7 @@ pub fn weights_to_parts(weights: &[f32], q: u64, limits: &[u64]) -> Option<Vec<(
     }
     while assigned < q {
         let mut progressed = false;
-        for &i in &order {
+        for &i in order.iter() {
             if parts[i] < limits[i] {
                 let add = (q - assigned).min(limits[i] - parts[i]);
                 parts[i] += add;
@@ -122,18 +158,18 @@ pub fn weights_to_parts(weights: &[f32], q: u64, limits: &[u64]) -> Option<Vec<(
             }
         }
         if !progressed {
-            return None; // cannot happen given the total_limit check
+            return false; // cannot happen given the total_limit check
         }
     }
 
-    Some(
+    out.extend(
         parts
-            .into_iter()
+            .iter()
             .enumerate()
-            .filter(|&(_, p)| p > 0)
-            .map(|(i, p)| (DeviceId(i as u32), p))
-            .collect(),
-    )
+            .filter(|&(_, &p)| p > 0)
+            .map(|(i, &p)| (DeviceId(i as u32), p)),
+    );
+    true
 }
 
 /// §5.2 exact mode: checks that each part can be realised as a *connected*
@@ -238,6 +274,33 @@ mod tests {
     #[test]
     fn weights_to_parts_infeasible() {
         assert!(weights_to_parts(&[1.0, 1.0], 100, &[40, 40]).is_none());
+    }
+
+    #[test]
+    fn into_form_matches_allocating_form_with_reused_scratch() {
+        let limits = [127u64, 90, 0, 127, 60];
+        let mut scratch = PartitionScratch::default();
+        let mut out = Vec::new();
+        for (weights, q) in [
+            (vec![1.0f32, 1.0, 1.0, 1.0, 1.0], 190u64),
+            (vec![0.9, 0.1, 0.0, 0.0, 0.0], 250),
+            (vec![-1.0, 2.0, 0.5, 0.3, 0.1], 240),
+            (vec![0.0, 0.0, 0.0, 0.0, 0.0], 130),
+            (vec![1.0, 1.0, 1.0, 1.0, 1.0], 500), // infeasible
+        ] {
+            let expect = weights_to_parts(&weights, q, &limits);
+            let ok = weights_to_parts_into(&weights, q, &limits, &mut scratch, &mut out);
+            match expect {
+                Some(parts) => {
+                    assert!(ok);
+                    assert_eq!(out, parts, "weights {weights:?}");
+                }
+                None => {
+                    assert!(!ok);
+                    assert!(out.is_empty());
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! | [`RlBroker`] | RL-based | trained PPO policy emits allocation weights |
 //! | [`RoundRobinBroker`] | — | rotating start device (baseline) |
 //! | [`RandomBroker`] | — | random device order (baseline) |
+//!
+//! Policies are resolved by name via [`by_name`] (including
+//! `rl:<checkpoint-path>` for a trained RL policy) and compose with
+//! queue-aware scheduling disciplines via [`scheduler_by_name`]
+//! (`backfill+speed`, `priority:edf+fair`, …); [`names`] and
+//! [`discipline_names`] feed CLI help text.
 
 pub mod fair;
 pub mod fidelity;
@@ -28,11 +34,31 @@ pub use round_robin::RoundRobinBroker;
 pub use speed::SpeedBroker;
 
 use crate::broker::Broker;
+use crate::gym::GymConfig;
+use crate::sched::{
+    BackfillScheduler, FifoAdapter, PriorityDiscipline, PriorityScheduler, Scheduler,
+    SnapshotAdapter,
+};
+use crate::sla::DeadlinePolicy;
 
-/// The four paper strategies by name (for harness CLI selection): `speed`,
-/// `fidelity`, `fair`, `rlbase` (requires a trained policy), plus
-/// `roundrobin` and `random`.
+/// The paper strategies by name (for harness CLI selection): `speed`,
+/// `fidelity`, `fair`, `roundrobin`, `random`, `minfrag`, `hybrid`,
+/// `hybrid-strict`, plus `rl:<checkpoint-path>` — the deployed RL policy
+/// loaded from an [`qcs_rl::policy::ActorCritic`] JSON checkpoint (as
+/// written by the `fig5`/`table2` harness binaries), so `rlbase` is
+/// reachable from the CLI like every other policy.
+///
+/// Panics (with the I/O or decode error) when an `rl:` checkpoint exists
+/// syntactically but cannot be loaded — a misconfiguration, not an unknown
+/// name. Returns `None` only for unrecognised names.
 pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Broker>> {
+    if let Some(path) = name.strip_prefix("rl:") {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read RL checkpoint '{path}': {e}"));
+        let broker = RlBroker::from_json(&json, GymConfig::default())
+            .unwrap_or_else(|e| panic!("invalid RL checkpoint '{path}': {e}"));
+        return Some(Box::new(broker));
+    }
     match name {
         "speed" => Some(Box::new(SpeedBroker::new())),
         "fidelity" => Some(Box::new(FidelityBroker::new())),
@@ -44,6 +70,79 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Broker>> {
         "hybrid-strict" => Some(Box::new(HybridBroker::strict(0.5))),
         _ => None,
     }
+}
+
+/// Every name [`by_name`] accepts, for CLI help text. `rl:<path>` stands
+/// for the checkpoint-loading spec.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "speed",
+        "fidelity",
+        "fair",
+        "roundrobin",
+        "random",
+        "minfrag",
+        "hybrid",
+        "hybrid-strict",
+        "rl:<path>",
+    ]
+}
+
+/// Scheduling-discipline prefixes [`scheduler_by_name`] accepts in front of
+/// a policy name (joined with `+`), for CLI help text.
+pub fn discipline_names() -> &'static [&'static str] {
+    &[
+        "fifo",
+        "backfill",
+        "priority",
+        "priority:sjf",
+        "priority:edf",
+        "priority:aging",
+        "snapshot",
+    ]
+}
+
+/// Resolves a composed scheduler spec `[discipline+]policy` to a
+/// queue-aware [`Scheduler`]:
+///
+/// * a bare policy name (`speed`, `rl:<path>`, …) or `fifo+<policy>` runs
+///   under [`FifoAdapter`] with the given scan `window` (the seed
+///   semantics; `window = backfill_depth + 1` reproduces `SimParams`);
+/// * `backfill+<policy>` runs EASY backfilling ([`BackfillScheduler`]);
+/// * `priority+<policy>` (alias `priority:sjf`), `priority:edf+<policy>`,
+///   `priority:aging+<policy>` run the ranked-queue disciplines
+///   ([`PriorityScheduler`]);
+/// * `snapshot+<policy>` runs the seed-mechanics parity baseline
+///   ([`SnapshotAdapter`]) — for benchmarking, not production.
+///
+/// Returns `None` when either component is unknown.
+pub fn scheduler_by_name(spec: &str, seed: u64, window: usize) -> Option<Box<dyn Scheduler>> {
+    let (discipline, policy) = match spec.split_once('+') {
+        Some((d, p)) => (d, p),
+        None => ("fifo", spec),
+    };
+    let broker = by_name(policy, seed)?;
+    let sched: Box<dyn Scheduler> = match discipline {
+        "fifo" => Box::new(FifoAdapter::new(broker, window)),
+        "snapshot" => Box::new(SnapshotAdapter::new(broker, window)),
+        "backfill" => Box::new(BackfillScheduler::new(broker)),
+        "priority" | "priority:sjf" => Box::new(PriorityScheduler::new(
+            broker,
+            PriorityDiscipline::ShortestFirst,
+        )),
+        "priority:edf" => Box::new(PriorityScheduler::new(
+            broker,
+            PriorityDiscipline::EarliestDeadline(DeadlinePolicy::default()),
+        )),
+        "priority:aging" => Box::new(PriorityScheduler::new(
+            broker,
+            // 0.1 qubits of priority per queued second: a 250-qubit job
+            // overtakes a fresh 130-qubit job after 20 minutes of waiting.
+            PriorityDiscipline::WeightedAging { aging: 0.1 },
+        )),
+        _ => return None,
+    };
+    Some(sched)
 }
 
 #[cfg(test)]
@@ -69,8 +168,64 @@ mod tests {
         );
         assert!(
             by_name("rlbase", 0).is_none(),
-            "rlbase needs a trained policy"
+            "rlbase needs a trained policy (use rl:<path>)"
         );
         assert!(by_name("nope", 0).is_none());
+    }
+
+    #[test]
+    fn names_round_trip_through_by_name() {
+        for n in names() {
+            if n.starts_with("rl:") {
+                continue; // needs a checkpoint file
+            }
+            assert!(by_name(n, 0).is_some(), "{n} listed but unresolvable");
+        }
+    }
+
+    #[test]
+    fn rl_spec_loads_checkpoint_from_disk() {
+        use qcs_desim::Xoshiro256StarStar;
+        let cfg = crate::gym::GymConfig::default();
+        let mut rng = Xoshiro256StarStar::new(5);
+        let policy = qcs_rl::policy::ActorCritic::new(cfg.obs_dim(), cfg.max_devices, &mut rng);
+        let dir = std::env::temp_dir().join("qcs_rl_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        std::fs::write(&path, policy.to_json()).unwrap();
+        let spec = format!("rl:{}", path.display());
+        let broker = by_name(&spec, 0).expect("rl: spec must resolve");
+        assert_eq!(broker.name(), "rlbase");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read RL checkpoint")]
+    fn rl_spec_missing_file_panics_with_context() {
+        by_name("rl:/nonexistent/policy.json", 0);
+    }
+
+    #[test]
+    fn scheduler_specs_compose() {
+        for (spec, name) in [
+            ("speed", "speed"),
+            ("fifo+fair", "fair"),
+            ("backfill+speed", "backfill+speed"),
+            ("priority+speed", "priority:sjf+speed"),
+            ("priority:sjf+minfrag", "priority:sjf+minfrag"),
+            ("priority:edf+fair", "priority:edf+fair"),
+            ("priority:aging+speed", "priority:aging+speed"),
+            ("snapshot+speed", "speed"),
+        ] {
+            let s = scheduler_by_name(spec, 0, 1).unwrap_or_else(|| panic!("{spec} unresolved"));
+            assert_eq!(s.name(), name, "{spec}");
+        }
+        assert!(scheduler_by_name("warp+speed", 0, 1).is_none());
+        assert!(scheduler_by_name("backfill+warp", 0, 1).is_none());
+        for d in discipline_names() {
+            assert!(
+                scheduler_by_name(&format!("{d}+speed"), 0, 1).is_some(),
+                "{d} listed but unresolvable"
+            );
+        }
     }
 }

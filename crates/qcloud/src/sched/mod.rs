@@ -1,0 +1,186 @@
+//! The queue-aware scheduling API.
+//!
+//! The original [`crate::broker::Broker`] interface is *per-job*: the
+//! cloud-level scheduler consulted it for one head-of-queue job against a
+//! freshly rebuilt [`crate::broker::CloudView`] snapshot and got a single
+//! `Dispatch`/`Wait` answer — strict FIFO with head-of-line blocking baked
+//! into the API. This module redesigns the contract around queues:
+//!
+//! * a [`Scheduler`] sees the **entire pending queue** plus an incrementally
+//!   maintained [`CloudState`] (updated on reserve/release instead of
+//!   rebuilt per consult, and carrying the in-flight lease table needed for
+//!   lookahead) and returns a [`SchedulingDecision`] **batch**: zero or more
+//!   dispatches — possibly out of FIFO order — plus an explicit
+//!   [`WaitReason`];
+//! * [`FifoAdapter`] ports every per-job [`crate::broker::Broker`] policy
+//!   onto the new trait while preserving the seed scheduler's head-of-line
+//!   semantics *bit for bit* (pinned by `tests/seed_parity.rs`);
+//! * [`SnapshotAdapter`] keeps the seed's snapshot-rebuild-per-consult
+//!   behaviour alive as a parity oracle and performance baseline
+//!   (`benches/sched.rs` measures it against the incremental path);
+//! * [`BackfillScheduler`] (EASY backfilling) and [`PriorityScheduler`]
+//!   (SJF / EDF / aging disciplines) are genuinely queue-aware disciplines
+//!   the old API could not express.
+//!
+//! Disciplines compose with policies by name through
+//! [`crate::policies::scheduler_by_name`] (e.g. `backfill+speed`,
+//! `priority:edf+fair`).
+
+mod backfill;
+mod fifo;
+mod priority;
+mod state;
+
+pub use backfill::{BackfillScheduler, GuaranteeLog, HeadGuarantee};
+pub use fifo::{FifoAdapter, SnapshotAdapter};
+pub use priority::{PriorityDiscipline, PriorityScheduler};
+pub use state::{CloudState, DeviceSpec, Lease};
+
+use crate::device::DeviceId;
+use crate::job::QJob;
+use serde::{Deserialize, Serialize};
+
+/// Why a scheduler stopped dispatching for now. Returned with every
+/// decision so the simulation loop (and its telemetry) can tell *why* the
+/// queue is parked instead of inferring it from a `Wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitReason {
+    /// The decision drained the queue; nothing left to place.
+    QueueDrained,
+    /// The fleet's free qubits cannot hold the next job right now.
+    InsufficientCapacity,
+    /// Capacity exists but the policy declined it (e.g. the quality-strict
+    /// error-aware policy holding out for the premium devices).
+    PolicyHold,
+    /// The head job is blocked and holds a backfill reservation; no queued
+    /// job can run without risking a delay to the head's earliest start.
+    BackfillHold,
+}
+
+/// One job dispatch within a [`SchedulingDecision`] batch.
+///
+/// `queue_index` addresses the pending queue **as it stands when this
+/// dispatch is applied**: the simulation removes each dispatched job in
+/// batch order, so an index refers to the queue after all earlier
+/// dispatches in the same batch have been popped. Index `0` is the FIFO
+/// head; a non-zero index is an out-of-order (queue-jumping) dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// Position in the (residual) pending queue.
+    pub queue_index: usize,
+    /// The partition to reserve, `(device, qubits)` summing to the job's
+    /// demand.
+    pub parts: Vec<(DeviceId, u64)>,
+}
+
+/// The outcome of one scheduler consultation: a batch of dispatches plus
+/// what to do afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulingDecision {
+    /// Jobs to dispatch now, in application order.
+    pub dispatches: Vec<Dispatch>,
+    /// `Some(reason)` parks the scheduler until the next arrival/release
+    /// event; `None` asks the simulation to re-consult immediately after
+    /// applying the batch (used by single-dispatch adapters).
+    pub wait: Option<WaitReason>,
+}
+
+impl SchedulingDecision {
+    /// A decision that dispatches nothing and parks with `reason`.
+    pub fn wait(reason: WaitReason) -> Self {
+        SchedulingDecision {
+            dispatches: Vec::new(),
+            wait: Some(reason),
+        }
+    }
+}
+
+/// A queue-aware scheduling discipline.
+///
+/// `decide` is called whenever the pending queue is non-empty and an event
+/// (arrival, release, maintenance edge) may have changed what is possible.
+/// The queue is in arrival (FIFO) order; `state` reflects all reservations
+/// and releases up to the current instant (`state.now()`).
+///
+/// Contract: every returned [`Dispatch`] must be satisfiable against the
+/// state at application time — parts sum to the job's qubit demand, no
+/// device is over-committed, offline devices are untouched. The simulation
+/// validates and panics on violation (a scheduler bug, never a recoverable
+/// condition).
+pub trait Scheduler: Send {
+    /// Decides which queued jobs (if any) to dispatch right now.
+    fn decide(&mut self, queue: &[QJob], state: &CloudState) -> SchedulingDecision;
+
+    /// Discipline name for reports (e.g. `speed`, `backfill+speed`).
+    fn name(&self) -> &str;
+}
+
+/// Counters describing one run's scheduling activity, reported in
+/// [`crate::simenv::RunResult`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedTelemetry {
+    /// Scheduler consultations (calls to [`Scheduler::decide`]).
+    pub decisions: u64,
+    /// Jobs dispatched in total.
+    pub dispatched: u64,
+    /// Jobs dispatched ahead of an older queued job (queue jumps).
+    pub out_of_order: u64,
+    /// Decisions that dispatched two or more jobs atomically.
+    pub multi_dispatch_batches: u64,
+    /// Waits because the queue was drained.
+    pub waits_queue_drained: u64,
+    /// Waits because the fleet lacked free qubits.
+    pub waits_insufficient_capacity: u64,
+    /// Waits because the policy declined available capacity.
+    pub waits_policy_hold: u64,
+    /// Waits because backfilling could not proceed without delaying the
+    /// protected head job.
+    pub waits_backfill_hold: u64,
+}
+
+impl SchedTelemetry {
+    /// Tallies one wait reason.
+    pub(crate) fn count_wait(&mut self, reason: WaitReason) {
+        match reason {
+            WaitReason::QueueDrained => self.waits_queue_drained += 1,
+            WaitReason::InsufficientCapacity => self.waits_insufficient_capacity += 1,
+            WaitReason::PolicyHold => self.waits_policy_hold += 1,
+            WaitReason::BackfillHold => self.waits_backfill_hold += 1,
+        }
+    }
+
+    /// Total waits across all reasons.
+    pub fn total_waits(&self) -> u64 {
+        self.waits_queue_drained
+            + self.waits_insufficient_capacity
+            + self.waits_policy_hold
+            + self.waits_backfill_hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_decision_is_empty() {
+        let d = SchedulingDecision::wait(WaitReason::PolicyHold);
+        assert!(d.dispatches.is_empty());
+        assert_eq!(d.wait, Some(WaitReason::PolicyHold));
+    }
+
+    #[test]
+    fn telemetry_tallies_waits() {
+        let mut t = SchedTelemetry::default();
+        t.count_wait(WaitReason::QueueDrained);
+        t.count_wait(WaitReason::InsufficientCapacity);
+        t.count_wait(WaitReason::InsufficientCapacity);
+        t.count_wait(WaitReason::PolicyHold);
+        t.count_wait(WaitReason::BackfillHold);
+        assert_eq!(t.waits_queue_drained, 1);
+        assert_eq!(t.waits_insufficient_capacity, 2);
+        assert_eq!(t.waits_policy_hold, 1);
+        assert_eq!(t.waits_backfill_hold, 1);
+        assert_eq!(t.total_waits(), 5);
+    }
+}

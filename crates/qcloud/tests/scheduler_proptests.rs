@@ -1,0 +1,197 @@
+//! Property-based invariants for the queue-aware scheduler loop:
+//!
+//! * **No double-reservation / qubit conservation** — random
+//!   reserve/release interleavings through [`CloudState`] never
+//!   over-commit a device, and every run of the full simulation returns
+//!   each fleet to full capacity (the sim itself asserts conservation at
+//!   teardown; these tests drive it across random workloads/disciplines).
+//! * **Backfill head protection** — under a work-conserving policy, every
+//!   blocked head dispatches no later than the shadow-time guarantee the
+//!   EASY discipline computed for it, on random workloads.
+//! * **FIFO adapter parity** — the adapter produces bit-identical
+//!   [`JobRecord`] streams to the seed-mechanics snapshot oracle on random
+//!   workloads, for every policy (the pinned-golden complement lives in
+//!   `tests/seed_parity.rs`).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use qcs_calibration::ibm_fleet;
+use qcs_qcloud::config::ReleasePolicy;
+use qcs_qcloud::jobgen::poisson_arrivals;
+use qcs_qcloud::policies::{by_name, scheduler_by_name};
+use qcs_qcloud::sched::{BackfillScheduler, CloudState, DeviceSpec, GuaranteeLog};
+use qcs_qcloud::{
+    DeviceId, JobDistribution, JobId, QCloudSimEnv, QJob, SimParams, SnapshotAdapter,
+};
+
+fn job(id: u64, q: u64) -> QJob {
+    QJob {
+        id: JobId(id),
+        num_qubits: q,
+        depth: 10,
+        num_shots: 50_000,
+        two_qubit_gates: 400,
+        arrival_time: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CloudState never over-commits: random sequences of feasible
+    /// reservations and releases keep every device within capacity, keep
+    /// the lease table in lock-step with the levels, and end balanced.
+    #[test]
+    fn cloud_state_conserves_qubits(
+        caps in proptest::collection::vec(32u64..=127, 2..6),
+        ops in proptest::collection::vec((0u64..64, 1u64..200), 1..60),
+    ) {
+        let specs: Vec<DeviceSpec> = caps
+            .iter()
+            .map(|&c| DeviceSpec { capacity: c, error_score: 0.01, clops: 2e5, qv_layers: 7.0 })
+            .collect();
+        let mut st = CloudState::new(&specs, &SimParams::default());
+        let mut outstanding: HashMap<u64, Vec<(DeviceId, u64)>> = HashMap::new();
+        let mut now = 0.0f64;
+        let mut next_id = 0u64;
+
+        for (sel, q) in ops {
+            now += 1.0;
+            // Alternate: try to reserve a job of `q` qubits greedily; when
+            // it does not fit (or sel is odd and something is in flight),
+            // release the oldest job instead.
+            let release_instead = sel % 2 == 1 && !outstanding.is_empty();
+            let frees: Vec<u64> = st.view().devices.iter().map(|d| d.free).collect();
+            let total: u64 = frees.iter().sum();
+            if !release_instead && total >= q {
+                let mut remaining = q;
+                let mut parts = Vec::new();
+                for (i, &f) in frees.iter().enumerate() {
+                    let take = remaining.min(f);
+                    if take > 0 {
+                        parts.push((DeviceId(i as u32), take));
+                        remaining -= take;
+                    }
+                }
+                prop_assert_eq!(remaining, 0);
+                let j = job(next_id, q);
+                st.reserve(&j, &parts, now);
+                outstanding.insert(next_id, parts);
+                next_id += 1;
+            } else if let Some((&id, _)) = outstanding.iter().next() {
+                let parts = outstanding.remove(&id).unwrap();
+                for (d, a) in parts {
+                    st.release(JobId(id), d, a, now);
+                }
+            }
+            // Invariants after every op.
+            for (i, d) in st.view().devices.iter().enumerate() {
+                prop_assert!(d.free <= caps[i], "device {} over capacity", i);
+            }
+            let leased: u64 = st.leases().iter().map(|l| l.qubits).sum();
+            let free_total: u64 = st.view().devices.iter().map(|d| d.free).sum();
+            let cap_total: u64 = caps.iter().sum();
+            prop_assert_eq!(leased + free_total, cap_total, "leases out of sync");
+        }
+        // Drain and check final balance.
+        now += 1.0;
+        for (id, parts) in outstanding {
+            for (d, a) in parts {
+                st.release(JobId(id), d, a, now);
+            }
+        }
+        st.assert_all_released();
+    }
+
+    /// Full simulations under every discipline finish every job and hand
+    /// all qubits back (the environment asserts conservation at teardown).
+    #[test]
+    fn every_discipline_conserves_qubits_end_to_end(
+        seed in 1u64..500,
+        n in 10usize..40,
+        rate in 0.001f64..0.02,
+        at_job_end in 0u8..2,
+    ) {
+        let dist = JobDistribution { qubits: (40, 250), ..JobDistribution::default() };
+        let jobs = poisson_arrivals(n, rate, &dist, seed);
+        let params = SimParams {
+            release: if at_job_end == 1 { ReleasePolicy::AtJobEnd } else { ReleasePolicy::PerDevice },
+            ..SimParams::default()
+        };
+        for spec in ["speed", "backfill+speed", "priority:sjf+speed", "priority:aging+fair", "backfill+minfrag"] {
+            let sched = scheduler_by_name(spec, seed, 1).unwrap();
+            let res = QCloudSimEnv::with_scheduler(
+                ibm_fleet(seed), sched, jobs.clone(), params.clone(), seed,
+            ).run();
+            prop_assert_eq!(res.summary.jobs_unfinished, 0, "{} starved jobs", spec);
+            prop_assert_eq!(res.telemetry.dispatched as usize, n, "{}", spec);
+        }
+    }
+
+    /// EASY head protection: with a work-conserving policy, every job that
+    /// was ever a blocked head starts no later than the shadow-time
+    /// guarantee issued while it was blocked.
+    #[test]
+    fn backfill_never_delays_the_protected_head(
+        seed in 1u64..500,
+        n in 15usize..50,
+        rate in 0.002f64..0.03,
+    ) {
+        let dist = JobDistribution { qubits: (20, 250), ..JobDistribution::default() };
+        let jobs = poisson_arrivals(n, rate, &dist, seed);
+        let log: GuaranteeLog = Default::default();
+        let sched = BackfillScheduler::new(by_name("speed", seed).unwrap())
+            .with_guarantee_log(log.clone());
+        let res = QCloudSimEnv::with_scheduler(
+            ibm_fleet(seed), Box::new(sched), jobs, SimParams::default(), seed,
+        ).run();
+        prop_assert_eq!(res.summary.jobs_unfinished, 0);
+
+        let starts: HashMap<u64, f64> =
+            res.records.iter().map(|r| (r.job_id.0, r.start)).collect();
+        let guarantees = log.lock().unwrap();
+        prop_assert!(!guarantees.is_empty() || res.telemetry.waits_backfill_hold == 0);
+        for g in guarantees.iter() {
+            if !g.shadow.is_finite() {
+                continue; // no reservation bound the head
+            }
+            let start = starts[&g.head.0];
+            prop_assert!(
+                start <= g.shadow + 1e-6,
+                "head {:?} started at {} past its {} guarantee (issued at {})",
+                g.head, start, g.shadow, g.decided_at
+            );
+        }
+    }
+
+    /// The FIFO adapter and the seed-mechanics snapshot oracle produce
+    /// bit-identical record streams on random workloads for every policy.
+    #[test]
+    fn fifo_adapter_matches_snapshot_oracle(
+        seed in 1u64..1000,
+        n in 8usize..30,
+        rate in 0.001f64..0.02,
+        window in 1usize..6,
+    ) {
+        let jobs = poisson_arrivals(n, rate, &JobDistribution::default(), seed);
+        let params = SimParams { backfill_depth: window - 1, ..SimParams::default() };
+        for pol in ["speed", "fidelity", "fair", "roundrobin", "random", "minfrag"] {
+            let a = QCloudSimEnv::new(
+                ibm_fleet(seed),
+                by_name(pol, seed).unwrap(),
+                jobs.clone(),
+                params.clone(),
+                seed,
+            ).run();
+            let b = QCloudSimEnv::with_scheduler(
+                ibm_fleet(seed),
+                Box::new(SnapshotAdapter::new(by_name(pol, seed).unwrap(), window)),
+                jobs.clone(),
+                params.clone(),
+                seed,
+            ).run();
+            prop_assert_eq!(&a.records, &b.records, "{}@{} diverged", pol, seed);
+        }
+    }
+}
