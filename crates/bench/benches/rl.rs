@@ -1,11 +1,13 @@
 //! RL stack benchmarks: policy inference latency (the per-decision cost of
 //! the RL broker), rollout-collection throughput (per-env vs batched — the
-//! dominant cost of every training experiment), and PPO optimisation
-//! throughput.
+//! dominant cost of every training experiment), GEMM micro-kernel
+//! throughput (baseline 4×8 tile vs the runtime-selected wide tile), and
+//! PPO update-phase throughput at 1/2/4/8 update workers.
 //!
 //! The rollout benchmarks also emit `BENCH_rollout.json` at the repository
-//! root with before/after steps-per-second, so the perf trajectory of the
-//! batched hot path is tracked across PRs.
+//! root with before/after steps-per-second plus `update_phase` and `gemm`
+//! sections, so the perf trajectory of both training phases is tracked
+//! across PRs (and guarded by the CI `bench_guard` bin).
 
 use std::time::Instant;
 
@@ -14,12 +16,61 @@ use qcs_desim::Xoshiro256StarStar;
 use qcs_rl::env::{Env, StepInfo};
 use qcs_rl::envs::bandit::ContinuousBandit;
 use qcs_rl::envs::pointmass::PointMass;
-use qcs_rl::nn::Matrix;
+use qcs_rl::nn::{available_kernels, gemm_bias_with, select_kernel, GemmKernel, Matrix};
 use qcs_rl::policy::{ActScratch, ActorCritic};
-use qcs_rl::{Ppo, PpoConfig, VecEnv};
+use qcs_rl::{Ppo, PpoConfig, RolloutBuffer, VecEnv};
+use serde::Serialize;
 
 const N_ENVS: usize = 16;
 const HORIZON: usize = 64;
+
+/// Update-phase bench shape: a fig5-sized rollout (2048 samples of the
+/// 16-obs / 5-action allocation policy) optimised for one epoch.
+const UPD_ROWS: usize = 2048;
+const UPD_BATCH: usize = 256;
+const UPD_OBS: usize = 16;
+const UPD_ACT: usize = 5;
+
+/// Builds a deterministic synthetic rollout for timing the optimisation
+/// phase in isolation (contents don't matter for throughput, shapes do).
+fn update_buffer() -> RolloutBuffer {
+    let mut b = RolloutBuffer::new(UPD_ROWS, 1, UPD_OBS, UPD_ACT);
+    let mut rng = Xoshiro256StarStar::new(41);
+    let mut obs = vec![0.0f32; UPD_OBS];
+    let mut act = vec![0.0f32; UPD_ACT];
+    for _ in 0..UPD_ROWS {
+        for v in obs.iter_mut() {
+            *v = rng.range_f64(-1.0, 1.0) as f32;
+        }
+        for v in act.iter_mut() {
+            *v = rng.range_f64(-1.0, 1.0) as f32;
+        }
+        b.push(
+            &obs,
+            &act,
+            rng.range_f64(-1.0, 1.0),
+            true,
+            rng.range_f64(-0.5, 0.5),
+            rng.range_f64(-4.0, -0.5),
+        );
+    }
+    b.compute_advantages(&[0.0], 0.99, 0.95);
+    b
+}
+
+/// A PPO trainer configured to run exactly one optimisation epoch over
+/// [`update_buffer`] per `update` call, with the given worker count.
+fn update_ppo(workers: usize) -> Ppo {
+    let cfg = PpoConfig {
+        n_steps: UPD_ROWS,
+        batch_size: UPD_BATCH,
+        n_epochs: 1,
+        seed: 3,
+        n_update_workers: workers,
+        ..PpoConfig::default()
+    };
+    Ppo::new(UPD_OBS, UPD_ACT, cfg)
+}
 
 fn pointmass_envs(n: usize) -> Vec<Box<dyn Env>> {
     (0..n)
@@ -212,51 +263,234 @@ fn bench_rollout(c: &mut Criterion) {
     write_rollout_json(&ac);
 }
 
-/// Measures both rollout paths directly and records steps-per-second (and
-/// the speedup) in `BENCH_rollout.json` at the repository root.
+/// Repeats `f` until the time budget runs out and returns the best
+/// observed units-per-second (least-noise estimate). `units` is the work
+/// one call performs.
+fn best_rate(budget: f64, units: f64, f: &mut dyn FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut best = 0.0f64;
+    loop {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.max(units / dt);
+        if start.elapsed().as_secs_f64() > budget {
+            break;
+        }
+    }
+    best
+}
+
+/// Rounds to `digits` decimal places (keeps the committed JSON tidy).
+fn round_to(x: f64, digits: u32) -> f64 {
+    let p = 10f64.powi(digits as i32);
+    (x * p).round() / p
+}
+
+/// The `BENCH_rollout.json` document — serialised with the workspace
+/// serde_json (the same parser family `bench_guard` reads it with), so
+/// shape changes can never produce invalid JSON.
+#[derive(Serialize)]
+struct RolloutReport {
+    bench: String,
+    n_envs: usize,
+    horizon: usize,
+    steps_per_rollout: usize,
+    per_env_steps_per_sec: f64,
+    batched_steps_per_sec: f64,
+    speedup: f64,
+    host_cores: usize,
+    update_phase: UpdatePhaseReport,
+    gemm: GemmReport,
+}
+
+#[derive(Serialize)]
+struct UpdatePhaseReport {
+    rows: usize,
+    batch_size: usize,
+    obs_dim: usize,
+    action_dim: usize,
+    n_epochs: usize,
+    workers: Vec<WorkerRate>,
+    speedup_4_workers: f64,
+}
+
+#[derive(Serialize)]
+struct WorkerRate {
+    workers: usize,
+    samples_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct GemmReport {
+    m: usize,
+    k: usize,
+    n: usize,
+    baseline_kernel: String,
+    baseline_gflops: f64,
+    selected_kernel: String,
+    selected_gflops: f64,
+    tile_speedup: f64,
+}
+
+/// Measures both rollout paths, the update phase at 1/2/4/8 workers and
+/// the GEMM micro-kernels, and records the rates (and speedups) in
+/// `BENCH_rollout.json` at the repository root.
 fn write_rollout_json(ac: &ActorCritic) {
     if cfg!(debug_assertions) {
         // Unoptimised numbers would corrupt the tracked perf trajectory;
         // only measure from `cargo bench` (release) builds.
         return;
     }
-    let budget = 0.7f64;
     let steps = 256usize;
     let mut raw_envs = pointmass_envs(N_ENVS);
     let mut envs = pointmass_vecenv(N_ENVS);
 
-    // Warm up, then repeat whole rollouts until the time budget runs out;
-    // report the best observed steps/second (least-noise estimate).
-    let run = |f: &mut dyn FnMut() -> f64| {
-        let _ = std::hint::black_box(f());
-        let start = Instant::now();
-        let mut best = 0.0f64;
-        loop {
-            let t0 = Instant::now();
-            let _ = std::hint::black_box(f());
-            let dt = t0.elapsed().as_secs_f64();
-            best = best.max((steps * N_ENVS) as f64 / dt);
-            if start.elapsed().as_secs_f64() > budget {
-                break;
-            }
-        }
-        best
-    };
-
-    let per_env_sps = run(&mut || rollout_per_env(ac, &mut raw_envs, steps));
-    let batched_sps = run(&mut || rollout_batched(ac, &mut envs, steps));
+    let rollout_units = (steps * N_ENVS) as f64;
+    let per_env_sps = best_rate(0.7, rollout_units, &mut || {
+        std::hint::black_box(rollout_per_env(ac, &mut raw_envs, steps));
+    });
+    let batched_sps = best_rate(0.7, rollout_units, &mut || {
+        std::hint::black_box(rollout_batched(ac, &mut envs, steps));
+    });
     let speedup = batched_sps / per_env_sps;
 
-    let json = format!(
-        "{{\n  \"bench\": \"rollout_pointmass\",\n  \"n_envs\": {N_ENVS},\n  \"horizon\": {HORIZON},\n  \"steps_per_rollout\": {steps},\n  \"per_env_steps_per_sec\": {per_env_sps:.1},\n  \"batched_steps_per_sec\": {batched_sps:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
-    );
+    // ---- update phase: samples/s through one optimisation epoch ----
+    let buffer = update_buffer();
+    let mut worker_rates: Vec<WorkerRate> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut ppo = update_ppo(workers);
+        let sps = best_rate(0.6, UPD_ROWS as f64, &mut || {
+            std::hint::black_box(ppo.update(&buffer));
+        });
+        worker_rates.push(WorkerRate {
+            workers,
+            samples_per_sec: round_to(sps, 1),
+        });
+    }
+    let rate_at = |w: usize| {
+        worker_rates
+            .iter()
+            .find(|r| r.workers == w)
+            .expect("worker count measured")
+            .samples_per_sec
+    };
+    let update_speedup_4w = rate_at(4) / rate_at(1);
+
+    // ---- GEMM micro-kernels on a policy-shaped product ----
+    let (gm, gk, gn) = (UPD_BATCH, 64usize, 64usize);
+    let a: Vec<f32> = (0..gm * gk)
+        .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.013)
+        .collect();
+    let b: Vec<f32> = (0..gk * gn)
+        .map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.021)
+        .collect();
+    let bias: Vec<f32> = (0..gn).map(|j| j as f32 * 0.01).collect();
+    let mut out = vec![0.0f32; gm * gn];
+    let gflop = (2.0 * (gm * gk * gn) as f64) / 1e9;
+    let mut kernel_rate = |kern: GemmKernel| {
+        best_rate(0.4, gflop, &mut || {
+            gemm_bias_with(kern, gm, gk, gn, &a, &b, Some(&bias), &mut out);
+            std::hint::black_box(&out);
+        })
+    };
+    let baseline_kernel = GemmKernel::Tile4x8;
+    let selected_kernel = select_kernel(gm);
+    let baseline_gflops = kernel_rate(baseline_kernel);
+    let selected_gflops = kernel_rate(selected_kernel);
+    let tile_speedup = selected_gflops / baseline_gflops;
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = RolloutReport {
+        bench: "rollout_pointmass".to_string(),
+        n_envs: N_ENVS,
+        horizon: HORIZON,
+        steps_per_rollout: steps,
+        per_env_steps_per_sec: round_to(per_env_sps, 1),
+        batched_steps_per_sec: round_to(batched_sps, 1),
+        speedup: round_to(speedup, 2),
+        host_cores,
+        update_phase: UpdatePhaseReport {
+            rows: UPD_ROWS,
+            batch_size: UPD_BATCH,
+            obs_dim: UPD_OBS,
+            action_dim: UPD_ACT,
+            n_epochs: 1,
+            workers: worker_rates,
+            speedup_4_workers: round_to(update_speedup_4w, 2),
+        },
+        gemm: GemmReport {
+            m: gm,
+            k: gk,
+            n: gn,
+            baseline_kernel: baseline_kernel.name().to_string(),
+            baseline_gflops: round_to(baseline_gflops, 2),
+            selected_kernel: selected_kernel.name().to_string(),
+            selected_gflops: round_to(selected_gflops, 2),
+            tile_speedup: round_to(tile_speedup, 2),
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialisation cannot fail");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rollout.json");
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("could not write {path}: {e}");
     }
     println!(
-        "rollout throughput: per-env {per_env_sps:.0} steps/s, batched {batched_sps:.0} steps/s ({speedup:.2}x) -> BENCH_rollout.json"
+        "rollout throughput: per-env {per_env_sps:.0} steps/s, batched {batched_sps:.0} steps/s ({speedup:.2}x)"
     );
+    println!(
+        "update throughput: {} samples/s at 1/2/4/8 workers ({update_speedup_4w:.2}x at 4; {host_cores} cores)",
+        report
+            .update_phase
+            .workers
+            .iter()
+            .map(|r| format!("{:.0}", r.samples_per_sec))
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    println!(
+        "gemm {gm}x{gk}x{gn}: {} {baseline_gflops:.2} GF/s -> {} {selected_gflops:.2} GF/s ({tile_speedup:.2}x) -> BENCH_rollout.json",
+        baseline_kernel.name(),
+        selected_kernel.name(),
+    );
+}
+
+/// The PPO optimisation phase in isolation (one epoch over a prepared
+/// fig5-sized rollout) at 1/2/4/8 update workers.
+fn bench_update_phase(c: &mut Criterion) {
+    let buffer = update_buffer();
+    let mut group = c.benchmark_group("rl/update_2048rows_256batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(UPD_ROWS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let mut ppo = update_ppo(workers);
+        group.bench_function(format!("{workers}w"), |b| {
+            b.iter(|| std::hint::black_box(ppo.update(&buffer)))
+        });
+    }
+    group.finish();
+}
+
+/// The GEMM micro-kernels on a policy-shaped product (baseline 4×8 tile vs
+/// every wide tile available on this machine).
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let (m, k, n) = (UPD_BATCH, 64usize, 64usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.07).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 * 0.05).collect();
+    let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.01).collect();
+    let mut out = vec![0.0f32; m * n];
+    let mut group = c.benchmark_group(format!("rl/gemm_{m}x{k}x{n}"));
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    for kern in available_kernels() {
+        group.bench_function(kern.name(), |bch| {
+            bch.iter(|| {
+                gemm_bias_with(kern, m, k, n, &a, &b, Some(&bias), &mut out);
+                std::hint::black_box(&out);
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_ppo_iteration(c: &mut Criterion) {
@@ -290,6 +524,8 @@ criterion_group!(
     benches,
     bench_policy_forward,
     bench_rollout,
+    bench_gemm_kernels,
+    bench_update_phase,
     bench_ppo_iteration
 );
 criterion_main!(benches);

@@ -15,6 +15,7 @@
 //!   exec     — execution-time constants (M·K) sweep
 //! ```
 
+use qcs_bench::cli::arg;
 use qcs_bench::runner::{results_dir, run_strategy, StrategySpec};
 use qcs_bench::table::AsciiTable;
 use qcs_bench::train::train_allocation_policy;
@@ -23,15 +24,6 @@ use qcs_qcloud::config::ReleasePolicy;
 use qcs_qcloud::jobgen::batch_at_zero;
 use qcs_qcloud::{GymConfig, JobDistribution, QCloudSimEnv, SimParams};
 use qcs_workload::suite::paper_case_study;
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn save(name: &str, table: &AsciiTable) {
     let path = results_dir().join(format!("ablation_{name}.csv"));

@@ -1,0 +1,189 @@
+//! CI bench-regression guard: checks the perf numbers *committed* in
+//! `BENCH_rollout.json` / `BENCH_sched.json` against hard floors, failing
+//! the build when a recorded speedup regresses below its floor.
+//!
+//! The JSONs are (re)written by release `cargo bench` runs and committed,
+//! so this guard is deterministic in CI — it vets the recorded perf
+//! trajectory, not the (noisy, shared) CI runner. Run it from the
+//! repository root (or pass the two file paths as arguments):
+//!
+//! ```text
+//! cargo run -p qcs-bench --release --bin bench_guard [-- BENCH_rollout.json BENCH_sched.json]
+//! ```
+//!
+//! Floors (see `FLOORS` below):
+//! * batched rollout speedup over the seed per-env path ≥ 3.5×;
+//! * EASY-backfill makespan improvement on the bimodal scenario ≥ 1.03×;
+//! * wide-GEMM-tile speedup over the 4×8 baseline ≥ 1.05× — only enforced
+//!   when the recording machine actually selected a wide kernel;
+//! * update-phase speedup at 4 workers ≥ 1.5× — only enforced when the
+//!   recording machine had ≥ 4 cores (a 1-core recorder cannot show
+//!   wall-clock parallel speedup; `host_cores` is recorded alongside).
+
+use serde::Value;
+
+/// Floor for the batched-rollout speedup recorded in `BENCH_rollout.json`.
+const ROLLOUT_SPEEDUP_FLOOR: f64 = 3.5;
+/// Floor for `fragmented_1k.makespan_improvement` in `BENCH_sched.json`.
+const MAKESPAN_IMPROVEMENT_FLOOR: f64 = 1.03;
+/// Floor for `gemm.tile_speedup` (wide tile vs 4×8 baseline).
+const TILE_SPEEDUP_FLOOR: f64 = 1.05;
+/// Floor for `update_phase.speedup_4_workers`.
+const UPDATE_SPEEDUP_4W_FLOOR: f64 = 1.5;
+/// Cores the recording machine needs before the update-phase floor applies.
+const UPDATE_FLOOR_MIN_CORES: u64 = 4;
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn field_f64(v: &Value, path: &[&str]) -> Result<f64, String> {
+    let mut cur = v;
+    for p in path {
+        cur = cur
+            .get_field(p)
+            .ok_or_else(|| format!("missing field `{}`", path.join(".")))?;
+    }
+    as_f64(cur).ok_or_else(|| format!("field `{}` is not a number", path.join(".")))
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::parse_value(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+struct Guard {
+    failures: Vec<String>,
+}
+
+impl Guard {
+    fn check(&mut self, what: &str, value: Result<f64, String>, floor: f64) {
+        match value {
+            Ok(v) if v >= floor => println!("  ok   {what}: {v:.2} (floor {floor})"),
+            Ok(v) => {
+                println!("  FAIL {what}: {v:.2} below floor {floor}");
+                self.failures.push(format!("{what}: {v:.2} < {floor}"));
+            }
+            Err(e) => {
+                println!("  FAIL {what}: {e}");
+                self.failures.push(format!("{what}: {e}"));
+            }
+        }
+    }
+
+    fn skip(&self, what: &str, why: &str) {
+        println!("  skip {what}: {why}");
+    }
+
+    fn fail(&mut self, what: &str, why: String) {
+        println!("  FAIL {what}: {why}");
+        self.failures.push(format!("{what}: {why}"));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rollout_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_rollout.json");
+    let sched_path = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BENCH_sched.json");
+    let mut guard = Guard {
+        failures: Vec::new(),
+    };
+
+    println!("[bench_guard] {rollout_path}");
+    match load(rollout_path) {
+        Ok(rollout) => {
+            guard.check(
+                "batched rollout speedup",
+                field_f64(&rollout, &["speedup"]),
+                ROLLOUT_SPEEDUP_FLOOR,
+            );
+
+            // The gemm section and both kernel names are required; the
+            // floor is waived only on the recorded fact that the recorder
+            // had no wide kernel to select. A missing section is a loud
+            // failure — silent drift is exactly what this guard exists for.
+            let baseline = rollout
+                .get_field("gemm")
+                .and_then(|g| g.get_field("baseline_kernel"))
+                .and_then(Value::as_str);
+            let selected = rollout
+                .get_field("gemm")
+                .and_then(|g| g.get_field("selected_kernel"))
+                .and_then(Value::as_str);
+            match (baseline, selected) {
+                (Some(b), Some(s)) if b == s => guard.skip(
+                    "gemm tile speedup",
+                    "recorder selected the baseline kernel (no wide tiles available)",
+                ),
+                (Some(_), Some(_)) => guard.check(
+                    "gemm tile speedup",
+                    field_f64(&rollout, &["gemm", "tile_speedup"]),
+                    TILE_SPEEDUP_FLOOR,
+                ),
+                _ => guard.fail(
+                    "gemm section",
+                    "missing gemm.baseline_kernel/gemm.selected_kernel".to_string(),
+                ),
+            }
+
+            // host_cores is required too: it gates the multi-worker floor.
+            match field_f64(&rollout, &["host_cores"]) {
+                Err(e) => guard.fail("host_cores", e),
+                Ok(cores) if (cores as u64) < UPDATE_FLOOR_MIN_CORES => {
+                    guard.skip(
+                        "update-phase speedup at 4 workers",
+                        &format!(
+                            "recorded on a {cores:.0}-core machine (need ≥ {UPDATE_FLOOR_MIN_CORES})"
+                        ),
+                    );
+                    // The section must still exist and be well-formed.
+                    guard.check(
+                        "update-phase throughput recorded",
+                        field_f64(&rollout, &["update_phase", "speedup_4_workers"]).map(|_| 1.0),
+                        0.0,
+                    );
+                }
+                Ok(_) => guard.check(
+                    "update-phase speedup at 4 workers",
+                    field_f64(&rollout, &["update_phase", "speedup_4_workers"]),
+                    UPDATE_SPEEDUP_4W_FLOOR,
+                ),
+            }
+        }
+        Err(e) => guard.failures.push(e),
+    }
+
+    println!("[bench_guard] {sched_path}");
+    match load(sched_path) {
+        Ok(sched) => {
+            guard.check(
+                "backfill makespan improvement",
+                field_f64(&sched, &["fragmented_1k", "makespan_improvement"]),
+                MAKESPAN_IMPROVEMENT_FLOOR,
+            );
+        }
+        Err(e) => guard.failures.push(e),
+    }
+
+    if guard.failures.is_empty() {
+        println!("[bench_guard] all recorded speedups at or above their floors");
+    } else {
+        eprintln!(
+            "[bench_guard] {} regression(s): {}",
+            guard.failures.len(),
+            guard.failures.join("; ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 //! each workload family. Output: `results/cutting_vs_comm.csv` +
 //! `results/cutting_families.csv`.
 
+use qcs_bench::cli::arg;
 use qcs_bench::runner::results_dir;
 use qcs_bench::table::AsciiTable;
 use qcs_circuit::{cut_circuit, CutCostModel};
@@ -23,15 +24,6 @@ use qcs_qcloud::{
     realtime_comm_outcome, CircuitLocality, CuttingExecModel, FragmentSite, JobId, QJob,
 };
 use qcs_workload::circuits::{circuit_workload, CircuitWorkloadConfig};
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Two premium-device fragment sites (the ibm_strasbourg/brussels pair).
 fn sites(q: u64) -> Vec<FragmentSite> {

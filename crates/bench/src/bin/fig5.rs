@@ -2,25 +2,19 @@
 //! (left axis) and entropy loss (right axis) over training timesteps.
 //!
 //! ```text
-//! cargo run -p qcs-bench --release --bin fig5 [-- --timesteps 100000 --seed 42 --comm-aware --queue-aware]
+//! cargo run -p qcs-bench --release --bin fig5 [-- --timesteps 100000 --seed 42 --envs 4 --update-workers 1 --comm-aware --queue-aware]
 //! ```
 //!
 //! `--queue-aware` trains on the 19-dim observation with the three queue
 //! features appended (see `GymConfig::queue_aware`); the default is the
-//! paper's 16-dim state.
+//! paper's 16-dim state. `--update-workers N` parallelises the PPO
+//! optimisation phase over `N` threads (bit-identical results at any `N`;
+//! `0` = one per core).
 
+use qcs_bench::cli::{arg, flag, update_workers_arg};
 use qcs_bench::runner::results_dir;
-use qcs_bench::train::train_allocation_policy_with;
+use qcs_bench::train::{train_allocation_policy_opts, TrainOpts};
 use qcs_qcloud::GymConfig;
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn sparkline(values: &[f64], width: usize) -> String {
     if values.is_empty() {
@@ -46,12 +40,14 @@ fn main() {
     let timesteps: u64 = arg("--timesteps", 100_000);
     let seed: u64 = arg("--seed", 42);
     let n_envs: usize = arg("--envs", 4);
-    let comm_aware = std::env::args().any(|a| a == "--comm-aware");
-    let queue_aware = std::env::args().any(|a| a == "--queue-aware");
+    let update_workers = update_workers_arg();
+    let comm_aware = flag("--comm-aware");
+    let queue_aware = flag("--queue-aware");
 
     eprintln!(
         "[fig5] training PPO for {timesteps} timesteps on {n_envs} envs \
-         (comm_aware = {comm_aware}, queue_aware = {queue_aware})..."
+         ({update_workers} update workers, comm_aware = {comm_aware}, \
+         queue_aware = {queue_aware})..."
     );
     let gym = GymConfig {
         comm_aware_reward: comm_aware,
@@ -59,7 +55,15 @@ fn main() {
         ..GymConfig::default()
     };
     let t0 = std::time::Instant::now();
-    let out = train_allocation_policy_with(gym, timesteps, n_envs, seed);
+    let out = train_allocation_policy_opts(
+        gym,
+        TrainOpts {
+            total_timesteps: timesteps,
+            n_envs,
+            seed,
+            n_update_workers: update_workers,
+        },
+    );
     eprintln!("[fig5] done in {:.1}s", t0.elapsed().as_secs_f64());
 
     let log = out.ppo.log();

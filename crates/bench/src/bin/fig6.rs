@@ -11,19 +11,11 @@
 //! `--strategies a,b,c` sweeps arbitrary scheduler specs (incl. composed
 //! disciplines like `backfill+speed`) instead of the paper's four.
 
+use qcs_bench::cli::arg;
 use qcs_bench::runner::{results_dir, run_strategies, table2_strategies, StrategySpec};
 use qcs_bench::train::train_allocation_policy;
 use qcs_qcloud::{GymConfig, SimParams, SummaryStats};
 use qcs_workload::suite::paper_case_study;
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let n_jobs: usize = arg("--jobs", 1_000);

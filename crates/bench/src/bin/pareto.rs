@@ -14,21 +14,13 @@
 //! reproducing Table 2's speed/fidelity gap as a continuum. Output:
 //! `results/pareto.csv` + an ASCII table.
 
+use qcs_bench::cli::arg;
 use qcs_bench::runner::results_dir;
 use qcs_bench::table::AsciiTable;
 use qcs_calibration::ibm_fleet;
 use qcs_qcloud::policies::{by_name, HybridBroker};
 use qcs_qcloud::{Broker, QCloudSimEnv, SimParams};
 use qcs_workload::suite::smoke;
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let n_jobs: usize = arg("--jobs", 300);

@@ -10,6 +10,7 @@
 //!
 //! Output: `results/queueing.csv` + ASCII tables per arrival rate.
 
+use qcs_bench::cli::arg;
 use qcs_bench::runner::results_dir;
 use qcs_bench::table::AsciiTable;
 use qcs_calibration::ibm_fleet;
@@ -17,15 +18,6 @@ use qcs_qcloud::policies::scheduler_by_name;
 use qcs_qcloud::JobDistribution;
 use qcs_qcloud::{DeadlinePolicy, QCloudSimEnv, QosReport, SimParams};
 use qcs_workload::arrival::{jobs_with_arrivals, poisson_process};
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let n_jobs: usize = arg("--jobs", 200);

@@ -14,24 +14,13 @@
 //! The RL row requires a trained policy; the binary trains one (caching it
 //! in `results/rl_policy.json`) unless `--no-cache` is passed.
 
+use qcs_bench::cli::arg;
+use qcs_bench::cli::flag;
 use qcs_bench::runner::{results_dir, run_strategies, table2_strategies, StrategySpec};
 use qcs_bench::table::AsciiTable;
 use qcs_bench::train::train_allocation_policy;
 use qcs_qcloud::{GymConfig, SimParams};
 use qcs_workload::suite::paper_case_study;
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
 
 fn print_help() {
     println!("table2 — strategy comparison on the paper's case-study workload");

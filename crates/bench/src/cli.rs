@@ -1,0 +1,46 @@
+//! Minimal CLI parsing shared by the bench bins and the repository
+//! examples (one copy instead of one per binary).
+
+/// Parses `--name value` from `std::env::args`, silently falling back to
+/// `default` when the flag is absent or its value does not parse — the
+/// repo-wide convention for the experiment harness CLIs.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--name` flag is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses `--update-workers N` (default `1` = single-threaded) and
+/// resolves `0` to one worker per available core. Training results are
+/// bit-identical at any worker count (see `qcs_rl::update`); the knob
+/// only changes wall-clock time.
+pub fn update_workers_arg() -> usize {
+    match arg("--update-workers", 1usize) {
+        0 => qcs_desim::parallel::default_threads(),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_flag_falls_back_to_default() {
+        assert_eq!(arg("--definitely-not-passed", 7u64), 7);
+        assert!(!flag("--definitely-not-passed"));
+    }
+
+    #[test]
+    fn update_workers_defaults_single_threaded() {
+        assert_eq!(update_workers_arg(), 1);
+    }
+}

@@ -13,10 +13,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod runner;
 pub mod table;
 pub mod train;
 
 pub use runner::{run_strategy, StrategySpec};
 pub use table::AsciiTable;
-pub use train::{train_allocation_policy, train_allocation_policy_with, TrainOutcome};
+pub use train::{
+    train_allocation_policy, train_allocation_policy_opts, train_allocation_policy_with, TrainOpts,
+    TrainOutcome,
+};

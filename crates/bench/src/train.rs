@@ -25,6 +25,34 @@ impl TrainOutcome {
     }
 }
 
+/// Tunables of a training run. `n_update_workers` is pure throughput:
+/// training is bit-identical at any value (see `qcs_rl::update`). `n_envs`
+/// is NOT — it changes the per-iteration rollout shape (`n_steps` is
+/// derived from it) and therefore the collected data and the trained
+/// policy; keep it fixed when comparing against recorded results.
+#[derive(Debug, Clone)]
+pub struct TrainOpts {
+    /// Environment steps to train for.
+    pub total_timesteps: u64,
+    /// Vectorised rollout environments (worker threads).
+    pub n_envs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Threads for the PPO optimisation phase (`0`/`1` = single-threaded).
+    pub n_update_workers: usize,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        TrainOpts {
+            total_timesteps: 100_000,
+            n_envs: 4,
+            seed: 42,
+            n_update_workers: 1,
+        }
+    }
+}
+
 /// Trains the §4.1 allocation policy for `total_timesteps` environment
 /// steps on `n_envs` vectorised copies of [`QCloudGymEnv`] (worker threads).
 ///
@@ -51,6 +79,27 @@ pub fn train_allocation_policy_with(
     n_envs: usize,
     seed: u64,
 ) -> TrainOutcome {
+    train_allocation_policy_opts(
+        gym,
+        TrainOpts {
+            total_timesteps,
+            n_envs,
+            seed,
+            n_update_workers: 1,
+        },
+    )
+}
+
+/// The full-control entry point: [`GymConfig`] plus [`TrainOpts`]
+/// (including the `n_update_workers` knob surfaced by the training CLIs as
+/// `--update-workers`).
+pub fn train_allocation_policy_opts(gym: GymConfig, opts: TrainOpts) -> TrainOutcome {
+    let TrainOpts {
+        total_timesteps,
+        n_envs,
+        seed,
+        n_update_workers,
+    } = opts;
     let mk_env = |fleet_seed: u64, gym: GymConfig| -> Box<dyn Env> {
         Box::new(QCloudGymEnv::new(
             &ibm_fleet(fleet_seed),
@@ -73,6 +122,7 @@ pub fn train_allocation_policy_with(
         // The paper trains single-step episodes with SB3 defaults; a
         // smaller n_steps keeps logging granularity useful for Fig. 5.
         n_steps: 2048 / n_envs.max(1),
+        n_update_workers,
         ..PpoConfig::default()
     };
     let mut ppo = Ppo::new(gym.obs_dim(), gym.max_devices, cfg);
@@ -122,6 +172,23 @@ mod tests {
         assert_eq!(out.gym.obs_dim(), 19);
         assert_eq!(out.ppo.ac.obs_dim(), 19);
         assert!(out.ppo.log().final_reward() > 0.0);
+    }
+
+    #[test]
+    fn update_workers_knob_is_bit_exact() {
+        let opts = |workers| TrainOpts {
+            total_timesteps: 2_000,
+            n_envs: 2,
+            seed: 19,
+            n_update_workers: workers,
+        };
+        let a = train_allocation_policy_opts(GymConfig::default(), opts(1));
+        let b = train_allocation_policy_opts(GymConfig::default(), opts(3));
+        assert_eq!(
+            a.policy_json(),
+            b.policy_json(),
+            "update workers changed the trained policy"
+        );
     }
 
     #[test]

@@ -58,6 +58,51 @@ where
         .collect()
 }
 
+/// Applies `f(index, &mut item)` to every slot of `items`, striping the
+/// slots statically over up to `threads` scoped OS threads (slot `i` runs
+/// on thread `i % threads`).
+///
+/// This is the fork-join primitive behind the multi-worker PPO update
+/// phase: each slot is a preallocated per-shard scratch + gradient slab, so
+/// unlike [`par_map`] nothing is moved, boxed or locked — the only
+/// per-call costs are the thread spawns and one small `Vec` per thread.
+/// With `threads <= 1` (or a single item) everything runs inline on the
+/// caller's thread — no spawns, byte-identical scheduling to a plain loop.
+///
+/// Striping is static, so *which* thread runs a slot is deterministic too;
+/// but callers must not rely on cross-slot ordering — correctness (and the
+/// determinism contract of the update phase) comes from each slot writing
+/// only to its own item, with any reduction done by the caller afterwards
+/// in slot order.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.iter_mut().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (i, item) in bucket {
+                    f(i, item);
+                }
+            });
+        }
+    });
+}
+
 /// Runs `n` seeded replications of `f` in parallel and collects results in
 /// replication order. `f` receives the replication index; derive seeds from
 /// it for reproducibility.
@@ -117,6 +162,28 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_slot_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut slots: Vec<u64> = (0..37).collect();
+            par_for_each_mut(&mut slots, threads, |i, v| {
+                assert_eq!(*v, i as u64);
+                *v = *v * 2 + 1;
+            });
+            let expected: Vec<u64> = (0..37).map(|x| x * 2 + 1).collect();
+            assert_eq!(slots, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        par_for_each_mut(&mut empty, 4, |_, _| unreachable!());
+        let mut one = vec![7u32];
+        par_for_each_mut(&mut one, 4, |_, v| *v += 1);
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

@@ -14,10 +14,11 @@ use std::collections::VecDeque;
 use crate::buffer::RolloutBuffer;
 use crate::dist::DiagGaussian;
 use crate::env::StepInfo;
-use crate::nn::{Matrix, MlpCache};
+use crate::nn::Matrix;
 use crate::opt::Adam;
 use crate::policy::{ActScratch, ActorCritic};
 use crate::ppo::{TrainLog, TrainLogEntry};
+use crate::update::{MinibatchExecutor, SampleCtx};
 use crate::vecenv::VecEnv;
 use qcs_desim::Xoshiro256StarStar;
 use serde::{Deserialize, Serialize};
@@ -45,6 +46,13 @@ pub struct A2cConfig {
     pub normalize_advantage: bool,
     /// Master seed.
     pub seed: u64,
+    /// Threads for the gradient pass. `0` and `1` (the default) both run
+    /// single-threaded (`0` is the pre-knob serde default). Every worker
+    /// count produces bit-identical training — see [`crate::update`] (and
+    /// the note on [`crate::PpoConfig::n_update_workers`] about pre-shard
+    /// builds).
+    #[serde(default)]
+    pub n_update_workers: usize,
 }
 
 impl Default for A2cConfig {
@@ -59,6 +67,7 @@ impl Default for A2cConfig {
             learning_rate: 7e-4,
             normalize_advantage: false,
             seed: 0,
+            n_update_workers: 1,
         }
     }
 }
@@ -76,11 +85,8 @@ pub struct A2c {
     timesteps: u64,
     ep_returns: VecDeque<f64>,
     scratch: ActScratch,
-    obs_mat: Matrix,
-    dmean: Matrix,
-    dv: Matrix,
-    pi_cache: MlpCache,
-    vf_cache: MlpCache,
+    exec: MinibatchExecutor,
+    rollout_indices: Vec<usize>,
 }
 
 impl A2c {
@@ -97,11 +103,8 @@ impl A2c {
             timesteps: 0,
             ep_returns: VecDeque::with_capacity(100),
             scratch: ActScratch::new(),
-            obs_mat: Matrix::zeros(0, 0),
-            dmean: Matrix::zeros(0, 0),
-            dv: Matrix::zeros(0, 0),
-            pi_cache: MlpCache::new(),
-            vf_cache: MlpCache::new(),
+            exec: MinibatchExecutor::new(config.n_update_workers),
+            rollout_indices: Vec::new(),
             config,
         }
     }
@@ -192,11 +195,12 @@ impl A2c {
     }
 
     /// One gradient step over the whole rollout (no epochs, no minibatches,
-    /// no clipping — the defining differences from PPO).
+    /// no clipping — the defining differences from PPO). The single
+    /// whole-rollout "minibatch" runs through the same shard-parallel
+    /// [`MinibatchExecutor`] as PPO's, so `n_update_workers` applies here
+    /// too, with the same bit-reproducibility guarantee.
     fn update(&mut self, buffer: &RolloutBuffer) -> A2cDiagnostics {
         let n = buffer.len();
-        let obs_dim = buffer.obs_dim();
-        let action_dim = buffer.action_dim();
         let cfg = self.config.clone();
 
         let (mean_adv, std_adv) = if cfg.normalize_advantage {
@@ -212,65 +216,44 @@ impl A2c {
             (0.0, 1.0)
         };
 
-        self.obs_mat.reshape_zeroed(n, obs_dim);
-        for i in 0..n {
-            self.obs_mat.row_mut(i).copy_from_slice(buffer.obs_row(i));
-        }
-
-        self.ac.zero_grad();
-        let means = self.ac.pi.forward(&self.obs_mat, &mut self.pi_cache);
-        let values = self.ac.vf.forward(&self.obs_mat, &mut self.vf_cache);
-
-        self.dmean.reshape_zeroed(n, action_dim);
-        self.dv.reshape_zeroed(n, 1);
-
-        let mut policy_loss = 0.0f64;
-        let mut value_loss = 0.0f64;
-        let mut entropy_sum = 0.0f64;
-        let mut dmu_row = vec![0.0f32; action_dim];
-        let mut dls_row = vec![0.0f32; action_dim];
-
-        for i in 0..n {
+        let per_sample = |ctx: &mut SampleCtx| {
+            let b = ctx.minibatch as f64;
             let dist = DiagGaussian {
-                mean: means.row(i),
-                log_std: &self.ac.log_std,
+                mean: ctx.mean,
+                log_std: ctx.log_std,
             };
-            let action = buffer.action_row(i);
+            let action = buffer.action_row(ctx.buffer_index);
             let logp = dist.log_prob(action);
-            let adv = (buffer.advantages[i] - mean_adv) / std_adv;
-            policy_loss += -logp * adv;
-            entropy_sum += dist.entropy();
+            let adv = (buffer.advantages[ctx.buffer_index] - mean_adv) / std_adv;
+            ctx.diag.policy_loss += -logp * adv;
+            ctx.diag.entropy_sum += dist.entropy();
 
             // d(-logp·adv)/dθ — every sample contributes (no clipping).
-            let scale = (-adv / n as f64) as f32;
-            dist.dlogp_dmean(action, &mut dmu_row);
-            dist.dlogp_dlogstd(action, &mut dls_row);
-            for j in 0..action_dim {
-                self.dmean.set(i, j, dmu_row[j] * scale);
-                self.ac.grad_log_std[j] += dls_row[j] * scale;
+            let scale = (-adv / b) as f32;
+            dist.dlogp_dmean(action, ctx.dmu);
+            dist.dlogp_dlogstd(action, ctx.dls);
+            for j in 0..ctx.d_mean.len() {
+                ctx.d_mean[j] = ctx.dmu[j] * scale;
+                ctx.grad_log_std[j] += ctx.dls[j] * scale;
             }
             if cfg.ent_coef != 0.0 {
-                let g = -(cfg.ent_coef / n as f64) as f32;
-                for j in 0..action_dim {
-                    self.ac.grad_log_std[j] += g;
+                let g = -(cfg.ent_coef / b) as f32;
+                for gls in ctx.grad_log_std.iter_mut() {
+                    *gls += g;
                 }
             }
 
-            let v = values.get(i, 0) as f64;
-            let err = v - buffer.returns[i];
-            value_loss += err * err;
-            self.dv
-                .set(i, 0, (cfg.vf_coef * 2.0 * err / n as f64) as f32);
-        }
-        policy_loss /= n as f64;
-        value_loss /= n as f64;
+            let err = ctx.value as f64 - buffer.returns[ctx.buffer_index];
+            ctx.diag.value_loss += err * err;
+            *ctx.d_value = (cfg.vf_coef * 2.0 * err / b) as f32;
+        };
 
-        let dmean = std::mem::replace(&mut self.dmean, Matrix::zeros(0, 0));
-        self.ac.pi.backward(&mut self.pi_cache, &dmean);
-        self.dmean = dmean;
-        let dv = std::mem::replace(&mut self.dv, Matrix::zeros(0, 0));
-        self.ac.vf.backward(&mut self.vf_cache, &dv);
-        self.dv = dv;
+        if self.rollout_indices.len() != n {
+            self.rollout_indices = (0..n).collect();
+        }
+        let sd = self
+            .exec
+            .run(&mut self.ac, buffer, &self.rollout_indices, &per_sample);
 
         let norm = self.ac.grad_norm();
         if norm > cfg.max_grad_norm {
@@ -279,9 +262,9 @@ impl A2c {
         self.ac.apply_gradients(&mut self.opt);
 
         A2cDiagnostics {
-            policy_loss,
-            value_loss,
-            entropy_loss: -(entropy_sum / n as f64),
+            policy_loss: sd.policy_loss / n as f64,
+            value_loss: sd.value_loss / n as f64,
+            entropy_loss: -(sd.entropy_sum / n as f64),
         }
     }
 }
@@ -336,6 +319,28 @@ mod tests {
             a2c.log().to_csv()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multi_worker_update_bit_identical() {
+        let run = |workers: usize| {
+            let mut a2c = A2c::new(
+                1,
+                2,
+                A2cConfig {
+                    seed: 11,
+                    n_update_workers: workers,
+                    ..A2cConfig::default()
+                },
+            );
+            let mut envs = bandit_vecenv(2);
+            a2c.learn(&mut envs, 1_000);
+            (a2c.ac.to_json(), a2c.log().to_csv())
+        };
+        let reference = run(1);
+        for workers in [3, 7] {
+            assert_eq!(reference, run(workers), "{workers} workers diverged");
+        }
     }
 
     #[test]

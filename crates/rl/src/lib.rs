@@ -38,6 +38,7 @@ pub mod policy;
 pub mod ppo;
 pub mod reinforce;
 pub mod schedule;
+pub mod update;
 pub mod vecenv;
 
 pub use a2c::{A2c, A2cConfig};
@@ -52,4 +53,5 @@ pub use policy::ActorCritic;
 pub use ppo::{Ppo, PpoConfig, TrainLog, TrainLogEntry};
 pub use reinforce::{Reinforce, ReinforceConfig};
 pub use schedule::Schedule;
+pub use update::{MinibatchExecutor, SHARD_ROWS};
 pub use vecenv::VecEnv;

@@ -1,7 +1,7 @@
 //! Multi-layer perceptrons with cached forward passes and explicit
 //! backpropagation.
 
-use super::linear::Linear;
+use super::linear::{LayerGrads, Linear};
 use super::matrix::Matrix;
 use qcs_desim::Xoshiro256StarStar;
 use serde::{Deserialize, Serialize};
@@ -229,6 +229,37 @@ impl Mlp {
             }
             let input = &cache.activations[i];
             self.layers[i].backward(input, &cache.d_a, &mut cache.d_b);
+            std::mem::swap(&mut cache.d_a, &mut cache.d_b);
+        }
+    }
+
+    /// [`Mlp::backward`] accumulating into an external slab of per-layer
+    /// gradients (`grads[i]` pairs with layer `i`) instead of the layers'
+    /// own buffers. The network is only read, so shards of a parallel
+    /// minibatch update can run this concurrently against shard-local
+    /// caches and slabs. `grads` must be shaped by
+    /// [`LayerGrads::zero_for`]; the packed transposes must be fresh (see
+    /// [`Mlp::zero_grad`]).
+    pub fn backward_into(&self, cache: &mut MlpCache, d_out: &Matrix, grads: &mut [LayerGrads]) {
+        assert_eq!(
+            cache.activations.len(),
+            self.layers.len() + 1,
+            "cache does not match a forward pass"
+        );
+        assert_eq!(grads.len(), self.layers.len(), "one grad slab per layer");
+        let n = self.layers.len();
+        cache.d_a.reshape_for_overwrite(d_out.rows(), d_out.cols());
+        cache.d_a.data_mut().copy_from_slice(d_out.data());
+
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                let act_out = &cache.activations[i + 1];
+                for (g, &y) in cache.d_a.data_mut().iter_mut().zip(act_out.data()) {
+                    *g *= self.activation.derivative_from_output(y);
+                }
+            }
+            let input = &cache.activations[i];
+            self.layers[i].backward_into(input, &cache.d_a, &mut grads[i], &mut cache.d_b);
             std::mem::swap(&mut cache.d_a, &mut cache.d_b);
         }
     }

@@ -5,6 +5,6 @@ pub mod linear;
 pub mod matrix;
 pub mod mlp;
 
-pub use linear::Linear;
-pub use matrix::Matrix;
+pub use linear::{LayerGrads, Linear};
+pub use matrix::{available_kernels, gemm_bias_with, select_kernel, GemmKernel, Matrix};
 pub use mlp::{Activation, Mlp, MlpCache};

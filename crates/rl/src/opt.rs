@@ -66,15 +66,16 @@ impl Adam {
                 self.m[idx].len(),
                 "tensor {idx} changed shape between steps"
             );
-            let m = &mut self.m[idx];
-            let v = &mut self.v[idx];
-            for i in 0..params.len() {
-                let g = grads[i];
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = m[i] / bc1;
-                let v_hat = v[i] / bc2;
-                params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            // Lockstep iteration (no index bounds checks in the hot loop);
+            // `sqrt` keeps it from fully vectorising, but the moment
+            // updates around it do.
+            let moments = self.m[idx].iter_mut().zip(self.v[idx].iter_mut());
+            for ((p, &g), (m, v)) in params.iter_mut().zip(grads.iter()).zip(moments) {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         }
     }

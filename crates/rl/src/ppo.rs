@@ -6,9 +6,10 @@ use std::collections::VecDeque;
 use crate::buffer::RolloutBuffer;
 use crate::dist::DiagGaussian;
 use crate::env::StepInfo;
-use crate::nn::{Matrix, MlpCache};
+use crate::nn::Matrix;
 use crate::opt::Adam;
 use crate::policy::{ActScratch, ActorCritic};
+use crate::update::{MinibatchExecutor, SampleCtx};
 use crate::vecenv::VecEnv;
 use qcs_desim::Xoshiro256StarStar;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,15 @@ pub struct PpoConfig {
     pub learning_rate: f32,
     /// Master seed for policy init and action sampling.
     pub seed: u64,
+    /// Threads for the optimisation phase. `0` and `1` (the default) both
+    /// run single-threaded (`0` is what configs serialised before this
+    /// knob existed deserialise to). Every worker count produces
+    /// bit-identical training — see [`crate::update`]. Note the
+    /// shard-structured gradient accumulation itself makes training
+    /// numerically distinct from pre-shard builds of this crate (a
+    /// different, equally valid floating-point summation order).
+    #[serde(default)]
+    pub n_update_workers: usize,
 }
 
 impl Default for PpoConfig {
@@ -55,6 +65,7 @@ impl Default for PpoConfig {
             max_grad_norm: 0.5,
             learning_rate: 3e-4,
             seed: 0,
+            n_update_workers: 1,
         }
     }
 }
@@ -129,11 +140,7 @@ pub struct Ppo {
     ep_returns: VecDeque<f64>,
     // Reusable scratch.
     scratch: ActScratch,
-    mb_obs: Matrix,
-    mb_dmean: Matrix,
-    mb_dv: Matrix,
-    pi_cache: MlpCache,
-    vf_cache: MlpCache,
+    exec: MinibatchExecutor,
 }
 
 impl Ppo {
@@ -150,11 +157,7 @@ impl Ppo {
             timesteps: 0,
             ep_returns: VecDeque::with_capacity(100),
             scratch: ActScratch::new(),
-            mb_obs: Matrix::zeros(0, 0),
-            mb_dmean: Matrix::zeros(0, 0),
-            mb_dv: Matrix::zeros(0, 0),
-            pi_cache: MlpCache::new(),
-            vf_cache: MlpCache::new(),
+            exec: MinibatchExecutor::new(config.n_update_workers),
             config,
         }
     }
@@ -252,10 +255,16 @@ impl Ppo {
         }
     }
 
-    fn update(&mut self, buffer: &RolloutBuffer) -> UpdateDiagnostics {
+    /// One optimisation pass over a collected rollout: `n_epochs` epochs of
+    /// shuffled minibatches, each minibatch executed by the shard-parallel
+    /// [`MinibatchExecutor`] (`n_update_workers` threads, bit-identical
+    /// results at any worker count — see [`crate::update`]), followed by
+    /// gradient clipping and one Adam step per minibatch.
+    ///
+    /// Public so the update phase can be driven (and timed) in isolation on
+    /// a prepared buffer; [`Ppo::learn`] is the normal entry point.
+    pub fn update(&mut self, buffer: &RolloutBuffer) -> UpdateDiagnostics {
         let n = buffer.len();
-        let action_dim = buffer.action_dim();
-        let obs_dim = buffer.obs_dim();
         let cfg = self.config.clone();
 
         // Advantage normalisation over the whole rollout (SB3 normalises per
@@ -274,94 +283,68 @@ impl Ppo {
         let mut diag = UpdateDiagnostics::default();
         let mut diag_count = 0u64;
 
+        // The clipped-surrogate loss for one sample: reads the forward
+        // results from the shard context, writes the mean/value gradient
+        // rows and shard-local diagnostics. Runs on the executor's worker
+        // threads; everything captured is read-only.
+        let per_sample = |ctx: &mut SampleCtx| {
+            let b = ctx.minibatch as f64;
+            let dist = DiagGaussian {
+                mean: ctx.mean,
+                log_std: ctx.log_std,
+            };
+            let action = buffer.action_row(ctx.buffer_index);
+            let logp_new = dist.log_prob(action);
+            let logp_old = buffer.log_probs[ctx.buffer_index];
+            let adv = (buffer.advantages[ctx.buffer_index] - mean_adv) / std_adv;
+            let ratio = (logp_new - logp_old).exp();
+            let surr1 = ratio * adv;
+            let clipped_ratio = ratio.clamp(1.0 - cfg.clip_range, 1.0 + cfg.clip_range);
+            let surr2 = clipped_ratio * adv;
+            ctx.diag.policy_loss += -surr1.min(surr2);
+            if (ratio - 1.0).abs() > cfg.clip_range {
+                ctx.diag.clipped += 1;
+            }
+            // SB3's approx_kl: mean((ratio-1) - log(ratio)).
+            ctx.diag.approx_kl += (ratio - 1.0) - (logp_new - logp_old);
+            ctx.diag.entropy_sum += dist.entropy();
+
+            // Policy gradient flows only through the unclipped branch.
+            let dlogp = if surr1 <= surr2 {
+                -(ratio * adv) / b
+            } else {
+                0.0
+            };
+            if dlogp != 0.0 {
+                dist.dlogp_dmean(action, ctx.dmu);
+                dist.dlogp_dlogstd(action, ctx.dls);
+                let scale = dlogp as f32;
+                for j in 0..ctx.d_mean.len() {
+                    ctx.d_mean[j] = ctx.dmu[j] * scale;
+                    ctx.grad_log_std[j] += ctx.dls[j] * scale;
+                }
+            }
+            // Entropy bonus: d(-ent_coef·mean(entropy))/dlogσ = -ent_coef/b.
+            if cfg.ent_coef != 0.0 {
+                let g = -(cfg.ent_coef / b) as f32;
+                for gls in ctx.grad_log_std.iter_mut() {
+                    *gls += g;
+                }
+            }
+
+            // Value loss: vf_coef · mean((V−R)²).
+            let err = ctx.value as f64 - buffer.returns[ctx.buffer_index];
+            ctx.diag.value_loss += err * err;
+            *ctx.d_value = (cfg.vf_coef * 2.0 * err / b) as f32;
+        };
+
         for _epoch in 0..cfg.n_epochs {
             self.rng.shuffle(&mut indices);
             for chunk in indices.chunks(cfg.batch_size) {
-                let b = chunk.len();
-                // Assemble the minibatch observation matrix.
-                self.mb_obs.reshape_zeroed(b, obs_dim);
-                for (row, &i) in chunk.iter().enumerate() {
-                    self.mb_obs.row_mut(row).copy_from_slice(buffer.obs_row(i));
-                }
-
-                self.ac.zero_grad();
-                // Forward passes.
-                let means = self.ac.pi.forward(&self.mb_obs, &mut self.pi_cache);
-                let values = self.ac.vf.forward(&self.mb_obs, &mut self.vf_cache);
-
-                self.mb_dmean.reshape_zeroed(b, action_dim);
-                self.mb_dv.reshape_zeroed(b, 1);
-
-                let mut policy_loss = 0.0f64;
-                let mut value_loss = 0.0f64;
-                let mut entropy_sum = 0.0f64;
-                let mut approx_kl = 0.0f64;
-                let mut clipped = 0u64;
-                let mut dmu_row = vec![0.0f32; action_dim];
-                let mut dls_row = vec![0.0f32; action_dim];
-
-                for (row, &i) in chunk.iter().enumerate() {
-                    let dist = DiagGaussian {
-                        mean: means.row(row),
-                        log_std: &self.ac.log_std,
-                    };
-                    let action = buffer.action_row(i);
-                    let logp_new = dist.log_prob(action);
-                    let logp_old = buffer.log_probs[i];
-                    let adv = (buffer.advantages[i] - mean_adv) / std_adv;
-                    let ratio = (logp_new - logp_old).exp();
-                    let surr1 = ratio * adv;
-                    let clipped_ratio = ratio.clamp(1.0 - cfg.clip_range, 1.0 + cfg.clip_range);
-                    let surr2 = clipped_ratio * adv;
-                    policy_loss += -surr1.min(surr2);
-                    if (ratio - 1.0).abs() > cfg.clip_range {
-                        clipped += 1;
-                    }
-                    // SB3's approx_kl: mean((ratio-1) - log(ratio)).
-                    approx_kl += (ratio - 1.0) - (logp_new - logp_old);
-                    entropy_sum += dist.entropy();
-
-                    // Policy gradient flows only through the unclipped branch.
-                    let dlogp = if surr1 <= surr2 {
-                        -(ratio * adv) / b as f64
-                    } else {
-                        0.0
-                    };
-                    if dlogp != 0.0 {
-                        dist.dlogp_dmean(action, &mut dmu_row);
-                        dist.dlogp_dlogstd(action, &mut dls_row);
-                        let scale = dlogp as f32;
-                        for j in 0..action_dim {
-                            self.mb_dmean.set(row, j, dmu_row[j] * scale);
-                            self.ac.grad_log_std[j] += dls_row[j] * scale;
-                        }
-                    }
-                    // Entropy bonus: d(-ent_coef·mean(entropy))/dlogσ = -ent_coef/b.
-                    if cfg.ent_coef != 0.0 {
-                        let g = -(cfg.ent_coef / b as f64) as f32;
-                        for j in 0..action_dim {
-                            self.ac.grad_log_std[j] += g;
-                        }
-                    }
-
-                    // Value loss: vf_coef · mean((V−R)²).
-                    let v = values.get(row, 0) as f64;
-                    let err = v - buffer.returns[i];
-                    value_loss += err * err;
-                    self.mb_dv
-                        .set(row, 0, (cfg.vf_coef * 2.0 * err / b as f64) as f32);
-                }
-
-                policy_loss /= b as f64;
-                value_loss /= b as f64;
-
-                // Backward passes.
-                let dmean = std::mem::replace(&mut self.mb_dmean, Matrix::zeros(0, 0));
-                self.ac.pi.backward(&mut self.pi_cache, &dmean);
-                self.mb_dmean = dmean;
-                let dv = std::mem::replace(&mut self.mb_dv, Matrix::zeros(0, 0));
-                self.ac.vf.backward(&mut self.vf_cache, &dv);
-                self.mb_dv = dv;
+                let b = chunk.len() as f64;
+                // Forward, per-sample loss and backward across the shards;
+                // shard gradients land reduced on `self.ac`.
+                let sd = self.exec.run(&mut self.ac, buffer, chunk, &per_sample);
 
                 // Global gradient clipping (SB3 max_grad_norm = 0.5).
                 let norm = self.ac.grad_norm();
@@ -370,11 +353,11 @@ impl Ppo {
                 }
                 self.ac.apply_gradients(&mut self.opt);
 
-                diag.policy_loss += policy_loss;
-                diag.value_loss += value_loss;
-                diag.entropy_loss += -(entropy_sum / b as f64);
-                diag.approx_kl += approx_kl / b as f64;
-                diag.clip_fraction += clipped as f64 / b as f64;
+                diag.policy_loss += sd.policy_loss / b;
+                diag.value_loss += sd.value_loss / b;
+                diag.entropy_loss += -(sd.entropy_sum / b);
+                diag.approx_kl += sd.approx_kl / b;
+                diag.clip_fraction += sd.clipped as f64 / b;
                 diag_count += 1;
             }
         }
@@ -389,13 +372,19 @@ impl Ppo {
     }
 }
 
+/// Per-`update` mean diagnostics (averaged over all minibatches).
 #[derive(Debug, Default)]
-struct UpdateDiagnostics {
-    policy_loss: f64,
-    value_loss: f64,
-    entropy_loss: f64,
-    approx_kl: f64,
-    clip_fraction: f64,
+pub struct UpdateDiagnostics {
+    /// Clipped-surrogate policy loss.
+    pub policy_loss: f64,
+    /// Value-function MSE (before `vf_coef`).
+    pub value_loss: f64,
+    /// `-mean(entropy)`.
+    pub entropy_loss: f64,
+    /// Approximate KL divergence between behaviour and current policy.
+    pub approx_kl: f64,
+    /// Fraction of samples with a clipped importance ratio.
+    pub clip_fraction: f64,
 }
 
 #[cfg(test)]
@@ -457,6 +446,45 @@ mod tests {
             ppo.log().to_csv()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multi_worker_update_bit_identical_params_and_log() {
+        let run = |workers: usize| {
+            let cfg = PpoConfig {
+                n_steps: 64,
+                batch_size: 32,
+                n_epochs: 2,
+                seed: 5,
+                n_update_workers: workers,
+                ..PpoConfig::default()
+            };
+            let mut ppo = Ppo::new(1, 2, cfg);
+            let mut envs = bandit_vecenv(2);
+            ppo.learn(&mut envs, 1_000);
+            (ppo.ac.to_json(), ppo.log().to_csv())
+        };
+        let reference = run(1);
+        for workers in [2, 7] {
+            assert_eq!(reference, run(workers), "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn config_without_worker_knob_deserialises_single_threaded() {
+        // Configs serialised before `n_update_workers` existed must load
+        // and resolve to the single-threaded executor.
+        let cfg = PpoConfig::default();
+        let mut json = serde_json::to_string(&cfg).unwrap();
+        json = json.replace("\"n_update_workers\":1,", "");
+        json = json.replace(",\"n_update_workers\":1", "");
+        assert!(!json.contains("n_update_workers"));
+        let back: PpoConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_update_workers, 0);
+        assert_eq!(
+            crate::update::MinibatchExecutor::new(back.n_update_workers).workers(),
+            1
+        );
     }
 
     #[test]

@@ -3,13 +3,17 @@
 //! with SB3 defaults; A2C is the classic cheaper alternative).
 //!
 //! ```text
-//! cargo run --release --example a2c_vs_ppo
+//! cargo run --release --example a2c_vs_ppo [-- --update-workers N]
 //! ```
+//!
+//! `--update-workers N` parallelises both trainers' optimisation phases
+//! (`0` = one per core); results are bit-identical at any `N`.
 
 use qcs::prelude::*;
 use qcs::qcloud::QCloudGymEnv;
 use qcs::rl::env::Env;
 use qcs::rl::Schedule;
+use qcs_bench::cli::update_workers_arg;
 
 fn make_envs(n: usize, seed: u64) -> VecEnv {
     let envs: Vec<Box<dyn Env>> = (0..n)
@@ -27,6 +31,7 @@ fn make_envs(n: usize, seed: u64) -> VecEnv {
 
 fn main() {
     let timesteps = 30_000u64;
+    let update_workers = update_workers_arg();
     let gym = GymConfig::default();
     let obs_dim = gym.obs_dim();
     let action_dim = gym.max_devices;
@@ -38,6 +43,7 @@ fn main() {
         PpoConfig {
             n_steps: 512,
             seed: 7,
+            n_update_workers: update_workers,
             ..PpoConfig::default()
         },
     );
@@ -61,6 +67,7 @@ fn main() {
         action_dim,
         A2cConfig {
             seed: 7,
+            n_update_workers: update_workers,
             ..A2cConfig::default()
         },
     );

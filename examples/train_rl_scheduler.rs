@@ -2,16 +2,22 @@
 //! reload it, and deploy it as a broker on a fresh workload.
 //!
 //! ```text
-//! cargo run --release --example train_rl_scheduler
+//! cargo run --release --example train_rl_scheduler [-- --update-workers N]
 //! ```
+//!
+//! `--update-workers N` spreads the PPO optimisation phase over `N`
+//! threads (`0` = one per core). Training results are bit-identical at any
+//! worker count — the knob only changes wall-clock time.
 
 use qcs::prelude::*;
 use qcs::qcloud::policies::RlBroker;
 use qcs::rl::env::Env;
+use qcs_bench::cli::update_workers_arg;
 
 fn main() {
     let seed = 7;
     let gym_cfg = GymConfig::default();
+    let update_workers = update_workers_arg();
 
     // --- 1. Build the vectorised training environment (4 worker threads).
     let factories: Vec<Box<dyn FnOnce() -> Box<dyn Env> + Send>> = (0..4)
@@ -34,10 +40,11 @@ fn main() {
     let cfg = PpoConfig {
         n_steps: 512,
         seed,
+        n_update_workers: update_workers,
         ..PpoConfig::default()
     };
     let mut ppo = Ppo::new(gym_cfg.obs_dim(), gym_cfg.max_devices, cfg);
-    println!("training PPO for 20'000 timesteps...");
+    println!("training PPO for 20'000 timesteps ({update_workers} update workers)...");
     ppo.learn(&mut envs, 20_000);
     for e in ppo.log().entries.iter().step_by(2) {
         println!(
