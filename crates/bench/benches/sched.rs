@@ -1,15 +1,20 @@
 //! Scheduler-loop benchmarks for the queue-aware redesign: jobs/second
 //! through the full simulation at 1k/10k pending jobs, seed-style
 //! snapshot-rebuild-per-consult (`SnapshotAdapter`) vs the incremental
-//! `CloudState` path (`FifoAdapter`), plus the discipline scenario the old
-//! API could not express — EASY backfilling vs FIFO on a fragmented
-//! mixed-size workload.
+//! `CloudState` path (`FifoAdapter`), plus the discipline scenarios the
+//! old API could not express — EASY and conservative backfilling vs FIFO
+//! on a fragmented mixed-size workload, and EASY vs conservative on a
+//! maintenance-heavy variant (scheduled windows carving capacity out of
+//! the busy period).
 //!
 //! Release runs (`cargo bench -p qcs-bench --bench sched`) also emit
 //! `BENCH_sched.json` at the repository root: scheduler-loop throughput
-//! for both paths and the `fifo+speed` vs `backfill+speed` comparison
-//! (makespan, mean wait, mean device utilisation), so the perf trajectory
-//! and the discipline win are tracked across PRs.
+//! for both paths, the `fifo+speed` vs `backfill+speed` comparison
+//! (makespan, mean wait, mean device utilisation), and the EASY-vs-
+//! conservative makespan/fairness comparison (wait tails, mean slowdown,
+//! Jain index over slowdowns) on both the bimodal and maintenance-heavy
+//! scenarios — `bench_guard` holds the recorded conservative fairness
+//! wins to hard floors.
 
 use std::time::Instant;
 
@@ -18,19 +23,52 @@ use qcs_calibration::ibm_fleet;
 use qcs_qcloud::jobgen::{batch_at_zero, bimodal_arrivals};
 use qcs_qcloud::policies::scheduler_by_name;
 use qcs_qcloud::simenv::RunResult;
-use qcs_qcloud::{JobDistribution, QCloudSimEnv, QJob, SimParams};
+use qcs_qcloud::{
+    DeadlinePolicy, JobDistribution, MaintenanceWindow, QCloudSimEnv, QJob, QosReport, SimParams,
+};
 
 const SEED: u64 = 7;
 
 fn run_spec(spec: &str, jobs: Vec<QJob>) -> RunResult {
-    let env = QCloudSimEnv::with_scheduler(
+    run_spec_with_windows(spec, jobs, &[])
+}
+
+fn run_spec_with_windows(spec: &str, jobs: Vec<QJob>, windows: &[MaintenanceWindow]) -> RunResult {
+    let mut env = QCloudSimEnv::with_scheduler(
         ibm_fleet(SEED),
         scheduler_by_name(spec, SEED, 1).expect("known spec"),
         jobs,
         SimParams::default(),
         SEED,
     );
+    for &w in windows {
+        env.schedule_maintenance(w);
+    }
     env.run()
+}
+
+/// The maintenance-heavy scenario: three staggered windows carve devices
+/// out of the bimodal trace's busy period, so reservations must dodge
+/// scheduled capacity cliffs, and qubits released while offline surface
+/// only at window close.
+fn maintenance_windows() -> Vec<MaintenanceWindow> {
+    vec![
+        MaintenanceWindow {
+            device: 1,
+            start: 2_000.0,
+            duration: 4_000.0,
+        },
+        MaintenanceWindow {
+            device: 3,
+            start: 9_000.0,
+            duration: 5_000.0,
+        },
+        MaintenanceWindow {
+            device: 0,
+            start: 18_000.0,
+            duration: 4_000.0,
+        },
+    ]
 }
 
 /// The bimodal head-of-line-blocking workload: every 4th job spans the
@@ -68,7 +106,12 @@ fn bench_disciplines(c: &mut Criterion) {
     group.sample_size(10);
     let jobs = fragmented_jobs(if cfg!(debug_assertions) { 200 } else { 1_000 });
     group.throughput(Throughput::Elements(jobs.len() as u64));
-    for spec in ["speed", "backfill+speed", "priority:sjf+speed"] {
+    for spec in [
+        "speed",
+        "backfill+speed",
+        "conservative+speed",
+        "priority:sjf+speed",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &s| {
             b.iter(|| run_spec(s, jobs.clone()).summary.t_sim)
         });
@@ -110,27 +153,66 @@ fn write_sched_json() {
     let snap_10k = jobs_per_sec("snapshot+speed", &jobs_10k);
     let incr_10k = jobs_per_sec("speed", &jobs_10k);
 
-    // Discipline comparison on the fragmented workload (deterministic —
-    // single runs, not timing-sensitive).
+    // Discipline comparisons (deterministic — single runs, not
+    // timing-sensitive): FIFO vs EASY vs conservative on the bimodal
+    // trace, then EASY vs conservative with maintenance windows carving
+    // capacity out of the busy period.
     let frag = fragmented_jobs(1_000);
     let fifo = run_spec("speed", frag.clone());
-    let easy = run_spec("backfill+speed", frag);
+    let easy = run_spec("backfill+speed", frag.clone());
+    let cons = run_spec("conservative+speed", frag.clone());
     let fifo_util = fifo.mean_device_utilization();
     let easy_util = easy.mean_device_utilization();
 
+    let windows = maintenance_windows();
+    let m_easy = run_spec_with_windows("backfill+speed", frag.clone(), &windows);
+    let m_cons = run_spec_with_windows("conservative+speed", frag, &windows);
+
+    let quality = |res: &RunResult| -> (QosReport, String) {
+        let q = QosReport::from_records(&res.records, DeadlinePolicy::default());
+        let s = format!(
+            "{{ \"t_sim\": {:.2}, \"mean_wait\": {:.2}, \"mean_utilization\": {:.4}, \
+             \"queue_jumps\": {}, \"wait_p99\": {:.2}, \"wait_max\": {:.2}, \
+             \"mean_slowdown\": {:.3}, \"jain_fairness\": {:.4}, \"bypass_max\": {} }}",
+            res.summary.t_sim,
+            res.summary.mean_wait,
+            res.mean_device_utilization(),
+            res.telemetry.out_of_order,
+            q.wait_p99,
+            q.wait_max,
+            q.mean_slowdown,
+            q.fairness_jain,
+            q.bypass_max,
+        );
+        (q, s)
+    };
+    // Ratios normalised so > 1 means conservative wins.
+    let versus =
+        |easy: &RunResult, cons: &RunResult, q_easy: &QosReport, q_cons: &QosReport| -> String {
+            format!(
+                "{{ \"makespan_ratio\": {:.4}, \"wait_p99_ratio\": {:.4}, \
+             \"slowdown_ratio\": {:.4}, \"jain_ratio\": {:.4} }}",
+                easy.summary.t_sim / cons.summary.t_sim,
+                q_easy.wait_p99 / q_cons.wait_p99,
+                q_easy.mean_slowdown / q_cons.mean_slowdown,
+                q_cons.fairness_jain / q_easy.fairness_jain,
+            )
+        };
+    let (q_easy, s_easy) = quality(&easy);
+    let (q_cons, s_cons) = quality(&cons);
+    let (_, s_fifo) = quality(&fifo);
+    let bimodal_vs = versus(&easy, &cons, &q_easy, &q_cons);
+    let (qm_easy, sm_easy) = quality(&m_easy);
+    let (qm_cons, sm_cons) = quality(&m_cons);
+    let maint_vs = versus(&m_easy, &m_cons, &qm_easy, &qm_cons);
+
     let json = format!(
-        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {{ \"t_sim\": {:.2}, \"mean_wait\": {:.2}, \"mean_utilization\": {:.4} }},\n    \"backfill_speed\": {{ \"t_sim\": {:.2}, \"mean_wait\": {:.2}, \"mean_utilization\": {:.4}, \"queue_jumps\": {} }},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {s_fifo},\n    \"backfill_speed\": {s_easy},\n    \"conservative_speed\": {s_cons},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4},\n    \"conservative_vs_easy\": {bimodal_vs}\n  }},\n  \"maintenance_1k\": {{\n    \"windows\": {},\n    \"backfill_speed\": {sm_easy},\n    \"conservative_speed\": {sm_cons},\n    \"conservative_vs_easy\": {maint_vs}\n  }}\n}}\n",
         incr_1k / snap_1k,
         incr_10k / snap_10k,
-        fifo.summary.t_sim,
-        fifo.summary.mean_wait,
-        fifo_util,
-        easy.summary.t_sim,
-        easy.summary.mean_wait,
-        easy_util,
-        easy.telemetry.out_of_order,
         fifo.summary.t_sim / easy.summary.t_sim,
         easy_util / fifo_util,
+        windows.len(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -139,9 +221,15 @@ fn write_sched_json() {
     println!(
         "sched loop: 1k snapshot {snap_1k:.0} vs incremental {incr_1k:.0} jobs/s; \
          10k snapshot {snap_10k:.0} vs incremental {incr_10k:.0} jobs/s; \
-         backfill makespan x{:.3}, utilization x{:.3} -> BENCH_sched.json",
+         backfill makespan x{:.3}, utilization x{:.3}; \
+         conservative vs EASY slowdown x{:.3}, jain x{:.3} \
+         (maintenance: slowdown x{:.3}, jain x{:.3}) -> BENCH_sched.json",
         fifo.summary.t_sim / easy.summary.t_sim,
         easy_util / fifo_util,
+        q_easy.mean_slowdown / q_cons.mean_slowdown,
+        q_cons.fairness_jain / q_easy.fairness_jain,
+        qm_easy.mean_slowdown / qm_cons.mean_slowdown,
+        qm_cons.fairness_jain / qm_easy.fairness_jain,
     );
 }
 

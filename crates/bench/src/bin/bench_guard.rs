@@ -14,6 +14,15 @@
 //! Floors (see `FLOORS` below):
 //! * batched rollout speedup over the seed per-env path ≥ 3.5×;
 //! * EASY-backfill makespan improvement on the bimodal scenario ≥ 1.03×;
+//! * conservative-backfill fairness on the bimodal scenario: mean-slowdown
+//!   improvement over EASY ≥ 1.4× and wait-p99 (starvation-tail) ratio
+//!   ≥ 1.0× — per-job reservations must keep the tail no worse while
+//!   serving the queue faster. (The Jain index is recorded for tracking
+//!   but not floored: conservative *lowers* it on this trace by serving
+//!   small jobs far better, which widens the slowdown spread — a
+//!   uniformly-miserable queue scores "fairer".) The maintenance-heavy
+//!   scenario must be recorded with a finite Jain index (availability-
+//!   aware reservations exercised);
 //! * wide-GEMM-tile speedup over the 4×8 baseline ≥ 1.05× — only enforced
 //!   when the recording machine actually selected a wide kernel;
 //! * update-phase speedup at 4 workers ≥ 1.5× — only enforced when the
@@ -26,6 +35,13 @@ use serde::Value;
 const ROLLOUT_SPEEDUP_FLOOR: f64 = 3.5;
 /// Floor for `fragmented_1k.makespan_improvement` in `BENCH_sched.json`.
 const MAKESPAN_IMPROVEMENT_FLOOR: f64 = 1.03;
+/// Floor for `fragmented_1k.conservative_vs_easy.slowdown_ratio`: the
+/// conservative discipline's mean-slowdown improvement over EASY on the
+/// bimodal scenario (recorded ≈ 1.85×; floored below for headroom).
+const CONSERVATIVE_SLOWDOWN_RATIO_FLOOR: f64 = 1.4;
+/// Floor for `fragmented_1k.conservative_vs_easy.wait_p99_ratio`: the
+/// starvation tail must not regress vs EASY (recorded ≈ 1.03×).
+const CONSERVATIVE_TAIL_RATIO_FLOOR: f64 = 1.0;
 /// Floor for `gemm.tile_speedup` (wide tile vs 4×8 baseline).
 const TILE_SPEEDUP_FLOOR: f64 = 1.05;
 /// Floor for `update_phase.speedup_4_workers`.
@@ -171,6 +187,42 @@ fn main() {
                 "backfill makespan improvement",
                 field_f64(&sched, &["fragmented_1k", "makespan_improvement"]),
                 MAKESPAN_IMPROVEMENT_FLOOR,
+            );
+            guard.check(
+                "conservative slowdown improvement vs EASY (bimodal)",
+                field_f64(
+                    &sched,
+                    &["fragmented_1k", "conservative_vs_easy", "slowdown_ratio"],
+                ),
+                CONSERVATIVE_SLOWDOWN_RATIO_FLOOR,
+            );
+            guard.check(
+                "conservative wait-p99 tail ratio vs EASY (bimodal)",
+                field_f64(
+                    &sched,
+                    &["fragmented_1k", "conservative_vs_easy", "wait_p99_ratio"],
+                ),
+                CONSERVATIVE_TAIL_RATIO_FLOOR,
+            );
+            // The maintenance-heavy scenario must be recorded and
+            // well-formed (a finite fairness index proves the
+            // availability-aware reservations actually ran); its ratios
+            // are tracked, not floored — scheduled windows shift the
+            // EASY/conservative trade-off with the window layout.
+            guard.check(
+                "maintenance-heavy scenario recorded",
+                field_f64(
+                    &sched,
+                    &["maintenance_1k", "conservative_speed", "jain_fairness"],
+                )
+                .and_then(|v| {
+                    if v.is_finite() && v > 0.0 {
+                        Ok(1.0)
+                    } else {
+                        Err(format!("jain_fairness not finite/positive: {v}"))
+                    }
+                }),
+                0.0,
             );
         }
         Err(e) => guard.failures.push(e),

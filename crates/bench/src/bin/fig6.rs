@@ -9,7 +9,8 @@
 //! binary trains a quick one).
 
 //! `--strategies a,b,c` sweeps arbitrary scheduler specs (incl. composed
-//! disciplines like `backfill+speed`) instead of the paper's four.
+//! disciplines like `backfill+speed` or `conservative+fair`) instead of
+//! the paper's four.
 
 use qcs_bench::cli::arg;
 use qcs_bench::runner::{results_dir, run_strategies, table2_strategies, StrategySpec};

@@ -31,6 +31,8 @@ fn main() {
         "fair",
         "minfrag",
         "backfill+speed",
+        "conservative+speed",
+        "conservative+fair",
         "priority:sjf+speed",
         "priority:edf+speed",
         "priority:aging+speed",
@@ -40,7 +42,8 @@ fn main() {
     let rates = [0.002, 0.005, 0.01, 0.02];
 
     let mut csv = String::from(
-        "rate,policy,wait_p50,wait_p95,wait_p99,mean_slowdown,mean_bsld,deadline_miss\n",
+        "rate,policy,wait_p50,wait_p95,wait_p99,mean_slowdown,mean_bsld,deadline_miss,\
+         fairness_jain,bypass_max\n",
     );
     for &rate in &rates {
         let arrivals = poisson_process(n_jobs, rate, seed);
@@ -57,6 +60,8 @@ fn main() {
             "slowdown",
             "BSLD",
             "miss rate",
+            "jain",
+            "byp max",
         ]);
         for pol in policies {
             let sched = scheduler_by_name(pol, seed, 1).expect("known scheduler spec");
@@ -77,15 +82,19 @@ fn main() {
                 format!("{:.2}", qos.mean_slowdown),
                 format!("{:.2}", qos.mean_bounded_slowdown),
                 format!("{:.3}", qos.deadline_miss_rate),
+                format!("{:.3}", qos.fairness_jain),
+                format!("{}", qos.bypass_max),
             ]);
             csv.push_str(&format!(
-                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4}\n",
+                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{}\n",
                 qos.wait_p50,
                 qos.wait_p95,
                 qos.wait_p99,
                 qos.mean_slowdown,
                 qos.mean_bounded_slowdown,
-                qos.deadline_miss_rate
+                qos.deadline_miss_rate,
+                qos.fairness_jain,
+                qos.bypass_max
             ));
         }
         println!("{}", table.render());

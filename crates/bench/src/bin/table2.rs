@@ -8,8 +8,9 @@
 //!
 //! `--strategies a,b,c` swaps the paper's four rows for any list of
 //! scheduler specs: bare policies (`speed`, `minfrag`, `rl:<path>`),
-//! composed disciplines (`backfill+speed`, `priority:edf+fair`), or `rl`
-//! for the trained-and-cached RL row. `--help` lists the vocabulary.
+//! composed disciplines (`backfill+speed`, `conservative+fair`,
+//! `priority:edf+fair`), or `rl` for the trained-and-cached RL row.
+//! `--help` lists the vocabulary.
 //!
 //! The RL row requires a trained policy; the binary trains one (caching it
 //! in `results/rl_policy.json`) unless `--no-cache` is passed.

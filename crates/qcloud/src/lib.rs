@@ -58,14 +58,15 @@ pub use cutting::{
 pub use device::{DeviceId, QDevice};
 pub use gym::{GymConfig, QCloudGymEnv};
 pub use job::{JobDistribution, JobId, QJob};
-pub use maintenance::MaintenanceWindow;
+pub use maintenance::{MaintenanceCalendar, MaintenanceWindow};
 pub use model::comm::CommModel;
 pub use model::exec_time::ExecTimeModel;
 pub use model::fidelity::{FidelityModel, FidelityModelKind};
 pub use records::{JobRecord, JobRecordsManager, SummaryStats};
 pub use sched::{
-    BackfillScheduler, CloudState, Dispatch, FifoAdapter, PriorityDiscipline, PriorityScheduler,
-    SchedTelemetry, Scheduler, SchedulingDecision, SnapshotAdapter, WaitReason,
+    BackfillScheduler, CloudState, ConservativeBackfillScheduler, Dispatch, FifoAdapter,
+    PriorityDiscipline, PriorityScheduler, SchedTelemetry, Scheduler, SchedulingDecision,
+    SnapshotAdapter, WaitReason,
 };
 pub use simenv::QCloudSimEnv;
-pub use sla::{bounded_slowdown, percentile, slowdown, DeadlinePolicy, QosReport};
+pub use sla::{bounded_slowdown, jain_fairness, percentile, slowdown, DeadlinePolicy, QosReport};

@@ -35,6 +35,76 @@ impl MaintenanceWindow {
         }
         Ok(())
     }
+
+    /// Window end time (`start + duration`).
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+
+    /// Whether the device is offline at `t` (half-open `[start, end)`).
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t < self.end()
+    }
+}
+
+/// The set of *scheduled* maintenance windows — the scheduler-facing view
+/// of planned unavailability.
+///
+/// [`OfflineFlags`] only answer "is this device offline *right now*?"; the
+/// calendar answers the lookahead questions backfilling reservations need:
+/// which capacity drops are coming, and when qubits released on an offline
+/// device actually become placeable again. Windows are registered by
+/// [`crate::QCloudSimEnv::schedule_maintenance`] before the run starts and
+/// are immutable during it, so every answer is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceCalendar {
+    windows: Vec<MaintenanceWindow>,
+}
+
+impl MaintenanceCalendar {
+    /// An empty calendar (no planned maintenance).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a window (must be pre-validated).
+    pub fn add(&mut self, window: MaintenanceWindow) {
+        self.windows.push(window);
+    }
+
+    /// All registered windows, in registration order.
+    pub fn windows(&self) -> &[MaintenanceWindow] {
+        &self.windows
+    }
+
+    /// Whether the calendar has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Windows affecting `device`.
+    pub fn windows_for(&self, device: usize) -> impl Iterator<Item = &MaintenanceWindow> {
+        self.windows.iter().filter(move |w| w.device == device)
+    }
+
+    /// Number of scheduled windows covering `device` at `t`.
+    pub fn active_at(&self, device: usize, t: f64) -> usize {
+        self.windows_for(device).filter(|w| w.contains(t)).count()
+    }
+
+    /// The earliest instant `≥ t` at which `device` is online per the
+    /// calendar: `t` itself when no window covers it, otherwise pushed
+    /// past every (possibly chained/overlapping) covering window. This is
+    /// where qubits released at `t` on the device become placeable.
+    pub fn next_online_from(&self, device: usize, t: f64) -> f64 {
+        let mut t = t;
+        loop {
+            let Some(w) = self.windows_for(device).find(|w| w.contains(t)) else {
+                return t;
+            };
+            t = w.end();
+        }
+    }
 }
 
 /// Per-device offline flags shared between the scheduler and maintenance
@@ -97,6 +167,12 @@ impl Coroutine for MaintenanceProc {
             }
             1 => {
                 self.offline.set_offline(self.device, true);
+                // Capacity just shrank: wake the scheduler so reservation
+                // timelines are recomputed against the reduced fleet (no
+                // new dispatch can appear from a shrink, but backfilling
+                // disciplines re-issue availability-aware reservations).
+                let pid = ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+                cx.wake(pid);
                 self.phase = 2;
                 Step::Wait(Effect::Timeout((self.end - cx.now()).max(0.0)))
             }

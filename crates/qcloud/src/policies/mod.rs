@@ -36,8 +36,8 @@ pub use speed::SpeedBroker;
 use crate::broker::Broker;
 use crate::gym::GymConfig;
 use crate::sched::{
-    BackfillScheduler, FifoAdapter, PriorityDiscipline, PriorityScheduler, Scheduler,
-    SnapshotAdapter,
+    BackfillScheduler, ConservativeBackfillScheduler, FifoAdapter, PriorityDiscipline,
+    PriorityScheduler, Scheduler, SnapshotAdapter,
 };
 use crate::sla::DeadlinePolicy;
 
@@ -94,6 +94,7 @@ pub fn discipline_names() -> &'static [&'static str] {
     &[
         "fifo",
         "backfill",
+        "conservative",
         "priority",
         "priority:sjf",
         "priority:edf",
@@ -109,6 +110,9 @@ pub fn discipline_names() -> &'static [&'static str] {
 ///   under [`FifoAdapter`] with the given scan `window` (the seed
 ///   semantics; `window = backfill_depth + 1` reproduces `SimParams`);
 /// * `backfill+<policy>` runs EASY backfilling ([`BackfillScheduler`]);
+/// * `conservative+<policy>` runs conservative backfilling with
+///   availability-aware start reservations for every queued job
+///   ([`ConservativeBackfillScheduler`]);
 /// * `priority+<policy>` (alias `priority:sjf`), `priority:edf+<policy>`,
 ///   `priority:aging+<policy>` run the ranked-queue disciplines
 ///   ([`PriorityScheduler`]);
@@ -126,6 +130,7 @@ pub fn scheduler_by_name(spec: &str, seed: u64, window: usize) -> Option<Box<dyn
         "fifo" => Box::new(FifoAdapter::new(broker, window)),
         "snapshot" => Box::new(SnapshotAdapter::new(broker, window)),
         "backfill" => Box::new(BackfillScheduler::new(broker)),
+        "conservative" => Box::new(ConservativeBackfillScheduler::new(broker)),
         "priority" | "priority:sjf" => Box::new(PriorityScheduler::new(
             broker,
             PriorityDiscipline::ShortestFirst,
@@ -210,6 +215,8 @@ mod tests {
             ("speed", "speed"),
             ("fifo+fair", "fair"),
             ("backfill+speed", "backfill+speed"),
+            ("conservative+speed", "conservative+speed"),
+            ("conservative+fair", "conservative+fair"),
             ("priority+speed", "priority:sjf+speed"),
             ("priority:sjf+minfrag", "priority:sjf+minfrag"),
             ("priority:edf+fair", "priority:edf+fair"),

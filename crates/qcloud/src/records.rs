@@ -33,6 +33,10 @@ pub struct JobRecord {
     pub comm_seconds: f64,
     /// The partition `(device index, qubits)`.
     pub parts: Vec<(u32, u64)>,
+    /// How many times a younger job was dispatched ahead of this one while
+    /// it waited (queue jumps it suffered) — the per-job starvation signal
+    /// aggregated by [`crate::sla::QosReport`].
+    pub bypassed: u32,
 }
 
 impl JobRecord {
@@ -50,6 +54,7 @@ impl JobRecord {
             fidelity: f64::NAN,
             comm_seconds: 0.0,
             parts: Vec::new(),
+            bypassed: 0,
         }
     }
 
@@ -108,6 +113,14 @@ impl JobRecordsManager {
     pub fn record_exec_end(&mut self, id: JobId, now: f64) {
         let r = self.get_mut(id);
         r.exec_end = now;
+    }
+
+    /// Records that a younger job was dispatched ahead of `id` while it
+    /// was still queued (one queue jump suffered).
+    pub fn record_bypass(&mut self, id: JobId) {
+        let r = self.get_mut(id);
+        debug_assert!(r.start.is_nan(), "bypass recorded after dispatch");
+        r.bypassed += 1;
     }
 
     /// Records completion with the final fidelity and incurred
@@ -236,11 +249,11 @@ impl SummaryStats {
 pub fn records_to_csv(records: &[JobRecord]) -> String {
     let mut out = String::from(
         "job_id,num_qubits,depth,num_shots,two_qubit_gates,arrival,start,exec_end,finish,\
-         wait,turnaround,fidelity,comm_seconds,devices\n",
+         wait,turnaround,fidelity,comm_seconds,devices,bypassed\n",
     );
     for r in records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.job_id.0,
             r.num_qubits,
             r.depth,
@@ -255,6 +268,7 @@ pub fn records_to_csv(records: &[JobRecord]) -> String {
             r.fidelity,
             r.comm_seconds,
             r.device_count(),
+            r.bypassed,
         ));
     }
     out
@@ -289,6 +303,17 @@ mod tests {
         assert_eq!(r.device_count(), 2);
         assert!(r.finished());
         assert_eq!(m.finished_count(), 1);
+    }
+
+    #[test]
+    fn bypasses_accumulate_until_dispatch() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        assert_eq!(m.records()[0].bypassed, 0);
+        m.record_bypass(JobId(1));
+        m.record_bypass(JobId(1));
+        m.record_start(JobId(1), 5.0, &[(DeviceId(0), 190)]);
+        assert_eq!(m.records()[0].bypassed, 2);
     }
 
     #[test]
@@ -355,9 +380,10 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("job_id,"));
         let fields: Vec<&str> = lines[1].split(',').collect();
-        assert_eq!(fields.len(), 14);
+        assert_eq!(fields.len(), 15);
         assert_eq!(fields[0], "7");
         assert_eq!(fields[13], "2"); // devices
+        assert_eq!(fields[14], "0"); // bypassed
         assert_eq!(fields[9], "1"); // wait = 2.0 - 1.0
     }
 

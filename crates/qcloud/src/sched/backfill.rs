@@ -14,11 +14,19 @@
 //! Quality-strict policies (`fidelity`, `hybrid-strict`) wait for *specific*
 //! devices the capacity-based shadow cannot see; the head-protection
 //! guarantee is then best-effort.
+//!
+//! The shadow is computed on the shared [`CapacityTimeline`] availability
+//! profile, so it is **maintenance-aware**: qubits released on an offline
+//! device surface at the window close (not at their raw lease time), and a
+//! scheduled future window is a capacity drop the shadow sees coming. For
+//! every-queued-job protection (not just the head), see
+//! [`super::ConservativeBackfillScheduler`].
 
 use std::sync::{Arc, Mutex};
 
-use super::fifo::{apply_parts, blocked_reason};
-use super::{CloudState, Dispatch, Lease, Scheduler, SchedulingDecision, WaitReason};
+use super::fifo::{apply_parts, blocked_reason, validate_plan};
+use super::timeline::{project_dispatch_releases, CapacityTimeline};
+use super::{CloudState, Dispatch, Scheduler, SchedulingDecision, WaitReason};
 use crate::broker::{AllocationPlan, Broker, CloudView};
 use crate::job::{JobId, QJob};
 
@@ -48,8 +56,6 @@ pub struct BackfillScheduler {
     view: CloudView,
     /// Scratch: queue slots not yet dispatched in the current batch.
     alive: Vec<u32>,
-    /// Scratch: projected `(time, device, qubits)` release events.
-    events: Vec<(f64, u32, u64)>,
     /// How many queued jobs behind the head are considered per decision.
     candidate_limit: usize,
     guarantees: Option<GuaranteeLog>,
@@ -67,7 +73,6 @@ impl BackfillScheduler {
                 devices: Vec::new(),
             },
             alive: Vec::new(),
-            events: Vec::new(),
             candidate_limit: 64,
             guarantees: None,
         }
@@ -84,39 +89,6 @@ impl BackfillScheduler {
         self.guarantees = Some(log);
         self
     }
-
-    /// The head's earliest capacity-feasible start: replay the projected
-    /// release events (in-flight leases plus any backfills made this batch)
-    /// onto the current online free levels and find the first instant the
-    /// fleet's total free qubits cover the head's demand. `f64::INFINITY`
-    /// when even a fully drained fleet cannot (offline capacity) — no
-    /// reservation binds then, so anything may backfill.
-    fn shadow_time(&mut self, head: &QJob, now: f64) -> f64 {
-        let mut total_free: u64 = self.view.devices.iter().map(|d| d.free).sum();
-        if total_free >= head.num_qubits {
-            return now;
-        }
-        self.events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        for &(t, _, amt) in &self.events {
-            total_free += amt;
-            if total_free >= head.num_qubits {
-                return t.max(now);
-            }
-        }
-        f64::INFINITY
-    }
-
-    /// Seeds the projected-release event list from the lease table. Leases
-    /// on offline devices are dropped: their returning qubits stay invisible
-    /// until maintenance ends, which the lease table cannot see.
-    fn seed_events(&mut self, state: &CloudState, leases: &[Lease]) {
-        self.events.clear();
-        for l in leases {
-            if !state.is_offline(l.device) {
-                self.events.push((l.release_at, l.device.0, l.qubits));
-            }
-        }
-    }
 }
 
 impl Scheduler for BackfillScheduler {
@@ -125,7 +97,11 @@ impl Scheduler for BackfillScheduler {
         state.copy_view_into(&mut self.view);
         self.alive.clear();
         self.alive.extend(0..queue.len() as u32);
-        self.seed_events(state, state.leases());
+        // The maintenance-aware availability profile: lease returns pushed
+        // past offline windows, scheduled capacity drops included. The
+        // head's shadow time is its earliest fit on this timeline.
+        let mut timeline = CapacityTimeline::from_state(state);
+        let calendar = state.maintenance();
         let mut dispatches = Vec::new();
         let mut backfilled = false;
 
@@ -139,8 +115,9 @@ impl Scheduler for BackfillScheduler {
             let head = &queue[self.alive[0] as usize];
             let plan = self.broker.select(head, &self.view);
             if let AllocationPlan::Dispatch(parts) = plan {
-                self.validate(head, &parts);
-                self.register_projected_releases(head, &parts, state, now);
+                validate_plan(&*self.broker, head, &parts, &self.view);
+                timeline.withdraw_now(head.num_qubits);
+                project_dispatch_releases(&mut timeline, state, calendar, head, &parts, now);
                 apply_parts(&mut self.view, &parts, now);
                 dispatches.push(Dispatch {
                     queue_index: 0,
@@ -151,7 +128,7 @@ impl Scheduler for BackfillScheduler {
             }
 
             // Head blocked: compute its reservation and backfill behind it.
-            let shadow = self.shadow_time(head, now);
+            let shadow = timeline.earliest_fit(head.num_qubits);
             if let Some(log) = &self.guarantees {
                 log.lock().unwrap().push(HeadGuarantee {
                     head: head.id,
@@ -164,6 +141,14 @@ impl Scheduler for BackfillScheduler {
             while vi < self.alive.len() && examined < self.candidate_limit {
                 examined += 1;
                 let cand = &queue[self.alive[vi] as usize];
+                // No broker can place a job the fleet lacks free qubits
+                // for; skipping the consult keeps stateful policies (the
+                // `random` RNG) in lock-step with non-backfilling
+                // disciplines when no opportunity exists.
+                if self.view.total_free() < cand.num_qubits {
+                    vi += 1;
+                    continue;
+                }
                 let plan = self.broker.select(cand, &self.view);
                 if let AllocationPlan::Dispatch(parts) = plan {
                     let k = parts.len();
@@ -171,13 +156,29 @@ impl Scheduler for BackfillScheduler {
                         .iter()
                         .map(|&(d, _)| state.exec_seconds(cand, d))
                         .fold(0.0f64, f64::max);
+                    // When every borrowed qubit is *placeable* again: the
+                    // deterministic hold end, pushed past any maintenance
+                    // window covering it (a part draining into a window
+                    // surfaces only at window close — the same adjustment
+                    // the release projection applies).
                     let done = parts
                         .iter()
-                        .map(|&(d, _)| now + state.hold_seconds(cand, d, k, max_exec))
+                        .map(|&(d, _)| {
+                            let at = now + state.hold_seconds(cand, d, k, max_exec);
+                            calendar.next_online_from(d.index(), at)
+                        })
                         .fold(0.0f64, f64::max);
                     if done <= shadow {
-                        self.validate(cand, &parts);
-                        self.register_projected_releases(cand, &parts, state, now);
+                        validate_plan(&*self.broker, cand, &parts, &self.view);
+                        timeline.withdraw_now(cand.num_qubits);
+                        project_dispatch_releases(
+                            &mut timeline,
+                            state,
+                            calendar,
+                            cand,
+                            &parts,
+                            now,
+                        );
                         apply_parts(&mut self.view, &parts, now);
                         dispatches.push(Dispatch {
                             queue_index: vi,
@@ -210,40 +211,6 @@ impl Scheduler for BackfillScheduler {
 
     fn name(&self) -> &str {
         &self.name
-    }
-}
-
-impl BackfillScheduler {
-    fn validate(&self, job: &QJob, parts: &[(crate::device::DeviceId, u64)]) {
-        AllocationPlan::Dispatch(parts.to_vec())
-            .validate(job, &self.view)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "broker '{}' produced an invalid plan: {e}",
-                    self.broker.name()
-                )
-            });
-    }
-
-    /// Adds the deterministic release events of a just-planned dispatch to
-    /// the projection, so later shadow computations in the same batch see
-    /// this job's qubits coming back.
-    fn register_projected_releases(
-        &mut self,
-        job: &QJob,
-        parts: &[(crate::device::DeviceId, u64)],
-        state: &CloudState,
-        now: f64,
-    ) {
-        let k = parts.len();
-        let max_exec = parts
-            .iter()
-            .map(|&(d, _)| state.exec_seconds(job, d))
-            .fold(0.0f64, f64::max);
-        for &(dev, amt) in parts {
-            let at = now + state.hold_seconds(job, dev, k, max_exec);
-            self.events.push((at, dev.0, amt));
-        }
     }
 }
 

@@ -75,14 +75,7 @@ impl Scheduler for FifoAdapter {
                 let job = &queue[self.alive[vi] as usize];
                 let plan = self.broker.select(job, &self.view);
                 if let AllocationPlan::Dispatch(parts) = plan {
-                    AllocationPlan::Dispatch(parts.clone())
-                        .validate(job, &self.view)
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "broker '{}' produced an invalid plan: {e}",
-                                self.broker.name()
-                            )
-                        });
+                    validate_plan(&*self.broker, job, &parts, &self.view);
                     found = Some((vi, parts));
                     break;
                 }
@@ -140,14 +133,7 @@ impl Scheduler for SnapshotAdapter {
         for (vi, job) in queue.iter().enumerate().take(scan) {
             let plan = self.broker.select(job, &view);
             if let AllocationPlan::Dispatch(parts) = plan {
-                AllocationPlan::Dispatch(parts.clone())
-                    .validate(job, &view)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "broker '{}' produced an invalid plan: {e}",
-                            self.broker.name()
-                        )
-                    });
+                validate_plan(&*self.broker, job, &parts, &view);
                 return SchedulingDecision {
                     dispatches: vec![Dispatch {
                         queue_index: vi,
@@ -190,6 +176,20 @@ pub(super) fn apply_parts(
             v.mean_utilization = 1.0 - v.free as f64 / v.capacity as f64;
         }
     }
+}
+
+/// Validates a broker-produced plan against the scratch view, panicking
+/// with the broker's name on violation (a policy bug, never a recoverable
+/// condition). Shared by every discipline that consults a [`Broker`].
+pub(super) fn validate_plan(
+    broker: &dyn Broker,
+    job: &QJob,
+    parts: &[(crate::device::DeviceId, u64)],
+    view: &CloudView,
+) {
+    AllocationPlan::Dispatch(parts.to_vec())
+        .validate(job, view)
+        .unwrap_or_else(|e| panic!("broker '{}' produced an invalid plan: {e}", broker.name()));
 }
 
 /// Classifies why `job` (the oldest undispatched job) is stuck.

@@ -18,23 +18,32 @@
 //! * [`SnapshotAdapter`] keeps the seed's snapshot-rebuild-per-consult
 //!   behaviour alive as a parity oracle and performance baseline
 //!   (`benches/sched.rs` measures it against the incremental path);
-//! * [`BackfillScheduler`] (EASY backfilling) and [`PriorityScheduler`]
-//!   (SJF / EDF / aging disciplines) are genuinely queue-aware disciplines
-//!   the old API could not express.
+//! * [`BackfillScheduler`] (EASY backfilling),
+//!   [`ConservativeBackfillScheduler`] (availability-aware start
+//!   reservations protecting *every* queued job, not just the head) and
+//!   [`PriorityScheduler`] (SJF / EDF / aging disciplines) are genuinely
+//!   queue-aware disciplines the old API could not express. The two
+//!   backfilling disciplines share the [`CapacityTimeline`] availability
+//!   profile (lease table + maintenance calendar), so their shadow
+//!   computations see scheduled windows coming.
 //!
 //! Disciplines compose with policies by name through
 //! [`crate::policies::scheduler_by_name`] (e.g. `backfill+speed`,
-//! `priority:edf+fair`).
+//! `conservative+fair`, `priority:edf+fair`).
 
 mod backfill;
+mod conservative;
 mod fifo;
 mod priority;
 mod state;
+mod timeline;
 
 pub use backfill::{BackfillScheduler, GuaranteeLog, HeadGuarantee};
+pub use conservative::{ConservativeBackfillScheduler, ReservationLog, StartReservation};
 pub use fifo::{FifoAdapter, SnapshotAdapter};
 pub use priority::{PriorityDiscipline, PriorityScheduler};
 pub use state::{CloudState, DeviceSpec, Lease};
+pub use timeline::CapacityTimeline;
 
 use crate::device::DeviceId;
 use crate::job::QJob;
@@ -125,6 +134,10 @@ pub struct SchedTelemetry {
     pub dispatched: u64,
     /// Jobs dispatched ahead of an older queued job (queue jumps).
     pub out_of_order: u64,
+    /// Job-overtake events: each queue jump counts one per older job still
+    /// waiting that it leapfrogged (Σ of the per-job `bypassed` counters in
+    /// the run's [`crate::records::JobRecord`]s).
+    pub bypass_events: u64,
     /// Decisions that dispatched two or more jobs atomically.
     pub multi_dispatch_batches: u64,
     /// Waits because the queue was drained.

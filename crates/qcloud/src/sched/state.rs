@@ -14,7 +14,7 @@ use crate::broker::{CloudView, DeviceView};
 use crate::config::{ReleasePolicy, SimParams};
 use crate::device::DeviceId;
 use crate::job::{JobId, QJob};
-use crate::maintenance::OfflineFlags;
+use crate::maintenance::{MaintenanceCalendar, MaintenanceWindow, OfflineFlags};
 use crate::model::comm::CommModel;
 use crate::model::exec_time::ExecTimeModel;
 use qcs_desim::TimeWeighted;
@@ -74,6 +74,7 @@ pub struct CloudState {
     exec: ExecTimeModel,
     comm: CommModel,
     release: ReleasePolicy,
+    calendar: MaintenanceCalendar,
     now: f64,
 }
 
@@ -112,8 +113,23 @@ impl CloudState {
             exec: params.exec,
             comm: params.comm,
             release: params.release,
+            calendar: MaintenanceCalendar::new(),
             now: 0.0,
         }
+    }
+
+    /// Registers a scheduled maintenance window with the state's calendar,
+    /// making it visible to availability-aware scheduling disciplines
+    /// (called by [`crate::QCloudSimEnv::schedule_maintenance`] before the
+    /// run starts; immutable afterwards).
+    pub fn add_maintenance_window(&mut self, window: MaintenanceWindow) {
+        self.calendar.add(window);
+    }
+
+    /// The scheduled-maintenance calendar (planned unavailability the
+    /// reservation timeline folds into availability profiles).
+    pub fn maintenance(&self) -> &MaintenanceCalendar {
+        &self.calendar
     }
 
     /// The instant the state was last refreshed to.
@@ -153,6 +169,13 @@ impl CloudState {
     /// [`CloudState::refresh`].
     pub fn is_offline(&self, device: DeviceId) -> bool {
         self.devices[device.index()].offline
+    }
+
+    /// The device's *actual* free qubit level, ignoring the offline mask —
+    /// what becomes placeable the instant a maintenance window closes
+    /// (the masked [`CloudState::view`] shows zero for offline devices).
+    pub fn actual_level(&self, device: DeviceId) -> u64 {
+        self.devices[device.index()].level
     }
 
     /// Total free qubits across *online* devices.
@@ -201,6 +224,34 @@ impl CloudState {
         let v = &self.view.devices[device.index()];
         self.exec
             .execution_seconds(job.num_shots, v.qv_layers, v.clops)
+    }
+
+    /// The worst-case hold duration of `job` across the fleet: the slowest
+    /// device's execution time, plus the full-fan-out communication delay
+    /// under [`ReleasePolicy::AtJobEnd`]. An upper bound on how long any
+    /// dispatch of the job can hold qubits — the pessimistic duration the
+    /// conservative reservation timeline books for not-yet-placed jobs
+    /// (longer-than-real reservations can only push *later* jobs' promised
+    /// starts out, never break an issued promise).
+    pub fn worst_hold_seconds(&self, job: &QJob) -> f64 {
+        let worst_exec = self
+            .view
+            .devices
+            .iter()
+            .map(|d| {
+                self.exec
+                    .execution_seconds(job.num_shots, d.qv_layers, d.clops)
+            })
+            .fold(0.0f64, f64::max);
+        match self.release {
+            ReleasePolicy::PerDevice => worst_exec,
+            ReleasePolicy::AtJobEnd => {
+                worst_exec
+                    + self
+                        .comm
+                        .comm_seconds(job.num_qubits, self.view.devices.len())
+            }
+        }
     }
 
     /// Execution seconds of `job` on the fastest device in the fleet — a

@@ -1,0 +1,455 @@
+//! Availability-aware reservation timelines — the shadow computation
+//! shared by the backfilling disciplines.
+//!
+//! Both backfilling schedulers need the same forward-looking question
+//! answered: *how many qubits will the fleet be able to place at time
+//! `t`, assuming no new work is admitted?* The answer is a step function
+//! assembled from three deterministic sources:
+//!
+//! * the instantaneous free levels in [`CloudState`]'s view;
+//! * the in-flight [`Lease`](super::Lease) table — every reservation's
+//!   qubits return at
+//!   a closed-form instant (`release_at`);
+//! * the [`MaintenanceCalendar`] — a window hides a device's *free* pool
+//!   for its whole span (in-flight sub-jobs keep running; their released
+//!   qubits surface only when the window closes — the graceful drain the
+//!   simulation implements), and a *future* window start is a scheduled
+//!   capacity drop the lease table alone cannot see.
+//!
+//! [`CapacityTimeline`] materialises that availability profile once per
+//! scheduler decision and then answers two queries:
+//!
+//! * [`CapacityTimeline::earliest_fit`] — the first instant total
+//!   availability covers a demand (EASY backfilling's *shadow time* for
+//!   the blocked head, now maintenance-aware);
+//! * [`CapacityTimeline::earliest_slot`] — the first instant a demand
+//!   fits **for an entire duration** (a conservative-backfilling start
+//!   reservation; the interval is then booked with
+//!   [`CapacityTimeline::reserve`] so every later queued job plans around
+//!   it).
+//!
+//! The profile is aggregate (fleet-total qubits, not per-device): for the
+//! work-conserving spill policies a job is placeable exactly when the
+//! fleet total covers its demand, and for quality-strict policies any
+//! capacity-based promise is best-effort anyway. Around maintenance
+//! windows the aggregation errs only on the pessimistic side (a dispatch
+//! or reservation overlapping a window start is double-counted *against*
+//! availability, never for it), so a promised start computed here is
+//! still an upper bound — the property the no-delay proptests pin.
+
+use super::state::CloudState;
+use crate::device::DeviceId;
+use crate::maintenance::MaintenanceCalendar;
+
+/// A fleet-total availability step function over `[now, ∞)`, with
+/// interval reservations. See the module docs.
+#[derive(Debug, Clone)]
+pub struct CapacityTimeline {
+    /// The instant the profile was built for.
+    now: f64,
+    /// Total qubits placeable at `now` (before any reservations).
+    base: i64,
+    /// Future availability deltas `(time, signed qubits)`, `time > now`.
+    /// Kept unsorted between mutations; queries sort in place.
+    deltas: Vec<(f64, i64)>,
+    sorted: bool,
+}
+
+impl CapacityTimeline {
+    /// Builds the no-new-work availability profile at `state.now()` from
+    /// the state's levels, lease table and maintenance calendar.
+    ///
+    /// A device that is offline *without* a covering calendar window (its
+    /// return unknowable) contributes nothing — matching the scheduler
+    /// view's masking. Otherwise the device's level trajectory (current
+    /// actual level plus scheduled lease returns) is replayed against its
+    /// window edges, emitting a delta wherever the *visible* level
+    /// changes.
+    pub fn from_state(state: &CloudState) -> Self {
+        let calendar = state.maintenance();
+        let now = state.now();
+        let mut tl = CapacityTimeline {
+            now,
+            base: 0,
+            deltas: Vec::new(),
+            sorted: false,
+        };
+        // Per-device event stream replayed below: lease returns raise the
+        // level, window edges toggle the offline mask.
+        enum Ev {
+            Release(u64),
+            WinStart,
+            WinEnd,
+        }
+        // One pass over the lease table, bucketed by device (the table is
+        // shared by every device's replay; scanning it per device would
+        // put an O(devices × leases) loop on the EASY hot path).
+        let mut leases: Vec<(u32, f64, u64)> = state
+            .leases()
+            .iter()
+            // A lease already due (boundary race with the release
+            // coroutine) surfaces immediately.
+            .map(|l| (l.device.0, l.release_at.max(now), l.qubits))
+            .collect();
+        leases.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut lease_cursor = 0usize;
+        let mut events: Vec<(f64, Ev)> = Vec::new();
+        for di in 0..state.len() {
+            let dev = DeviceId(di as u32);
+            let flag_offline = state.is_offline(dev);
+            let active_now = calendar.active_at(di, now);
+            // The device's own leases (cursor advances monotonically:
+            // devices are visited in ascending id order).
+            let lease_lo = lease_cursor;
+            while lease_cursor < leases.len() && leases[lease_cursor].0 == di as u32 {
+                lease_cursor += 1;
+            }
+            if flag_offline && active_now == 0 {
+                // Parked with no scheduled return: invisible forever.
+                continue;
+            }
+            // The live flag and the calendar can disagree for one decide
+            // at an exact window-edge timestamp (kernel event ordering);
+            // take the union so a window whose start ties with `now` never
+            // counts its device as available for the whole span.
+            let offline_now = flag_offline || active_now > 0;
+            events.clear();
+            for &(_, at, q) in &leases[lease_lo..lease_cursor] {
+                events.push((at, Ev::Release(q)));
+            }
+            for w in calendar.windows_for(di) {
+                if w.start > now {
+                    events.push((w.start, Ev::WinStart));
+                }
+                if w.end() > now {
+                    events.push((w.end(), Ev::WinEnd));
+                }
+            }
+            events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            let mut level = state.actual_level(dev);
+            let mut active = active_now as i64;
+            let mut visible: i64 = if offline_now { 0 } else { level as i64 };
+            tl.base += visible;
+            let mut i = 0usize;
+            while i < events.len() {
+                let t = events[i].0;
+                // Apply every same-instant event before emitting a delta,
+                // so a release landing exactly on a window edge never
+                // produces a transient spike.
+                while i < events.len() && events[i].0 == t {
+                    match events[i].1 {
+                        Ev::Release(q) => level += q,
+                        Ev::WinStart => active += 1,
+                        Ev::WinEnd => active -= 1,
+                    }
+                    i += 1;
+                }
+                let new_visible: i64 = if active > 0 { 0 } else { level as i64 };
+                if new_visible != visible {
+                    if t > now {
+                        tl.deltas.push((t, new_visible - visible));
+                    } else {
+                        // Boundary race: a lease due exactly now surfaces
+                        // into the instantaneous pool.
+                        tl.base += new_visible - visible;
+                    }
+                    visible = new_visible;
+                }
+            }
+        }
+        tl
+    }
+
+    /// Removes `qubits` from the profile at `now` (a dispatch admitted in
+    /// the current decision batch).
+    pub fn withdraw_now(&mut self, qubits: u64) {
+        self.base -= qubits as i64;
+    }
+
+    /// Adds a projected release of `qubits` at `at` (the deterministic
+    /// completion of a dispatch admitted in the current batch). `at` must
+    /// already be maintenance-adjusted by the caller
+    /// ([`MaintenanceCalendar::next_online_from`]) when the release lands
+    /// inside a window.
+    pub fn add_release(&mut self, at: f64, qubits: u64) {
+        if at <= self.now {
+            self.base += qubits as i64;
+        } else {
+            self.deltas.push((at, qubits as i64));
+            self.sorted = false;
+        }
+    }
+
+    /// Shifts availability by `delta` over `[start, end)` (clamped to the
+    /// profile's horizon).
+    fn shift_interval(&mut self, start: f64, end: f64, delta: i64) {
+        let start = start.max(self.now);
+        if end <= start {
+            return;
+        }
+        if start <= self.now {
+            self.base += delta;
+        } else {
+            self.deltas.push((start, delta));
+        }
+        if end.is_finite() {
+            self.deltas.push((end, -delta));
+        }
+        self.sorted = false;
+    }
+
+    /// Books `qubits` over `[start, end)` — a conservative start
+    /// reservation for a queued-but-unplaced job. Later queries see the
+    /// reduced availability inside the interval.
+    pub fn reserve_interval(&mut self, start: f64, end: f64, qubits: u64) {
+        self.shift_interval(start, end, -(qubits as i64));
+    }
+
+    /// Exactly reverses a [`CapacityTimeline::reserve_interval`] with the
+    /// same arguments (re-slotting one booking while every other stays in
+    /// force).
+    pub fn unreserve_interval(&mut self, start: f64, end: f64, qubits: u64) {
+        self.shift_interval(start, end, qubits as i64);
+    }
+
+    /// [`CapacityTimeline::reserve_interval`] expressed as a duration.
+    pub fn reserve(&mut self, start: f64, duration: f64, qubits: u64) {
+        if duration <= 0.0 {
+            return;
+        }
+        let start = start.max(self.now);
+        self.reserve_interval(start, start + duration, qubits);
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+            self.sorted = true;
+        }
+    }
+
+    /// The first instant `≥ now` at which total availability covers
+    /// `demand` — EASY backfilling's shadow time. `f64::INFINITY` when no
+    /// projected state ever does (offline capacity): no promise binds.
+    pub fn earliest_fit(&mut self, demand: u64) -> f64 {
+        let demand = demand as i64;
+        if self.base >= demand {
+            return self.now;
+        }
+        self.sort();
+        let mut avail = self.base;
+        let mut i = 0usize;
+        while i < self.deltas.len() {
+            let t = self.deltas[i].0;
+            while i < self.deltas.len() && self.deltas[i].0 == t {
+                avail += self.deltas[i].1;
+                i += 1;
+            }
+            if avail >= demand {
+                return t;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// The first instant `≥ now` at which `demand` qubits stay available
+    /// for the whole `duration` — a conservative start reservation.
+    /// `f64::INFINITY` when no such interval exists in the projection.
+    pub fn earliest_slot(&mut self, demand: u64, duration: f64) -> f64 {
+        let demand = demand as i64;
+        self.sort();
+        let mut avail = self.base;
+        let mut candidate = if avail >= demand {
+            self.now
+        } else {
+            f64::INFINITY
+        };
+        let mut i = 0usize;
+        while i < self.deltas.len() {
+            let t = self.deltas[i].0;
+            if candidate.is_finite() && t >= candidate + duration {
+                // The run held through the full duration.
+                return candidate;
+            }
+            while i < self.deltas.len() && self.deltas[i].0 == t {
+                avail += self.deltas[i].1;
+                i += 1;
+            }
+            if avail >= demand {
+                if !candidate.is_finite() {
+                    candidate = t;
+                }
+            } else {
+                candidate = f64::INFINITY;
+            }
+        }
+        // Past the last breakpoint availability is flat forever.
+        candidate
+    }
+
+    /// Total availability at `now` (inspection/testing).
+    pub fn available_now(&self) -> i64 {
+        self.base
+    }
+}
+
+/// Registers the projected per-part release events of a just-admitted
+/// dispatch: each part's qubits come back at its deterministic hold end,
+/// pushed past any maintenance window active on its device at that
+/// instant (the graceful drain). Shared by the EASY and conservative
+/// paths.
+pub fn project_dispatch_releases(
+    timeline: &mut CapacityTimeline,
+    state: &CloudState,
+    calendar: &MaintenanceCalendar,
+    job: &crate::job::QJob,
+    parts: &[(DeviceId, u64)],
+    now: f64,
+) {
+    let k = parts.len();
+    let max_exec = parts
+        .iter()
+        .map(|&(d, _)| state.exec_seconds(job, d))
+        .fold(0.0f64, f64::max);
+    for &(dev, amt) in parts {
+        let at = now + state.hold_seconds(job, dev, k, max_exec);
+        let at = calendar.next_online_from(dev.index(), at);
+        timeline.add_release(at, amt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimParams;
+    use crate::job::{JobId, QJob};
+    use crate::maintenance::{MaintenanceWindow, OfflineFlags};
+    use crate::sched::DeviceSpec;
+
+    fn state(caps: &[u64]) -> CloudState {
+        let specs: Vec<DeviceSpec> = caps
+            .iter()
+            .map(|&c| DeviceSpec {
+                capacity: c,
+                error_score: 0.01,
+                clops: 200_000.0,
+                qv_layers: 7.0,
+            })
+            .collect();
+        CloudState::new(&specs, &SimParams::default())
+    }
+
+    fn job(id: u64, q: u64) -> QJob {
+        QJob {
+            id: JobId(id),
+            num_qubits: q,
+            depth: 10,
+            num_shots: 50_000,
+            two_qubit_gates: 500,
+            arrival_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn idle_fleet_fits_immediately() {
+        let st = state(&[100, 100]);
+        let mut tl = CapacityTimeline::from_state(&st);
+        assert_eq!(tl.available_now(), 200);
+        assert_eq!(tl.earliest_fit(150), 0.0);
+        assert_eq!(tl.earliest_slot(200, 1e6), 0.0);
+        assert!(tl.earliest_fit(201).is_infinite());
+    }
+
+    #[test]
+    fn lease_release_opens_capacity_later() {
+        let mut st = state(&[100, 100]);
+        let j = job(0, 150);
+        st.reserve(&j, &[(DeviceId(0), 100), (DeviceId(1), 50)], 0.0);
+        let off = OfflineFlags::new(2);
+        st.refresh(0.0, &off);
+        let release_at = st.leases()[0].release_at;
+        let mut tl = CapacityTimeline::from_state(&st);
+        assert_eq!(tl.available_now(), 50);
+        assert_eq!(tl.earliest_fit(50), 0.0);
+        // 150 qubits only after the leases return.
+        assert_eq!(tl.earliest_fit(150), release_at);
+    }
+
+    #[test]
+    fn maintenance_window_hides_and_restores_free_pool() {
+        let mut st = state(&[100, 100]);
+        st.add_maintenance_window(MaintenanceWindow {
+            device: 0,
+            start: 10.0,
+            duration: 20.0,
+        });
+        let off = OfflineFlags::new(2);
+        st.refresh(0.0, &off);
+        let mut tl = CapacityTimeline::from_state(&st);
+        // 200 now, 100 during [10, 30), 200 again after.
+        assert_eq!(tl.earliest_fit(150), 0.0);
+        // A 150-qubit job cannot hold through the window: the earliest
+        // slot long enough starts at the window close.
+        assert_eq!(tl.earliest_slot(150, 15.0), 30.0);
+        // A short job fits before the window.
+        assert_eq!(tl.earliest_slot(150, 5.0), 0.0);
+    }
+
+    #[test]
+    fn release_during_window_surfaces_at_window_end() {
+        let mut st = state(&[100, 50]);
+        let j = job(0, 80);
+        st.reserve(&j, &[(DeviceId(0), 80)], 0.0);
+        let release_at = st.leases()[0].release_at;
+        st.add_maintenance_window(MaintenanceWindow {
+            device: 0,
+            start: 1.0,
+            duration: release_at + 100.0,
+        });
+        let off = OfflineFlags::new(2);
+        off.set_offline(0, true);
+        st.refresh(2.0, &off);
+        let mut tl = CapacityTimeline::from_state(&st);
+        // Only device 1 visible now; device 0's 20 free + the returning 80
+        // all surface when the window closes.
+        assert_eq!(tl.available_now(), 50);
+        assert_eq!(tl.earliest_fit(150), 1.0 + release_at + 100.0);
+    }
+
+    #[test]
+    fn offline_without_calendar_window_is_invisible_forever() {
+        let mut st = state(&[100, 60]);
+        let off = OfflineFlags::new(2);
+        off.set_offline(0, true);
+        st.refresh(0.0, &off);
+        let mut tl = CapacityTimeline::from_state(&st);
+        assert_eq!(tl.available_now(), 60);
+        assert!(tl.earliest_fit(61).is_infinite());
+    }
+
+    #[test]
+    fn reservations_push_later_slots_out() {
+        let st = state(&[100]);
+        let mut tl = CapacityTimeline::from_state(&st);
+        // Book 80 qubits over [0, 50): a 30-qubit job must wait.
+        tl.reserve(0.0, 50.0, 80);
+        assert_eq!(tl.earliest_slot(30, 10.0), 50.0);
+        // 20 still fit alongside the reservation.
+        assert_eq!(tl.earliest_slot(20, 10.0), 0.0);
+        // Booking those too fills the machine until t = 50.
+        tl.reserve(0.0, 50.0, 20);
+        assert_eq!(tl.earliest_slot(1, 1.0), 50.0);
+    }
+
+    #[test]
+    fn withdraw_and_projected_release_round_trip() {
+        let st = state(&[100]);
+        let mut tl = CapacityTimeline::from_state(&st);
+        tl.withdraw_now(70);
+        tl.add_release(40.0, 70);
+        assert_eq!(tl.available_now(), 30);
+        assert_eq!(tl.earliest_fit(100), 40.0);
+        assert_eq!(tl.earliest_slot(100, 10.0), 40.0);
+    }
+}

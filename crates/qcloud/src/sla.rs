@@ -1,11 +1,18 @@
-//! Service-quality analysis: wait-time tails, slowdown, and deadline
-//! satisfaction.
+//! Service-quality analysis: wait-time tails, slowdown, deadline
+//! satisfaction, and starvation/fairness metrics.
 //!
 //! The paper reports means over the 1,000-job trace; production schedulers
 //! are judged on tails. This module computes the standard queueing-quality
 //! metrics from the same [`JobRecord`] stream (percentile waits, per-job
 //! slowdown, bounded slowdown, deadline miss rates), enabling apples-to-
 //! apples scheduler comparisons beyond Table 2's three columns.
+//!
+//! Queue-jumping disciplines (EASY vs conservative backfilling) are
+//! additionally judged on *who pays* for the jumps: [`QosReport`]
+//! aggregates the per-job bypass counters the scheduler loop records
+//! ([`JobRecord::bypassed`]) and scores distributional fairness with
+//! [`jain_fairness`] over per-job slowdowns — `1` when every job is
+//! stretched equally, `1/n` when one job absorbs all the queueing pain.
 
 use crate::records::JobRecord;
 use serde::{Deserialize, Serialize};
@@ -47,6 +54,22 @@ pub fn slowdown(r: &JobRecord) -> f64 {
 pub fn bounded_slowdown(r: &JobRecord, tau: f64) -> f64 {
     let service = (r.finish - r.start).max(tau);
     (r.turnaround() / service).max(1.0)
+}
+
+/// Jain's fairness index over a sample of non-negative values:
+/// `(Σx)² / (n · Σx²)`. Bounded in `[1/n, 1]` for any non-zero sample —
+/// `1` iff all values are equal, `1/n` when a single value dominates
+/// entirely. `NaN` on an empty or all-zero sample.
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return f64::NAN;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
 }
 
 /// Deadline policy: each job's deadline is
@@ -91,6 +114,16 @@ pub struct QosReport {
     pub deadline_miss_rate: f64,
     /// The deadline policy applied.
     pub deadline: DeadlinePolicy,
+    /// Worst per-job bypass count: the most queue jumps any single job
+    /// suffered while waiting (the starvation tail).
+    pub bypass_max: u32,
+    /// Mean per-job bypass count.
+    pub bypass_mean: f64,
+    /// Fraction of jobs overtaken at least once.
+    pub bypassed_fraction: f64,
+    /// Jain's fairness index over per-job slowdowns (`[1/n, 1]`; higher is
+    /// fairer — queueing pain spread evenly instead of starving a few).
+    pub fairness_jain: f64,
 }
 
 impl QosReport {
@@ -113,6 +146,9 @@ impl QosReport {
                 s.is_finite() && s > deadline.slack_factor
             })
             .count();
+        let bypass_max = finished.iter().map(|r| r.bypassed).max().unwrap_or(0);
+        let bypass_total: u64 = finished.iter().map(|r| r.bypassed as u64).sum();
+        let bypassed_jobs = finished.iter().filter(|r| r.bypassed > 0).count();
         QosReport {
             jobs: finished.len(),
             wait_p50: percentile(&waits, 50.0),
@@ -129,6 +165,18 @@ impl QosReport {
                 misses as f64 / finished.len() as f64
             },
             deadline,
+            bypass_max,
+            bypass_mean: if finished.is_empty() {
+                f64::NAN
+            } else {
+                bypass_total as f64 / finished.len() as f64
+            },
+            bypassed_fraction: if finished.is_empty() {
+                f64::NAN
+            } else {
+                bypassed_jobs as f64 / finished.len() as f64
+            },
+            fairness_jain: jain_fairness(&slows),
         }
     }
 }
@@ -160,6 +208,7 @@ mod tests {
             fidelity: 0.65,
             comm_seconds: 3.8,
             parts: vec![(0, 75), (1, 75)],
+            bypassed: 0,
         }
     }
 
@@ -216,6 +265,59 @@ mod tests {
         // Miss when slowdown = (wait+10)/10 > 1.5 ⇔ wait > 5 → waits 6,7,8.
         assert!((rep.deadline_miss_rate - 3.0 / 9.0).abs() < 1e-12);
         assert!(rep.mean_slowdown > 1.0);
+    }
+
+    #[test]
+    fn jain_fairness_hand_computed() {
+        // Equal shares → 1.
+        assert!((jain_fairness(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        // One job absorbs everything → 1/n.
+        assert!((jain_fairness(&[5.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // Worked example: (1+2+3)² / (3·(1+4+9)) = 36/42.
+        assert!((jain_fairness(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        // Degenerate samples.
+        assert!(jain_fairness(&[]).is_nan());
+        assert!(jain_fairness(&[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn starvation_fields_hand_computed() {
+        // Three jobs, service 10 each: waits 0, 10, 30 → slowdowns 1, 2, 4.
+        // Bypass counts 0, 1, 3.
+        let mut records = vec![
+            record(0.0, 0.0, 10.0),
+            record(0.0, 10.0, 20.0),
+            record(0.0, 30.0, 40.0),
+        ];
+        records[1].bypassed = 1;
+        records[2].bypassed = 3;
+        let rep = QosReport::from_records(&records, DeadlinePolicy::default());
+        assert_eq!(rep.bypass_max, 3);
+        assert!((rep.bypass_mean - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rep.bypassed_fraction - 2.0 / 3.0).abs() < 1e-12);
+        // Jain over slowdowns [1, 2, 4]: 49 / (3·21) = 7/9.
+        assert!((rep.fairness_jain - 49.0 / 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_fields_empty_records() {
+        let rep = QosReport::from_records(&[], DeadlinePolicy::default());
+        assert_eq!(rep.bypass_max, 0);
+        assert!(rep.bypass_mean.is_nan());
+        assert!(rep.bypassed_fraction.is_nan());
+        assert!(rep.fairness_jain.is_nan());
+    }
+
+    #[test]
+    fn unfinished_jobs_excluded_from_starvation_stats() {
+        // An unfinished job's bypass count must not leak into the report.
+        let mut unfinished = record(0.0, f64::NAN, f64::NAN);
+        unfinished.finish = f64::NAN;
+        unfinished.bypassed = 9;
+        let records = vec![record(0.0, 0.0, 10.0), unfinished];
+        let rep = QosReport::from_records(&records, DeadlinePolicy::default());
+        assert_eq!(rep.bypass_max, 0);
+        assert_eq!(rep.bypass_mean, 0.0);
     }
 
     #[test]

@@ -131,6 +131,7 @@ proptest! {
             fidelity: 0.6,
             comm_seconds: 0.0,
             parts: vec![(0, 75), (1, 75)],
+            bypassed: 0,
         };
         r.finish = wait + service;
         let bsld = bounded_slowdown(&r, tau);

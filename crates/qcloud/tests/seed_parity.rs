@@ -18,8 +18,8 @@
 //! dispatch order, device choice, or timing arithmetic fails loudly.
 
 use qcs_calibration::ibm_fleet;
-use qcs_qcloud::jobgen::{batch_at_zero, poisson_arrivals};
-use qcs_qcloud::policies::by_name;
+use qcs_qcloud::jobgen::{batch_at_zero, bimodal_arrivals, poisson_arrivals};
+use qcs_qcloud::policies::{by_name, scheduler_by_name};
 use qcs_qcloud::records::JobRecord;
 use qcs_qcloud::{FifoAdapter, JobDistribution, QCloudSimEnv, QJob, SimParams, SnapshotAdapter};
 
@@ -252,6 +252,39 @@ fn fifo_adapter_and_snapshot_oracle_agree_on_fresh_workloads() {
             .run();
             assert_eq!(a.records, b.records, "{pol}@{seed}");
         }
+    }
+}
+
+/// Golden fingerprints for the conservative-backfilling discipline on the
+/// bimodal head-of-line-blocking scenario (the `sched` bench workload).
+/// Captured at the commit that introduced `ConservativeBackfillScheduler`;
+/// any refactor of the reservation timeline, the compression pass, or the
+/// admission rule that silently changes dispatch order fails here loudly.
+#[test]
+fn conservative_backfill_bimodal_fingerprints_pinned() {
+    let jobs = bimodal_arrivals(300, 0.1, 4, 7);
+    for (spec, golden) in [
+        ("conservative+speed", 0x37809333fa41e82au64),
+        ("conservative+fair", 0xada53bc32d0629b8u64),
+    ] {
+        let env = QCloudSimEnv::with_scheduler(
+            ibm_fleet(7),
+            scheduler_by_name(spec, 7, 1).expect("known spec"),
+            jobs.clone(),
+            SimParams::default(),
+            7,
+        );
+        let res = env.run();
+        assert_eq!(res.summary.jobs_unfinished, 0, "{spec}");
+        assert!(
+            res.telemetry.out_of_order > 0,
+            "{spec}: the bimodal trace must exercise backfilling"
+        );
+        assert_eq!(
+            fingerprint(&res.records),
+            golden,
+            "{spec}: conservative dispatch stream changed on the pinned scenario"
+        );
     }
 }
 

@@ -234,6 +234,22 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the configured value when set (mirroring
+    /// upstream proptest), so CI can run suites deeper than local
+    /// `cargo test` without touching the source.
+    pub fn effective_cases(&self) -> u32 {
+        cases_override(std::env::var("PROPTEST_CASES").ok().as_deref(), self.cases)
+    }
+}
+
+/// Resolves the `PROPTEST_CASES` override against a configured fallback
+/// (pure helper so the parsing rules are testable without mutating
+/// process-global environment state, which is not thread-safe under the
+/// parallel test harness).
+fn cases_override(raw: Option<&str>, fallback: u32) -> u32 {
+    raw.and_then(|v| v.parse().ok()).unwrap_or(fallback)
 }
 
 /// Derives a deterministic per-test seed from the test's name.
@@ -303,7 +319,7 @@ macro_rules! proptest {
         fn $name() {
             let __cfg: $crate::ProptestConfig = $config;
             let __seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            for __case in 0..__cfg.effective_cases() {
                 let mut __rng = $crate::TestRng::new(
                     __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
@@ -357,6 +373,14 @@ mod tests {
         let a = Strategy::sample(&strat, &mut crate::TestRng::new(7));
         let b = Strategy::sample(&strat, &mut crate::TestRng::new(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cases_override_parsing_rules() {
+        assert_eq!(crate::cases_override(None, 7), 7);
+        assert_eq!(crate::cases_override(Some("123"), 7), 123);
+        assert_eq!(crate::cases_override(Some("not-a-number"), 7), 7);
+        assert_eq!(crate::cases_override(Some(""), 7), 7);
     }
 
     proptest! {
