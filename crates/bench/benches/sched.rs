@@ -10,11 +10,13 @@
 //! Release runs (`cargo bench -p qcs-bench --bench sched`) also emit
 //! `BENCH_sched.json` at the repository root: scheduler-loop throughput
 //! for both paths, the `fifo+speed` vs `backfill+speed` comparison
-//! (makespan, mean wait, mean device utilisation), and the EASY-vs-
+//! (makespan, mean wait, mean device utilisation), the EASY-vs-
 //! conservative makespan/fairness comparison (wait tails, mean slowdown,
 //! Jain index over slowdowns) on both the bimodal and maintenance-heavy
-//! scenarios — `bench_guard` holds the recorded conservative fairness
-//! wins to hard floors.
+//! scenarios, and a failure-heavy variant (two unplanned crashes + 5%
+//! execution failures) recording goodput, retry rate and recovery
+//! overhead per discipline — `bench_guard` holds the recorded
+//! conservative fairness wins and fault-era goodput to hard floors.
 
 use std::time::Instant;
 
@@ -24,7 +26,8 @@ use qcs_qcloud::jobgen::{batch_at_zero, bimodal_arrivals};
 use qcs_qcloud::policies::scheduler_by_name;
 use qcs_qcloud::simenv::RunResult;
 use qcs_qcloud::{
-    DeadlinePolicy, JobDistribution, MaintenanceWindow, QCloudSimEnv, QJob, QosReport, SimParams,
+    DeadlinePolicy, FaultScript, JobDistribution, MaintenanceWindow, QCloudSimEnv, QJob, QosReport,
+    RetryPolicy, SimParams,
 };
 
 const SEED: u64 = 7;
@@ -45,6 +48,36 @@ fn run_spec_with_windows(spec: &str, jobs: Vec<QJob>, windows: &[MaintenanceWind
         env.schedule_maintenance(w);
     }
     env.run()
+}
+
+fn run_spec_with_faults(spec: &str, jobs: Vec<QJob>) -> RunResult {
+    let mut env = QCloudSimEnv::with_scheduler(
+        ibm_fleet(SEED),
+        scheduler_by_name(spec, SEED, 1).expect("known spec"),
+        jobs,
+        SimParams::default(),
+        SEED,
+    );
+    let (script, retry) = failure_scenario();
+    env.install_faults(script, retry, None);
+    env.run()
+}
+
+/// The failure-heavy scenario: two unplanned crashes land inside the
+/// bimodal trace's busy period (a premium device early, a mid-tier device
+/// late) on top of a 5% per-attempt execution-failure rate — every
+/// discipline must revoke leases, repair reservations and retry through
+/// the backoff policy.
+fn failure_scenario() -> (FaultScript, RetryPolicy) {
+    let script = FaultScript::new(SEED)
+        .with_crash(0, 3_000.0, 5_000.0)
+        .with_crash(2, 12_000.0, 4_000.0)
+        .with_exec_failures(0.05);
+    let retry = RetryPolicy {
+        max_attempts: 6,
+        ..RetryPolicy::default()
+    };
+    (script, retry)
 }
 
 /// The maintenance-heavy scenario: three staggered windows carve devices
@@ -118,6 +151,18 @@ fn bench_disciplines(c: &mut Criterion) {
     }
     group.finish();
 
+    // The same trace under the failure scenario: the loop now pays for
+    // lease revocation, reservation repair and retry resubmission.
+    let mut group = c.benchmark_group("sched/faulty_1k_fragmented");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for spec in ["speed", "backfill+speed", "conservative+speed"] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &s| {
+            b.iter(|| run_spec_with_faults(s, jobs.clone()).summary.t_sim)
+        });
+    }
+    group.finish();
+
     write_sched_json();
 }
 
@@ -166,7 +211,13 @@ fn write_sched_json() {
 
     let windows = maintenance_windows();
     let m_easy = run_spec_with_windows("backfill+speed", frag.clone(), &windows);
-    let m_cons = run_spec_with_windows("conservative+speed", frag, &windows);
+    let m_cons = run_spec_with_windows("conservative+speed", frag.clone(), &windows);
+
+    // Failure-heavy runs of the same trace: two unplanned crashes plus a
+    // 5% execution-failure rate (see `failure_scenario`).
+    let f_fifo = run_spec_with_faults("speed", frag.clone());
+    let f_easy = run_spec_with_faults("backfill+speed", frag.clone());
+    let f_cons = run_spec_with_faults("conservative+speed", frag);
 
     let quality = |res: &RunResult| -> (QosReport, String) {
         let q = QosReport::from_records(&res.records, DeadlinePolicy::default());
@@ -206,13 +257,36 @@ fn write_sched_json() {
     let (qm_cons, sm_cons) = quality(&m_cons);
     let maint_vs = versus(&m_easy, &m_cons, &qm_easy, &qm_cons);
 
+    // Fault-era rollup: goodput/retry/waste per discipline, plus the
+    // recovery overhead (faulty vs fault-free makespan — the price of two
+    // outages and the retry churn).
+    let faulty = |res: &RunResult| -> String {
+        assert!(
+            res.records.iter().all(|r| r.terminal()),
+            "faulty bench run left a non-terminal job"
+        );
+        let q = QosReport::from_records(&res.records, DeadlinePolicy::default());
+        format!(
+            "{{ \"t_sim\": {:.2}, \"goodput\": {:.4}, \"retry_rate\": {:.4}, \
+             \"wasted_qubit_s\": {:.1}, \"jobs_exhausted\": {}, \"mean_wait\": {:.2} }}",
+            res.summary.t_sim,
+            q.goodput,
+            q.retry_rate,
+            q.wasted_qubit_s,
+            q.jobs_exhausted,
+            res.summary.mean_wait,
+        )
+    };
+    let (sf_fifo, sf_easy, sf_cons) = (faulty(&f_fifo), faulty(&f_easy), faulty(&f_cons));
+
     let json = format!(
-        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {s_fifo},\n    \"backfill_speed\": {s_easy},\n    \"conservative_speed\": {s_cons},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4},\n    \"conservative_vs_easy\": {bimodal_vs}\n  }},\n  \"maintenance_1k\": {{\n    \"windows\": {},\n    \"backfill_speed\": {sm_easy},\n    \"conservative_speed\": {sm_cons},\n    \"conservative_vs_easy\": {maint_vs}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {s_fifo},\n    \"backfill_speed\": {s_easy},\n    \"conservative_speed\": {s_cons},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4},\n    \"conservative_vs_easy\": {bimodal_vs}\n  }},\n  \"maintenance_1k\": {{\n    \"windows\": {},\n    \"backfill_speed\": {sm_easy},\n    \"conservative_speed\": {sm_cons},\n    \"conservative_vs_easy\": {maint_vs}\n  }},\n  \"faulty_1k\": {{\n    \"crashes\": 2,\n    \"exec_fail_prob\": 0.05,\n    \"fifo_speed\": {sf_fifo},\n    \"backfill_speed\": {sf_easy},\n    \"conservative_speed\": {sf_cons},\n    \"recovery_makespan_overhead\": {:.4}\n  }}\n}}\n",
         incr_1k / snap_1k,
         incr_10k / snap_10k,
         fifo.summary.t_sim / easy.summary.t_sim,
         easy_util / fifo_util,
         windows.len(),
+        f_cons.summary.t_sim / cons.summary.t_sim,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -223,13 +297,17 @@ fn write_sched_json() {
          10k snapshot {snap_10k:.0} vs incremental {incr_10k:.0} jobs/s; \
          backfill makespan x{:.3}, utilization x{:.3}; \
          conservative vs EASY slowdown x{:.3}, jain x{:.3} \
-         (maintenance: slowdown x{:.3}, jain x{:.3}) -> BENCH_sched.json",
+         (maintenance: slowdown x{:.3}, jain x{:.3}); \
+         faulty conservative goodput {:.3}, recovery overhead x{:.3} \
+         -> BENCH_sched.json",
         fifo.summary.t_sim / easy.summary.t_sim,
         easy_util / fifo_util,
         q_easy.mean_slowdown / q_cons.mean_slowdown,
         q_cons.fairness_jain / q_easy.fairness_jain,
         qm_easy.mean_slowdown / qm_cons.mean_slowdown,
         qm_cons.fairness_jain / qm_easy.fairness_jain,
+        QosReport::from_records(&f_cons.records, DeadlinePolicy::default()).goodput,
+        f_cons.summary.t_sim / cons.summary.t_sim,
     );
 }
 

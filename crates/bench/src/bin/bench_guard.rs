@@ -23,6 +23,11 @@
 //!   uniformly-miserable queue scores "fairer".) The maintenance-heavy
 //!   scenario must be recorded with a finite Jain index (availability-
 //!   aware reservations exercised);
+//! * failure-heavy scenario (`faulty_1k`, two unplanned crashes + 5%
+//!   execution failures on the bimodal trace): conservative goodput ≥ 0.75
+//!   (recorded ≈ 0.87 — recovery must not burn more than a quarter of the
+//!   delivered qubit-seconds on wasted attempts) and retry rate ≥ 0.01
+//!   (the scenario must actually exercise the retry path);
 //! * wide-GEMM-tile speedup over the 4×8 baseline ≥ 1.05× — only enforced
 //!   when the recording machine actually selected a wide kernel;
 //! * update-phase speedup at 4 workers ≥ 1.5× — only enforced when the
@@ -42,6 +47,12 @@ const CONSERVATIVE_SLOWDOWN_RATIO_FLOOR: f64 = 1.4;
 /// Floor for `fragmented_1k.conservative_vs_easy.wait_p99_ratio`: the
 /// starvation tail must not regress vs EASY (recorded ≈ 1.03×).
 const CONSERVATIVE_TAIL_RATIO_FLOOR: f64 = 1.0;
+/// Floor for `faulty_1k.conservative_speed.goodput`: useful qubit-seconds
+/// over total under the failure-heavy scenario (recorded ≈ 0.87).
+const FAULTY_GOODPUT_FLOOR: f64 = 0.75;
+/// Floor for `faulty_1k.conservative_speed.retry_rate`: the scenario must
+/// actually kill and resubmit jobs (recorded ≈ 0.11).
+const FAULTY_RETRY_RATE_FLOOR: f64 = 0.01;
 /// Floor for `gemm.tile_speedup` (wide tile vs 4×8 baseline).
 const TILE_SPEEDUP_FLOOR: f64 = 1.05;
 /// Floor for `update_phase.speedup_4_workers`.
@@ -220,6 +231,33 @@ fn main() {
                         Ok(1.0)
                     } else {
                         Err(format!("jain_fairness not finite/positive: {v}"))
+                    }
+                }),
+                0.0,
+            );
+            // The failure-heavy scenario: fault recovery must be recorded
+            // and keep goodput above its floor, and the script must
+            // actually have exercised the retry path (a zero retry rate
+            // means the injection silently stopped firing).
+            guard.check(
+                "faulty-scenario conservative goodput",
+                field_f64(&sched, &["faulty_1k", "conservative_speed", "goodput"]),
+                FAULTY_GOODPUT_FLOOR,
+            );
+            guard.check(
+                "faulty-scenario retry rate",
+                field_f64(&sched, &["faulty_1k", "conservative_speed", "retry_rate"]),
+                FAULTY_RETRY_RATE_FLOOR,
+            );
+            guard.check(
+                "faulty-scenario recovery overhead recorded",
+                field_f64(&sched, &["faulty_1k", "recovery_makespan_overhead"]).and_then(|v| {
+                    if v.is_finite() && v > 0.0 {
+                        Ok(1.0)
+                    } else {
+                        Err(format!(
+                            "recovery_makespan_overhead not finite/positive: {v}"
+                        ))
                     }
                 }),
                 0.0,

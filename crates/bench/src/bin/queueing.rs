@@ -8,6 +8,12 @@
 //! cargo run -p qcs-bench --release --bin queueing [-- --jobs 200 --seed 42]
 //! ```
 //!
+//! `--faults <spec>` injects unplanned outages and execution failures
+//! into every run (same script for every policy), e.g.
+//! `--faults 'crash:0@500+300;pfail:0.05;retries:4'` — see
+//! [`FaultScript::parse`] for the grammar. The goodput/retry columns
+//! then separate disciplines by how much work the failures wasted.
+//!
 //! Output: `results/queueing.csv` + ASCII tables per arrival rate.
 
 use qcs_bench::cli::arg;
@@ -15,13 +21,16 @@ use qcs_bench::runner::results_dir;
 use qcs_bench::table::AsciiTable;
 use qcs_calibration::ibm_fleet;
 use qcs_qcloud::policies::scheduler_by_name;
-use qcs_qcloud::JobDistribution;
 use qcs_qcloud::{DeadlinePolicy, QCloudSimEnv, QosReport, SimParams};
+use qcs_qcloud::{FaultScript, JobDistribution};
 use qcs_workload::arrival::{jobs_with_arrivals, poisson_process};
 
 fn main() {
     let n_jobs: usize = arg("--jobs", 200);
     let seed: u64 = arg("--seed", 42);
+    let faults = arg("--faults", String::new());
+    let faults = (!faults.is_empty())
+        .then(|| FaultScript::parse(&faults).unwrap_or_else(|e| panic!("bad --faults spec: {e}")));
     let params = SimParams::default();
     // Policies under FIFO, plus the queue-aware disciplines the redesign
     // added — exactly where wait-time tails separate them.
@@ -43,7 +52,7 @@ fn main() {
 
     let mut csv = String::from(
         "rate,policy,wait_p50,wait_p95,wait_p99,mean_slowdown,mean_bsld,deadline_miss,\
-         fairness_jain,bypass_max\n",
+         fairness_jain,bypass_max,goodput,retry_rate,jobs_exhausted\n",
     );
     for &rate in &rates {
         let arrivals = poisson_process(n_jobs, rate, seed);
@@ -62,16 +71,21 @@ fn main() {
             "miss rate",
             "jain",
             "byp max",
+            "goodput",
+            "retries",
         ]);
         for pol in policies {
             let sched = scheduler_by_name(pol, seed, 1).expect("known scheduler spec");
-            let env = QCloudSimEnv::with_scheduler(
+            let mut env = QCloudSimEnv::with_scheduler(
                 ibm_fleet(seed),
                 sched,
                 jobs.clone(),
                 params.clone(),
                 seed,
             );
+            if let Some((script, retry)) = &faults {
+                env.install_faults(script.clone(), *retry, None);
+            }
             let result = env.run();
             let qos = QosReport::from_records(&result.records, DeadlinePolicy::default());
             table.row(vec![
@@ -84,9 +98,11 @@ fn main() {
                 format!("{:.3}", qos.deadline_miss_rate),
                 format!("{:.3}", qos.fairness_jain),
                 format!("{}", qos.bypass_max),
+                format!("{:.3}", qos.goodput),
+                format!("{:.3}", qos.retry_rate),
             ]);
             csv.push_str(&format!(
-                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{}\n",
+                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{},{:.4},{:.4},{}\n",
                 qos.wait_p50,
                 qos.wait_p95,
                 qos.wait_p99,
@@ -94,7 +110,10 @@ fn main() {
                 qos.mean_bounded_slowdown,
                 qos.deadline_miss_rate,
                 qos.fairness_jain,
-                qos.bypass_max
+                qos.bypass_max,
+                qos.goodput,
+                qos.retry_rate,
+                qos.jobs_exhausted
             ));
         }
         println!("{}", table.render());

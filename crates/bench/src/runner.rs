@@ -3,7 +3,10 @@
 use qcs_calibration::ibm_fleet;
 use qcs_qcloud::policies::{scheduler_by_name, FairBroker, FidelityBroker, RlBroker, SpeedBroker};
 use qcs_qcloud::simenv::RunResult;
-use qcs_qcloud::{Broker, FifoAdapter, GymConfig, QCloudSimEnv, QJob, Scheduler, SimParams};
+use qcs_qcloud::{
+    Broker, FaultScript, FifoAdapter, GymConfig, QCloudSimEnv, QJob, RetryPolicy, Scheduler,
+    SimParams,
+};
 
 /// How to instantiate a strategy for a run.
 #[derive(Debug, Clone)]
@@ -55,13 +58,30 @@ pub fn run_strategy(
     params: &SimParams,
     seed: u64,
 ) -> RunResult {
-    let env = QCloudSimEnv::with_scheduler(
+    run_strategy_with_faults(spec, jobs, params, seed, None)
+}
+
+/// [`run_strategy`] with an optional fault script + retry policy (from
+/// `FaultScript::parse` of a `--faults` CLI spec) installed before the
+/// run. Every strategy sees the *same* script; the fault seed lives in
+/// the script, so injection is identical across strategies.
+pub fn run_strategy_with_faults(
+    spec: &StrategySpec,
+    jobs: Vec<QJob>,
+    params: &SimParams,
+    seed: u64,
+    faults: Option<&(FaultScript, RetryPolicy)>,
+) -> RunResult {
+    let mut env = QCloudSimEnv::with_scheduler(
         ibm_fleet(seed),
         spec.scheduler(seed, params.backfill_depth + 1),
         jobs,
         params.clone(),
         seed,
     );
+    if let Some((script, retry)) = faults {
+        env.install_faults(script.clone(), *retry, None);
+    }
     env.run()
 }
 
@@ -73,10 +93,21 @@ pub fn run_strategies(
     params: &SimParams,
     seed: u64,
 ) -> Vec<RunResult> {
+    run_strategies_with_faults(specs, jobs, params, seed, None)
+}
+
+/// [`run_strategies`] under an optional shared fault script.
+pub fn run_strategies_with_faults(
+    specs: &[StrategySpec],
+    jobs: &[QJob],
+    params: &SimParams,
+    seed: u64,
+    faults: Option<&(FaultScript, RetryPolicy)>,
+) -> Vec<RunResult> {
     let items: Vec<(StrategySpec, Vec<QJob>)> =
         specs.iter().map(|s| (s.clone(), jobs.to_vec())).collect();
     qcs_desim::parallel::par_map(items, specs.len(), |(spec, jobs)| {
-        run_strategy(&spec, jobs, params, seed)
+        run_strategy_with_faults(&spec, jobs, params, seed, faults)
     })
 }
 

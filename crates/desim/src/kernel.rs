@@ -333,6 +333,49 @@ impl Simulation {
         }
     }
 
+    /// Terminates a process immediately, whatever it is doing. The body is
+    /// dropped (releasing any shared state it held), a queued container
+    /// request is cancelled (nothing was acquired), and any pending resume
+    /// event becomes stale. Units the process already withdrew are **not**
+    /// returned — the killer owns that cleanup (deposit them back
+    /// explicitly), exactly as with an OS-level `kill -9`.
+    ///
+    /// Returns `false` (no-op) if the process had already finished.
+    pub fn kill(&mut self, pid: ProcessId) -> bool {
+        match self.procs[pid.index()].state {
+            ProcState::Done => false,
+            ProcState::WaitingReq(rid) => {
+                self.cancel_request(rid);
+                self.retire(pid);
+                true
+            }
+            ProcState::Scheduled | ProcState::Suspended => {
+                self.retire(pid);
+                true
+            }
+        }
+    }
+
+    /// Marks a live process slot Done and drops its body (kill path).
+    fn retire(&mut self, pid: ProcessId) {
+        let slot = &mut self.procs[pid.index()];
+        // Belt and braces: stale-event detection already keys on `state !=
+        // Scheduled`, but bumping the epoch keeps the invariant that a
+        // cancelled resume event never matches its slot.
+        slot.epoch = slot.epoch.wrapping_add(1);
+        slot.state = ProcState::Done;
+        slot.co = None;
+        self.live_processes -= 1;
+        if self.trace.enabled() {
+            let time = self.now();
+            self.push_trace(TraceRecord {
+                time,
+                pid: Some(pid),
+                kind: TraceKind::Finish,
+            });
+        }
+    }
+
     /// Whether `pid`'s interrupted flag is set (does not clear it).
     #[inline]
     pub fn interrupted(&self, pid: ProcessId) -> bool {
@@ -1093,6 +1136,97 @@ mod tests {
         assert!(!sim.is_done(pid));
         assert!(sim.wake(pid));
         assert!(!sim.wake(pid)); // already scheduled, wake is a no-op
+    }
+
+    #[test]
+    fn kill_terminates_in_every_wait_state() {
+        // Sleeping (Scheduled with a pending timeout event).
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Simulation::new(21);
+        let pid = sim.spawn(Box::new(Ticker {
+            dt: 5.0,
+            n: 10,
+            fired: fired.clone(),
+        }));
+        sim.run_until(7.0); // fired at t=0 and t=5
+        assert!(sim.kill(pid));
+        assert!(sim.is_done(pid));
+        assert!(!sim.kill(pid)); // already done: no-op
+        sim.run();
+        // The pending t=10 event is stale; no further fires.
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(sim.live_processes(), 0);
+
+        // Suspended.
+        let mut sim = Simulation::new(22);
+        let pid = sim.spawn(Box::new(Sleeper));
+        sim.run();
+        assert!(sim.kill(pid));
+        assert!(!sim.wake(pid)); // retired slot cannot be woken
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn kill_cancels_queued_request_and_unblocks_successor() {
+        let mut sim = Simulation::new(23);
+        let c = sim.add_container("qpu", 100, 100);
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        // Holder takes 80 for 10s; "big" queues for 90 and blocks "small"
+        // (30) behind it under strict FIFO.
+        sim.spawn(Box::new(MultiGetter {
+            parts: vec![(c, 80)],
+            hold: 10.0,
+            phase: 0,
+            events: events.clone(),
+            tag: "holder",
+        }));
+        let big = sim.spawn(Box::new(MultiGetter {
+            parts: vec![(c, 90)],
+            hold: 1.0,
+            phase: 0,
+            events: events.clone(),
+            tag: "big",
+        }));
+        sim.spawn(Box::new(MultiGetter {
+            parts: vec![(c, 30)],
+            hold: 1.0,
+            phase: 0,
+            events: events.clone(),
+            tag: "small",
+        }));
+        sim.run_until(1.0);
+        assert_eq!(sim.blocked_processes(), 2);
+        // Killing the queued head cancels its request; "small" (level 20…
+        // no: 100-80=20 < 30) still waits for the holder's release, but is
+        // now the queue head and runs at t=10 instead of never.
+        assert!(sim.kill(big));
+        assert_eq!(sim.blocked_processes(), 1);
+        sim.run();
+        sim.assert_quiescent();
+        let ev = events.lock().unwrap();
+        assert_eq!(ev.as_slice(), &[(0.0, "holder"), (10.0, "small")]);
+        assert_eq!(sim.container(c).level(), 100);
+    }
+
+    #[test]
+    fn killed_holder_leaks_units_until_killer_deposits() {
+        // kill() does not return held units — that is the killer's job.
+        let mut sim = Simulation::new(24);
+        let c = sim.add_container("qpu", 100, 100);
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let holder = sim.spawn(Box::new(MultiGetter {
+            parts: vec![(c, 60)],
+            hold: 100.0,
+            phase: 0,
+            events: events.clone(),
+            tag: "holder",
+        }));
+        sim.run_until(1.0);
+        assert_eq!(sim.container(c).level(), 40);
+        assert!(sim.kill(holder));
+        assert_eq!(sim.container(c).level(), 40); // still held
+        sim.deposit(c, 60); // killer's cleanup
+        assert_eq!(sim.container(c).level(), 100);
     }
 
     #[test]

@@ -195,6 +195,13 @@ impl Ctx<'_> {
         self.sim.interrupt(pid)
     }
 
+    /// Terminates another process immediately (drops its body, cancels any
+    /// queued request; held units are the killer's to return). Returns
+    /// `false` if it had already finished. See [`Simulation::kill`].
+    pub fn kill(&mut self, pid: ProcessId) -> bool {
+        self.sim.kill(pid)
+    }
+
     /// Whether this process's last wait was cut short by
     /// [`Simulation::interrupt`]. Reading does not clear the flag; use
     /// [`Ctx::take_interrupted`] for consume-on-read semantics.

@@ -36,6 +36,7 @@ pub mod cloud;
 pub mod config;
 pub mod cutting;
 pub mod device;
+pub mod faults;
 pub mod gym;
 pub mod job;
 pub mod jobgen;
@@ -56,13 +57,16 @@ pub use cutting::{
     FragmentSite,
 };
 pub use device::{DeviceId, QDevice};
+pub use faults::{
+    AvoidSet, CrashEvent, DeviceAvoidingBroker, FaultInjector, FaultScript, RetryPolicy,
+};
 pub use gym::{GymConfig, QCloudGymEnv};
 pub use job::{JobDistribution, JobId, QJob};
 pub use maintenance::{MaintenanceCalendar, MaintenanceWindow};
 pub use model::comm::CommModel;
 pub use model::exec_time::ExecTimeModel;
 pub use model::fidelity::{FidelityModel, FidelityModelKind};
-pub use records::{JobRecord, JobRecordsManager, SummaryStats};
+pub use records::{FinalStatus, JobRecord, JobRecordsManager, SummaryStats};
 pub use sched::{
     BackfillScheduler, CloudState, ConservativeBackfillScheduler, Dispatch, FifoAdapter,
     PriorityDiscipline, PriorityScheduler, SchedTelemetry, Scheduler, SchedulingDecision,

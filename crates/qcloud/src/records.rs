@@ -6,8 +6,37 @@ use crate::job::{JobId, QJob};
 use qcs_desim::{Histogram, Welford};
 use serde::{Deserialize, Serialize};
 
+/// How a job's lifecycle ended (or hasn't yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FinalStatus {
+    /// Still queued, running, or waiting on a retry backoff.
+    Pending,
+    /// Completed successfully.
+    Completed,
+    /// Every allowed attempt failed (crash or execution fault); the job
+    /// left the system without finishing. Counted as *terminal* — a run
+    /// with exhausted jobs is complete, not deadlocked.
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for FinalStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FinalStatus::Pending => "pending",
+            FinalStatus::Completed => "completed",
+            FinalStatus::RetriesExhausted => "retries_exhausted",
+        })
+    }
+}
+
 /// Lifecycle record of one job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality is *bitwise* on the time/fidelity fields (`total_cmp`, so
+/// `NaN == NaN`): two record streams compare equal exactly when they are
+/// replays of the same run — including unfinished fields of
+/// retries-exhausted jobs, which the derived IEEE `==` would declare
+/// unequal to themselves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobRecord {
     /// Job id.
     pub job_id: JobId,
@@ -37,6 +66,38 @@ pub struct JobRecord {
     /// it waited (queue jumps it suffered) — the per-job starvation signal
     /// aggregated by [`crate::sla::QosReport`].
     pub bypassed: u32,
+    /// Dispatch attempts so far (0 until first dispatch; > 1 only when a
+    /// crash or execution fault forced a retry).
+    pub attempts: u32,
+    /// Qubit-seconds burned by attempts that did not complete (qubits held
+    /// × seconds held, summed over killed/failed attempts) — the numerator
+    /// of the goodput gap in [`crate::sla::QosReport`].
+    pub wasted_qubit_s: f64,
+    /// Terminal outcome ([`FinalStatus::Pending`] while in flight).
+    pub final_status: FinalStatus,
+}
+
+impl PartialEq for JobRecord {
+    fn eq(&self, other: &Self) -> bool {
+        use std::cmp::Ordering::Equal;
+        let t = |a: f64, b: f64| a.total_cmp(&b) == Equal;
+        self.job_id == other.job_id
+            && self.num_qubits == other.num_qubits
+            && self.depth == other.depth
+            && self.num_shots == other.num_shots
+            && self.two_qubit_gates == other.two_qubit_gates
+            && t(self.arrival, other.arrival)
+            && t(self.start, other.start)
+            && t(self.exec_end, other.exec_end)
+            && t(self.finish, other.finish)
+            && t(self.fidelity, other.fidelity)
+            && t(self.comm_seconds, other.comm_seconds)
+            && self.parts == other.parts
+            && self.bypassed == other.bypassed
+            && self.attempts == other.attempts
+            && t(self.wasted_qubit_s, other.wasted_qubit_s)
+            && self.final_status == other.final_status
+    }
 }
 
 impl JobRecord {
@@ -55,6 +116,9 @@ impl JobRecord {
             comm_seconds: 0.0,
             parts: Vec::new(),
             bypassed: 0,
+            attempts: 0,
+            wasted_qubit_s: 0.0,
+            final_status: FinalStatus::Pending,
         }
     }
 
@@ -77,6 +141,13 @@ impl JobRecord {
     pub fn finished(&self) -> bool {
         self.finish.is_finite()
     }
+
+    /// Whether the job's lifecycle is over: completed **or** honestly out
+    /// of retries. Fault-tolerant runs terminate when every job is
+    /// terminal, not when every job finishes.
+    pub fn terminal(&self) -> bool {
+        self.final_status != FinalStatus::Pending
+    }
 }
 
 /// Collects job lifecycle events during a run.
@@ -85,6 +156,7 @@ pub struct JobRecordsManager {
     records: Vec<JobRecord>,
     index: std::collections::HashMap<JobId, usize>,
     finished: usize,
+    exhausted: usize,
 }
 
 impl JobRecordsManager {
@@ -101,12 +173,15 @@ impl JobRecordsManager {
         assert!(prev.is_none(), "duplicate arrival for job {:?}", job.id);
     }
 
-    /// Records dispatch: reservation time and partition.
-    pub fn record_start(&mut self, id: JobId, now: f64, parts: &[(DeviceId, u64)]) {
+    /// Records dispatch: reservation time and partition. Returns the
+    /// attempt number this dispatch is (1 on the first try).
+    pub fn record_start(&mut self, id: JobId, now: f64, parts: &[(DeviceId, u64)]) -> u32 {
         let r = self.get_mut(id);
         assert!(r.start.is_nan(), "job {id:?} started twice");
         r.start = now;
         r.parts = parts.iter().map(|&(d, a)| (d.0, a)).collect();
+        r.attempts += 1;
+        r.attempts
     }
 
     /// Records the end of quantum execution (before communication).
@@ -131,7 +206,43 @@ impl JobRecordsManager {
         r.finish = now;
         r.fidelity = fidelity;
         r.comm_seconds = comm_seconds;
+        r.final_status = FinalStatus::Completed;
         self.finished += 1;
+    }
+
+    /// Records that the job's in-flight attempt was killed (device crash)
+    /// or failed (execution fault) at `now` and the job is heading back to
+    /// the queue: accumulates the wasted qubit-seconds, then resets the
+    /// dispatch state so the next `record_start` is legal. The arrival
+    /// time is deliberately **not** touched — wait and slowdown keep
+    /// counting from first submission, so retried jobs aren't flattered.
+    ///
+    /// Returns the number of attempts consumed so far.
+    pub fn record_requeue(&mut self, id: JobId, now: f64) -> u32 {
+        let r = self.get_mut(id);
+        assert!(
+            r.start.is_finite(),
+            "job {id:?} requeued without being in flight"
+        );
+        assert!(r.finish.is_nan(), "job {id:?} requeued after finishing");
+        r.wasted_qubit_s += r.num_qubits as f64 * (now - r.start);
+        r.start = f64::NAN;
+        r.exec_end = f64::NAN;
+        r.parts.clear();
+        r.attempts
+    }
+
+    /// Records that the job has consumed every allowed attempt and leaves
+    /// the system unfinished — terminal, visible, never silently lost.
+    pub fn record_exhausted(&mut self, id: JobId) {
+        let r = self.get_mut(id);
+        assert!(r.finish.is_nan(), "job {id:?} exhausted after finishing");
+        assert!(
+            r.final_status == FinalStatus::Pending,
+            "job {id:?} exhausted twice"
+        );
+        r.final_status = FinalStatus::RetriesExhausted;
+        self.exhausted += 1;
     }
 
     fn get_mut(&mut self, id: JobId) -> &mut JobRecord {
@@ -155,6 +266,12 @@ impl JobRecordsManager {
     /// Number of completed jobs.
     pub fn finished_count(&self) -> usize {
         self.finished
+    }
+
+    /// Number of jobs whose lifecycle is over: completed plus
+    /// retries-exhausted. The simulation's termination condition.
+    pub fn terminal_count(&self) -> usize {
+        self.finished + self.exhausted
     }
 
     /// Consumes the manager, returning the records.
@@ -249,11 +366,12 @@ impl SummaryStats {
 pub fn records_to_csv(records: &[JobRecord]) -> String {
     let mut out = String::from(
         "job_id,num_qubits,depth,num_shots,two_qubit_gates,arrival,start,exec_end,finish,\
-         wait,turnaround,fidelity,comm_seconds,devices,bypassed\n",
+         wait,turnaround,fidelity,comm_seconds,devices,bypassed,attempts,wasted_qubit_s,\
+         final_status\n",
     );
     for r in records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.job_id.0,
             r.num_qubits,
             r.depth,
@@ -269,6 +387,9 @@ pub fn records_to_csv(records: &[JobRecord]) -> String {
             r.comm_seconds,
             r.device_count(),
             r.bypassed,
+            r.attempts,
+            r.wasted_qubit_s,
+            r.final_status,
         ));
     }
     out
@@ -380,11 +501,59 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("job_id,"));
         let fields: Vec<&str> = lines[1].split(',').collect();
-        assert_eq!(fields.len(), 15);
+        assert_eq!(fields.len(), 18);
         assert_eq!(fields[0], "7");
         assert_eq!(fields[13], "2"); // devices
         assert_eq!(fields[14], "0"); // bypassed
         assert_eq!(fields[9], "1"); // wait = 2.0 - 1.0
+        assert_eq!(fields[15], "1"); // attempts
+        assert_eq!(fields[16], "0"); // wasted_qubit_s
+        assert_eq!(fields[17], "completed");
+    }
+
+    #[test]
+    fn requeue_accumulates_waste_and_allows_restart() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 10.0));
+        assert_eq!(m.record_start(JobId(1), 20.0, &[(DeviceId(0), 190)]), 1);
+        // Killed at t = 50 after 30 s on 190 qubits.
+        assert_eq!(m.record_requeue(JobId(1), 50.0), 1);
+        let r = &m.records()[0];
+        assert_eq!(r.wasted_qubit_s, 190.0 * 30.0);
+        assert!(r.start.is_nan() && r.exec_end.is_nan() && r.parts.is_empty());
+        assert!(!r.terminal());
+        // Second attempt completes; wait still counts from first arrival.
+        assert_eq!(m.record_start(JobId(1), 100.0, &[(DeviceId(1), 190)]), 2);
+        m.record_finish(JobId(1), 160.0, 0.7, 0.0);
+        let r = &m.records()[0];
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.wait_time(), 90.0);
+        assert_eq!(r.final_status, FinalStatus::Completed);
+        assert_eq!(m.terminal_count(), 1);
+    }
+
+    #[test]
+    fn exhausted_jobs_are_terminal_but_not_finished() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        m.record_start(JobId(1), 1.0, &[(DeviceId(0), 190)]);
+        m.record_requeue(JobId(1), 2.0);
+        m.record_exhausted(JobId(1));
+        let r = &m.records()[0];
+        assert!(r.terminal() && !r.finished());
+        assert_eq!(r.final_status, FinalStatus::RetriesExhausted);
+        assert_eq!(m.finished_count(), 0);
+        assert_eq!(m.terminal_count(), 1);
+        let csv = records_to_csv(m.records());
+        assert!(csv.contains("retries_exhausted"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requeued without being in flight")]
+    fn requeue_of_idle_job_panics() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        m.record_requeue(JobId(1), 5.0);
     }
 
     #[test]

@@ -200,7 +200,7 @@ impl Scheduler for BackfillScheduler {
                 // under the shadow-time guard.
                 WaitReason::BackfillHold
             } else {
-                blocked_reason(head, &self.view)
+                blocked_reason(head, state, &self.view)
             };
             return SchedulingDecision {
                 dispatches,

@@ -33,6 +33,21 @@
 //! cannot see, so their promises are best-effort — exactly the EASY
 //! caveat.
 //!
+//! **Failures amend the invariant.** "Only moves earlier" assumes capacity
+//! never vanishes from the projection — true on fault-free traces, false
+//! the instant an unplanned crash ([`crate::faults`]) yanks a device out
+//! from under a standing promise. Repair is automatic and needs no special
+//! casing here: a crashed device is offline with no maintenance window, so
+//! [`CapacityTimeline::from_state`] excludes it from the rebuilt profile on
+//! the next consult; bookings re-reserved against the shrunken profile may
+//! drive it negative (the timeline is signed and assert-free by design),
+//! and a booking that no longer fits anywhere re-slots at
+//! `f64::INFINITY` — i.e. stays parked until capacity returns. Two weaker
+//! invariants survive, both proptest-pinned in `tests/chaos_proptests`:
+//! promises issued with **no failure event between decision and start**
+//! still hold, and no reservation ever targets an offline device (the
+//! profile simply cannot see one).
+//!
 //! With at most one waiting job there is nothing to protect and nothing to
 //! jump: on maintenance-free traces the discipline degenerates to EASY's
 //! dispatch stream bit for bit (also proptest-pinned).
@@ -251,7 +266,7 @@ impl Scheduler for ConservativeBackfillScheduler {
                 // no-delay guard.
                 WaitReason::BackfillHold
             } else {
-                blocked_reason(first, &self.view)
+                blocked_reason(first, state, &self.view)
             }
         };
         SchedulingDecision {

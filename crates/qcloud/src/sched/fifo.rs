@@ -93,7 +93,7 @@ impl Scheduler for FifoAdapter {
         let wait = if self.alive.is_empty() {
             WaitReason::QueueDrained
         } else {
-            blocked_reason(&queue[self.alive[0] as usize], &self.view)
+            blocked_reason(&queue[self.alive[0] as usize], state, &self.view)
         };
         SchedulingDecision {
             dispatches,
@@ -143,7 +143,7 @@ impl Scheduler for SnapshotAdapter {
                 };
             }
         }
-        SchedulingDecision::wait(blocked_reason(&queue[0], &view))
+        SchedulingDecision::wait(blocked_reason(&queue[0], state, &view))
     }
 
     fn name(&self) -> &str {
@@ -192,10 +192,22 @@ pub(super) fn validate_plan(
         .unwrap_or_else(|e| panic!("broker '{}' produced an invalid plan: {e}", broker.name()));
 }
 
-/// Classifies why `job` (the oldest undispatched job) is stuck.
-pub(super) fn blocked_reason(job: &QJob, view: &CloudView) -> WaitReason {
+/// Classifies why `job` (the oldest undispatched job) is stuck. When the
+/// online fleet falls short but the qubits idle on offline (crashed or
+/// in-maintenance) devices would cover the gap, the wait is blamed on the
+/// outage ([`WaitReason::DeviceOffline`]) rather than on load.
+pub(super) fn blocked_reason(job: &QJob, state: &CloudState, view: &CloudView) -> WaitReason {
     if view.total_free() < job.num_qubits {
-        WaitReason::InsufficientCapacity
+        let offline_extra: u64 = (0..state.len())
+            .map(|i| crate::device::DeviceId(i as u32))
+            .filter(|&d| state.is_offline(d))
+            .map(|d| state.actual_level(d))
+            .sum();
+        if offline_extra > 0 && view.total_free() + offline_extra >= job.num_qubits {
+            WaitReason::DeviceOffline
+        } else {
+            WaitReason::InsufficientCapacity
+        }
     } else {
         WaitReason::PolicyHold
     }

@@ -64,6 +64,12 @@ pub enum WaitReason {
     /// The head job is blocked and holds a backfill reservation; no queued
     /// job can run without risking a delay to the head's earliest start.
     BackfillHold,
+    /// The next job would fit if offline capacity were back: the fleet's
+    /// *online* free qubits fall short, but adding the qubits idle on
+    /// offline (crashed or in-maintenance) devices would cover the demand.
+    /// Distinguishes "the cloud is busy" from "the cloud is broken" in
+    /// fault telemetry.
+    DeviceOffline,
 }
 
 /// One job dispatch within a [`SchedulingDecision`] batch.
@@ -149,6 +155,9 @@ pub struct SchedTelemetry {
     /// Waits because backfilling could not proceed without delaying the
     /// protected head job.
     pub waits_backfill_hold: u64,
+    /// Waits where offline (crashed/maintenance) capacity was the
+    /// difference between blocking and fitting.
+    pub waits_device_offline: u64,
 }
 
 impl SchedTelemetry {
@@ -159,6 +168,7 @@ impl SchedTelemetry {
             WaitReason::InsufficientCapacity => self.waits_insufficient_capacity += 1,
             WaitReason::PolicyHold => self.waits_policy_hold += 1,
             WaitReason::BackfillHold => self.waits_backfill_hold += 1,
+            WaitReason::DeviceOffline => self.waits_device_offline += 1,
         }
     }
 
@@ -168,6 +178,7 @@ impl SchedTelemetry {
             + self.waits_insufficient_capacity
             + self.waits_policy_hold
             + self.waits_backfill_hold
+            + self.waits_device_offline
     }
 }
 
@@ -190,10 +201,12 @@ mod tests {
         t.count_wait(WaitReason::InsufficientCapacity);
         t.count_wait(WaitReason::PolicyHold);
         t.count_wait(WaitReason::BackfillHold);
+        t.count_wait(WaitReason::DeviceOffline);
         assert_eq!(t.waits_queue_drained, 1);
         assert_eq!(t.waits_insufficient_capacity, 2);
         assert_eq!(t.waits_policy_hold, 1);
         assert_eq!(t.waits_backfill_hold, 1);
-        assert_eq!(t.total_waits(), 5);
+        assert_eq!(t.waits_device_offline, 1);
+        assert_eq!(t.total_waits(), 6);
     }
 }

@@ -162,7 +162,7 @@ impl Scheduler for PriorityScheduler {
                 .find(|x| self.alive.contains(x))
                 .copied()
                 .expect("alive non-empty");
-            blocked_reason(&queue[first as usize], &self.view)
+            blocked_reason(&queue[first as usize], state, &self.view)
         };
         SchedulingDecision {
             dispatches,

@@ -331,6 +331,45 @@ impl CloudState {
         }
     }
 
+    /// Revokes **every** lease of `job` at time `now`, returning the
+    /// `(device, qubits)` parts that were freed — the crash/failure path:
+    /// the killed attempt never reaches its normal release, so the revoker
+    /// hands the freed parts back to the kernel containers itself
+    /// (mirroring the state/container split of reserve/withdraw). Levels
+    /// are restored immediately; a revocation on an offline (crashed)
+    /// device stays masked in the view exactly like a release. Returns an
+    /// empty vector if the job holds nothing (e.g. a crash victim in its
+    /// communication phase under [`ReleasePolicy::PerDevice`]).
+    pub fn revoke_job(&mut self, job: JobId, now: f64) -> Vec<(DeviceId, u64)> {
+        let mut freed = Vec::new();
+        let mut i = 0;
+        while i < self.leases.len() {
+            if self.leases[i].job == job {
+                let lease = self.leases.swap_remove(i);
+                let d = &mut self.devices[lease.device.index()];
+                assert!(
+                    d.level + lease.qubits <= d.capacity,
+                    "revocation overflows {:?}: {} + {} > {}",
+                    lease.device,
+                    d.level,
+                    lease.qubits,
+                    d.capacity
+                );
+                d.level += lease.qubits;
+                d.stats.record(now, d.level as f64);
+                let v = &mut self.view.devices[lease.device.index()];
+                if !d.offline {
+                    v.free = d.level;
+                    v.busy_fraction = busy_fraction(d.capacity, d.level);
+                }
+                freed.push((lease.device, lease.qubits));
+            } else {
+                i += 1;
+            }
+        }
+        freed
+    }
+
     /// Asserts that every reservation has been returned (end-of-run check:
     /// qubit conservation across the whole simulation).
     pub fn assert_all_released(&self) {
@@ -471,6 +510,49 @@ mod tests {
         }
         // Identical devices here: per-device releases coincide.
         assert_eq!(per_device[0].release_at, per_device[1].release_at);
+    }
+
+    #[test]
+    fn revoke_job_frees_every_lease_and_conserves_qubits() {
+        let mut st = CloudState::new(&specs(&[127, 127]), &SimParams::default());
+        let j = job(200);
+        st.reserve(&j, &[(DeviceId(0), 127), (DeviceId(1), 73)], 0.0);
+        let other = QJob {
+            id: JobId(2),
+            ..job(30)
+        };
+        st.reserve(&other, &[(DeviceId(1), 30)], 0.0);
+        // Crash revokes job 1 everywhere; job 2's lease survives.
+        let mut freed = st.revoke_job(j.id, 5.0);
+        freed.sort();
+        assert_eq!(freed, vec![(DeviceId(0), 127), (DeviceId(1), 73)]);
+        assert_eq!(st.leases().len(), 1);
+        assert_eq!(st.leases()[0].job, JobId(2));
+        assert_eq!(st.actual_level(DeviceId(0)), 127);
+        assert_eq!(st.actual_level(DeviceId(1)), 97);
+        // Revoking a job with no leases is a no-op.
+        assert!(st.revoke_job(j.id, 6.0).is_empty());
+        st.release(JobId(2), DeviceId(1), 30, 10.0);
+        st.assert_all_released();
+    }
+
+    #[test]
+    fn revoke_on_offline_device_stays_masked_until_recovery() {
+        let mut st = CloudState::new(&specs(&[100, 100]), &SimParams::default());
+        let j = job(60);
+        st.reserve(&j, &[(DeviceId(0), 60)], 0.0);
+        let off = OfflineFlags::new(2);
+        off.set_offline(0, true);
+        st.refresh(1.0, &off);
+        let freed = st.revoke_job(j.id, 1.0);
+        assert_eq!(freed, vec![(DeviceId(0), 60)]);
+        // True level restored, but the crashed device still advertises 0.
+        assert_eq!(st.actual_level(DeviceId(0)), 100);
+        assert_eq!(st.view().devices[0].free, 0);
+        off.set_offline(0, false);
+        st.refresh(2.0, &off);
+        assert_eq!(st.view().devices[0].free, 100);
+        st.assert_all_released();
     }
 
     #[test]

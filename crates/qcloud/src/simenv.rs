@@ -24,6 +24,37 @@
 //!   communication delay (Eq. 9), computes the final fidelity (Eqs. 4–8),
 //!   releases its qubits (into the containers *and* the lease-tracked
 //!   state), logs completion, and wakes the scheduler.
+//!
+//! ## Failure and recovery semantics
+//!
+//! [`QCloudSimEnv::install_faults`] arms a [`crate::faults::FaultScript`]:
+//! unplanned device crashes and per-job execution failures, both resolved
+//! deterministically from the script seed. Unlike maintenance windows —
+//! which are *scheduled* (on the [`crate::maintenance::MaintenanceCalendar`]
+//! the reservation timelines read) and drain gracefully — a crash is
+//! invisible to every lookahead and tears work down:
+//!
+//! * at the crash instant the device's offline flag is raised and **every
+//!   job holding a lease on it is killed**: its execution coroutines are
+//!   terminated mid-flight, all of its leases (on every device — the whole
+//!   distributed job dies) are revoked back into the state *and* the kernel
+//!   containers, and the scheduler is woken. A multi-device job whose
+//!   partition on the crashed device already released (per-device release,
+//!   shorter sub-job) survives: its quantum work there finished before the
+//!   crash, and the remaining communication is classical.
+//! * an execution failure fires at the end of a job's execution phase
+//!   (probability per [`crate::faults::FaultInjector::exec_failure`]) and
+//!   tears the attempt down the same way.
+//!
+//! Either way the job re-enters the pending queue (at the tail — it lost
+//! its place) through the [`crate::faults::RetryPolicy`]: after an
+//! exponential-backoff delay with deterministic jitter while attempts
+//! remain, or it is marked
+//! [`crate::records::FinalStatus::RetriesExhausted`] and leaves the system
+//! honestly. [`crate::records::JobRecord`] accumulates `attempts` and
+//! `wasted_qubit_s` across attempts; arrival is never touched, so waiting
+//! time and slowdown count from the *first* submission. Qubit conservation
+//! is asserted at teardown whenever every job reached a terminal state.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -34,12 +65,13 @@ use crate::broker::Broker;
 use crate::cloud::QCloud;
 use crate::config::SimParams;
 use crate::device::DeviceId;
+use crate::faults::{AvoidSet, FaultInjector, FaultScript, RetryPolicy};
 use crate::job::{JobId, QJob};
 use crate::model::fidelity::DeviceErrorRates;
 use crate::records::{JobRecord, JobRecordsManager, SummaryStats};
 use crate::sched::{CloudState, DeviceSpec, FifoAdapter, SchedTelemetry, Scheduler};
 use qcs_calibration::DeviceProfile;
-use qcs_desim::{ContainerId, Coroutine, Ctx, Effect, Simulation, Step};
+use qcs_desim::{ContainerId, Coroutine, Ctx, Effect, ProcessId, Simulation, Step};
 
 /// Static per-device data shared with coroutines.
 #[derive(Debug, Clone)]
@@ -51,6 +83,22 @@ struct DeviceStatic {
     name: String,
 }
 
+/// The armed fault machinery ([`QCloudSimEnv::install_faults`]).
+struct FaultState {
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    avoid: Option<AvoidSet>,
+}
+
+/// One in-flight job attempt, tracked only while faults are armed so a
+/// crash (or execution failure) can kill its coroutines and resubmit it.
+struct RunningJob {
+    job: QJob,
+    parts: Vec<(DeviceId, u64)>,
+    exec_pid: u32,
+    sub_pids: Vec<u32>,
+}
+
 /// State shared between the coroutines.
 struct SchedState {
     pending: std::collections::VecDeque<QJob>,
@@ -60,9 +108,80 @@ struct SchedState {
     telemetry: SchedTelemetry,
     total_jobs: usize,
     dispatched: usize,
+    /// In-flight attempts by job id; empty when `faults` is `None`.
+    running: std::collections::HashMap<u64, RunningJob>,
+    faults: Option<FaultState>,
 }
 
 type Shared = Arc<Mutex<SchedState>>;
+
+/// Tears down one failed job attempt and routes it through the retry
+/// policy: kills any of its execution coroutines still in flight, revokes
+/// every lease it still holds (state *and* kernel containers), records the
+/// requeue (or exhaustion), and schedules the resubmission. Shared by the
+/// crash path ([`CrashProc`], `kill_exec: true`) and the execution-failure
+/// path (the [`Executor`] failing itself, which terminates on its own —
+/// `kill_exec: false`). The caller wakes the scheduler afterwards.
+fn fail_and_requeue(
+    cx: &mut Ctx<'_>,
+    st: &mut SchedState,
+    shared: &Shared,
+    info: &[DeviceStatic],
+    scheduler_pid: &Arc<AtomicU32>,
+    job_id: u64,
+    kill_exec: bool,
+) {
+    let Some(run) = st.running.remove(&job_id) else {
+        return;
+    };
+    let now = cx.now();
+    if kill_exec {
+        cx.kill(ProcessId::from_raw(run.exec_pid));
+    }
+    // Sub-executors whose release event ties with this instant fire *after*
+    // it (spawn-order sequencing): their leases are still held and must be
+    // revoked. Already-finished sub-executors just return `false` here.
+    for &p in &run.sub_pids {
+        cx.kill(ProcessId::from_raw(p));
+    }
+    let freed = st.cloud_state.revoke_job(run.job.id, now);
+    if !freed.is_empty() {
+        let deposits: Vec<(ContainerId, u64)> = freed
+            .iter()
+            .map(|&(d, a)| (info[d.index()].container, a))
+            .collect();
+        cx.deposit_many(&deposits);
+    }
+    let faults = st
+        .faults
+        .as_ref()
+        .expect("failure path reached without faults armed");
+    let retry = faults.retry;
+    let seed = faults.injector.seed();
+    let avoid = faults.avoid.clone();
+    if retry.prefer_different_device {
+        if let Some(av) = &avoid {
+            av.record_failure(run.job.id, run.parts.iter().map(|&(d, _)| d));
+        }
+    }
+    let attempts = st.records.record_requeue(run.job.id, now);
+    if attempts < retry.max_attempts {
+        let delay = retry.backoff_seconds(seed, run.job.id, attempts);
+        cx.spawn_after(
+            delay,
+            Box::new(RetryProc {
+                job: Some(run.job),
+                shared: shared.clone(),
+                scheduler_pid: scheduler_pid.clone(),
+            }),
+        );
+    } else {
+        st.records.record_exhausted(run.job.id);
+        if let Some(av) = &avoid {
+            av.clear(run.job.id);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Coroutines
@@ -120,7 +239,10 @@ impl Coroutine for SchedulerProc {
         loop {
             let launches = {
                 let mut st = self.shared.lock();
-                if st.records.finished_count() == st.total_jobs {
+                // Terminal = completed or honestly out of retries: with
+                // faults armed an exhausted job never finishes but must not
+                // park the scheduler forever.
+                if st.records.terminal_count() == st.total_jobs {
                     return Step::Done;
                 }
                 if st.pending.is_empty() {
@@ -180,31 +302,33 @@ impl Coroutine for SchedulerProc {
                             );
                         }
                     }
-                    state.records.record_start(job.id, now, &d.parts);
+                    let attempt = state.records.record_start(job.id, now, &d.parts);
                     // Reserve in the incremental state (panics on any
                     // over-commitment — the no-double-reservation guard).
                     state.cloud_state.reserve(&job, &d.parts, now);
                     state.dispatched += 1;
                     state.telemetry.dispatched += 1;
-                    launches.push((job, d.parts));
+                    launches.push((job, d.parts, attempt));
                 }
                 let wait = decision.wait;
                 if let Some(reason) = wait {
                     state.telemetry.count_wait(reason);
                 }
+                let tracked = state.faults.is_some();
                 drop(st);
-                (launches, wait)
+                (launches, wait, tracked)
             };
 
-            let (launches, wait) = launches;
-            for (job, parts) in launches {
+            let (launches, wait, tracked) = launches;
+            for (job, parts, attempt) in launches {
                 let withdrawals: Vec<(ContainerId, u64)> = parts
                     .iter()
                     .map(|&(d, a)| (self.info[d.index()].container, a))
                     .collect();
                 let ok = cx.try_withdraw_many(&withdrawals);
                 assert!(ok, "validated plan failed to reserve (kernel bug)");
-                cx.spawn(Box::new(Executor {
+                let registration = tracked.then(|| (job.clone(), parts.clone()));
+                let exec_pid = cx.spawn(Box::new(Executor {
                     job,
                     parts,
                     info: self.info.clone(),
@@ -213,7 +337,20 @@ impl Coroutine for SchedulerProc {
                     scheduler_pid: self.scheduler_pid.clone(),
                     phase: 0,
                     comm_seconds: 0.0,
+                    attempt,
+                    tracked,
                 }));
+                if let Some((job, parts)) = registration {
+                    self.shared.lock().running.insert(
+                        job.id.0,
+                        RunningJob {
+                            job,
+                            parts,
+                            exec_pid: exec_pid.as_raw(),
+                            sub_pids: Vec::new(),
+                        },
+                    );
+                }
             }
             match wait {
                 // The discipline asked for an immediate re-consult (e.g. the
@@ -281,6 +418,10 @@ struct Executor {
     scheduler_pid: Arc<AtomicU32>,
     phase: u8,
     comm_seconds: f64,
+    /// 1-based attempt number (drives the failure draw and backoff).
+    attempt: u32,
+    /// Whether faults are armed (skips all registry work when not).
+    tracked: bool,
 }
 
 impl Coroutine for Executor {
@@ -303,8 +444,9 @@ impl Coroutine for Executor {
                     .collect();
                 let exec = durations.iter().fold(0.0f64, |a, &b| a.max(b));
                 if self.params.release == crate::config::ReleasePolicy::PerDevice {
+                    let mut sub_pids = Vec::new();
                     for (&(d, a), &dur) in self.parts.iter().zip(&durations) {
-                        cx.spawn(Box::new(SubExec {
+                        let pid = cx.spawn(Box::new(SubExec {
                             job: self.job.id,
                             device: d,
                             container: self.info[d.index()].container,
@@ -314,12 +456,42 @@ impl Coroutine for Executor {
                             scheduler_pid: self.scheduler_pid.clone(),
                             phase: 0,
                         }));
+                        sub_pids.push(pid.as_raw());
+                    }
+                    if self.tracked {
+                        // Register the sub-executors so a crash can kill
+                        // them before their releases fire.
+                        if let Some(run) = self.shared.lock().running.get_mut(&self.job.id.0) {
+                            run.sub_pids = sub_pids;
+                        }
                     }
                 }
                 self.phase = 1;
                 Step::Wait(Effect::Timeout(exec))
             }
             1 => {
+                if self.tracked {
+                    let mut st = self.shared.lock();
+                    let failed = st.faults.as_ref().is_some_and(|f| {
+                        f.injector
+                            .exec_failure(self.job.id, self.attempt, &self.parts)
+                    });
+                    if failed {
+                        fail_and_requeue(
+                            cx,
+                            &mut st,
+                            &self.shared,
+                            &self.info,
+                            &self.scheduler_pid,
+                            self.job.id.0,
+                            false,
+                        );
+                        drop(st);
+                        let pid = ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+                        cx.wake(pid);
+                        return Step::Done;
+                    }
+                }
                 self.shared
                     .lock()
                     .records
@@ -372,6 +544,12 @@ impl Coroutine for Executor {
                 }
                 st.records
                     .record_finish(self.job.id, cx.now(), fidelity, self.comm_seconds);
+                if self.tracked {
+                    st.running.remove(&self.job.id.0);
+                    if let Some(av) = st.faults.as_ref().and_then(|f| f.avoid.as_ref()) {
+                        av.clear(self.job.id);
+                    }
+                }
                 drop(st);
                 let pid =
                     qcs_desim::ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
@@ -384,6 +562,108 @@ impl Coroutine for Executor {
 
     fn label(&self) -> &str {
         "job-executor"
+    }
+}
+
+/// An unplanned device outage ([`crate::faults::CrashEvent`]): at `at` the
+/// device goes dark — offline flag up, every job leasing it killed and
+/// requeued — and after `down_for` seconds it silently returns. Unlike
+/// [`crate::maintenance::MaintenanceProc`] the outage is *not* on the
+/// maintenance calendar: no reservation timeline sees it coming, and while
+/// the device is down it is invisible to every lookahead (an offline device
+/// with no calendar window contributes nothing to the projection).
+struct CrashProc {
+    device: usize,
+    at: f64,
+    down_for: f64,
+    shared: Shared,
+    info: Arc<Vec<DeviceStatic>>,
+    offline: Arc<crate::maintenance::OfflineFlags>,
+    scheduler_pid: Arc<AtomicU32>,
+    phase: u8,
+}
+
+impl Coroutine for CrashProc {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Wait(Effect::Timeout((self.at - cx.now()).max(0.0)))
+            }
+            1 => {
+                self.offline.set_offline(self.device, true);
+                {
+                    let mut st = self.shared.lock();
+                    // Every job holding qubits here dies (sorted for a
+                    // deterministic kill order).
+                    let mut victims: Vec<u64> = st
+                        .cloud_state
+                        .leases()
+                        .iter()
+                        .filter(|l| l.device.index() == self.device)
+                        .map(|l| l.job.0)
+                        .collect();
+                    victims.sort_unstable();
+                    victims.dedup();
+                    for v in victims {
+                        fail_and_requeue(
+                            cx,
+                            &mut st,
+                            &self.shared,
+                            &self.info,
+                            &self.scheduler_pid,
+                            v,
+                            true,
+                        );
+                    }
+                    debug_assert!(
+                        st.cloud_state
+                            .leases()
+                            .iter()
+                            .all(|l| l.device.index() != self.device),
+                        "lease survived its device's crash"
+                    );
+                }
+                let pid = ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+                cx.wake(pid);
+                self.phase = 2;
+                Step::Wait(Effect::Timeout(self.down_for))
+            }
+            2 => {
+                self.offline.set_offline(self.device, false);
+                let pid = ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+                cx.wake(pid);
+                Step::Done
+            }
+            _ => unreachable!("crash resumed after completion"),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "device-crash"
+    }
+}
+
+/// Fires once when a failed job's backoff expires: the job rejoins the
+/// pending queue at the tail (it lost its place; its record — and so its
+/// arrival time — is untouched) and the scheduler is woken.
+struct RetryProc {
+    job: Option<QJob>,
+    shared: Shared,
+    scheduler_pid: Arc<AtomicU32>,
+}
+
+impl Coroutine for RetryProc {
+    fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+        let job = self.job.take().expect("retry resumed twice");
+        self.shared.lock().pending.push_back(job);
+        let pid = ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed));
+        cx.wake(pid);
+        Step::Done
+    }
+
+    fn label(&self) -> &str {
+        "job-retry"
     }
 }
 
@@ -426,6 +706,7 @@ pub struct QCloudSimEnv {
     strategy_name: String,
     scheduler_pid: Arc<AtomicU32>,
     offline: Arc<crate::maintenance::OfflineFlags>,
+    params: SimParams,
 }
 
 impl QCloudSimEnv {
@@ -511,6 +792,8 @@ impl QCloudSimEnv {
             telemetry: SchedTelemetry::default(),
             total_jobs,
             dispatched: 0,
+            running: std::collections::HashMap::new(),
+            faults: None,
         }));
 
         let scheduler_pid = Arc::new(AtomicU32::new(0));
@@ -545,6 +828,62 @@ impl QCloudSimEnv {
             strategy_name,
             scheduler_pid,
             offline,
+            params,
+        }
+    }
+
+    /// Arms a [`FaultScript`]: resolves the deterministic
+    /// [`FaultInjector`] against the fleet's calibration data, stores the
+    /// [`RetryPolicy`], and spawns one [`CrashProc`] per scripted outage.
+    /// See the module docs for the failure/recovery semantics.
+    ///
+    /// `avoid` wires prefer-different-device resubmission: pass the *same*
+    /// [`AvoidSet`] handle given to a
+    /// [`crate::faults::DeviceAvoidingBroker`] wrapping the scheduler's
+    /// policy, and each failed attempt masks the devices it died on from
+    /// the next placement. Without it (`None`),
+    /// [`RetryPolicy::prefer_different_device`] records nothing.
+    ///
+    /// Crash + maintenance overlapping on the same device is unsupported
+    /// (the offline flag is a shared toggle; whichever edge fires last
+    /// wins). Call before [`QCloudSimEnv::run`]; panics on an invalid
+    /// script or policy.
+    pub fn install_faults(
+        &mut self,
+        script: FaultScript,
+        retry: RetryPolicy,
+        avoid: Option<AvoidSet>,
+    ) {
+        script
+            .validate(self.info.len())
+            .expect("invalid fault script");
+        retry.validate().expect("invalid retry policy");
+        let profiles: Vec<DeviceProfile> = self
+            .cloud
+            .devices()
+            .iter()
+            .map(|d| d.profile.clone())
+            .collect();
+        let injector = FaultInjector::resolve(&script, &profiles, &self.params.error_weights);
+        self.shared.lock().faults = Some(FaultState {
+            injector,
+            retry,
+            avoid,
+        });
+        for c in &script.crashes {
+            // Deliberately no synchronous flag for `at == 0`: a crash is
+            // unplanned, so even a t=0 outage lands only when its event
+            // fires — after the first dispatch wave, which it then kills.
+            self.sim.spawn(Box::new(CrashProc {
+                device: c.device,
+                at: c.at,
+                down_for: c.down_for,
+                shared: self.shared.clone(),
+                info: self.info.clone(),
+                offline: self.offline.clone(),
+                scheduler_pid: self.scheduler_pid.clone(),
+                phase: 0,
+            }));
         }
     }
 
@@ -602,8 +941,9 @@ impl QCloudSimEnv {
             .expect("coroutines must have released the shared state")
             .into_inner();
         let records = state.records.into_records();
-        if records.iter().all(|r| r.finished()) {
-            // Qubit conservation: every reservation came back.
+        if records.iter().all(|r| r.terminal()) {
+            // Qubit conservation: every reservation came back — including
+            // those revoked from crashed devices and exhausted jobs.
             state.cloud_state.assert_all_released();
         }
         let summary = SummaryStats::from_records(self.strategy_name, &records);
@@ -1165,5 +1505,229 @@ mod tests {
         assert_eq!(res.telemetry.dispatched, 50);
         assert!(res.telemetry.decisions >= 1);
         assert!(res.telemetry.total_waits() >= 1, "the run must have idled");
+    }
+
+    // --- Fault injection and recovery ---------------------------------
+
+    use crate::config::ReleasePolicy;
+    use crate::faults::{AvoidSet, DeviceAvoidingBroker, FaultScript, RetryPolicy};
+    use crate::records::FinalStatus;
+
+    fn faulty_run(
+        spec: &str,
+        script: FaultScript,
+        retry: RetryPolicy,
+        release: ReleasePolicy,
+        seed: u64,
+    ) -> RunResult {
+        // All-at-zero batch: the fleet is saturated from the first wave,
+        // so a crash while work is in flight is guaranteed.
+        let jobs = jobs(40, seed);
+        let params = SimParams {
+            release,
+            ..SimParams::default()
+        };
+        let mut env = QCloudSimEnv::with_scheduler(
+            ibm_fleet(seed),
+            crate::policies::scheduler_by_name(spec, seed, 1).unwrap(),
+            jobs,
+            params,
+            seed,
+        );
+        env.install_faults(script, retry, None);
+        env.run()
+    }
+
+    #[test]
+    fn crash_conserves_qubits_under_every_discipline() {
+        // A mid-trace crash on a busy device under each discipline and both
+        // release policies: every job must end terminal (completed after
+        // retries — attempts are generous), all qubits must come back (the
+        // teardown assert fires on the all-terminal path), and jobs killed
+        // by the crash must carry their wasted work.
+        for spec in [
+            "speed",
+            "backfill+speed",
+            "conservative+speed",
+            "priority:sjf+speed",
+            "priority:aging+fair",
+            "conservative+fair",
+        ] {
+            for release in [ReleasePolicy::PerDevice, ReleasePolicy::AtJobEnd] {
+                // A t=0 crash lands right after the first dispatch wave
+                // (unplanned: its event is sequenced behind the wave).
+                let script = FaultScript::new(5).with_crash(0, 0.0, 1_500.0);
+                let retry = RetryPolicy {
+                    max_attempts: 8,
+                    ..RetryPolicy::default()
+                };
+                let res = faulty_run(spec, script, retry, release, 43);
+                assert!(
+                    res.records.iter().all(|r| r.terminal()),
+                    "{spec}/{release:?}: non-terminal job survived the run"
+                );
+                assert_eq!(
+                    res.summary.jobs_finished, 40,
+                    "{spec}/{release:?}: lost jobs"
+                );
+                // Note: a t=0 crash kills zero-elapsed attempts, so wasted
+                // qubit-seconds can legitimately be 0 here; the exec-failure
+                // test covers the wasted-work accounting.
+                let retried = res.records.iter().filter(|r| r.attempts > 1).count();
+                assert!(retried > 0, "{spec}/{release:?}: the crash killed nobody");
+            }
+        }
+    }
+
+    #[test]
+    fn exec_failures_retry_and_honestly_exhaust() {
+        // Brutal failure odds and a tight attempt cap: some jobs must
+        // exhaust. Nothing is lost — every record is terminal, exhausted
+        // jobs are flagged, and the QoS metrics see the waste.
+        let script = FaultScript::new(11).with_exec_failures(0.6);
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_s: 20.0,
+            ..RetryPolicy::default()
+        };
+        let res = faulty_run(
+            "backfill+speed",
+            script,
+            retry,
+            ReleasePolicy::PerDevice,
+            17,
+        );
+        assert!(res.records.iter().all(|r| r.terminal()));
+        let exhausted = res
+            .records
+            .iter()
+            .filter(|r| r.final_status == FinalStatus::RetriesExhausted)
+            .count();
+        assert!(exhausted > 0, "0.6 × 2 attempts must exhaust someone");
+        assert_eq!(
+            res.summary.jobs_finished + exhausted,
+            40,
+            "every job completes or exhausts"
+        );
+        for r in &res.records {
+            assert!(r.attempts >= 1 && r.attempts <= 2);
+            if r.final_status == FinalStatus::RetriesExhausted {
+                assert!(!r.finished());
+                assert!(r.wasted_qubit_s > 0.0, "exhausted with no wasted work");
+            }
+        }
+        let qos = crate::sla::QosReport::from_records(&res.records, Default::default());
+        assert!(qos.goodput < 1.0 && qos.goodput > 0.0);
+        assert!(qos.retry_rate > 0.0);
+        assert_eq!(qos.jobs_exhausted, exhausted);
+    }
+
+    #[test]
+    fn fault_runs_are_seed_deterministic() {
+        let mk = || {
+            let script = FaultScript::new(3)
+                .with_crash(1, 300.0, 900.0)
+                .with_exec_failures(0.15);
+            faulty_run(
+                "conservative+speed",
+                script,
+                RetryPolicy::default(),
+                ReleasePolicy::PerDevice,
+                29,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.records, b.records, "same script must replay bit-exact");
+        assert_eq!(a.telemetry, b.telemetry);
+    }
+
+    #[test]
+    fn empty_fault_script_changes_nothing() {
+        // Arming an empty script must leave the record stream bit-identical
+        // to the unarmed run (the registry bookkeeping is inert).
+        let jobs = fragmented_jobs(30, 71);
+        let plain = QCloudSimEnv::new(
+            ibm_fleet(71),
+            Box::new(SpeedBroker::new()),
+            jobs.clone(),
+            SimParams::default(),
+            71,
+        )
+        .run();
+        let mut env = QCloudSimEnv::new(
+            ibm_fleet(71),
+            Box::new(SpeedBroker::new()),
+            jobs,
+            SimParams::default(),
+            71,
+        );
+        env.install_faults(FaultScript::new(0), RetryPolicy::default(), None);
+        let armed = env.run();
+        assert_eq!(plain.records, armed.records);
+        assert_eq!(plain.telemetry, armed.telemetry);
+    }
+
+    #[test]
+    fn avoid_set_steers_resubmission_and_clears_on_completion() {
+        // prefer_different_device wiring: the same AvoidSet handle goes to
+        // the broker wrapper and install_faults. After the run every mask
+        // must be cleared (completion or exhaustion tidies up).
+        let avoid = AvoidSet::new();
+        let broker = Box::new(DeviceAvoidingBroker::new(
+            Box::new(SpeedBroker::new()),
+            avoid.clone(),
+        ));
+        let jobs = fragmented_jobs(30, 83);
+        let mut env = QCloudSimEnv::new(ibm_fleet(83), broker, jobs, SimParams::default(), 83);
+        let script = FaultScript::new(7).with_exec_failures(0.3);
+        let retry = RetryPolicy {
+            prefer_different_device: true,
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        env.install_faults(script, retry, Some(avoid.clone()));
+        let res = env.run();
+        assert!(res.records.iter().all(|r| r.terminal()));
+        assert!(
+            res.records.iter().any(|r| r.attempts > 1),
+            "p = 0.3 over 30 jobs must fail someone"
+        );
+        for r in &res.records {
+            assert_eq!(avoid.mask(r.job_id), 0, "mask leaked for {:?}", r.job_id);
+        }
+    }
+
+    #[test]
+    fn offline_wait_reason_reported_during_outage() {
+        // One job running on a crashed device, more arriving during the
+        // outage that need the whole fleet: the waits must be blamed on the
+        // outage, not on load.
+        let dist = JobDistribution {
+            qubits: (500, 550),
+            ..JobDistribution::default()
+        };
+        let jobs = crate::jobgen::poisson_arrivals(6, 0.005, &dist, 97);
+        let mut env = QCloudSimEnv::new(
+            ibm_fleet(97),
+            Box::new(SpeedBroker::new()),
+            jobs,
+            SimParams::default(),
+            97,
+        );
+        env.install_faults(
+            FaultScript::new(1).with_crash(0, 100.0, 20_000.0),
+            RetryPolicy {
+                max_attempts: 10,
+                ..RetryPolicy::default()
+            },
+            None,
+        );
+        let res = env.run();
+        assert!(res.records.iter().all(|r| r.terminal()));
+        assert!(
+            res.telemetry.waits_device_offline > 0,
+            "fleet-spanning jobs waiting out an outage must report DeviceOffline"
+        );
     }
 }

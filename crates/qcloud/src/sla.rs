@@ -14,7 +14,7 @@
 //! [`jain_fairness`] over per-job slowdowns — `1` when every job is
 //! stretched equally, `1/n` when one job absorbs all the queueing pain.
 
-use crate::records::JobRecord;
+use crate::records::{FinalStatus, JobRecord};
 use serde::{Deserialize, Serialize};
 
 /// Interpolated percentile (`p ∈ [0, 100]`) of an unsorted sample.
@@ -124,6 +124,20 @@ pub struct QosReport {
     /// Jain's fairness index over per-job slowdowns (`[1/n, 1]`; higher is
     /// fairer — queueing pain spread evenly instead of starving a few).
     pub fairness_jain: f64,
+    /// Useful qubit-seconds over total qubit-seconds consumed:
+    /// `useful / (useful + wasted)`, where useful is `qubits × (exec_end −
+    /// start)` summed over completed jobs and wasted sums
+    /// [`JobRecord::wasted_qubit_s`] over **all** records (killed and
+    /// failed attempts burn capacity whether or not the job eventually
+    /// finishes). `1.0` in a fault-free run.
+    pub goodput: f64,
+    /// Extra dispatch attempts per job: `Σ max(attempts − 1, 0) / n` over
+    /// all records. `0.0` in a fault-free run.
+    pub retry_rate: f64,
+    /// Total qubit-seconds burned by attempts that did not complete.
+    pub wasted_qubit_s: f64,
+    /// Jobs that exhausted their retry budget and left unfinished.
+    pub jobs_exhausted: usize,
 }
 
 impl QosReport {
@@ -149,6 +163,20 @@ impl QosReport {
         let bypass_max = finished.iter().map(|r| r.bypassed).max().unwrap_or(0);
         let bypass_total: u64 = finished.iter().map(|r| r.bypassed as u64).sum();
         let bypassed_jobs = finished.iter().filter(|r| r.bypassed > 0).count();
+        let useful: f64 = finished
+            .iter()
+            .filter(|r| r.exec_end.is_finite() && r.start.is_finite())
+            .map(|r| r.num_qubits as f64 * (r.exec_end - r.start))
+            .sum();
+        let wasted: f64 = records.iter().map(|r| r.wasted_qubit_s).sum();
+        let retries: u64 = records
+            .iter()
+            .map(|r| r.attempts.saturating_sub(1) as u64)
+            .sum();
+        let exhausted = records
+            .iter()
+            .filter(|r| r.final_status == FinalStatus::RetriesExhausted)
+            .count();
         QosReport {
             jobs: finished.len(),
             wait_p50: percentile(&waits, 50.0),
@@ -177,6 +205,18 @@ impl QosReport {
                 bypassed_jobs as f64 / finished.len() as f64
             },
             fairness_jain: jain_fairness(&slows),
+            goodput: if useful + wasted > 0.0 {
+                useful / (useful + wasted)
+            } else {
+                1.0
+            },
+            retry_rate: if records.is_empty() {
+                0.0
+            } else {
+                retries as f64 / records.len() as f64
+            },
+            wasted_qubit_s: wasted,
+            jobs_exhausted: exhausted,
         }
     }
 }
@@ -209,6 +249,13 @@ mod tests {
             comm_seconds: 3.8,
             parts: vec![(0, 75), (1, 75)],
             bypassed: 0,
+            attempts: 1,
+            wasted_qubit_s: 0.0,
+            final_status: if finish.is_finite() {
+                FinalStatus::Completed
+            } else {
+                FinalStatus::Pending
+            },
         }
     }
 
@@ -328,6 +375,34 @@ mod tests {
         let rep = QosReport::from_records(&records, DeadlinePolicy::default());
         assert_eq!(rep.jobs, 1);
         assert_eq!(rep.wait_p50, 0.0);
+    }
+
+    #[test]
+    fn goodput_and_retry_metrics_hand_computed() {
+        // Job A: clean run, 150 qubits × 10 s useful.
+        let a = record(0.0, 0.0, 10.0);
+        // Job B: one failed attempt wasting 300 qubit·s, then completes
+        // with 150 × 10 s useful work.
+        let mut b = record(0.0, 50.0, 60.0);
+        b.attempts = 2;
+        b.wasted_qubit_s = 300.0;
+        // Job C: exhausted after two failed attempts, 450 qubit·s wasted.
+        let mut c = record(0.0, f64::NAN, f64::NAN);
+        c.exec_end = f64::NAN;
+        c.attempts = 2;
+        c.wasted_qubit_s = 450.0;
+        c.final_status = FinalStatus::RetriesExhausted;
+        let rep = QosReport::from_records(&[a, b, c], DeadlinePolicy::default());
+        let useful = 2.0 * 150.0 * 10.0;
+        assert!((rep.goodput - useful / (useful + 750.0)).abs() < 1e-12);
+        assert!((rep.retry_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rep.wasted_qubit_s, 750.0);
+        assert_eq!(rep.jobs_exhausted, 1);
+        // Fault-free runs score perfect goodput.
+        let clean = QosReport::from_records(&[record(0.0, 0.0, 10.0)], DeadlinePolicy::default());
+        assert_eq!(clean.goodput, 1.0);
+        assert_eq!(clean.retry_rate, 0.0);
+        assert_eq!(clean.jobs_exhausted, 0);
     }
 
     #[test]

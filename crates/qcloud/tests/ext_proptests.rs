@@ -132,6 +132,9 @@ proptest! {
             comm_seconds: 0.0,
             parts: vec![(0, 75), (1, 75)],
             bypassed: 0,
+            attempts: 1,
+            wasted_qubit_s: 0.0,
+            final_status: qcs_qcloud::FinalStatus::Completed,
         };
         r.finish = wait + service;
         let bsld = bounded_slowdown(&r, tau);

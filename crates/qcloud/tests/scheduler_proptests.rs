@@ -197,6 +197,11 @@ proptest! {
     /// the generalisation of EASY's head-only protection to the whole
     /// queue. Runs with an optional random maintenance window, so the
     /// availability-aware (window-dodging) reservations are exercised too.
+    ///
+    /// This is the *fault-free* form of the invariant. Unplanned crashes
+    /// can void standing promises (capacity vanishes from the projection);
+    /// the amended form — promises with no failure event between decision
+    /// and start still hold — lives in `tests/chaos_proptests`.
     #[test]
     fn conservative_never_delays_any_reserved_start(
         seed in 1u64..500,
