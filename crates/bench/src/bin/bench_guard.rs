@@ -28,6 +28,12 @@
 //!   (recorded ≈ 0.87 — recovery must not burn more than a quarter of the
 //!   delivered qubit-seconds on wasted attempts) and retry rate ≥ 0.01
 //!   (the scenario must actually exercise the retry path);
+//! * service-mode front end (`service_1k` / `sharded_4x`): recorded
+//!   decision-latency p99 ≤ 50 µs (a ceiling, not a floor), sustained
+//!   service rate ≥ 5k jobs/s, the armed intake must have throttled at
+//!   least once, the sharded run must be complete and qubit-conserving,
+//!   and the 4-region decide-cost scaling over the monolithic scheduler
+//!   ≥ 1.5× (recorded ≈ 7.2×);
 //! * wide-GEMM-tile speedup over the 4×8 baseline ≥ 1.05× — only enforced
 //!   when the recording machine actually selected a wide kernel;
 //! * update-phase speedup at 4 workers ≥ 1.5× — only enforced when the
@@ -53,6 +59,18 @@ const FAULTY_GOODPUT_FLOOR: f64 = 0.75;
 /// Floor for `faulty_1k.conservative_speed.retry_rate`: the scenario must
 /// actually kill and resubmit jobs (recorded ≈ 0.11).
 const FAULTY_RETRY_RATE_FLOOR: f64 = 0.01;
+/// Ceiling for `service_1k.decide_p99_us`: the worst recorded per-call
+/// scheduler decision latency through the service front end (recorded
+/// ≈ 6.7 µs; ceiled with generous headroom for noisier recording hosts).
+const SERVICE_DECIDE_P99_CEILING_US: f64 = 50.0;
+/// Floor for `service_1k.sustained_jobs_per_sec`: terminal jobs per
+/// wall-clock second through the full service loop (recorded ≈ 2.5e5; the
+/// floor only rules out a collapse, not host-to-host variance).
+const SERVICE_SUSTAINED_FLOOR: f64 = 5_000.0;
+/// Floor for `sharded_4x.decide_cost_scaling`: mean decide cost on the
+/// monolithic 20-device scheduler over the 4-region sharded one
+/// (recorded ≈ 7.2×; sharding must keep individual decisions cheaper).
+const SHARDED_DECIDE_SCALING_FLOOR: f64 = 1.5;
 /// Floor for `gemm.tile_speedup` (wide tile vs 4×8 baseline).
 const TILE_SPEEDUP_FLOOR: f64 = 1.05;
 /// Floor for `update_phase.speedup_4_workers`.
@@ -99,6 +117,39 @@ impl Guard {
             Err(e) => {
                 println!("  FAIL {what}: {e}");
                 self.failures.push(format!("{what}: {e}"));
+            }
+        }
+    }
+
+    fn check_ceiling(&mut self, what: &str, value: Result<f64, String>, ceiling: f64) {
+        match value {
+            Ok(v) if v <= ceiling => println!("  ok   {what}: {v:.2} (ceiling {ceiling})"),
+            Ok(v) => {
+                println!("  FAIL {what}: {v:.2} above ceiling {ceiling}");
+                self.failures.push(format!("{what}: {v:.2} > {ceiling}"));
+            }
+            Err(e) => {
+                println!("  FAIL {what}: {e}");
+                self.failures.push(format!("{what}: {e}"));
+            }
+        }
+    }
+
+    fn check_true(&mut self, what: &str, root: &Value, path: &[&str]) {
+        let mut cur = Some(root);
+        for p in path {
+            cur = cur.and_then(|v| v.get_field(p));
+        }
+        match cur {
+            Some(Value::Bool(true)) => println!("  ok   {what}: true"),
+            Some(Value::Bool(false)) => {
+                println!("  FAIL {what}: false");
+                self.failures.push(format!("{what}: false"));
+            }
+            _ => {
+                let msg = format!("missing field `{}`", path.join("."));
+                println!("  FAIL {what}: {msg}");
+                self.failures.push(format!("{what}: {msg}"));
             }
         }
     }
@@ -261,6 +312,38 @@ fn main() {
                     }
                 }),
                 0.0,
+            );
+            // Service-mode front end: decision latency must stay bounded,
+            // the sustained service rate must not collapse, the armed
+            // intake must have actually throttled, and the sharded fleet
+            // must stay complete, conservation-respecting and cheaper per
+            // decide than the monolithic scheduler.
+            guard.check_ceiling(
+                "service decide p99 (µs)",
+                field_f64(&sched, &["service_1k", "decide_p99_us"]),
+                SERVICE_DECIDE_P99_CEILING_US,
+            );
+            guard.check(
+                "service sustained jobs/s",
+                field_f64(&sched, &["service_1k", "sustained_jobs_per_sec"]),
+                SERVICE_SUSTAINED_FLOOR,
+            );
+            guard.check(
+                "service intake exercised (throttle events)",
+                field_f64(&sched, &["service_1k", "throttle_events"]),
+                1.0,
+            );
+            guard.check_true("service run complete", &sched, &["service_1k", "complete"]);
+            guard.check_true("sharded run complete", &sched, &["sharded_4x", "complete"]);
+            guard.check_true(
+                "sharded run qubit-conserving",
+                &sched,
+                &["sharded_4x", "conserved"],
+            );
+            guard.check(
+                "sharded decide-cost scaling vs monolithic",
+                field_f64(&sched, &["sharded_4x", "decide_cost_scaling"]),
+                SHARDED_DECIDE_SCALING_FLOOR,
             );
         }
         Err(e) => guard.failures.push(e),

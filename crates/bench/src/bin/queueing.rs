@@ -52,7 +52,9 @@ fn main() {
 
     let mut csv = String::from(
         "rate,policy,wait_p50,wait_p95,wait_p99,mean_slowdown,mean_bsld,deadline_miss,\
-         fairness_jain,bypass_max,goodput,retry_rate,jobs_exhausted\n",
+         fairness_jain,bypass_max,goodput,retry_rate,jobs_exhausted,\
+         waits_queue_drained,waits_insufficient_capacity,waits_policy_hold,\
+         waits_backfill_hold,waits_device_offline,waits_admission_throttled\n",
     );
     for &rate in &rates {
         let arrivals = poisson_process(n_jobs, rate, seed);
@@ -101,8 +103,12 @@ fn main() {
                 format!("{:.3}", qos.goodput),
                 format!("{:.3}", qos.retry_rate),
             ]);
+            // Per-`WaitReason` scheduler-idle attribution: separates "the
+            // queue drained" from "work was held back" at a glance.
+            let t = &result.telemetry;
             csv.push_str(&format!(
-                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{},{:.4},{:.4},{}\n",
+                "{rate},{pol},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{},{:.4},{:.4},{},\
+                 {},{},{},{},{},{}\n",
                 qos.wait_p50,
                 qos.wait_p95,
                 qos.wait_p99,
@@ -113,7 +119,13 @@ fn main() {
                 qos.bypass_max,
                 qos.goodput,
                 qos.retry_rate,
-                qos.jobs_exhausted
+                qos.jobs_exhausted,
+                t.waits_queue_drained,
+                t.waits_insufficient_capacity,
+                t.waits_policy_hold,
+                t.waits_backfill_hold,
+                t.waits_device_offline,
+                t.waits_admission_throttled
             ));
         }
         println!("{}", table.render());

@@ -29,6 +29,6 @@ pub mod synth;
 pub use csv::{snapshot_from_csv, snapshot_to_csv};
 pub use data::{CalibrationSnapshot, QubitCalibration, TwoQubitGateCalibration};
 pub use drift::DriftModel;
-pub use profiles::{ibm_fleet, DeviceProfile, DeviceSpec};
+pub use profiles::{ibm_fleet, regional_fleet, DeviceProfile, DeviceSpec};
 pub use score::{error_score, ErrorScoreWeights};
 pub use synth::{synth_snapshot, SynthErrorRanges};

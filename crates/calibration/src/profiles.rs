@@ -128,6 +128,28 @@ pub fn ibm_fleet(seed: u64) -> Vec<DeviceProfile> {
         .collect()
 }
 
+/// A region-sharded fleet for service-mode studies: `regions` replicas of
+/// the paper's five-device fleet, each region materialised from its own
+/// derived seed (so calibrations differ between regions, as real sites
+/// would) with names prefixed `r<i>/` (e.g. `r2/ibm_kyiv`). Region `0` of
+/// `regional_fleet(n, s)` is **not** `ibm_fleet(s)` — the seed derivation
+/// mixes the region index first so no two regions alias.
+pub fn regional_fleet(regions: usize, seed: u64) -> Vec<Vec<DeviceProfile>> {
+    assert!(regions >= 1, "need at least one region");
+    (0..regions)
+        .map(|r| {
+            let region_seed = seed
+                .wrapping_add((r as u64 + 1) << 32)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            let mut fleet = ibm_fleet(region_seed);
+            for d in &mut fleet {
+                d.spec.name = format!("r{r}/{}", d.spec.name);
+            }
+            fleet
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +201,28 @@ mod tests {
         let b = ibm_fleet(7);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.calibration, y.calibration);
+        }
+    }
+
+    #[test]
+    fn regional_fleet_replicates_with_distinct_calibrations() {
+        let regions = regional_fleet(3, 42);
+        assert_eq!(regions.len(), 3);
+        for (r, fleet) in regions.iter().enumerate() {
+            assert_eq!(fleet.len(), 5);
+            assert_eq!(fleet[0].spec.name, format!("r{r}/ibm_strasbourg"));
+            for d in fleet {
+                assert_eq!(d.spec.num_qubits, 127);
+                d.calibration.validate().unwrap();
+            }
+        }
+        // Regions are replicas in shape but not in calibration draws.
+        assert_ne!(regions[0][0].calibration, regions[1][0].calibration);
+        // Deterministic across invocations.
+        let again = regional_fleet(3, 42);
+        for (a, b) in regions.iter().flatten().zip(again.iter().flatten()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.calibration, b.calibration);
         }
     }
 

@@ -188,6 +188,16 @@ impl Ctx<'_> {
         self.sim.wake(pid);
     }
 
+    /// Wakes several suspended processes in slice order. The order is part
+    /// of the contract: wakes enqueue resume events at the current time, so
+    /// callers fanning out to many waiters (e.g. a router finalising every
+    /// shard scheduler at once) get a deterministic resume sequence.
+    pub fn wake_many(&mut self, pids: &[ProcessId]) {
+        for &pid in pids {
+            self.sim.wake(pid);
+        }
+    }
+
     /// Interrupts another process: cancels its current wait (timeout,
     /// container request, or suspension) and reschedules it at the current
     /// time with its interrupted flag set. See [`Simulation::interrupt`].

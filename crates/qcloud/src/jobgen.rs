@@ -72,6 +72,73 @@ pub fn bimodal_arrivals(n: usize, rate: f64, big_every: usize, seed: u64) -> Vec
         .collect()
 }
 
+/// Generates a diurnal open-system trace: a non-homogeneous Poisson
+/// process whose instantaneous rate follows a sinusoidal day/night cycle,
+///
+/// ```text
+/// λ(t) = base_rate · (1 + amplitude · sin(2π t / period))
+/// ```
+///
+/// sampled by Lewis–Shedler thinning (draw candidate gaps at the peak rate
+/// `base_rate · (1 + amplitude)`, keep each candidate with probability
+/// `λ(t) / λ_peak`). Job bodies reuse the bimodal big/small mix (every
+/// `big_every`-th *accepted* job is the fleet-spanning long-runner), so the
+/// trace composes rush-hour load swings with the head-of-line-blocking
+/// stressor. This is the service-mode workload: daytime peaks push the
+/// intake queue past its admission watermark while the night trough lets
+/// it drain.
+///
+/// `amplitude` must lie in `[0, 1)` so the rate stays strictly positive.
+pub fn diurnal_arrivals(
+    n: usize,
+    base_rate: f64,
+    amplitude: f64,
+    period: f64,
+    big_every: usize,
+    seed: u64,
+) -> Vec<QJob> {
+    assert!(base_rate > 0.0, "arrival rate must be positive");
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "amplitude must be in [0, 1) to keep the rate positive"
+    );
+    assert!(period > 0.0, "period must be positive");
+    assert!(big_every >= 2, "big_every must leave room for small jobs");
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let peak = base_rate * (1.0 + amplitude);
+    let mut t = 0.0;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Candidate event of the homogeneous majorant process.
+        t += qcs_desim::dist::exponential(&mut rng, peak);
+        let lambda = base_rate * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin());
+        if rng.next_f64() * peak >= lambda {
+            continue; // thinned: candidate fell in a trough
+        }
+        let i = out.len();
+        out.push(if i % big_every == big_every - 1 {
+            QJob {
+                id: JobId(i as u64),
+                num_qubits: 250,
+                depth: 15,
+                num_shots: 100_000,
+                two_qubit_gates: 900,
+                arrival_time: t,
+            }
+        } else {
+            QJob {
+                id: JobId(i as u64),
+                num_qubits: rng.range_u64(20, 60),
+                depth: 8,
+                num_shots: rng.range_u64(10_000, 30_000),
+                two_qubit_gates: 100,
+                arrival_time: t,
+            }
+        });
+    }
+    out
+}
+
 /// Generates bursty arrivals: `bursts` groups of `per_burst` jobs, the
 /// groups separated by `gap` seconds (jobs within a burst arrive together).
 pub fn bursty_arrivals(
@@ -166,6 +233,54 @@ mod tests {
         assert!(jobs[..4].iter().all(|j| j.arrival_time == 0.0));
         assert!(jobs[4..8].iter().all(|j| j.arrival_time == 100.0));
         assert!(jobs[8..].iter().all(|j| j.arrival_time == 200.0));
+    }
+
+    #[test]
+    fn diurnal_modulates_rate_and_validates() {
+        let period = 86_400.0;
+        let jobs = diurnal_arrivals(4_000, 0.05, 0.8, period, 4, 7);
+        assert_eq!(jobs.len(), 4_000);
+        validate_jobs(&jobs, 635).unwrap();
+        // Ids dense, arrivals strictly increasing, mix preserved.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival_time > w[0].arrival_time);
+        }
+        let big = jobs.iter().filter(|j| j.num_qubits == 250).count();
+        assert_eq!(big, 1_000, "every 4th job is fleet-spanning");
+        // Day/night modulation: the sine's positive half-period (day) must
+        // hold clearly more arrivals than the negative half (night).
+        let (mut day, mut night) = (0usize, 0usize);
+        for j in &jobs {
+            if (std::f64::consts::TAU * j.arrival_time / period).sin() >= 0.0 {
+                day += 1;
+            } else {
+                night += 1;
+            }
+        }
+        assert!(
+            day as f64 > 1.5 * night as f64,
+            "no diurnal swing: {day} day vs {night} night arrivals"
+        );
+        // Long-run mean rate matches base_rate (thinning preserves it).
+        let t_last = jobs.last().unwrap().arrival_time;
+        let rate = jobs.len() as f64 / t_last;
+        assert!((rate - 0.05).abs() < 0.005, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_is_deterministic() {
+        let a = diurnal_arrivals(200, 0.1, 0.5, 3_600.0, 5, 11);
+        let b = diurnal_arrivals(200, 0.1, 0.5, 3_600.0, 5, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must be in [0, 1)")]
+    fn diurnal_rejects_full_amplitude() {
+        diurnal_arrivals(10, 0.1, 1.0, 3_600.0, 4, 1);
     }
 
     #[test]

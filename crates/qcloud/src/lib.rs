@@ -26,6 +26,9 @@
 //! * [`simenv::QCloudSimEnv`] — orchestration: arrival process, scheduler
 //!   loop, atomic multi-device reservation, parallel execution,
 //!   inter-device communication, release;
+//! * [`service`] — the open-system front end: admission-controlled intake,
+//!   region-sharded fleets behind a routing layer, and wall-clock
+//!   decision-latency / sustained-throughput metrics;
 //! * [`gym::QCloudGymEnv`] — the Gymnasium-style single-step training
 //!   environment of §4.1 (16-dim state, 5-dim continuous action).
 
@@ -46,6 +49,7 @@ pub mod partition;
 pub mod policies;
 pub mod records;
 pub mod sched;
+pub mod service;
 pub mod simenv;
 pub mod sla;
 
@@ -71,6 +75,10 @@ pub use sched::{
     BackfillScheduler, CloudState, ConservativeBackfillScheduler, Dispatch, FifoAdapter,
     PriorityDiscipline, PriorityScheduler, SchedTelemetry, Scheduler, SchedulingDecision,
     SnapshotAdapter, WaitReason,
+};
+pub use service::{
+    AdmissionDecision, AdmissionPolicy, AdmissionTelemetry, LatencySummary, RejectReason,
+    RoutingPolicy, ServiceConfig, ServiceHarness, ServiceOutcome, ServiceReport,
 };
 pub use simenv::QCloudSimEnv;
 pub use sla::{bounded_slowdown, jain_fairness, percentile, slowdown, DeadlinePolicy, QosReport};

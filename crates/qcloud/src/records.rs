@@ -17,6 +17,11 @@ pub enum FinalStatus {
     /// left the system without finishing. Counted as *terminal* — a run
     /// with exhausted jobs is complete, not deadlocked.
     RetriesExhausted,
+    /// Turned away at the service-mode intake (queue full or throttled
+    /// out) before ever reaching the pending queue. Terminal: rejected
+    /// jobs are accounted, never silently dropped. Only produced by the
+    /// [`crate::service`] front end — batch replays admit everything.
+    Rejected,
 }
 
 impl std::fmt::Display for FinalStatus {
@@ -25,6 +30,7 @@ impl std::fmt::Display for FinalStatus {
             FinalStatus::Pending => "pending",
             FinalStatus::Completed => "completed",
             FinalStatus::RetriesExhausted => "retries_exhausted",
+            FinalStatus::Rejected => "rejected",
         })
     }
 }
@@ -69,6 +75,9 @@ pub struct JobRecord {
     /// Dispatch attempts so far (0 until first dispatch; > 1 only when a
     /// crash or execution fault forced a retry).
     pub attempts: u32,
+    /// Times the service-mode intake throttled this job (deferred its
+    /// admission by one backoff round); 0 in batch replays.
+    pub throttled: u32,
     /// Qubit-seconds burned by attempts that did not complete (qubits held
     /// × seconds held, summed over killed/failed attempts) — the numerator
     /// of the goodput gap in [`crate::sla::QosReport`].
@@ -95,6 +104,7 @@ impl PartialEq for JobRecord {
             && self.parts == other.parts
             && self.bypassed == other.bypassed
             && self.attempts == other.attempts
+            && self.throttled == other.throttled
             && t(self.wasted_qubit_s, other.wasted_qubit_s)
             && self.final_status == other.final_status
     }
@@ -117,6 +127,7 @@ impl JobRecord {
             parts: Vec::new(),
             bypassed: 0,
             attempts: 0,
+            throttled: 0,
             wasted_qubit_s: 0.0,
             final_status: FinalStatus::Pending,
         }
@@ -157,6 +168,7 @@ pub struct JobRecordsManager {
     index: std::collections::HashMap<JobId, usize>,
     finished: usize,
     exhausted: usize,
+    rejected: usize,
 }
 
 impl JobRecordsManager {
@@ -245,6 +257,27 @@ impl JobRecordsManager {
         self.exhausted += 1;
     }
 
+    /// Records one intake throttle round suffered by `id` while it waited
+    /// for admission (service mode).
+    pub fn record_throttle(&mut self, id: JobId) {
+        let r = self.get_mut(id);
+        debug_assert!(r.start.is_nan(), "throttle recorded after dispatch");
+        r.throttled += 1;
+    }
+
+    /// Records that the intake turned the job away for good — terminal
+    /// without ever dispatching (service mode).
+    pub fn record_rejected(&mut self, id: JobId) {
+        let r = self.get_mut(id);
+        assert!(r.start.is_nan(), "job {id:?} rejected after dispatch");
+        assert!(
+            r.final_status == FinalStatus::Pending,
+            "job {id:?} rejected twice"
+        );
+        r.final_status = FinalStatus::Rejected;
+        self.rejected += 1;
+    }
+
     fn get_mut(&mut self, id: JobId) -> &mut JobRecord {
         let idx = *self
             .index
@@ -268,10 +301,15 @@ impl JobRecordsManager {
         self.finished
     }
 
-    /// Number of jobs whose lifecycle is over: completed plus
-    /// retries-exhausted. The simulation's termination condition.
+    /// Number of jobs whose lifecycle is over: completed, retries-exhausted,
+    /// or rejected at intake. The simulation's termination condition.
     pub fn terminal_count(&self) -> usize {
-        self.finished + self.exhausted
+        self.finished + self.exhausted + self.rejected
+    }
+
+    /// Number of jobs the service-mode intake rejected.
+    pub fn rejected_count(&self) -> usize {
+        self.rejected
     }
 
     /// Consumes the manager, returning the records.
@@ -366,12 +404,12 @@ impl SummaryStats {
 pub fn records_to_csv(records: &[JobRecord]) -> String {
     let mut out = String::from(
         "job_id,num_qubits,depth,num_shots,two_qubit_gates,arrival,start,exec_end,finish,\
-         wait,turnaround,fidelity,comm_seconds,devices,bypassed,attempts,wasted_qubit_s,\
-         final_status\n",
+         wait,turnaround,fidelity,comm_seconds,devices,bypassed,attempts,throttled,\
+         wasted_qubit_s,final_status\n",
     );
     for r in records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.job_id.0,
             r.num_qubits,
             r.depth,
@@ -388,6 +426,7 @@ pub fn records_to_csv(records: &[JobRecord]) -> String {
             r.device_count(),
             r.bypassed,
             r.attempts,
+            r.throttled,
             r.wasted_qubit_s,
             r.final_status,
         ));
@@ -501,14 +540,42 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("job_id,"));
         let fields: Vec<&str> = lines[1].split(',').collect();
-        assert_eq!(fields.len(), 18);
+        assert_eq!(fields.len(), 19);
         assert_eq!(fields[0], "7");
         assert_eq!(fields[13], "2"); // devices
         assert_eq!(fields[14], "0"); // bypassed
         assert_eq!(fields[9], "1"); // wait = 2.0 - 1.0
         assert_eq!(fields[15], "1"); // attempts
-        assert_eq!(fields[16], "0"); // wasted_qubit_s
-        assert_eq!(fields[17], "completed");
+        assert_eq!(fields[16], "0"); // throttled
+        assert_eq!(fields[17], "0"); // wasted_qubit_s
+        assert_eq!(fields[18], "completed");
+    }
+
+    #[test]
+    fn rejected_jobs_are_terminal_and_exported() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        m.record_throttle(JobId(1));
+        m.record_throttle(JobId(1));
+        m.record_rejected(JobId(1));
+        let r = &m.records()[0];
+        assert!(r.terminal() && !r.finished());
+        assert_eq!(r.throttled, 2);
+        assert_eq!(r.final_status, FinalStatus::Rejected);
+        assert_eq!(m.finished_count(), 0);
+        assert_eq!(m.rejected_count(), 1);
+        assert_eq!(m.terminal_count(), 1);
+        let csv = records_to_csv(m.records());
+        assert!(csv.lines().nth(1).unwrap().ends_with("rejected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected after dispatch")]
+    fn reject_of_dispatched_job_panics() {
+        let mut m = JobRecordsManager::new();
+        m.record_arrival(&job(1, 0.0));
+        m.record_start(JobId(1), 1.0, &[(DeviceId(0), 190)]);
+        m.record_rejected(JobId(1));
     }
 
     #[test]

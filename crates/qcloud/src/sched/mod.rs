@@ -70,6 +70,11 @@ pub enum WaitReason {
     /// Distinguishes "the cloud is busy" from "the cloud is broken" in
     /// fault telemetry.
     DeviceOffline,
+    /// The pending queue is empty but the service-mode intake throttle
+    /// still holds jobs awaiting re-offer: the scheduler is idle because
+    /// admission control deferred work, not because traffic ran dry.
+    /// Never reported in closed batch replays (no intake layer).
+    AdmissionThrottled,
 }
 
 /// One job dispatch within a [`SchedulingDecision`] batch.
@@ -158,6 +163,9 @@ pub struct SchedTelemetry {
     /// Waits where offline (crashed/maintenance) capacity was the
     /// difference between blocking and fitting.
     pub waits_device_offline: u64,
+    /// Waits where the queue was empty only because the service-mode
+    /// intake throttle was holding jobs back (open-system runs only).
+    pub waits_admission_throttled: u64,
 }
 
 impl SchedTelemetry {
@@ -169,6 +177,7 @@ impl SchedTelemetry {
             WaitReason::PolicyHold => self.waits_policy_hold += 1,
             WaitReason::BackfillHold => self.waits_backfill_hold += 1,
             WaitReason::DeviceOffline => self.waits_device_offline += 1,
+            WaitReason::AdmissionThrottled => self.waits_admission_throttled += 1,
         }
     }
 
@@ -179,6 +188,7 @@ impl SchedTelemetry {
             + self.waits_policy_hold
             + self.waits_backfill_hold
             + self.waits_device_offline
+            + self.waits_admission_throttled
     }
 }
 
@@ -202,11 +212,13 @@ mod tests {
         t.count_wait(WaitReason::PolicyHold);
         t.count_wait(WaitReason::BackfillHold);
         t.count_wait(WaitReason::DeviceOffline);
+        t.count_wait(WaitReason::AdmissionThrottled);
         assert_eq!(t.waits_queue_drained, 1);
         assert_eq!(t.waits_insufficient_capacity, 2);
         assert_eq!(t.waits_policy_hold, 1);
         assert_eq!(t.waits_backfill_hold, 1);
         assert_eq!(t.waits_device_offline, 1);
-        assert_eq!(t.total_waits(), 6);
+        assert_eq!(t.waits_admission_throttled, 1);
+        assert_eq!(t.total_waits(), 7);
     }
 }

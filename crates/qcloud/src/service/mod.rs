@@ -1,0 +1,56 @@
+//! # Service-mode front end: open traffic over sharded scheduler loops
+//!
+//! Every other harness in this repo is a *closed batch replay*: the whole
+//! job vector is materialised up front, a generator releases it, and the
+//! run ends when the backlog drains. This module turns the same scheduler
+//! disciplines into a long-running *open system* — the ROADMAP's
+//! production-service north star — with three cleanly separated layers:
+//!
+//! * **Intake** ([`AdmissionPolicy`], [`AdmissionTelemetry`]) — the front
+//!   door. Each arriving job is offered against the target shard's
+//!   pending-queue depth and deterministically **accepted**, **throttled**
+//!   (parked in a backoff coroutine and re-offered, at most
+//!   `max_throttle_attempts` times) or **rejected with a reason**
+//!   ([`RejectReason`]), ending as
+//!   [`crate::records::FinalStatus::Rejected`]. Admission never loses a
+//!   job silently: `accepted + rejected == submitted` is a checked
+//!   invariant, and rejected/throttled jobs stay visible in the records
+//!   (`throttled` counter, CSV `final_status` column). The scheduler side
+//!   shows up as [`crate::sched::WaitReason::AdmissionThrottled`] when its
+//!   queue is empty *because* the intake is holding work back.
+//!
+//! * **Scheduler loop** (per shard) — unchanged from the batch
+//!   environment: the same `SchedulerProc` drives any
+//!   [`crate::sched::Scheduler`] discipline over the shard's pending
+//!   queue. The service layer wraps each discipline in an
+//!   [`InstrumentedScheduler`] that wall-clocks every `decide` call, so a
+//!   run reports decision-latency p50/p99 ([`LatencySummary`]) and
+//!   sustained jobs/s alongside the sim-time QoS numbers. Timings never
+//!   feed back into the simulation — the record stream remains
+//!   bit-for-bit seed-replayable.
+//!
+//! * **Router** ([`RoutingPolicy`]) — the fleet front. Devices are
+//!   partitioned into *regions*, one scheduler instance per region, all
+//!   hosted on **one** `qcs-desim` kernel (a
+//!   [`crate::cloud::QCloud`] per region registers its own containers).
+//!   The router releases arrivals at their timestamps, filters regions
+//!   that can hold the job at all, and picks one by hash, least-loaded or
+//!   affinity policy; only then does admission run against that shard. On
+//!   partitionable traces the sharded system provably produces a
+//!   complete, conservation-respecting terminal job set
+//!   ([`ServiceOutcome::verify_complete`] plus the per-shard teardown
+//!   assertion), pinned by proptests and a golden fingerprint.
+//!
+//! [`ServiceHarness`] wires the three layers together;
+//! [`ServiceOutcome`]/[`ServiceReport`] carry per-shard
+//! [`crate::simenv::RunResult`]s plus the service-level metrics.
+
+mod admission;
+mod harness;
+mod latency;
+mod router;
+
+pub use admission::{AdmissionDecision, AdmissionPolicy, AdmissionTelemetry, RejectReason};
+pub use harness::{ServiceConfig, ServiceHarness, ServiceOutcome, ServiceReport};
+pub use latency::{InstrumentedScheduler, LatencySamples, LatencySummary};
+pub use router::{RoutingPolicy, ShardLoad};

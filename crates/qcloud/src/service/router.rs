@@ -1,0 +1,180 @@
+//! Fleet routing: picks the region shard that serves each arriving job.
+//!
+//! The router sees a per-shard [`ShardLoad`] snapshot (taken under the
+//! shard locks at the arrival instant) and must pick among the *feasible*
+//! shards — those whose total fleet capacity can hold the job at all.
+//! Routing is deterministic: ties break towards the lowest region index,
+//! and the hash policy uses a fixed integer mix of the job id, so a
+//! seeded service run replays its placement exactly.
+
+use crate::job::QJob;
+use serde::{Deserialize, Serialize};
+
+/// Load snapshot of one region shard at a routing instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardLoad {
+    /// Jobs in the shard's pending queue.
+    pub queue_depth: usize,
+    /// Free (unreserved, online) qubits right now.
+    pub free_qubits: u64,
+    /// Total fleet capacity of the region (static).
+    pub total_capacity: u64,
+}
+
+/// How the top-level router spreads traffic over region shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Stateless splitmix64 hash of the job id over the feasible shards —
+    /// uniform spread, no load feedback.
+    Hash,
+    /// The feasible shard with the shortest pending queue (ties: most
+    /// free qubits, then lowest region index).
+    LeastLoaded,
+    /// Jobs of the same size class stick to the same shard (qubit demand
+    /// divided by 64 selects the class) — the cache/calibration-affinity
+    /// analogue: repeat customers land where their circuits were tuned.
+    Affinity,
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoutingPolicy::Hash => "hash",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::Affinity => "affinity",
+        })
+    }
+}
+
+/// Parses `hash` / `least-loaded` / `affinity`.
+impl std::str::FromStr for RoutingPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hash" => Ok(RoutingPolicy::Hash),
+            "least-loaded" | "least_loaded" => Ok(RoutingPolicy::LeastLoaded),
+            "affinity" => Ok(RoutingPolicy::Affinity),
+            other => Err(format!("unknown routing policy '{other}'")),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl RoutingPolicy {
+    /// Picks the shard for `job`, or `None` when no region can ever hold
+    /// it (infeasible everywhere — the harness validates this away up
+    /// front, so `None` is a caller bug in practice).
+    pub fn route(&self, job: &QJob, loads: &[ShardLoad]) -> Option<usize> {
+        let feasible: Vec<usize> = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.total_capacity >= job.num_qubits)
+            .map(|(i, _)| i)
+            .collect();
+        if feasible.is_empty() {
+            return None;
+        }
+        Some(match self {
+            RoutingPolicy::Hash => {
+                feasible[(splitmix64(job.id.0) % feasible.len() as u64) as usize]
+            }
+            RoutingPolicy::LeastLoaded => feasible
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    loads[a]
+                        .queue_depth
+                        .cmp(&loads[b].queue_depth)
+                        .then(loads[b].free_qubits.cmp(&loads[a].free_qubits))
+                        .then(a.cmp(&b))
+                })
+                .expect("feasible set is non-empty"),
+            RoutingPolicy::Affinity => feasible[(job.num_qubits / 64) as usize % feasible.len()],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    fn job(id: u64, qubits: u64) -> QJob {
+        QJob {
+            id: JobId(id),
+            num_qubits: qubits,
+            depth: 10,
+            num_shots: 10_000,
+            two_qubit_gates: 100,
+            arrival_time: 0.0,
+        }
+    }
+
+    fn loads(depths: &[usize]) -> Vec<ShardLoad> {
+        depths
+            .iter()
+            .map(|&d| ShardLoad {
+                queue_depth: d,
+                free_qubits: 635,
+                total_capacity: 635,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let l = loads(&[0, 0, 0, 0]);
+        let mut hits = [0usize; 4];
+        for id in 0..400 {
+            let s = RoutingPolicy::Hash.route(&job(id, 100), &l).unwrap();
+            assert_eq!(s, RoutingPolicy::Hash.route(&job(id, 100), &l).unwrap());
+            hits[s] += 1;
+        }
+        // A uniform mix should land a sizeable share everywhere.
+        assert!(hits.iter().all(|&h| h > 50), "skewed spread: {hits:?}");
+    }
+
+    #[test]
+    fn least_loaded_picks_shortest_queue_with_index_ties() {
+        let l = loads(&[5, 2, 2, 9]);
+        assert_eq!(
+            RoutingPolicy::LeastLoaded.route(&job(1, 100), &l),
+            Some(1),
+            "shortest queue, lowest index on tie"
+        );
+        // Free qubits break a depth tie before the index does.
+        let mut l = loads(&[3, 3]);
+        l[1].free_qubits = 700;
+        l[1].total_capacity = 700;
+        assert_eq!(RoutingPolicy::LeastLoaded.route(&job(1, 100), &l), Some(1));
+    }
+
+    #[test]
+    fn affinity_is_sticky_per_size_class() {
+        let l = loads(&[0, 0, 0]);
+        let a = RoutingPolicy::Affinity.route(&job(1, 130), &l).unwrap();
+        let b = RoutingPolicy::Affinity.route(&job(99, 140), &l).unwrap();
+        assert_eq!(a, b, "same 64-qubit class routes together");
+        let c = RoutingPolicy::Affinity.route(&job(2, 250), &l).unwrap();
+        assert_ne!(a, c, "distant class lands elsewhere");
+    }
+
+    #[test]
+    fn infeasible_shards_are_skipped() {
+        let mut l = loads(&[0, 9]);
+        l[0].total_capacity = 100; // too small for a 200-qubit job
+        assert_eq!(
+            RoutingPolicy::LeastLoaded.route(&job(1, 200), &l),
+            Some(1),
+            "deep but feasible beats shallow but too small"
+        );
+        l[1].total_capacity = 100;
+        assert_eq!(RoutingPolicy::Hash.route(&job(1, 200), &l), None);
+    }
+}

@@ -75,12 +75,12 @@ use qcs_desim::{ContainerId, Coroutine, Ctx, Effect, ProcessId, Simulation, Step
 
 /// Static per-device data shared with coroutines.
 #[derive(Debug, Clone)]
-struct DeviceStatic {
-    container: ContainerId,
+pub(crate) struct DeviceStatic {
+    pub(crate) container: ContainerId,
     error_rates: DeviceErrorRates,
     clops: f64,
     qv_layers: f64,
-    name: String,
+    pub(crate) name: String,
 }
 
 /// The armed fault machinery ([`QCloudSimEnv::install_faults`]).
@@ -99,21 +99,31 @@ struct RunningJob {
     sub_pids: Vec<u32>,
 }
 
-/// State shared between the coroutines.
-struct SchedState {
-    pending: std::collections::VecDeque<QJob>,
-    scheduler: Box<dyn Scheduler>,
-    cloud_state: CloudState,
-    records: JobRecordsManager,
-    telemetry: SchedTelemetry,
-    total_jobs: usize,
+/// State shared between the coroutines. `pub(crate)` so the
+/// [`crate::service`] front end can drive a shard's queue through the same
+/// loop the batch environment uses.
+pub(crate) struct SchedState {
+    pub(crate) pending: std::collections::VecDeque<QJob>,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) cloud_state: CloudState,
+    pub(crate) records: JobRecordsManager,
+    pub(crate) telemetry: SchedTelemetry,
+    /// Jobs this shard must drive to a terminal state before its scheduler
+    /// loop may exit. Batch runs fix it at construction; service mode
+    /// starts it at `usize::MAX` (stream still open) and the router
+    /// finalises it once the arrival stream is exhausted.
+    pub(crate) total_jobs: usize,
     dispatched: usize,
+    /// Jobs the service-mode intake throttle is holding for re-offer:
+    /// while non-zero, an empty pending queue means "admission deferred
+    /// work", not "traffic ran dry". Always 0 in batch runs.
+    pub(crate) throttled_inflight: usize,
     /// In-flight attempts by job id; empty when `faults` is `None`.
     running: std::collections::HashMap<u64, RunningJob>,
     faults: Option<FaultState>,
 }
 
-type Shared = Arc<Mutex<SchedState>>;
+pub(crate) type Shared = Arc<Mutex<SchedState>>;
 
 /// Tears down one failed job attempt and routes it through the retry
 /// policy: kills any of its execution coroutines still in flight, revokes
@@ -246,8 +256,15 @@ impl Coroutine for SchedulerProc {
                     return Step::Done;
                 }
                 if st.pending.is_empty() {
-                    // Queue empty but jobs still in flight or yet to arrive.
-                    st.telemetry.waits_queue_drained += 1;
+                    // Queue empty but jobs still in flight or yet to
+                    // arrive. When the service-mode intake is holding
+                    // throttled jobs, the idleness is admission-induced —
+                    // attribute it honestly.
+                    if st.throttled_inflight > 0 {
+                        st.telemetry.waits_admission_throttled += 1;
+                    } else {
+                        st.telemetry.waits_queue_drained += 1;
+                    }
                     drop(st);
                     return Step::Wait(Effect::Suspend);
                 }
@@ -697,6 +714,112 @@ impl RunResult {
     }
 }
 
+/// One scheduler shard wired onto a (possibly shared) kernel: the fleet's
+/// containers, the shared queue state, and a spawned [`SchedulerProc`].
+/// The batch environment hosts exactly one; the [`crate::service`] front
+/// end hosts one per region on a single [`Simulation`].
+pub(crate) struct ShardParts {
+    pub(crate) cloud: QCloud,
+    pub(crate) shared: Shared,
+    pub(crate) info: Arc<Vec<DeviceStatic>>,
+    pub(crate) strategy_name: String,
+    pub(crate) scheduler_pid: Arc<AtomicU32>,
+    pub(crate) offline: Arc<crate::maintenance::OfflineFlags>,
+}
+
+/// Registers `profiles` as a fleet on `sim`, builds the shard's shared
+/// queue state and spawns its [`SchedulerProc`]. `total_jobs` is the
+/// shard's termination target; pass `usize::MAX` to leave the stream open
+/// (service mode — the intake router finalises it later). The caller is
+/// responsible for feeding the queue (a [`Generator`] or a service
+/// router). Extraction of [`QCloudSimEnv::with_scheduler`]'s body: the
+/// single-shard path goes through here unchanged, keeping the seed
+/// goldens bit-identical.
+pub(crate) fn spawn_shard(
+    sim: &mut Simulation,
+    profiles: Vec<DeviceProfile>,
+    scheduler: Box<dyn Scheduler>,
+    params: &SimParams,
+    total_jobs: usize,
+) -> ShardParts {
+    let cloud = QCloud::new(profiles, &params.error_weights, sim);
+    let info: Arc<Vec<DeviceStatic>> = Arc::new(
+        cloud
+            .devices()
+            .iter()
+            .map(|d| DeviceStatic {
+                container: d.container,
+                error_rates: d.error_rates,
+                clops: d.clops(),
+                qv_layers: d.qv_layers(),
+                name: d.name().to_string(),
+            })
+            .collect(),
+    );
+    let specs: Vec<DeviceSpec> = cloud
+        .devices()
+        .iter()
+        .map(|d| DeviceSpec {
+            capacity: d.capacity(),
+            error_score: d.error_score,
+            clops: d.clops(),
+            qv_layers: d.qv_layers(),
+        })
+        .collect();
+    let topologies = Arc::new(
+        cloud
+            .devices()
+            .iter()
+            .map(|d| d.profile.topology.clone())
+            .collect::<Vec<_>>(),
+    );
+
+    let strategy_name = scheduler.name().to_string();
+    let queue_capacity = if total_jobs == usize::MAX {
+        0
+    } else {
+        total_jobs
+    };
+    let shared: Shared = Arc::new(Mutex::new(SchedState {
+        pending: std::collections::VecDeque::with_capacity(queue_capacity),
+        scheduler,
+        cloud_state: CloudState::new(&specs, params),
+        records: JobRecordsManager::new(),
+        telemetry: SchedTelemetry::default(),
+        total_jobs,
+        dispatched: 0,
+        throttled_inflight: 0,
+        running: std::collections::HashMap::new(),
+        faults: None,
+    }));
+
+    let scheduler_pid = Arc::new(AtomicU32::new(0));
+    let offline = Arc::new(crate::maintenance::OfflineFlags::new(info.len()));
+    let sched = SchedulerProc {
+        shared: shared.clone(),
+        info: info.clone(),
+        params: params.clone(),
+        topologies: if params.exact_connectivity {
+            Some(topologies)
+        } else {
+            None
+        },
+        scheduler_pid: scheduler_pid.clone(),
+        offline: offline.clone(),
+    };
+    let pid = sim.spawn(Box::new(sched));
+    scheduler_pid.store(pid.as_raw(), Ordering::Relaxed);
+
+    ShardParts {
+        cloud,
+        shared,
+        info,
+        strategy_name,
+        scheduler_pid,
+        offline,
+    }
+}
+
 /// The top-level simulation environment (paper's `QCloudSimEnv`).
 pub struct QCloudSimEnv {
     sim: Simulation,
@@ -742,8 +865,8 @@ impl QCloudSimEnv {
         seed: u64,
     ) -> Self {
         let mut sim = Simulation::new(seed);
-        let cloud = QCloud::new(profiles, &params.error_weights, &mut sim);
-        crate::jobgen::validate_jobs(&jobs, cloud.total_capacity())
+        let shard = spawn_shard(&mut sim, profiles, scheduler, &params, jobs.len());
+        crate::jobgen::validate_jobs(&jobs, shard.cloud.total_capacity())
             .expect("job list incompatible with the fleet");
         jobs.sort_by(|a, b| {
             a.arrival_time
@@ -751,83 +874,21 @@ impl QCloudSimEnv {
                 .then(a.id.cmp(&b.id))
         });
 
-        let info: Arc<Vec<DeviceStatic>> = Arc::new(
-            cloud
-                .devices()
-                .iter()
-                .map(|d| DeviceStatic {
-                    container: d.container,
-                    error_rates: d.error_rates,
-                    clops: d.clops(),
-                    qv_layers: d.qv_layers(),
-                    name: d.name().to_string(),
-                })
-                .collect(),
-        );
-        let specs: Vec<DeviceSpec> = cloud
-            .devices()
-            .iter()
-            .map(|d| DeviceSpec {
-                capacity: d.capacity(),
-                error_score: d.error_score,
-                clops: d.clops(),
-                qv_layers: d.qv_layers(),
-            })
-            .collect();
-        let topologies = Arc::new(
-            cloud
-                .devices()
-                .iter()
-                .map(|d| d.profile.topology.clone())
-                .collect::<Vec<_>>(),
-        );
-
-        let strategy_name = scheduler.name().to_string();
-        let total_jobs = jobs.len();
-        let shared: Shared = Arc::new(Mutex::new(SchedState {
-            pending: std::collections::VecDeque::with_capacity(total_jobs),
-            scheduler,
-            cloud_state: CloudState::new(&specs, &params),
-            records: JobRecordsManager::new(),
-            telemetry: SchedTelemetry::default(),
-            total_jobs,
-            dispatched: 0,
-            running: std::collections::HashMap::new(),
-            faults: None,
-        }));
-
-        let scheduler_pid = Arc::new(AtomicU32::new(0));
-        let offline = Arc::new(crate::maintenance::OfflineFlags::new(info.len()));
-        let sched = SchedulerProc {
-            shared: shared.clone(),
-            info: info.clone(),
-            params: params.clone(),
-            topologies: if params.exact_connectivity {
-                Some(topologies)
-            } else {
-                None
-            },
-            scheduler_pid: scheduler_pid.clone(),
-            offline: offline.clone(),
-        };
-        let pid = sim.spawn(Box::new(sched));
-        scheduler_pid.store(pid.as_raw(), Ordering::Relaxed);
-
         sim.spawn(Box::new(Generator {
             jobs,
             next: 0,
-            shared: shared.clone(),
-            scheduler_pid: scheduler_pid.clone(),
+            shared: shard.shared.clone(),
+            scheduler_pid: shard.scheduler_pid.clone(),
         }));
 
         QCloudSimEnv {
             sim,
-            cloud,
-            shared,
-            info,
-            strategy_name,
-            scheduler_pid,
-            offline,
+            cloud: shard.cloud,
+            shared: shard.shared,
+            info: shard.info,
+            strategy_name: shard.strategy_name,
+            scheduler_pid: shard.scheduler_pid,
+            offline: shard.offline,
             params,
         }
     }

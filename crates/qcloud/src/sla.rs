@@ -250,6 +250,7 @@ mod tests {
             parts: vec![(0, 75), (1, 75)],
             bypassed: 0,
             attempts: 1,
+            throttled: 0,
             wasted_qubit_s: 0.0,
             final_status: if finish.is_finite() {
                 FinalStatus::Completed

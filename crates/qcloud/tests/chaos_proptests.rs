@@ -158,7 +158,7 @@ proptest! {
                     prop_assert!(r.finish.is_nan() && r.wasted_qubit_s >= 0.0,
                         "{}: exhausted job {:?} claims completion", spec, r.job_id);
                 }
-                FinalStatus::Pending => unreachable!(),
+                FinalStatus::Pending | FinalStatus::Rejected => unreachable!(),
             }
             prop_assert!(r.wasted_qubit_s >= 0.0);
         }
@@ -273,6 +273,7 @@ fn fingerprint(records: &[JobRecord]) -> u64 {
             FinalStatus::Pending => 0,
             FinalStatus::Completed => 1,
             FinalStatus::RetriesExhausted => 2,
+            FinalStatus::Rejected => 3,
         });
         for &(d, a) in &r.parts {
             mix(d as u64);
