@@ -24,7 +24,17 @@
 //! sharded fleet vs a monolithic scheduler (decide-cost scaling plus the
 //! completeness/conservation flags) — guarded by a p99 ceiling and
 //! sustained-rate / scaling floors.
+//!
+//! The `fleet_scale` section is the incremental-core stress test: 100k
+//! bimodal jobs streamed over a 120-device fleet (throughput plus an
+//! allocation count from the bench binary's counting global allocator,
+//! ceiling-guarded so the slab/incremental paths stay allocation-lean),
+//! and a 10k-deep backlogged queue where conservative's per-decide cost —
+//! once a full availability rebuild per consult — must stay within 5× of
+//! EASY (ratio floor in `bench_guard`).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -40,8 +50,61 @@ use qcs_qcloud::{
 
 const SEED: u64 = 7;
 
+/// Counts every heap allocation made by the bench binary, so the
+/// `fleet_scale` section can record (and `bench_guard` can ceiling) the
+/// allocations-per-job cost of the scheduler loop. Deallocations are not
+/// tracked — the guard is about allocator pressure on the hot path, not
+/// leaks.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
 fn run_spec(spec: &str, jobs: Vec<QJob>) -> RunResult {
     run_spec_with_windows(spec, jobs, &[])
+}
+
+/// Runs a spec over an explicit fleet (the `fleet_scale` section uses a
+/// 120-device one instead of the default 5-device `ibm_fleet`).
+fn run_spec_on(fleet: Vec<DeviceProfile>, spec: &str, jobs: Vec<QJob>) -> RunResult {
+    let env = QCloudSimEnv::with_scheduler(
+        fleet,
+        scheduler_by_name(spec, SEED, 1).expect("known spec"),
+        jobs,
+        SimParams::default(),
+        SEED,
+    );
+    env.run()
+}
+
+/// The 120-device fleet for the `fleet_scale` section: 24 regional
+/// five-device IBM-style fleets flattened into one scheduling domain.
+fn fleet_120() -> Vec<DeviceProfile> {
+    regional_fleet(24, SEED).into_iter().flatten().collect()
 }
 
 fn run_spec_with_windows(spec: &str, jobs: Vec<QJob>, windows: &[MaintenanceWindow]) -> RunResult {
@@ -224,6 +287,24 @@ fn bench_service(c: &mut Criterion) {
             .sim_seconds
         })
     });
+    group.finish();
+}
+
+fn bench_fleet_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/fleet_scale_120dev");
+    group.sample_size(10);
+    let n = if cfg!(debug_assertions) {
+        1_000
+    } else {
+        20_000
+    };
+    let jobs = bimodal_arrivals(n, 0.25, 4, SEED);
+    group.throughput(Throughput::Elements(n as u64));
+    for spec in ["speed", "backfill+speed"] {
+        group.bench_with_input(BenchmarkId::new(spec, n), &spec, |b, &s| {
+            b.iter(|| run_spec_on(fleet_120(), s, jobs.clone()).summary.t_sim)
+        });
+    }
     group.finish();
 }
 
@@ -435,8 +516,42 @@ fn write_sched_json() {
         sharded.report.sustained_jobs_per_sec,
     );
 
+    // `fleet_scale`: the incremental-core stress section. A 100k-job
+    // bimodal stream over a 120-device fleet measures sustained
+    // scheduler-loop throughput and allocator pressure (allocations per
+    // job, counted by this binary's global allocator); a 10k-deep
+    // backlogged queue on the same fleet compares conservative's decide
+    // throughput against EASY's — the ratio the incremental
+    // profile/timeline split exists to defend (a full availability
+    // rebuild per consult held it around 0.03×).
+    let fleet = fleet_120();
+    let stream_100k = bimodal_arrivals(100_000, 0.25, 4, SEED);
+    let timed = |spec: &str, jobs: &[QJob]| -> (f64, f64, RunResult) {
+        let a0 = allocations();
+        let t0 = Instant::now();
+        let res = run_spec_on(fleet.clone(), spec, jobs.to_vec());
+        let dt = t0.elapsed().as_secs_f64();
+        let per_job = (allocations() - a0) as f64 / jobs.len() as f64;
+        (jobs.len() as f64 / dt, per_job, res)
+    };
+    let (fs_fifo_jps, fs_fifo_apj, fs_fifo) = timed("speed", &stream_100k);
+    let (fs_easy_jps, fs_easy_apj, fs_easy) = timed("backfill+speed", &stream_100k);
+    let deep = batch_at_zero(10_000, &JobDistribution::default(), SEED);
+    let (deep_easy_jps, _, _) = timed("backfill+speed", &deep);
+    let (deep_cons_jps, _, _) = timed("conservative+speed", &deep);
+    let deep_ratio = deep_cons_jps / deep_easy_jps;
+    let s_fleet = format!(
+        "{{ \"jobs\": 100000, \"devices\": {}, \
+         \"fifo_speed\": {{ \"jobs_per_sec\": {fs_fifo_jps:.0}, \"allocs_per_job\": {fs_fifo_apj:.1}, \"t_sim\": {:.0} }}, \
+         \"backfill_speed\": {{ \"jobs_per_sec\": {fs_easy_jps:.0}, \"allocs_per_job\": {fs_easy_apj:.1}, \"t_sim\": {:.0} }}, \
+         \"deep_10k\": {{ \"easy_jobs_per_sec\": {deep_easy_jps:.0}, \"conservative_jobs_per_sec\": {deep_cons_jps:.0}, \"conservative_vs_easy\": {deep_ratio:.4} }} }}",
+        fleet.len(),
+        fs_fifo.summary.t_sim,
+        fs_easy.summary.t_sim,
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {s_fifo},\n    \"backfill_speed\": {s_easy},\n    \"conservative_speed\": {s_cons},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4},\n    \"conservative_vs_easy\": {bimodal_vs}\n  }},\n  \"maintenance_1k\": {{\n    \"windows\": {},\n    \"backfill_speed\": {sm_easy},\n    \"conservative_speed\": {sm_cons},\n    \"conservative_vs_easy\": {maint_vs}\n  }},\n  \"faulty_1k\": {{\n    \"crashes\": 2,\n    \"exec_fail_prob\": 0.05,\n    \"fifo_speed\": {sf_fifo},\n    \"backfill_speed\": {sf_easy},\n    \"conservative_speed\": {sf_cons},\n    \"recovery_makespan_overhead\": {:.4}\n  }},\n  \"service_1k\": {s_service},\n  \"sharded_4x\": {s_sharded}\n}}\n",
+        "{{\n  \"bench\": \"sched_loop\",\n  \"pending_1k\": {{ \"snapshot_jobs_per_sec\": {snap_1k:.1}, \"incremental_jobs_per_sec\": {incr_1k:.1}, \"speedup\": {:.2} }},\n  \"pending_10k\": {{ \"snapshot_jobs_per_sec\": {snap_10k:.1}, \"incremental_jobs_per_sec\": {incr_10k:.1}, \"speedup\": {:.2} }},\n  \"fragmented_1k\": {{\n    \"fifo_speed\": {s_fifo},\n    \"backfill_speed\": {s_easy},\n    \"conservative_speed\": {s_cons},\n    \"makespan_improvement\": {:.4},\n    \"utilization_improvement\": {:.4},\n    \"conservative_vs_easy\": {bimodal_vs}\n  }},\n  \"maintenance_1k\": {{\n    \"windows\": {},\n    \"backfill_speed\": {sm_easy},\n    \"conservative_speed\": {sm_cons},\n    \"conservative_vs_easy\": {maint_vs}\n  }},\n  \"faulty_1k\": {{\n    \"crashes\": 2,\n    \"exec_fail_prob\": 0.05,\n    \"fifo_speed\": {sf_fifo},\n    \"backfill_speed\": {sf_easy},\n    \"conservative_speed\": {sf_cons},\n    \"recovery_makespan_overhead\": {:.4}\n  }},\n  \"service_1k\": {s_service},\n  \"sharded_4x\": {s_sharded},\n  \"fleet_scale\": {s_fleet}\n}}\n",
         incr_1k / snap_1k,
         incr_10k / snap_10k,
         fifo.summary.t_sim / easy.summary.t_sim,
@@ -456,7 +571,11 @@ fn write_sched_json() {
          (maintenance: slowdown x{:.3}, jain x{:.3}); \
          faulty conservative goodput {:.3}, recovery overhead x{:.3}; \
          service decide p99 {:.1} µs at {:.0} sustained jobs/s; \
-         sharded decide-cost scaling x{decide_scaling:.2} \
+         sharded decide-cost scaling x{decide_scaling:.2}; \
+         fleet_scale 100k/120dev: fifo {fs_fifo_jps:.0} jobs/s \
+         ({fs_fifo_apj:.0} allocs/job), easy {fs_easy_jps:.0} jobs/s \
+         ({fs_easy_apj:.0} allocs/job), deep-10k conservative/EASY \
+         x{deep_ratio:.3} \
          -> BENCH_sched.json",
         fifo.summary.t_sim / easy.summary.t_sim,
         easy_util / fifo_util,
@@ -475,6 +594,7 @@ criterion_group!(
     benches,
     bench_pending_scaling,
     bench_disciplines,
-    bench_service
+    bench_service,
+    bench_fleet_scale
 );
 criterion_main!(benches);

@@ -34,6 +34,14 @@
 //!   least once, the sharded run must be complete and qubit-conserving,
 //!   and the 4-region decide-cost scaling over the monolithic scheduler
 //!   ≥ 1.5× (recorded ≈ 7.2×);
+//! * fleet-scale section (`fleet_scale`: a 100k-job bimodal stream over
+//!   120 devices plus a 10k-deep backlogged queue): conservative/EASY
+//!   decide-throughput ratio at 10k depth ≥ 0.2× (the incremental
+//!   profile/ledger must keep per-job reservations within 5× of EASY;
+//!   recorded ≈ 0.24× vs ≈ 0.03× before the incremental split),
+//!   100k-stream EASY throughput ≥ 10k jobs/s, and an
+//!   allocations-per-job ceiling of 100 on both measured disciplines
+//!   (recorded ≈ 33);
 //! * wide-GEMM-tile speedup over the 4×8 baseline ≥ 1.05× — only enforced
 //!   when the recording machine actually selected a wide kernel;
 //! * update-phase speedup at 4 workers ≥ 1.5× — only enforced when the
@@ -71,6 +79,25 @@ const SERVICE_SUSTAINED_FLOOR: f64 = 5_000.0;
 /// monolithic 20-device scheduler over the 4-region sharded one
 /// (recorded ≈ 7.2×; sharding must keep individual decisions cheaper).
 const SHARDED_DECIDE_SCALING_FLOOR: f64 = 1.5;
+/// Floor for `fleet_scale.deep_10k.conservative_vs_easy`: conservative's
+/// decide throughput over EASY's on a 10k-deep backlogged queue across a
+/// 120-device fleet. The incremental availability profile + persistent
+/// booking ledger must keep per-job reservations within 5× of EASY's
+/// head-only protection (the per-consult full rebuild held this near
+/// 0.03×).
+const FLEET_DEEP_RATIO_FLOOR: f64 = 0.2;
+/// Floor for `fleet_scale.backfill_speed.jobs_per_sec`: sustained
+/// scheduler-loop throughput for the 100k-job bimodal stream over 120
+/// devices must not collapse (rules out an accidental O(n²) reintroduction,
+/// not host-to-host variance).
+const FLEET_THROUGHPUT_FLOOR: f64 = 10_000.0;
+/// Ceiling for `fleet_scale.backfill_speed.allocs_per_job` (and the FIFO
+/// variant): heap allocations per job across the whole 100k-job run,
+/// counted by the bench binary's global allocator. The slab-stored desim
+/// core and the incremental profile keep the steady-state loop
+/// allocation-lean (recorded ≈ 33 for both disciplines); the ceiling
+/// catches a regression that starts boxing or cloning per decide.
+const FLEET_ALLOCS_PER_JOB_CEILING: f64 = 100.0;
 /// Floor for `gemm.tile_speedup` (wide tile vs 4×8 baseline).
 const TILE_SPEEDUP_FLOOR: f64 = 1.05;
 /// Floor for `update_phase.speedup_4_workers`.
@@ -344,6 +371,30 @@ fn main() {
                 "sharded decide-cost scaling vs monolithic",
                 field_f64(&sched, &["sharded_4x", "decide_cost_scaling"]),
                 SHARDED_DECIDE_SCALING_FLOOR,
+            );
+            // Fleet-scale section: the deep-queue conservative/EASY decide
+            // throughput ratio (the incremental-core headline number), a
+            // collapse floor on the 100k-job stream, and the
+            // allocations-per-job ceilings from the counting allocator.
+            guard.check(
+                "fleet-scale deep-queue conservative/EASY throughput",
+                field_f64(&sched, &["fleet_scale", "deep_10k", "conservative_vs_easy"]),
+                FLEET_DEEP_RATIO_FLOOR,
+            );
+            guard.check(
+                "fleet-scale 100k-stream EASY jobs/s",
+                field_f64(&sched, &["fleet_scale", "backfill_speed", "jobs_per_sec"]),
+                FLEET_THROUGHPUT_FLOOR,
+            );
+            guard.check_ceiling(
+                "fleet-scale EASY allocs/job",
+                field_f64(&sched, &["fleet_scale", "backfill_speed", "allocs_per_job"]),
+                FLEET_ALLOCS_PER_JOB_CEILING,
+            );
+            guard.check_ceiling(
+                "fleet-scale FIFO allocs/job",
+                field_f64(&sched, &["fleet_scale", "fifo_speed", "allocs_per_job"]),
+                FLEET_ALLOCS_PER_JOB_CEILING,
             );
         }
         Err(e) => guard.failures.push(e),

@@ -1,5 +1,33 @@
-//! The simulation kernel: event heap, process scheduling and the FIFO grant
-//! machinery for (multi-)container requests.
+//! The simulation kernel: slab-allocated processes and events, the event
+//! heap, and the FIFO grant machinery for (multi-)container requests.
+//!
+//! # Slab/handle model
+//!
+//! The kernel stores processes and scheduled resume events in `Vec`-backed
+//! slabs with free lists, so a long run (100k+ jobs) reuses a small pool of
+//! slots instead of growing without bound. Handles ([`ProcessId`],
+//! [`EventId`]) are `(index, generation)` pairs:
+//!
+//! * the **index** names the slot in the slab;
+//! * the **generation** is bumped every time the slot is freed, so a handle
+//!   from a previous occupant never resolves to the new one.
+//!
+//! A stale [`ProcessId`] (its process finished, was killed, or its slot was
+//! reused) degrades safely everywhere: [`Simulation::wake`],
+//! [`Simulation::interrupt`] and [`Simulation::kill`] return `false`,
+//! [`Simulation::is_done`] returns `true`. This is what makes `kill` safe
+//! in the presence of slot reuse — a registry holding a pid of an
+//! already-finished process cannot accidentally kill its successor.
+//!
+//! The event heap is a `BinaryHeap` of plain `(time, seq, EventId)`
+//! entries. Cancelling a pending resume (interrupt of a sleeping process,
+//! kill) just frees the event slot; the heap entry stays behind and is
+//! recognised as stale by its generation when popped. Each process has at
+//! most one pending resume event (`pending_ev`), so cancellation is O(1).
+//!
+//! Request parts ride in a [`PartsList`] — a small-vector that keeps the
+//! common one- and two-container requests inline, so the blocking path
+//! does not allocate.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -28,28 +56,70 @@ impl Default for SimConfig {
     }
 }
 
+/// Generation-checked handle to a scheduled resume event.
+///
+/// Events live in a slab inside the kernel; an `EventId` is the
+/// `(slot, generation)` pair identifying one scheduled resume. When the
+/// event fires or is cancelled its slot is freed (generation bumped), so
+/// any heap entry or handle still naming the old generation is recognised
+/// as stale and discarded. The type is exposed for diagnostics and for
+/// mirroring the kernel's handle discipline in embedding code; there is no
+/// public API that consumes one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    idx: u32,
+    gen: u32,
+}
+
+impl EventId {
+    /// The slab slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+
+    /// The slot generation this handle was issued under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+/// One slot of the event slab: which process the event resumes, plus the
+/// slot's current generation (bumped on free, so stale heap entries and
+/// handles never match).
+#[derive(Debug, Clone, Copy)]
+struct EventSlot {
+    gen: u32,
+    pid: ProcessId,
+}
+
 /// Scheduling state of a process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
-    /// Has a resume event in the heap.
+    /// Has a resume event in the heap (or is being resumed right now).
     Scheduled,
     /// Blocked on a queued container request.
     WaitingReq(ReqId),
     /// Parked on [`Effect::Suspend`] until woken.
     Suspended,
-    /// Finished; the slot is retired.
+    /// Finished; the slot is on the free list awaiting reuse.
     Done,
 }
 
 struct ProcSlot {
     co: Option<Box<dyn Coroutine>>,
     state: ProcState,
-    /// Wait generation. Bumped when a pending resume event is cancelled
-    /// (interrupt of a sleeping process); events carry the epoch they were
-    /// pushed under and are skipped as stale when the epochs disagree.
-    epoch: u32,
+    /// Slot generation: bumped when the process finishes or is killed and
+    /// the slot returns to the free list. Handles carry the generation they
+    /// were issued under; a mismatch marks the handle stale.
+    gen: u32,
     /// Set by [`Simulation::interrupt`]; cleared by `take_interrupted`.
     interrupted: bool,
+    /// The slab slot of this process's pending resume event, if any. Kept
+    /// in lock-step with `state == Scheduled`; cancelling a wait frees the
+    /// event here, which is what invalidates the heap entry.
+    pending_ev: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,12 +131,113 @@ enum ReqDir {
     Put,
 }
 
+/// Small-vector of `(container, amount)` request parts: the common one-
+/// and two-container requests stay inline, larger multi-container
+/// requests spill to the heap. Keeps the request submission path
+/// allocation-free for `Get`/`Put`/`GetPri`.
+#[derive(Debug)]
+enum PartsList {
+    Inline {
+        buf: [(ContainerId, u64); 2],
+        len: u8,
+    },
+    Heap(Vec<(ContainerId, u64)>),
+}
+
+impl PartsList {
+    #[inline]
+    fn one(container: ContainerId, amount: u64) -> Self {
+        PartsList::Inline {
+            buf: [(container, amount), (container, 0)],
+            len: 1,
+        }
+    }
+
+    #[inline]
+    fn from_vec(v: Vec<(ContainerId, u64)>) -> Self {
+        match v.as_slice() {
+            [] => PartsList::Inline {
+                buf: [(ContainerId(0), 0); 2],
+                len: 0,
+            },
+            &[a] => PartsList::Inline {
+                buf: [a, a],
+                len: 1,
+            },
+            &[a, b] => PartsList::Inline {
+                buf: [a, b],
+                len: 2,
+            },
+            _ => PartsList::Heap(v),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[(ContainerId, u64)] {
+        match self {
+            PartsList::Inline { buf, len } => &buf[..*len as usize],
+            PartsList::Heap(v) => v.as_slice(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops zero amounts, merges duplicate containers, sorts by id —
+    /// the normal form `submit_request` relies on.
+    fn normalize(&mut self) {
+        match self {
+            PartsList::Inline { buf, len } => {
+                let n = *len as usize;
+                let mut tmp = *buf;
+                let mut m = 0usize;
+                for i in 0..n {
+                    if tmp[i].1 > 0 {
+                        tmp[m] = tmp[i];
+                        m += 1;
+                    }
+                }
+                if m == 2 {
+                    if tmp[0].0 > tmp[1].0 {
+                        tmp.swap(0, 1);
+                    }
+                    if tmp[0].0 == tmp[1].0 {
+                        tmp[0].1 += tmp[1].1;
+                        m = 1;
+                    }
+                }
+                *buf = tmp;
+                *len = m as u8;
+            }
+            PartsList::Heap(v) => {
+                v.retain(|&(_, amt)| amt > 0);
+                v.sort_by_key(|&(c, _)| c);
+                v.dedup_by(|b, a| {
+                    if a.0 == b.0 {
+                        a.1 += b.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PendingReq {
     pid: ProcessId,
     dir: ReqDir,
     /// Sorted by container id, amounts > 0, no duplicates.
-    parts: Vec<(ContainerId, u64)>,
+    parts: PartsList,
     /// Queue priority: lower is served first; FIFO within a priority via
     /// `order`. The comparison key `(priority, order)` is *global*, so a
     /// multi-container request that is minimal overall is at the head of
@@ -76,23 +247,25 @@ struct PendingReq {
     order: u64,
 }
 
-/// A scheduled resume event. Ordered by `(time, seq)` so simultaneous events
-/// fire in insertion order (deterministic). `epoch` detects cancellation.
+/// A heap entry naming a slab event. Ordered by `(time, seq)` so
+/// simultaneous events fire in insertion order (deterministic). The event
+/// slot's generation detects cancellation: a mismatch means the event was
+/// freed (interrupt/kill) and the entry is skipped.
 #[derive(Debug, PartialEq, Eq)]
-struct EventEntry {
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    pid: ProcessId,
-    epoch: u32,
+    ev: u32,
+    gen: u32,
 }
 
-impl Ord for EventEntry {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
-impl PartialOrd for EventEntry {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -100,12 +273,18 @@ impl PartialOrd for EventEntry {
 
 /// A deterministic process-interaction discrete-event simulation.
 ///
-/// See the [crate docs](crate) for the programming model.
+/// See the [crate docs](crate) and the [module docs](self) for the
+/// programming and slab/handle model.
 pub struct Simulation {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<EventEntry>>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
     procs: Vec<ProcSlot>,
+    /// Free-listed process slots (retired, generation already bumped).
+    proc_free: Vec<u32>,
+    /// Event slab; entries are reused across the run.
+    events: Vec<EventSlot>,
+    event_free: Vec<u32>,
     containers: Vec<Container>,
     reqs: Vec<Option<PendingReq>>,
     req_free: Vec<u32>,
@@ -135,6 +314,9 @@ impl Simulation {
             seq: 0,
             heap: BinaryHeap::with_capacity(1024),
             procs: Vec::with_capacity(256),
+            proc_free: Vec::new(),
+            events: Vec::with_capacity(1024),
+            event_free: Vec::new(),
             containers: Vec::new(),
             reqs: Vec::new(),
             req_free: Vec::new(),
@@ -168,6 +350,13 @@ impl Simulation {
         self.live_processes
     }
 
+    /// Size of the process slab (high-water mark of concurrently live
+    /// processes, not the total ever spawned — retired slots are reused).
+    #[inline]
+    pub fn process_slots(&self) -> usize {
+        self.procs.len()
+    }
+
     /// The kernel RNG stream.
     #[inline]
     pub fn rng(&mut self) -> &mut Xoshiro256StarStar {
@@ -181,6 +370,48 @@ impl Simulation {
 
     pub(crate) fn push_trace(&mut self, rec: TraceRecord) {
         self.trace.push(rec);
+    }
+
+    // ------------------------------------------------------------------
+    // Slab plumbing
+    // ------------------------------------------------------------------
+
+    /// The slot behind a handle, if the handle is still current.
+    #[inline]
+    fn live(&self, pid: ProcessId) -> Option<&ProcSlot> {
+        self.procs
+            .get(pid.index())
+            .filter(|s| s.gen == pid.generation())
+    }
+
+    /// Allocates a process slot (reusing a retired one when available).
+    fn alloc_proc(&mut self, co: Box<dyn Coroutine>) -> ProcessId {
+        if let Some(idx) = self.proc_free.pop() {
+            let slot = &mut self.procs[idx as usize];
+            debug_assert!(slot.co.is_none() && slot.pending_ev.is_none());
+            slot.co = Some(co);
+            slot.state = ProcState::Scheduled;
+            slot.interrupted = false;
+            ProcessId::new(idx, slot.gen)
+        } else {
+            let idx = self.procs.len() as u32;
+            self.procs.push(ProcSlot {
+                co: Some(co),
+                state: ProcState::Scheduled,
+                gen: 0,
+                interrupted: false,
+                pending_ev: None,
+            });
+            ProcessId::new(idx, 0)
+        }
+    }
+
+    /// Frees an event slot: bumps its generation (staling any heap entry
+    /// or handle that names the old one) and returns it to the free list.
+    fn free_event(&mut self, ev: u32) {
+        let slot = &mut self.events[ev as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.event_free.push(ev);
     }
 
     // ------------------------------------------------------------------
@@ -242,15 +473,11 @@ impl Simulation {
         self.spawn_after(0.0, co)
     }
 
-    /// Spawns a process that first runs `delay` seconds from now.
+    /// Spawns a process that first runs `delay` seconds from now. The slot
+    /// may be one reused from a finished process; the returned handle
+    /// carries the slot's new generation.
     pub fn spawn_after(&mut self, delay: f64, co: Box<dyn Coroutine>) -> ProcessId {
-        let pid = ProcessId(self.procs.len() as u32);
-        self.procs.push(ProcSlot {
-            co: Some(co),
-            state: ProcState::Scheduled,
-            epoch: 0,
-            interrupted: false,
-        });
+        let pid = self.alloc_proc(co);
         self.live_processes += 1;
         let t = self.now.after(delay);
         self.push_event(t, pid);
@@ -266,11 +493,14 @@ impl Simulation {
     }
 
     /// Wakes a process parked on [`Effect::Suspend`]. Returns `true` if the
-    /// process was suspended and is now scheduled.
+    /// process was suspended and is now scheduled. Stale handles (the
+    /// process finished, or its slot was reused) are a safe no-op.
     pub fn wake(&mut self, pid: ProcessId) -> bool {
-        let slot = &mut self.procs[pid.index()];
+        let Some(slot) = self.live(pid) else {
+            return false;
+        };
         if slot.state == ProcState::Suspended {
-            slot.state = ProcState::Scheduled;
+            self.procs[pid.index()].state = ProcState::Scheduled;
             let t = self.now;
             self.push_event(t, pid);
             true
@@ -279,9 +509,14 @@ impl Simulation {
         }
     }
 
-    /// Whether the given process has finished.
+    /// Whether the given process has finished. Stale handles answer `true`:
+    /// the incarnation the handle names is gone even if its slot now hosts
+    /// a different process.
     pub fn is_done(&self, pid: ProcessId) -> bool {
-        self.procs[pid.index()].state == ProcState::Done
+        match self.live(pid) {
+            Some(slot) => slot.state == ProcState::Done,
+            None => true,
+        }
     }
 
     /// Interrupts a process: cancels whatever it is currently waiting on
@@ -295,20 +530,21 @@ impl Simulation {
     /// * parked on [`Effect::Suspend`] — equivalent to [`wake`](Self::wake)
     ///   plus the flag.
     ///
-    /// Returns `false` (no-op) if the process has already finished.
-    /// Interrupting a process that is *scheduled but not waiting* (e.g. its
-    /// grant already fired this instant) still sets the flag — interrupters
-    /// should target processes whose waiting state they control, as in the
-    /// watchdog/reneging pattern.
+    /// Returns `false` (no-op) if the process has already finished or the
+    /// handle is stale. Interrupting a process that is *scheduled but not
+    /// waiting* (e.g. its grant already fired this instant) still sets the
+    /// flag — interrupters should target processes whose waiting state they
+    /// control, as in the watchdog/reneging pattern.
     pub fn interrupt(&mut self, pid: ProcessId) -> bool {
-        match self.procs[pid.index()].state {
+        let Some(slot) = self.live(pid) else {
+            return false;
+        };
+        match slot.state {
             ProcState::Done => false,
             ProcState::Scheduled => {
-                // Cancel the pending resume event by bumping the epoch, then
-                // reschedule immediately.
-                let slot = &mut self.procs[pid.index()];
-                slot.epoch = slot.epoch.wrapping_add(1);
-                slot.interrupted = true;
+                // `push_event` frees any pending resume event (staling its
+                // heap entry) before scheduling the replacement.
+                self.procs[pid.index()].interrupted = true;
                 let t = self.now;
                 self.push_event(t, pid);
                 true
@@ -335,14 +571,20 @@ impl Simulation {
 
     /// Terminates a process immediately, whatever it is doing. The body is
     /// dropped (releasing any shared state it held), a queued container
-    /// request is cancelled (nothing was acquired), and any pending resume
-    /// event becomes stale. Units the process already withdrew are **not**
+    /// request is cancelled (nothing was acquired), any pending resume
+    /// event is freed, and the slot returns to the pool for reuse — the
+    /// handle goes stale. Units the process already withdrew are **not**
     /// returned — the killer owns that cleanup (deposit them back
     /// explicitly), exactly as with an OS-level `kill -9`.
     ///
-    /// Returns `false` (no-op) if the process had already finished.
+    /// Returns `false` (no-op) if the process had already finished or the
+    /// handle is stale — slot reuse can never redirect a kill at the
+    /// slot's next occupant.
     pub fn kill(&mut self, pid: ProcessId) -> bool {
-        match self.procs[pid.index()].state {
+        let Some(slot) = self.live(pid) else {
+            return false;
+        };
+        match slot.state {
             ProcState::Done => false,
             ProcState::WaitingReq(rid) => {
                 self.cancel_request(rid);
@@ -356,15 +598,20 @@ impl Simulation {
         }
     }
 
-    /// Marks a live process slot Done and drops its body (kill path).
+    /// Retires a live process: frees its pending event, drops its body,
+    /// bumps the slot generation (staling every outstanding handle) and
+    /// returns the slot to the free list.
     fn retire(&mut self, pid: ProcessId) {
-        let slot = &mut self.procs[pid.index()];
-        // Belt and braces: stale-event detection already keys on `state !=
-        // Scheduled`, but bumping the epoch keeps the invariant that a
-        // cancelled resume event never matches its slot.
-        slot.epoch = slot.epoch.wrapping_add(1);
+        let idx = pid.index();
+        if let Some(ev) = self.procs[idx].pending_ev.take() {
+            self.free_event(ev);
+        }
+        let slot = &mut self.procs[idx];
         slot.state = ProcState::Done;
         slot.co = None;
+        slot.interrupted = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.proc_free.push(idx as u32);
         self.live_processes -= 1;
         if self.trace.enabled() {
             let time = self.now();
@@ -376,15 +623,20 @@ impl Simulation {
         }
     }
 
-    /// Whether `pid`'s interrupted flag is set (does not clear it).
+    /// Whether `pid`'s interrupted flag is set (does not clear it). Stale
+    /// handles answer `false`.
     #[inline]
     pub fn interrupted(&self, pid: ProcessId) -> bool {
-        self.procs[pid.index()].interrupted
+        self.live(pid).is_some_and(|s| s.interrupted)
     }
 
-    /// Reads and clears `pid`'s interrupted flag.
+    /// Reads and clears `pid`'s interrupted flag. Stale handles answer
+    /// `false`.
     #[inline]
     pub fn take_interrupted(&mut self, pid: ProcessId) -> bool {
+        if self.live(pid).is_none() {
+            return false;
+        }
         std::mem::take(&mut self.procs[pid.index()].interrupted)
     }
 
@@ -396,7 +648,7 @@ impl Simulation {
             .take()
             .expect("cancelled request missing (kernel bug)");
         self.req_free.push(rid.0);
-        for &(c, _) in &req.parts {
+        for &(c, _) in req.parts.as_slice() {
             let q = match req.dir {
                 ReqDir::Get => &mut self.get_queues[c.index()],
                 ReqDir::Put => &mut self.put_queues[c.index()],
@@ -411,16 +663,25 @@ impl Simulation {
         self.drain_queues();
     }
 
+    /// Schedules a resume event for `pid`, replacing (freeing) any pending
+    /// one — a process has at most one resume event in flight.
     fn push_event(&mut self, time: SimTime, pid: ProcessId) {
+        let idx = pid.index();
+        if let Some(old) = self.procs[idx].pending_ev.take() {
+            self.free_event(old);
+        }
+        let ev = if let Some(e) = self.event_free.pop() {
+            self.events[e as usize].pid = pid;
+            e
+        } else {
+            self.events.push(EventSlot { gen: 0, pid });
+            (self.events.len() - 1) as u32
+        };
+        let gen = self.events[ev as usize].gen;
+        self.procs[idx].pending_ev = Some(ev);
         let seq = self.seq;
         self.seq += 1;
-        let epoch = self.procs[pid.index()].epoch;
-        self.heap.push(Reverse(EventEntry {
-            time,
-            seq,
-            pid,
-            epoch,
-        }));
+        self.heap.push(Reverse(HeapEntry { time, seq, ev, gen }));
     }
 
     // ------------------------------------------------------------------
@@ -428,18 +689,26 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     /// Processes a single event. Returns `false` when the heap is empty.
-    /// Stale events (cancelled by an interrupt's epoch bump) are discarded
-    /// without advancing the clock; the call still returns `true`.
+    /// Stale entries (their event slot was freed by an interrupt or kill)
+    /// are discarded without advancing the clock; the call still returns
+    /// `true`.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(entry)) = self.heap.pop() else {
             return false;
         };
         debug_assert!(entry.time >= self.now, "event heap not monotone");
-        let slot = &self.procs[entry.pid.index()];
-        if slot.epoch != entry.epoch || slot.state != ProcState::Scheduled {
+        let slot = self.events[entry.ev as usize];
+        if slot.gen != entry.gen {
             // Cancelled wait: the interrupt already queued a replacement.
             return true;
         }
+        let pid = slot.pid;
+        self.free_event(entry.ev);
+        let pslot = &mut self.procs[pid.index()];
+        debug_assert_eq!(pslot.gen, pid.generation(), "live event on a retired slot");
+        debug_assert_eq!(pslot.pending_ev, Some(entry.ev));
+        debug_assert_eq!(pslot.state, ProcState::Scheduled);
+        pslot.pending_ev = None;
         self.now = entry.time;
         self.events_processed += 1;
         assert!(
@@ -447,7 +716,7 @@ impl Simulation {
             "exceeded max_events = {} — runaway simulation?",
             self.config.max_events
         );
-        self.run_process(entry.pid);
+        self.run_process(pid);
         true
     }
 
@@ -506,27 +775,23 @@ impl Simulation {
 
     fn run_process(&mut self, pid: ProcessId) {
         loop {
-            let mut co = self.procs[pid.index()]
+            let idx = pid.index();
+            let mut co = self.procs[idx]
                 .co
                 .take()
                 .expect("process body missing (kernel bug)");
             let step = co.resume(&mut Ctx { sim: self, pid });
-            self.procs[pid.index()].co = Some(co);
+            // The body may have killed itself during resume — its slot was
+            // retired (and possibly reused by a spawn). Only this
+            // incarnation may write the body back.
+            if self.procs[idx].gen != pid.generation() {
+                return;
+            }
+            self.procs[idx].co = Some(co);
 
             match step {
                 Step::Done => {
-                    let slot = &mut self.procs[pid.index()];
-                    slot.state = ProcState::Done;
-                    slot.co = None;
-                    self.live_processes -= 1;
-                    if self.trace.enabled() {
-                        let time = self.now();
-                        self.push_trace(TraceRecord {
-                            time,
-                            pid: Some(pid),
-                            kind: TraceKind::Finish,
-                        });
-                    }
+                    self.retire(pid);
                     return;
                 }
                 Step::Wait(effect) => {
@@ -561,20 +826,29 @@ impl Simulation {
                 false
             }
             Effect::Get { container, amount } => {
-                self.submit_request(pid, ReqDir::Get, vec![(container, amount)], 0)
+                self.submit_request(pid, ReqDir::Get, PartsList::one(container, amount), 0)
             }
             Effect::Put { container, amount } => {
-                self.submit_request(pid, ReqDir::Put, vec![(container, amount)], 0)
+                self.submit_request(pid, ReqDir::Put, PartsList::one(container, amount), 0)
             }
-            Effect::GetAll(parts) => self.submit_request(pid, ReqDir::Get, parts, 0),
-            Effect::PutAll(parts) => self.submit_request(pid, ReqDir::Put, parts, 0),
+            Effect::GetAll(parts) => {
+                self.submit_request(pid, ReqDir::Get, PartsList::from_vec(parts), 0)
+            }
+            Effect::PutAll(parts) => {
+                self.submit_request(pid, ReqDir::Put, PartsList::from_vec(parts), 0)
+            }
             Effect::GetPri {
                 container,
                 amount,
                 priority,
-            } => self.submit_request(pid, ReqDir::Get, vec![(container, amount)], priority),
+            } => self.submit_request(
+                pid,
+                ReqDir::Get,
+                PartsList::one(container, amount),
+                priority,
+            ),
             Effect::GetAllPri { parts, priority } => {
-                self.submit_request(pid, ReqDir::Get, parts, priority)
+                self.submit_request(pid, ReqDir::Get, PartsList::from_vec(parts), priority)
             }
         }
     }
@@ -595,21 +869,11 @@ impl Simulation {
         &mut self,
         pid: ProcessId,
         dir: ReqDir,
-        mut parts: Vec<(ContainerId, u64)>,
+        mut parts: PartsList,
         priority: i32,
     ) -> bool {
-        // Normalise: drop zero amounts, merge duplicates, sort by id.
-        parts.retain(|&(_, amt)| amt > 0);
-        parts.sort_by_key(|&(c, _)| c);
-        parts.dedup_by(|b, a| {
-            if a.0 == b.0 {
-                a.1 += b.1;
-                true
-            } else {
-                false
-            }
-        });
-        for &(c, amt) in &parts {
+        parts.normalize();
+        for &(c, amt) in parts.as_slice() {
             assert!(
                 c.index() < self.containers.len(),
                 "request names unknown container {c:?}"
@@ -636,7 +900,7 @@ impl Simulation {
         // always has the largest `order`, so within a priority this means
         // "queue empty of same-or-higher-priority requests" — strict FIFO.)
         let mut unobstructed = true;
-        for &(c, _) in &parts {
+        for &(c, _) in parts.as_slice() {
             let q = match dir {
                 ReqDir::Get => &self.get_queues[c.index()],
                 ReqDir::Put => &self.put_queues[c.index()],
@@ -648,14 +912,14 @@ impl Simulation {
                 }
             }
         }
-        let satisfiable = parts.iter().all(|&(c, amt)| match dir {
+        let satisfiable = parts.as_slice().iter().all(|&(c, amt)| match dir {
             ReqDir::Get => self.containers[c.index()].can_get(amt),
             ReqDir::Put => self.containers[c.index()].can_put(amt),
         });
 
         if unobstructed && satisfiable {
             let now = self.now();
-            for &(c, amt) in &parts {
+            for &(c, amt) in parts.as_slice() {
                 let delta = match dir {
                     ReqDir::Get => -(amt as i64),
                     ReqDir::Put => amt as i64,
@@ -682,7 +946,7 @@ impl Simulation {
             // Re-borrow the request per part instead of collecting its
             // container ids into a temporary Vec — enqueueing is on the
             // blocking path and must not allocate when tracing is off.
-            let c = self.reqs[rid.0 as usize].as_ref().unwrap().parts[pi].0;
+            let c = self.reqs[rid.0 as usize].as_ref().unwrap().parts.as_slice()[pi].0;
             // Queues stay sorted by key; scan for the insertion point (the
             // queues are short — bounded by blocked processes).
             let pos = {
@@ -711,6 +975,7 @@ impl Simulation {
                 .as_ref()
                 .unwrap()
                 .parts
+                .as_slice()
                 .iter()
                 .map(|&(c, _)| c)
                 .collect();
@@ -764,7 +1029,7 @@ impl Simulation {
         debug_assert_eq!(req.dir, dir);
 
         // Head of every involved queue?
-        let all_heads = req.parts.iter().all(|&(rc, _)| {
+        let all_heads = req.parts.as_slice().iter().all(|&(rc, _)| {
             let q = match dir {
                 ReqDir::Get => &self.get_queues[rc.index()],
                 ReqDir::Put => &self.put_queues[rc.index()],
@@ -775,7 +1040,7 @@ impl Simulation {
             return false;
         }
         // Satisfiable everywhere?
-        let ok = req.parts.iter().all(|&(rc, amt)| match dir {
+        let ok = req.parts.as_slice().iter().all(|&(rc, amt)| match dir {
             ReqDir::Get => self.containers[rc.index()].can_get(amt),
             ReqDir::Put => self.containers[rc.index()].can_put(amt),
         });
@@ -793,14 +1058,14 @@ impl Simulation {
         let pid = req.pid;
         let parts = req.parts;
         let now = self.now();
-        for &(rc, amt) in &parts {
+        for &(rc, amt) in parts.as_slice() {
             let delta = match dir {
                 ReqDir::Get => -(amt as i64),
                 ReqDir::Put => amt as i64,
             };
             self.containers[rc.index()].apply(now, delta);
         }
-        for &(rc, _) in &parts {
+        for &(rc, _) in parts.as_slice() {
             let q = match dir {
                 ReqDir::Get => &mut self.get_queues[rc.index()],
                 ReqDir::Put => &mut self.put_queues[rc.index()],
@@ -814,7 +1079,7 @@ impl Simulation {
         self.push_event(t, pid);
         if self.trace.enabled() {
             let time = self.now();
-            let containers = parts.iter().map(|&(rc, _)| rc).collect();
+            let containers = parts.as_slice().iter().map(|&(rc, _)| rc).collect();
             self.push_trace(TraceRecord {
                 time,
                 pid: Some(pid),
@@ -831,6 +1096,7 @@ impl std::fmt::Debug for Simulation {
             .field("now", &self.now)
             .field("events_processed", &self.events_processed)
             .field("live_processes", &self.live_processes)
+            .field("process_slots", &self.procs.len())
             .field("containers", &self.containers.len())
             .field("heap_len", &self.heap.len())
             .finish()
@@ -1230,6 +1496,64 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_reused_and_stale_handles_stay_safe() {
+        // Spawn-finish-spawn: the second process reuses the first's slot
+        // under a bumped generation; the first handle must stay inert.
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Simulation::new(25);
+        let a = sim.spawn(Box::new(Ticker {
+            dt: 1.0,
+            n: 1,
+            fired: fired.clone(),
+        }));
+        sim.run();
+        assert!(sim.is_done(a));
+        let b = sim.spawn(Box::new(Sleeper));
+        // Same slot, different generation: distinct handles.
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a, b);
+        sim.run();
+        // Operations through the stale handle must not reach `b`.
+        assert!(sim.is_done(a));
+        assert!(!sim.wake(a));
+        assert!(!sim.interrupt(a));
+        assert!(!sim.kill(a));
+        assert!(!sim.is_done(b));
+        assert!(sim.wake(b));
+        assert_eq!(sim.process_slots(), 1, "one pooled slot serves both");
+    }
+
+    #[test]
+    fn event_slab_reuses_slots() {
+        // A long ticker run schedules thousands of events but only ever has
+        // one in flight — the slab must stay at a single slot.
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Simulation::new(26);
+        sim.spawn(Box::new(Ticker {
+            dt: 1.0,
+            n: 1000,
+            fired,
+        }));
+        sim.run();
+        assert_eq!(sim.events.len(), 1, "event slots must be pooled");
+    }
+
+    #[test]
+    fn raw_pid_roundtrip_preserves_generation() {
+        let mut sim = Simulation::new(27);
+        let a = sim.spawn(Box::new(Sleeper));
+        sim.run();
+        sim.kill(a);
+        let b = sim.spawn(Box::new(Sleeper));
+        let restored = ProcessId::from_raw(b.as_raw());
+        assert_eq!(restored, b);
+        // The stale handle round-trips too, and stays stale.
+        let stale = ProcessId::from_raw(a.as_raw());
+        assert!(sim.is_done(stale));
+        assert!(!sim.wake(stale));
+    }
+
+    #[test]
     fn run_until_stops_at_bound() {
         let fired = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
         let mut sim = Simulation::new(9);
@@ -1433,5 +1757,36 @@ mod tests {
         let kinds: Vec<_> = sim.trace().iter().map(|r| &r.kind).collect();
         assert!(matches!(kinds[0], TraceKind::Spawn));
         assert!(matches!(kinds.last().unwrap(), TraceKind::Finish));
+    }
+
+    #[test]
+    fn self_kill_during_resume_is_safe() {
+        // A process that kills itself mid-resume: the kernel must not write
+        // the stale body back into the (possibly reused) slot.
+        struct SelfKiller {
+            spawned: std::sync::Arc<std::sync::atomic::AtomicU32>,
+        }
+        impl Coroutine for SelfKiller {
+            fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
+                let me = cx.pid();
+                cx.kill(me);
+                // Immediately reuse the freed slot.
+                cx.spawn(Box::new(Ticker {
+                    dt: 1.0,
+                    n: 1,
+                    fired: self.spawned.clone(),
+                }));
+                Step::Done // ignored: the slot is already retired
+            }
+        }
+        let spawned = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Simulation::new(28);
+        sim.spawn(Box::new(SelfKiller {
+            spawned: spawned.clone(),
+        }));
+        sim.run();
+        assert_eq!(spawned.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(sim.live_processes(), 0);
+        sim.assert_quiescent();
     }
 }

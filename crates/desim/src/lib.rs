@@ -33,6 +33,32 @@
 //!   explicit seeds through the bundled [`rng::Xoshiro256StarStar`]
 //!   generator.
 //!
+//! ## Slab allocation and handles
+//!
+//! Processes and scheduled resume events live in `Vec`-backed slabs with
+//! free lists: a finished or killed process returns its slot to a pool
+//! that the next spawn reuses, and every heap entry names a pooled event
+//! slot, so long runs (100k+ jobs) recycle a bounded set of allocations
+//! instead of growing without bound.
+//!
+//! Handles ([`ProcessId`], [`kernel::EventId`]) are `(index, generation)`
+//! pairs. Freeing a slot bumps its generation, so a handle from a previous
+//! occupant can never resolve to the new one:
+//!
+//! * [`Simulation::wake`] / [`Simulation::interrupt`] /
+//!   [`Simulation::kill`] through a stale handle return `false` and do
+//!   nothing — holding a pid of a finished process is always safe, even
+//!   after its slot was reused;
+//! * [`Simulation::is_done`] answers `true` for a stale handle (that
+//!   incarnation is gone);
+//! * [`ProcessId::as_raw`] packs `(index, generation)` into a `u64` for
+//!   storage in atomics/registries, and [`ProcessId::from_raw`] restores
+//!   the full handle — staleness checks survive the round-trip.
+//!
+//! Cancelling a pending wait (interrupt, kill) frees the event slot and
+//! leaves the heap entry behind; the kernel recognises it as stale by its
+//! generation when popped and discards it without advancing the clock.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -68,7 +94,7 @@ pub mod time;
 pub mod trace;
 
 pub use container::{Container, ContainerId};
-pub use kernel::{SimConfig, Simulation};
+pub use kernel::{EventId, SimConfig, Simulation};
 pub use process::{Coroutine, Ctx, Effect, ProcessId, Step};
 pub use resource::Resource;
 pub use rng::{SplitMix64, Xoshiro256StarStar};

@@ -12,28 +12,54 @@ use crate::kernel::Simulation;
 use crate::rng::Xoshiro256StarStar;
 use crate::trace::{TraceKind, TraceRecord};
 
-/// Identifier of a spawned process within one [`Simulation`].
+/// Generation-checked handle to a spawned process within one [`Simulation`].
+///
+/// Process slots are pooled: after a process finishes or is killed, its
+/// slot is reused by a later spawn under a bumped generation. A handle
+/// therefore names one *incarnation*, not a slot — operations through a
+/// handle whose process is gone are safe no-ops (see the
+/// [kernel docs](crate::kernel)), even if the slot now hosts someone else.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProcessId(pub(crate) u32);
+pub struct ProcessId {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
 
 impl ProcessId {
-    /// The raw index value.
+    #[inline]
+    pub(crate) fn new(idx: u32, gen: u32) -> Self {
+        ProcessId { idx, gen }
+    }
+
+    /// The slab slot index (shared between incarnations; use the full
+    /// handle, not the index, to identify a process).
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.idx as usize
     }
 
-    /// Raw id for storage in atomics/registries.
+    /// The slot generation this handle was issued under.
     #[inline]
-    pub fn as_raw(self) -> u32 {
-        self.0
+    pub fn generation(self) -> u32 {
+        self.gen
     }
 
-    /// Rebuilds an id from [`ProcessId::as_raw`]. The caller is responsible
-    /// for only using ids obtained from the same simulation.
+    /// Packs the handle into a `u64` for storage in atomics/registries
+    /// (low 32 bits: slot index, high 32 bits: generation).
     #[inline]
-    pub fn from_raw(raw: u32) -> Self {
-        ProcessId(raw)
+    pub fn as_raw(self) -> u64 {
+        (self.idx as u64) | ((self.gen as u64) << 32)
+    }
+
+    /// Rebuilds a handle from [`ProcessId::as_raw`]. The caller is
+    /// responsible for only using raw values obtained from the same
+    /// simulation; the generation check still applies on use.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        ProcessId {
+            idx: raw as u32,
+            gen: (raw >> 32) as u32,
+        }
     }
 }
 
@@ -277,7 +303,12 @@ mod tests {
 
     #[test]
     fn process_id_roundtrip() {
-        assert_eq!(ProcessId(7).index(), 7);
+        let pid = ProcessId::new(7, 3);
+        assert_eq!(pid.index(), 7);
+        assert_eq!(pid.generation(), 3);
+        assert_eq!(ProcessId::from_raw(pid.as_raw()), pid);
+        // Different generations of the same slot are distinct handles.
+        assert_ne!(ProcessId::new(7, 3), ProcessId::new(7, 4));
     }
 
     #[test]

@@ -11,11 +11,11 @@
 //!   `at` with no warning, every lease it holds is revoked (the victims'
 //!   jobs are killed mid-flight), and it returns `down_for` seconds later.
 //!   Crucially the outage is *invisible* to the scheduler stack ahead of
-//!   time: it never enters the [`crate::MaintenanceCalendar`], so a
-//!   [`crate::sched::CapacityTimeline`] built before the crash happily
-//!   promises capacity the fleet is about to lose, and one built during the
-//!   outage treats the device as gone forever (its recovery time is
-//!   unknowable). Reservation *repair* — dropping promises pinned on the
+//!   time: it never enters the [`crate::MaintenanceCalendar`], so the
+//!   [`crate::sched::AvailabilityProfile`] as derived before the crash
+//!   happily promises capacity the fleet is about to lose, and once
+//!   re-derived during the outage it treats the device as gone forever
+//!   (its recovery time is unknowable). Reservation *repair* — dropping promises pinned on the
 //!   dead capacity and recompressing — is the scheduler stack's job.
 //! * **Execution failures**: at the end of the quantum execution phase an
 //!   attempt fails with a per-device probability — flat

@@ -8,7 +8,7 @@
 //! a graceful drain, as with IBM's calibration jobs. When the window
 //! closes the device reappears and the scheduler is woken.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qcs_desim::{Coroutine, Ctx, Effect, ProcessId, Step};
@@ -151,7 +151,7 @@ pub(crate) struct MaintenanceProc {
     pub start: f64,
     pub end: f64,
     pub offline: Arc<OfflineFlags>,
-    pub scheduler_pid: Arc<AtomicU32>,
+    pub scheduler_pid: Arc<AtomicU64>,
     pub phase: u8,
 }
 

@@ -9,11 +9,15 @@
 //! | [`RoundRobinBroker`] | — | rotating start device (baseline) |
 //! | [`RandomBroker`] | — | random device order (baseline) |
 //!
-//! Policies are resolved by name via [`by_name`] (including
-//! `rl:<checkpoint-path>` for a trained RL policy) and compose with
-//! queue-aware scheduling disciplines via [`scheduler_by_name`]
-//! (`backfill+speed`, `priority:edf+fair`, …); [`names`] and
-//! [`discipline_names`] feed CLI help text.
+//! Specs are **typed**: [`SchedSpec`] (a [`Discipline`] plus a
+//! [`Placement`]) is the parsed form of the CLI's `[discipline+]policy`
+//! grammar — see the [`spec`] module for the grammar definition and the
+//! single registry every help listing derives from. The stringly surface
+//! is a thin wrapper: [`by_name`] (including `rl:<checkpoint-path>` for a
+//! trained RL policy) and [`scheduler_by_name`] (`backfill+speed`,
+//! `priority:edf+fair`, …) parse to the typed form and build from it,
+//! accepting exactly the strings they always did; [`names`] and
+//! [`discipline_names`] feed CLI help text from the registry.
 
 pub mod fair;
 pub mod fidelity;
@@ -22,6 +26,7 @@ pub mod minfrag;
 pub mod random;
 pub mod rl;
 pub mod round_robin;
+pub mod spec;
 pub mod speed;
 
 pub use fair::FairBroker;
@@ -31,6 +36,7 @@ pub use minfrag::MinFragBroker;
 pub use random::RandomBroker;
 pub use rl::RlBroker;
 pub use round_robin::RoundRobinBroker;
+pub use spec::{Discipline, Placement, PriorityRule, SchedSpec, SpecParseError};
 pub use speed::SpeedBroker;
 
 use crate::broker::Broker;
@@ -52,55 +58,77 @@ use crate::sla::DeadlinePolicy;
 /// syntactically but cannot be loaded — a misconfiguration, not an unknown
 /// name. Returns `None` only for unrecognised names.
 pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Broker>> {
-    if let Some(path) = name.strip_prefix("rl:") {
-        let json = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read RL checkpoint '{path}': {e}"));
-        let broker = RlBroker::from_json(&json, GymConfig::default())
-            .unwrap_or_else(|e| panic!("invalid RL checkpoint '{path}': {e}"));
-        return Some(Box::new(broker));
-    }
-    match name {
-        "speed" => Some(Box::new(SpeedBroker::new())),
-        "fidelity" => Some(Box::new(FidelityBroker::new())),
-        "fair" => Some(Box::new(FairBroker::new())),
-        "roundrobin" => Some(Box::new(RoundRobinBroker::new())),
-        "random" => Some(Box::new(RandomBroker::new(seed))),
-        "minfrag" => Some(Box::new(MinFragBroker::new())),
-        "hybrid" => Some(Box::new(HybridBroker::new(0.5))),
-        "hybrid-strict" => Some(Box::new(HybridBroker::strict(0.5))),
-        _ => None,
+    name.parse::<Placement>().ok().map(|p| p.build(seed))
+}
+
+impl Placement {
+    /// Instantiates the policy. `seed` feeds the stochastic baselines
+    /// ([`Placement::Random`]).
+    ///
+    /// Panics (with the I/O or decode error) when an
+    /// [`Placement::Rl`] checkpoint cannot be loaded — a
+    /// misconfiguration, not an unknown name.
+    pub fn build(&self, seed: u64) -> Box<dyn Broker> {
+        match self {
+            Placement::Speed => Box::new(SpeedBroker::new()),
+            Placement::Fidelity => Box::new(FidelityBroker::new()),
+            Placement::Fair => Box::new(FairBroker::new()),
+            Placement::RoundRobin => Box::new(RoundRobinBroker::new()),
+            Placement::Random => Box::new(RandomBroker::new(seed)),
+            Placement::MinFrag => Box::new(MinFragBroker::new()),
+            Placement::Hybrid => Box::new(HybridBroker::new(0.5)),
+            Placement::HybridStrict => Box::new(HybridBroker::strict(0.5)),
+            Placement::Rl { path } => {
+                let json = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read RL checkpoint '{path}': {e}"));
+                let broker = RlBroker::from_json(&json, GymConfig::default())
+                    .unwrap_or_else(|e| panic!("invalid RL checkpoint '{path}': {e}"));
+                Box::new(broker)
+            }
+        }
     }
 }
 
-/// Every name [`by_name`] accepts, for CLI help text. `rl:<path>` stands
-/// for the checkpoint-loading spec.
-pub fn names() -> &'static [&'static str] {
-    &[
-        "speed",
-        "fidelity",
-        "fair",
-        "roundrobin",
-        "random",
-        "minfrag",
-        "hybrid",
-        "hybrid-strict",
-        "rl:<path>",
-    ]
+impl SchedSpec {
+    /// Instantiates the composed scheduler. `window` is the FIFO /
+    /// snapshot scan depth (the seed semantics; `window = backfill_depth
+    /// + 1` reproduces `SimParams`), ignored by the other disciplines.
+    pub fn build(&self, seed: u64, window: usize) -> Box<dyn Scheduler> {
+        let broker = self.placement.build(seed);
+        match self.discipline {
+            Discipline::Fifo => Box::new(FifoAdapter::new(broker, window)),
+            Discipline::Snapshot => Box::new(SnapshotAdapter::new(broker, window)),
+            Discipline::Backfill => Box::new(BackfillScheduler::new(broker)),
+            Discipline::Conservative => Box::new(ConservativeBackfillScheduler::new(broker)),
+            Discipline::Priority(rule) => {
+                let d = match rule {
+                    PriorityRule::Sjf => PriorityDiscipline::ShortestFirst,
+                    PriorityRule::Edf => {
+                        PriorityDiscipline::EarliestDeadline(DeadlinePolicy::default())
+                    }
+                    // 0.1 qubits of priority per queued second: a 250-qubit
+                    // job overtakes a fresh 130-qubit job after 20 minutes
+                    // of waiting.
+                    PriorityRule::Aging => PriorityDiscipline::WeightedAging { aging: 0.1 },
+                };
+                Box::new(PriorityScheduler::new(broker, d))
+            }
+        }
+    }
+}
+
+/// Every name [`by_name`] accepts, for CLI help text, in registry order
+/// ([`spec::PLACEMENTS`]). `rl:<path>` stands for the checkpoint-loading
+/// spec.
+pub fn names() -> Vec<&'static str> {
+    spec::PLACEMENTS.iter().map(|c| c.token).collect()
 }
 
 /// Scheduling-discipline prefixes [`scheduler_by_name`] accepts in front of
-/// a policy name (joined with `+`), for CLI help text.
-pub fn discipline_names() -> &'static [&'static str] {
-    &[
-        "fifo",
-        "backfill",
-        "conservative",
-        "priority",
-        "priority:sjf",
-        "priority:edf",
-        "priority:aging",
-        "snapshot",
-    ]
+/// a policy name (joined with `+`), for CLI help text, in registry order
+/// ([`spec::DISCIPLINES`]).
+pub fn discipline_names() -> Vec<&'static str> {
+    spec::DISCIPLINES.iter().map(|c| c.token).collect()
 }
 
 /// Resolves a composed scheduler spec `[discipline+]policy` to a
@@ -119,35 +147,12 @@ pub fn discipline_names() -> &'static [&'static str] {
 /// * `snapshot+<policy>` runs the seed-mechanics parity baseline
 ///   ([`SnapshotAdapter`]) — for benchmarking, not production.
 ///
-/// Returns `None` when either component is unknown.
+/// Returns `None` when either component is unknown; parse via
+/// [`SchedSpec`] directly for an error naming the offending token.
 pub fn scheduler_by_name(spec: &str, seed: u64, window: usize) -> Option<Box<dyn Scheduler>> {
-    let (discipline, policy) = match spec.split_once('+') {
-        Some((d, p)) => (d, p),
-        None => ("fifo", spec),
-    };
-    let broker = by_name(policy, seed)?;
-    let sched: Box<dyn Scheduler> = match discipline {
-        "fifo" => Box::new(FifoAdapter::new(broker, window)),
-        "snapshot" => Box::new(SnapshotAdapter::new(broker, window)),
-        "backfill" => Box::new(BackfillScheduler::new(broker)),
-        "conservative" => Box::new(ConservativeBackfillScheduler::new(broker)),
-        "priority" | "priority:sjf" => Box::new(PriorityScheduler::new(
-            broker,
-            PriorityDiscipline::ShortestFirst,
-        )),
-        "priority:edf" => Box::new(PriorityScheduler::new(
-            broker,
-            PriorityDiscipline::EarliestDeadline(DeadlinePolicy::default()),
-        )),
-        "priority:aging" => Box::new(PriorityScheduler::new(
-            broker,
-            // 0.1 qubits of priority per queued second: a 250-qubit job
-            // overtakes a fresh 130-qubit job after 20 minutes of waiting.
-            PriorityDiscipline::WeightedAging { aging: 0.1 },
-        )),
-        _ => return None,
-    };
-    Some(sched)
+    spec.parse::<SchedSpec>()
+        .ok()
+        .map(|s| s.build(seed, window))
 }
 
 #[cfg(test)]

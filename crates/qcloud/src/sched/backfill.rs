@@ -56,6 +56,10 @@ pub struct BackfillScheduler {
     view: CloudView,
     /// Scratch: queue slots not yet dispatched in the current batch.
     alive: Vec<u32>,
+    /// Persistent timeline over the state's incrementally maintained
+    /// availability profile; EASY keeps no standing bookings, so only the
+    /// per-decision overlay is used.
+    timeline: CapacityTimeline,
     /// How many queued jobs behind the head are considered per decision.
     candidate_limit: usize,
     guarantees: Option<GuaranteeLog>,
@@ -73,6 +77,7 @@ impl BackfillScheduler {
                 devices: Vec::new(),
             },
             alive: Vec::new(),
+            timeline: CapacityTimeline::new(),
             candidate_limit: 64,
             guarantees: None,
         }
@@ -99,8 +104,11 @@ impl Scheduler for BackfillScheduler {
         self.alive.extend(0..queue.len() as u32);
         // The maintenance-aware availability profile: lease returns pushed
         // past offline windows, scheduled capacity drops included. The
-        // head's shadow time is its earliest fit on this timeline.
-        let mut timeline = CapacityTimeline::from_state(state);
+        // state maintains it incrementally; the timeline only layers this
+        // decision's dispatches on top. The head's shadow time is its
+        // earliest fit on the combined projection.
+        let profile = state.profile();
+        self.timeline.begin_decide(now);
         let calendar = state.maintenance();
         let mut dispatches = Vec::new();
         let mut backfilled = false;
@@ -116,8 +124,8 @@ impl Scheduler for BackfillScheduler {
             let plan = self.broker.select(head, &self.view);
             if let AllocationPlan::Dispatch(parts) = plan {
                 validate_plan(&*self.broker, head, &parts, &self.view);
-                timeline.withdraw_now(head.num_qubits);
-                project_dispatch_releases(&mut timeline, state, calendar, head, &parts, now);
+                self.timeline.withdraw_now(head.num_qubits);
+                project_dispatch_releases(&mut self.timeline, state, calendar, head, &parts, now);
                 apply_parts(&mut self.view, &parts, now);
                 dispatches.push(Dispatch {
                     queue_index: 0,
@@ -128,7 +136,7 @@ impl Scheduler for BackfillScheduler {
             }
 
             // Head blocked: compute its reservation and backfill behind it.
-            let shadow = timeline.earliest_fit(head.num_qubits);
+            let shadow = self.timeline.earliest_fit(profile, head.num_qubits);
             if let Some(log) = &self.guarantees {
                 log.lock().unwrap().push(HeadGuarantee {
                     head: head.id,
@@ -170,9 +178,9 @@ impl Scheduler for BackfillScheduler {
                         .fold(0.0f64, f64::max);
                     if done <= shadow {
                         validate_plan(&*self.broker, cand, &parts, &self.view);
-                        timeline.withdraw_now(cand.num_qubits);
+                        self.timeline.withdraw_now(cand.num_qubits);
                         project_dispatch_releases(
-                            &mut timeline,
+                            &mut self.timeline,
                             state,
                             calendar,
                             cand,

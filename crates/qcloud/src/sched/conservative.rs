@@ -38,10 +38,11 @@
 //! the instant an unplanned crash ([`crate::faults`]) yanks a device out
 //! from under a standing promise. Repair is automatic and needs no special
 //! casing here: a crashed device is offline with no maintenance window, so
-//! [`CapacityTimeline::from_state`] excludes it from the rebuilt profile on
-//! the next consult; bookings re-reserved against the shrunken profile may
-//! drive it negative (the timeline is signed and assert-free by design),
-//! and a booking that no longer fits anywhere re-slots at
+//! [`CloudState::refresh`] drops it from the incrementally maintained
+//! availability profile on the next consult; standing bookings against the
+//! shrunken profile may drive the projection negative (the timeline is
+//! signed and assert-free by design), and a booking that no longer fits
+//! anywhere re-slots at
 //! `f64::INFINITY` — i.e. stays parked until capacity returns. Two weaker
 //! invariants survive, both proptest-pinned in `tests/chaos_proptests`:
 //! promises issued with **no failure event between decision and start**
@@ -95,6 +96,11 @@ pub struct ConservativeBackfillScheduler {
     view: CloudView,
     /// Scratch: queue slots not yet dispatched in the current batch.
     alive: Vec<u32>,
+    /// Persistent timeline whose booking ledger mirrors `bookings`: a
+    /// booked interval stays in force across decisions until the job is
+    /// dispatched (lifted at admission) or time folds it away, so a decide
+    /// no longer replays every standing booking from scratch.
+    timeline: CapacityTimeline,
     /// Standing bookings, re-compressed (one at a time) every decision.
     bookings: Vec<Booking>,
     /// How many queued jobs are re-slotted per decision (compression
@@ -116,6 +122,7 @@ impl ConservativeBackfillScheduler {
                 devices: Vec::new(),
             },
             alive: Vec::new(),
+            timeline: CapacityTimeline::new(),
             bookings: Vec::new(),
             lookahead: 64,
             reservations: None,
@@ -142,19 +149,22 @@ impl Scheduler for ConservativeBackfillScheduler {
         state.copy_view_into(&mut self.view);
         self.alive.clear();
         self.alive.extend(0..queue.len() as u32);
-        let mut timeline = CapacityTimeline::from_state(state);
+        let profile = state.profile();
+        self.timeline.begin_decide(now);
         let calendar = state.maintenance();
         let mut dispatches = Vec::new();
         let mut backfilled = false;
 
-        // Drop bookings of jobs no longer queued (dispatched earlier),
-        // then put every standing booking back into force — compression
-        // below lifts them out one at a time.
-        self.bookings
-            .retain(|b| queue.iter().any(|j| j.id == b.job));
-        for b in &self.bookings {
-            timeline.reserve_interval(b.start.max(now), b.end, b.qubits);
-        }
+        // The ledger already holds every standing booking: a job's booking
+        // is removed exactly when it leaves the pending queue (admission
+        // lifts it before dispatch), so no sweep against the queue is
+        // needed — compression below lifts bookings out one at a time.
+        debug_assert!(
+            self.bookings
+                .iter()
+                .all(|b| queue.iter().any(|j| j.id == b.job)),
+            "standing booking for a job not in the pending queue"
+        );
 
         // One FIFO-ordered compression-and-admission pass. `vi` indexes
         // `alive` (positions not yet dispatched this batch); dispatching
@@ -177,10 +187,11 @@ impl Scheduler for ConservativeBackfillScheduler {
             // ever degrades.
             if let Some(bi) = booked {
                 let b = self.bookings[bi];
-                timeline.unreserve_interval(b.start.max(now), b.end, b.qubits);
+                self.timeline
+                    .unreserve_interval(b.start.max(now), b.end, b.qubits);
             }
             let dur = state.worst_hold_seconds(job);
-            let start = timeline.earliest_slot(job.num_qubits, dur);
+            let start = self.timeline.earliest_slot(profile, job.num_qubits, dur);
             let admissible = start <= now;
             // The head of the residual queue is probed unconditionally
             // (exactly EASY's head consult, keeping stateful brokers in
@@ -197,8 +208,15 @@ impl Scheduler for ConservativeBackfillScheduler {
                     if let Some(bi) = booked {
                         self.bookings.swap_remove(bi);
                     }
-                    timeline.withdraw_now(job.num_qubits);
-                    project_dispatch_releases(&mut timeline, state, calendar, job, &parts, now);
+                    self.timeline.withdraw_now(job.num_qubits);
+                    project_dispatch_releases(
+                        &mut self.timeline,
+                        state,
+                        calendar,
+                        job,
+                        &parts,
+                        now,
+                    );
                     apply_parts(&mut self.view, &parts, now);
                     if vi > 0 {
                         backfilled = true;
@@ -225,7 +243,7 @@ impl Scheduler for ConservativeBackfillScheduler {
             }
             if start.is_finite() {
                 let end = start + dur;
-                timeline.reserve_interval(start, end, job.num_qubits);
+                self.timeline.reserve_interval(start, end, job.num_qubits);
                 let booking = Booking {
                     job: job.id,
                     start,
@@ -244,7 +262,8 @@ impl Scheduler for ConservativeBackfillScheduler {
                 // backfill admitted this round collide with a finite
                 // promise already issued for this job.
                 let b = self.bookings[bi];
-                timeline.reserve_interval(b.start.max(now), b.end, b.qubits);
+                self.timeline
+                    .reserve_interval(b.start.max(now), b.end, b.qubits);
             }
             vi += 1;
         }

@@ -23,9 +23,12 @@
 //!   reservations protecting *every* queued job, not just the head) and
 //!   [`PriorityScheduler`] (SJF / EDF / aging disciplines) are genuinely
 //!   queue-aware disciplines the old API could not express. The two
-//!   backfilling disciplines share the [`CapacityTimeline`] availability
-//!   profile (lease table + maintenance calendar), so their shadow
-//!   computations see scheduled windows coming.
+//!   backfilling disciplines share the availability machinery: the state
+//!   owns an incrementally maintained [`AvailabilityProfile`] (lease table
+//!   and maintenance calendar, re-derived per touched device instead of
+//!   per decision) and each scheduler layers a persistent [`CapacityTimeline`]
+//!   of bookings and batch dispatches on top, so shadow computations see
+//!   scheduled windows coming without any per-decide rebuild.
 //!
 //! Disciplines compose with policies by name through
 //! [`crate::policies::scheduler_by_name`] (e.g. `backfill+speed`,
@@ -43,7 +46,7 @@ pub use conservative::{ConservativeBackfillScheduler, ReservationLog, StartReser
 pub use fifo::{FifoAdapter, SnapshotAdapter};
 pub use priority::{PriorityDiscipline, PriorityScheduler};
 pub use state::{CloudState, DeviceSpec, Lease};
-pub use timeline::CapacityTimeline;
+pub use timeline::{AvailabilityProfile, CapacityTimeline};
 
 use crate::device::DeviceId;
 use crate::job::QJob;

@@ -9,6 +9,12 @@
 //! snapshot it tracks what the snapshot cannot express: the in-flight
 //! [`Lease`] table — which reservations will return, where, and when —
 //! which is what EASY backfilling's shadow-time computation needs.
+//!
+//! The same discipline extends to the forward-looking picture: the state
+//! owns an [`AvailabilityProfile`] (the fleet-total availability step
+//! function the backfilling timelines query) and keeps it in sync
+//! incrementally — each mutation re-derives only the touched device's
+//! slice instead of replaying the whole fleet per scheduler decision.
 
 use crate::broker::{CloudView, DeviceView};
 use crate::config::{ReleasePolicy, SimParams};
@@ -18,6 +24,8 @@ use crate::maintenance::{MaintenanceCalendar, MaintenanceWindow, OfflineFlags};
 use crate::model::comm::CommModel;
 use crate::model::exec_time::ExecTimeModel;
 use qcs_desim::TimeWeighted;
+
+use super::timeline::AvailabilityProfile;
 
 /// Static description of one device, used to seed the state.
 #[derive(Debug, Clone)]
@@ -76,6 +84,10 @@ pub struct CloudState {
     release: ReleasePolicy,
     calendar: MaintenanceCalendar,
     now: f64,
+    /// Incrementally maintained no-new-work availability step function
+    /// (see [`AvailabilityProfile`]); every mutation below re-derives the
+    /// touched device's slice so it always equals a from-scratch rebuild.
+    profile: AvailabilityProfile,
 }
 
 impl CloudState {
@@ -106,7 +118,7 @@ impl CloudState {
                 })
                 .collect(),
         };
-        CloudState {
+        let mut st = CloudState {
             devices,
             view,
             leases: Vec::new(),
@@ -115,7 +127,23 @@ impl CloudState {
             release: params.release,
             calendar: MaintenanceCalendar::new(),
             now: 0.0,
-        }
+            profile: AvailabilityProfile::empty(),
+        };
+        st.profile = AvailabilityProfile::from_state(&st);
+        st
+    }
+
+    /// Re-derives one device's slice of the availability profile after a
+    /// mutation touching it (reserve/release/revocation/flag flip/window).
+    fn sync_profile_device(&mut self, di: usize) {
+        let CloudState {
+            devices,
+            leases,
+            calendar,
+            profile,
+            ..
+        } = self;
+        profile.rebuild_device(di, devices[di].level, devices[di].offline, leases, calendar);
     }
 
     /// Registers a scheduled maintenance window with the state's calendar,
@@ -124,6 +152,16 @@ impl CloudState {
     /// run starts; immutable afterwards).
     pub fn add_maintenance_window(&mut self, window: MaintenanceWindow) {
         self.calendar.add(window);
+        if window.device < self.devices.len() {
+            self.sync_profile_device(window.device);
+        }
+    }
+
+    /// The incrementally maintained availability profile, folded to the
+    /// last [`CloudState::refresh`] — the read-only input to
+    /// [`super::CapacityTimeline`] queries.
+    pub fn profile(&self) -> &AvailabilityProfile {
+        &self.profile
     }
 
     /// The scheduled-maintenance calendar (planned unavailability the
@@ -204,6 +242,16 @@ impl CloudState {
                 v.busy_fraction = busy_fraction(d.capacity, d.level);
             }
             v.mean_utilization = mean_utilization(&d.stats, d.capacity, now);
+        }
+        // Fold the profile forward, then re-derive devices whose offline
+        // state changed (crash/recovery) or is still masked — an offline
+        // device's slice depends on the calendar relative to `now`, not
+        // just on recorded future deltas.
+        self.profile.advance(now);
+        for di in 0..self.devices.len() {
+            if self.devices[di].offline || self.profile.derived_offline_flag(di) {
+                self.sync_profile_device(di);
+            }
         }
     }
 
@@ -299,6 +347,9 @@ impl CloudState {
                 release_at: now + hold,
             });
         }
+        for &(dev, _) in parts {
+            self.sync_profile_device(dev.index());
+        }
     }
 
     /// Releases `qubits` of `job` on `device` at time `now`, retiring the
@@ -329,6 +380,7 @@ impl CloudState {
             v.free = d.level;
             v.busy_fraction = busy_fraction(d.capacity, d.level);
         }
+        self.sync_profile_device(device.index());
     }
 
     /// Revokes **every** lease of `job` at time `now`, returning the
@@ -366,6 +418,9 @@ impl CloudState {
             } else {
                 i += 1;
             }
+        }
+        for &(dev, _) in &freed {
+            self.sync_profile_device(dev.index());
         }
         freed
     }

@@ -1,5 +1,5 @@
 //! Availability-aware reservation timelines — the shadow computation
-//! shared by the backfilling disciplines.
+//! shared by the backfilling disciplines, maintained **incrementally**.
 //!
 //! Both backfilling schedulers need the same forward-looking question
 //! answered: *how many qubits will the fleet be able to place at time
@@ -7,8 +7,7 @@
 //! assembled from three deterministic sources:
 //!
 //! * the instantaneous free levels in [`CloudState`]'s view;
-//! * the in-flight [`Lease`](super::Lease) table — every reservation's
-//!   qubits return at
+//! * the in-flight [`Lease`] table — every reservation's qubits return at
 //!   a closed-form instant (`release_at`);
 //! * the [`MaintenanceCalendar`] — a window hides a device's *free* pool
 //!   for its whole span (in-flight sub-jobs keep running; their released
@@ -16,12 +15,33 @@
 //!   simulation implements), and a *future* window start is a scheduled
 //!   capacity drop the lease table alone cannot see.
 //!
-//! [`CapacityTimeline`] materialises that availability profile once per
-//! scheduler decision and then answers two queries:
+//! The seed implementation rebuilt that profile from scratch on **every**
+//! scheduler decision (`from_state`), which put an O(devices + leases)
+//! replay plus a sort on the decide hot path — the dominant cost at
+//! fleet-scale queue depths. The split is now:
+//!
+//! * [`AvailabilityProfile`] — the no-new-work availability step function,
+//!   owned by [`CloudState`] and kept in sync *incrementally* by its
+//!   mutations: `reserve`/`release`/`revoke_job` replay only the touched
+//!   device's contribution, `refresh` advances the clock (folding due
+//!   deltas into the base, O(log n) per fold) and re-derives devices whose
+//!   offline flag flipped (crash and recovery repair, PR 6 semantics
+//!   included). The per-device replay is the *same code* the
+//!   [`AvailabilityProfile::from_state`] oracle runs, so the incremental
+//!   profile is equal to a from-scratch rebuild by construction
+//!   (differentially proptest-pinned in `tests/timeline_proptests.rs`).
+//! * [`CapacityTimeline`] — the *scheduler-owned* view over a profile:
+//!   a persistent reservation **ledger** (conservative backfilling's
+//!   standing bookings, kept in a `BTreeMap` interval-delta structure with
+//!   O(log n) booking/unbooking) plus a per-decision **overlay** (the
+//!   dispatches admitted in the current batch). Queries are read-only
+//!   (`&self`) and merge the three delta streams without sorting.
+//!
+//! The two queries:
 //!
 //! * [`CapacityTimeline::earliest_fit`] — the first instant total
 //!   availability covers a demand (EASY backfilling's *shadow time* for
-//!   the blocked head, now maintenance-aware);
+//!   the blocked head, maintenance-aware);
 //! * [`CapacityTimeline::earliest_slot`] — the first instant a demand
 //!   fits **for an entire duration** (a conservative-backfilling start
 //!   reservation; the interval is then booked with
@@ -37,134 +57,325 @@
 //! availability, never for it), so a promised start computed here is
 //! still an upper bound — the property the no-delay proptests pin.
 
-use super::state::CloudState;
+use std::collections::BTreeMap;
+
+use super::state::{CloudState, Lease};
 use crate::device::DeviceId;
 use crate::maintenance::MaintenanceCalendar;
 
-/// A fleet-total availability step function over `[now, ∞)`, with
-/// interval reservations. See the module docs.
-#[derive(Debug, Clone)]
-pub struct CapacityTimeline {
-    /// The instant the profile was built for.
+/// Total order on timestamps (`f64::total_cmp`) so delta maps can key on
+/// them. All timeline times are finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Adds `v` to `map[t]`, dropping the entry when it cancels to zero.
+fn map_add(map: &mut BTreeMap<TimeKey, i64>, t: f64, v: i64) {
+    if v == 0 {
+        return;
+    }
+    let e = map.entry(TimeKey(t)).or_insert(0);
+    *e += v;
+    if *e == 0 {
+        map.remove(&TimeKey(t));
+    }
+}
+
+/// One device's slice of the availability profile.
+#[derive(Debug, Clone, PartialEq)]
+struct DeviceProfile {
+    /// Current contribution to the profile base (folded to `now`).
+    contrib: i64,
+    /// The offline flag this slice was derived under; a flip triggers a
+    /// re-derivation on the next [`AvailabilityProfile::refresh`].
+    offline_flag: bool,
+    /// This device's future visible-level deltas, ascending, all `> now`.
+    /// Mirrored into the aggregate delta map.
+    fut: Vec<(f64, i64)>,
+}
+
+/// The fleet-total no-new-work availability step function over `[now, ∞)`,
+/// maintained incrementally by [`CloudState`]'s mutations. See the module
+/// docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityProfile {
+    /// The instant the profile is folded to (the last refresh).
     now: f64,
-    /// Total qubits placeable at `now` (before any reservations).
+    /// Total qubits placeable at `now`.
     base: i64,
-    /// Future availability deltas `(time, signed qubits)`, `time > now`.
-    /// Kept unsorted between mutations; queries sort in place.
-    deltas: Vec<(f64, i64)>,
-    sorted: bool,
+    /// Aggregate future deltas `(time → signed qubits)`, all `> now`.
+    deltas: BTreeMap<TimeKey, i64>,
+    devices: Vec<DeviceProfile>,
+}
+
+/// Replays one device's visible-level trajectory (current level, lease
+/// returns, maintenance window edges, offline masking) from `now` on:
+/// returns the contribution at `now` and fills `fut` with the future
+/// deltas, ascending. This is the single source of truth both the
+/// incremental profile and the from-scratch oracle run.
+fn replay_device(
+    di: usize,
+    level: u64,
+    flag_offline: bool,
+    leases: &[Lease],
+    calendar: &MaintenanceCalendar,
+    now: f64,
+    fut: &mut Vec<(f64, i64)>,
+) -> i64 {
+    fut.clear();
+    enum Ev {
+        Release(u64),
+        WinStart,
+        WinEnd,
+    }
+    let active_now = calendar.active_at(di, now);
+    if flag_offline && active_now == 0 {
+        // Parked with no scheduled return (a crash): invisible forever.
+        return 0;
+    }
+    // The live flag and the calendar can disagree for one decide at an
+    // exact window-edge timestamp (kernel event ordering); take the union
+    // so a window whose start ties with `now` never counts its device as
+    // available for the whole span.
+    let offline_now = flag_offline || active_now > 0;
+    let mut events: Vec<(f64, Ev)> = Vec::new();
+    for l in leases {
+        if l.device.index() == di {
+            // A lease already due (boundary race with the release
+            // coroutine) surfaces immediately.
+            events.push((l.release_at.max(now), Ev::Release(l.qubits)));
+        }
+    }
+    for w in calendar.windows_for(di) {
+        if w.start > now {
+            events.push((w.start, Ev::WinStart));
+        }
+        if w.end() > now {
+            events.push((w.end(), Ev::WinEnd));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut level = level;
+    let mut active = active_now as i64;
+    let mut visible: i64 = if offline_now { 0 } else { level as i64 };
+    let mut contrib = visible;
+    let mut i = 0usize;
+    while i < events.len() {
+        let t = events[i].0;
+        // Apply every same-instant event before emitting a delta, so a
+        // release landing exactly on a window edge never produces a
+        // transient spike.
+        while i < events.len() && events[i].0 == t {
+            match events[i].1 {
+                Ev::Release(q) => level += q,
+                Ev::WinStart => active += 1,
+                Ev::WinEnd => active -= 1,
+            }
+            i += 1;
+        }
+        let new_visible: i64 = if active > 0 { 0 } else { level as i64 };
+        if new_visible != visible {
+            if t > now {
+                fut.push((t, new_visible - visible));
+            } else {
+                // Boundary race: a lease due exactly now surfaces into the
+                // instantaneous pool.
+                contrib += new_visible - visible;
+            }
+            visible = new_visible;
+        }
+    }
+    contrib
+}
+
+impl AvailabilityProfile {
+    /// An empty profile (no devices). [`CloudState::new`] replaces it with
+    /// a full derivation once the fleet is wired up.
+    pub(crate) fn empty() -> Self {
+        AvailabilityProfile {
+            now: 0.0,
+            base: 0,
+            deltas: BTreeMap::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Derives the whole profile from scratch at `state.now()`. This is
+    /// the **oracle**: the incrementally maintained
+    /// [`CloudState::profile`] must always equal it (differential
+    /// proptest), and it seeds the profile at construction time.
+    pub fn from_state(state: &CloudState) -> Self {
+        let mut p = AvailabilityProfile {
+            now: state.now(),
+            base: 0,
+            deltas: BTreeMap::new(),
+            devices: Vec::new(),
+        };
+        for di in 0..state.len() {
+            let dev = DeviceId(di as u32);
+            let mut fut = Vec::new();
+            let contrib = replay_device(
+                di,
+                state.actual_level(dev),
+                state.is_offline(dev),
+                state.leases(),
+                state.maintenance(),
+                p.now,
+                &mut fut,
+            );
+            p.base += contrib;
+            for &(t, v) in &fut {
+                map_add(&mut p.deltas, t, v);
+            }
+            p.devices.push(DeviceProfile {
+                contrib,
+                offline_flag: state.is_offline(dev),
+                fut,
+            });
+        }
+        p
+    }
+
+    /// Re-derives one device's slice after a state mutation touching it
+    /// (reserve, release, revocation, flag flip, new window): removes the
+    /// old contribution and future deltas from the aggregates and replays
+    /// the device fresh. O(device leases + device windows + log deltas).
+    pub(crate) fn rebuild_device(
+        &mut self,
+        di: usize,
+        level: u64,
+        flag_offline: bool,
+        leases: &[Lease],
+        calendar: &MaintenanceCalendar,
+    ) {
+        let d = &mut self.devices[di];
+        self.base -= d.contrib;
+        for &(t, v) in &d.fut {
+            map_add(&mut self.deltas, t, -v);
+        }
+        let mut fut = std::mem::take(&mut d.fut);
+        let contrib = replay_device(
+            di,
+            level,
+            flag_offline,
+            leases,
+            calendar,
+            self.now,
+            &mut fut,
+        );
+        self.base += contrib;
+        for &(t, v) in &fut {
+            map_add(&mut self.deltas, t, v);
+        }
+        let d = &mut self.devices[di];
+        d.contrib = contrib;
+        d.offline_flag = flag_offline;
+        d.fut = fut;
+    }
+
+    /// The offline flag the device's slice was last derived under (used by
+    /// [`CloudState::refresh`] to detect crash/recovery transitions).
+    pub(crate) fn derived_offline_flag(&self, di: usize) -> bool {
+        self.devices[di].offline_flag
+    }
+
+    /// Advances the profile clock, folding every delta due at or before
+    /// `now` into the base — the incremental counterpart of the oracle's
+    /// `t ≤ now` clamping. Time is monotone in the simulation; a
+    /// non-monotone `now` only folds (never unfolds).
+    pub(crate) fn advance(&mut self, now: f64) {
+        if now <= self.now {
+            return;
+        }
+        self.now = now;
+        for d in &mut self.devices {
+            let due = d.fut.partition_point(|&(t, _)| t <= now);
+            if due == 0 {
+                continue;
+            }
+            for &(t, v) in &d.fut[..due] {
+                d.contrib += v;
+                self.base += v;
+                map_add(&mut self.deltas, t, -v);
+            }
+            d.fut.drain(..due);
+        }
+    }
+
+    /// The instant the profile is folded to.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total availability at `now`, before any scheduler-side bookings.
+    pub fn available_now(&self) -> i64 {
+        self.base
+    }
+}
+
+/// A scheduler-owned reservation view over an [`AvailabilityProfile`]:
+/// a persistent booking **ledger** (conservative start reservations,
+/// carried across decisions) plus a per-decision **overlay** (dispatches
+/// admitted in the current batch). Queries are `&self` and merge the
+/// profile's, ledger's and overlay's delta streams; bookings mutate only
+/// the ledger (O(log n)).
+#[derive(Debug, Clone, Default)]
+pub struct CapacityTimeline {
+    /// The decision instant, set by [`CapacityTimeline::begin_decide`].
+    now: f64,
+    /// Net qubits the current decision batch added at/before `now`.
+    overlay_base: i64,
+    /// The batch's future deltas (projected dispatch releases), `> now`.
+    overlay: BTreeMap<TimeKey, i64>,
+    /// Net booked qubits at/before `now` (bookings folded as time passes).
+    ledger_base: i64,
+    /// Standing booking deltas, `> now`.
+    ledger: BTreeMap<TimeKey, i64>,
 }
 
 impl CapacityTimeline {
-    /// Builds the no-new-work availability profile at `state.now()` from
-    /// the state's levels, lease table and maintenance calendar.
-    ///
-    /// A device that is offline *without* a covering calendar window (its
-    /// return unknowable) contributes nothing — matching the scheduler
-    /// view's masking. Otherwise the device's level trajectory (current
-    /// actual level plus scheduled lease returns) is replayed against its
-    /// window edges, emitting a delta wherever the *visible* level
-    /// changes.
-    pub fn from_state(state: &CloudState) -> Self {
-        let calendar = state.maintenance();
-        let now = state.now();
-        let mut tl = CapacityTimeline {
-            now,
-            base: 0,
-            deltas: Vec::new(),
-            sorted: false,
-        };
-        // Per-device event stream replayed below: lease returns raise the
-        // level, window edges toggle the offline mask.
-        enum Ev {
-            Release(u64),
-            WinStart,
-            WinEnd,
-        }
-        // One pass over the lease table, bucketed by device (the table is
-        // shared by every device's replay; scanning it per device would
-        // put an O(devices × leases) loop on the EASY hot path).
-        let mut leases: Vec<(u32, f64, u64)> = state
-            .leases()
-            .iter()
-            // A lease already due (boundary race with the release
-            // coroutine) surfaces immediately.
-            .map(|l| (l.device.0, l.release_at.max(now), l.qubits))
-            .collect();
-        leases.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        let mut lease_cursor = 0usize;
-        let mut events: Vec<(f64, Ev)> = Vec::new();
-        for di in 0..state.len() {
-            let dev = DeviceId(di as u32);
-            let flag_offline = state.is_offline(dev);
-            let active_now = calendar.active_at(di, now);
-            // The device's own leases (cursor advances monotonically:
-            // devices are visited in ascending id order).
-            let lease_lo = lease_cursor;
-            while lease_cursor < leases.len() && leases[lease_cursor].0 == di as u32 {
-                lease_cursor += 1;
-            }
-            if flag_offline && active_now == 0 {
-                // Parked with no scheduled return: invisible forever.
-                continue;
-            }
-            // The live flag and the calendar can disagree for one decide
-            // at an exact window-edge timestamp (kernel event ordering);
-            // take the union so a window whose start ties with `now` never
-            // counts its device as available for the whole span.
-            let offline_now = flag_offline || active_now > 0;
-            events.clear();
-            for &(_, at, q) in &leases[lease_lo..lease_cursor] {
-                events.push((at, Ev::Release(q)));
-            }
-            for w in calendar.windows_for(di) {
-                if w.start > now {
-                    events.push((w.start, Ev::WinStart));
-                }
-                if w.end() > now {
-                    events.push((w.end(), Ev::WinEnd));
-                }
-            }
-            events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    /// An empty timeline (no bookings, no batch overlay).
+    pub fn new() -> Self {
+        Self::default()
+    }
 
-            let mut level = state.actual_level(dev);
-            let mut active = active_now as i64;
-            let mut visible: i64 = if offline_now { 0 } else { level as i64 };
-            tl.base += visible;
-            let mut i = 0usize;
-            while i < events.len() {
-                let t = events[i].0;
-                // Apply every same-instant event before emitting a delta,
-                // so a release landing exactly on a window edge never
-                // produces a transient spike.
-                while i < events.len() && events[i].0 == t {
-                    match events[i].1 {
-                        Ev::Release(q) => level += q,
-                        Ev::WinStart => active += 1,
-                        Ev::WinEnd => active -= 1,
-                    }
-                    i += 1;
-                }
-                let new_visible: i64 = if active > 0 { 0 } else { level as i64 };
-                if new_visible != visible {
-                    if t > now {
-                        tl.deltas.push((t, new_visible - visible));
-                    } else {
-                        // Boundary race: a lease due exactly now surfaces
-                        // into the instantaneous pool.
-                        tl.base += new_visible - visible;
-                    }
-                    visible = new_visible;
-                }
+    /// Starts a scheduling decision at `now` (must be the profile's fold
+    /// instant, i.e. `state.now()`): clears the per-decision overlay and
+    /// folds every ledger delta due at or before `now` into the ledger
+    /// base, so standing bookings whose start has arrived weigh on the
+    /// instantaneous pool exactly as the seed's per-decide re-application
+    /// (`start.max(now)`) did.
+    pub fn begin_decide(&mut self, now: f64) {
+        self.now = now;
+        self.overlay_base = 0;
+        self.overlay.clear();
+        while let Some((&TimeKey(t), _)) = self.ledger.first_key_value() {
+            if t > now {
+                break;
             }
+            let (_, v) = self.ledger.pop_first().unwrap();
+            self.ledger_base += v;
         }
-        tl
     }
 
     /// Removes `qubits` from the profile at `now` (a dispatch admitted in
     /// the current decision batch).
     pub fn withdraw_now(&mut self, qubits: u64) {
-        self.base -= qubits as i64;
+        self.overlay_base -= qubits as i64;
     }
 
     /// Adds a projected release of `qubits` at `at` (the deterministic
@@ -174,41 +385,40 @@ impl CapacityTimeline {
     /// inside a window.
     pub fn add_release(&mut self, at: f64, qubits: u64) {
         if at <= self.now {
-            self.base += qubits as i64;
+            self.overlay_base += qubits as i64;
         } else {
-            self.deltas.push((at, qubits as i64));
-            self.sorted = false;
+            map_add(&mut self.overlay, at, qubits as i64);
         }
     }
 
-    /// Shifts availability by `delta` over `[start, end)` (clamped to the
-    /// profile's horizon).
+    /// Shifts booked availability by `delta` over `[start, end)` (clamped
+    /// to the decision horizon).
     fn shift_interval(&mut self, start: f64, end: f64, delta: i64) {
         let start = start.max(self.now);
         if end <= start {
             return;
         }
         if start <= self.now {
-            self.base += delta;
+            self.ledger_base += delta;
         } else {
-            self.deltas.push((start, delta));
+            map_add(&mut self.ledger, start, delta);
         }
         if end.is_finite() {
-            self.deltas.push((end, -delta));
+            map_add(&mut self.ledger, end, -delta);
         }
-        self.sorted = false;
     }
 
     /// Books `qubits` over `[start, end)` — a conservative start
-    /// reservation for a queued-but-unplaced job. Later queries see the
-    /// reduced availability inside the interval.
+    /// reservation for a queued-but-unplaced job, persistent across
+    /// decisions until explicitly unbooked (or folded away by time).
+    /// Later queries see the reduced availability inside the interval.
     pub fn reserve_interval(&mut self, start: f64, end: f64, qubits: u64) {
         self.shift_interval(start, end, -(qubits as i64));
     }
 
     /// Exactly reverses a [`CapacityTimeline::reserve_interval`] with the
-    /// same arguments (re-slotting one booking while every other stays in
-    /// force).
+    /// same arguments *as clamped by the current decision instant*
+    /// (re-slotting one booking while every other stays in force).
     pub fn unreserve_interval(&mut self, start: f64, end: f64, qubits: u64) {
         self.shift_interval(start, end, qubits as i64);
     }
@@ -222,30 +432,24 @@ impl CapacityTimeline {
         self.reserve_interval(start, start + duration, qubits);
     }
 
-    fn sort(&mut self) {
-        if !self.sorted {
-            self.deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
-            self.sorted = true;
-        }
+    /// Total availability at `now` under the profile, the standing
+    /// bookings, and the current batch.
+    pub fn available_now(&self, profile: &AvailabilityProfile) -> i64 {
+        profile.base + self.ledger_base + self.overlay_base
     }
 
     /// The first instant `≥ now` at which total availability covers
     /// `demand` — EASY backfilling's shadow time. `f64::INFINITY` when no
     /// projected state ever does (offline capacity): no promise binds.
-    pub fn earliest_fit(&mut self, demand: u64) -> f64 {
+    pub fn earliest_fit(&self, profile: &AvailabilityProfile, demand: u64) -> f64 {
         let demand = demand as i64;
-        if self.base >= demand {
+        let mut avail = self.available_now(profile);
+        if avail >= demand {
             return self.now;
         }
-        self.sort();
-        let mut avail = self.base;
-        let mut i = 0usize;
-        while i < self.deltas.len() {
-            let t = self.deltas[i].0;
-            while i < self.deltas.len() && self.deltas[i].0 == t {
-                avail += self.deltas[i].1;
-                i += 1;
-            }
+        let mut merge = MergedDeltas::new(profile, self);
+        while let Some((t, dv)) = merge.next_group() {
+            avail += dv;
             if avail >= demand {
                 return t;
             }
@@ -256,26 +460,21 @@ impl CapacityTimeline {
     /// The first instant `≥ now` at which `demand` qubits stay available
     /// for the whole `duration` — a conservative start reservation.
     /// `f64::INFINITY` when no such interval exists in the projection.
-    pub fn earliest_slot(&mut self, demand: u64, duration: f64) -> f64 {
+    pub fn earliest_slot(&self, profile: &AvailabilityProfile, demand: u64, duration: f64) -> f64 {
         let demand = demand as i64;
-        self.sort();
-        let mut avail = self.base;
+        let mut avail = self.available_now(profile);
         let mut candidate = if avail >= demand {
             self.now
         } else {
             f64::INFINITY
         };
-        let mut i = 0usize;
-        while i < self.deltas.len() {
-            let t = self.deltas[i].0;
+        let mut merge = MergedDeltas::new(profile, self);
+        while let Some((t, dv)) = merge.next_group() {
             if candidate.is_finite() && t >= candidate + duration {
                 // The run held through the full duration.
                 return candidate;
             }
-            while i < self.deltas.len() && self.deltas[i].0 == t {
-                avail += self.deltas[i].1;
-                i += 1;
-            }
+            avail += dv;
             if avail >= demand {
                 if !candidate.is_finite() {
                     candidate = t;
@@ -287,10 +486,68 @@ impl CapacityTimeline {
         // Past the last breakpoint availability is flat forever.
         candidate
     }
+}
 
-    /// Total availability at `now` (inspection/testing).
-    pub fn available_now(&self) -> i64 {
-        self.base
+/// Three-way merge of the profile / ledger / overlay delta streams,
+/// grouped by exact timestamp with same-instant deltas summed — so query
+/// loops accumulate-then-test exactly as the seed's sorted-vector scan
+/// did.
+struct MergedDeltas<'a> {
+    a: std::collections::btree_map::Iter<'a, TimeKey, i64>,
+    b: std::collections::btree_map::Iter<'a, TimeKey, i64>,
+    c: std::collections::btree_map::Iter<'a, TimeKey, i64>,
+    pa: Option<(f64, i64)>,
+    pb: Option<(f64, i64)>,
+    pc: Option<(f64, i64)>,
+}
+
+impl<'a> MergedDeltas<'a> {
+    fn new(profile: &'a AvailabilityProfile, tl: &'a CapacityTimeline) -> Self {
+        let mut m = MergedDeltas {
+            a: profile.deltas.iter(),
+            b: tl.ledger.iter(),
+            c: tl.overlay.iter(),
+            pa: None,
+            pb: None,
+            pc: None,
+        };
+        m.pa = m.a.next().map(|(k, v)| (k.0, *v));
+        m.pb = m.b.next().map(|(k, v)| (k.0, *v));
+        m.pc = m.c.next().map(|(k, v)| (k.0, *v));
+        m
+    }
+
+    /// The next distinct timestamp and the summed delta across all three
+    /// streams at it.
+    fn next_group(&mut self) -> Option<(f64, i64)> {
+        let t = [self.pa, self.pb, self.pc]
+            .iter()
+            .flatten()
+            .map(|&(t, _)| t)
+            .fold(f64::INFINITY, f64::min);
+        if t.is_infinite() {
+            return None;
+        }
+        let mut dv = 0i64;
+        if let Some((ta, v)) = self.pa {
+            if ta == t {
+                dv += v;
+                self.pa = self.a.next().map(|(k, v)| (k.0, *v));
+            }
+        }
+        if let Some((tb, v)) = self.pb {
+            if tb == t {
+                dv += v;
+                self.pb = self.b.next().map(|(k, v)| (k.0, *v));
+            }
+        }
+        if let Some((tc, v)) = self.pc {
+            if tc == t {
+                dv += v;
+                self.pc = self.c.next().map(|(k, v)| (k.0, *v));
+            }
+        }
+        Some((t, dv))
     }
 }
 
@@ -351,14 +608,21 @@ mod tests {
         }
     }
 
+    fn timeline_at(now: f64) -> CapacityTimeline {
+        let mut tl = CapacityTimeline::new();
+        tl.begin_decide(now);
+        tl
+    }
+
     #[test]
     fn idle_fleet_fits_immediately() {
         let st = state(&[100, 100]);
-        let mut tl = CapacityTimeline::from_state(&st);
-        assert_eq!(tl.available_now(), 200);
-        assert_eq!(tl.earliest_fit(150), 0.0);
-        assert_eq!(tl.earliest_slot(200, 1e6), 0.0);
-        assert!(tl.earliest_fit(201).is_infinite());
+        let p = st.profile();
+        let tl = timeline_at(st.now());
+        assert_eq!(p.available_now(), 200);
+        assert_eq!(tl.earliest_fit(p, 150), 0.0);
+        assert_eq!(tl.earliest_slot(p, 200, 1e6), 0.0);
+        assert!(tl.earliest_fit(p, 201).is_infinite());
     }
 
     #[test]
@@ -369,11 +633,11 @@ mod tests {
         let off = OfflineFlags::new(2);
         st.refresh(0.0, &off);
         let release_at = st.leases()[0].release_at;
-        let mut tl = CapacityTimeline::from_state(&st);
-        assert_eq!(tl.available_now(), 50);
-        assert_eq!(tl.earliest_fit(50), 0.0);
+        let tl = timeline_at(st.now());
+        assert_eq!(st.profile().available_now(), 50);
+        assert_eq!(tl.earliest_fit(st.profile(), 50), 0.0);
         // 150 qubits only after the leases return.
-        assert_eq!(tl.earliest_fit(150), release_at);
+        assert_eq!(tl.earliest_fit(st.profile(), 150), release_at);
     }
 
     #[test]
@@ -386,14 +650,14 @@ mod tests {
         });
         let off = OfflineFlags::new(2);
         st.refresh(0.0, &off);
-        let mut tl = CapacityTimeline::from_state(&st);
+        let tl = timeline_at(st.now());
         // 200 now, 100 during [10, 30), 200 again after.
-        assert_eq!(tl.earliest_fit(150), 0.0);
+        assert_eq!(tl.earliest_fit(st.profile(), 150), 0.0);
         // A 150-qubit job cannot hold through the window: the earliest
         // slot long enough starts at the window close.
-        assert_eq!(tl.earliest_slot(150, 15.0), 30.0);
+        assert_eq!(tl.earliest_slot(st.profile(), 150, 15.0), 30.0);
         // A short job fits before the window.
-        assert_eq!(tl.earliest_slot(150, 5.0), 0.0);
+        assert_eq!(tl.earliest_slot(st.profile(), 150, 5.0), 0.0);
     }
 
     #[test]
@@ -410,11 +674,11 @@ mod tests {
         let off = OfflineFlags::new(2);
         off.set_offline(0, true);
         st.refresh(2.0, &off);
-        let mut tl = CapacityTimeline::from_state(&st);
+        let tl = timeline_at(st.now());
         // Only device 1 visible now; device 0's 20 free + the returning 80
         // all surface when the window closes.
-        assert_eq!(tl.available_now(), 50);
-        assert_eq!(tl.earliest_fit(150), 1.0 + release_at + 100.0);
+        assert_eq!(st.profile().available_now(), 50);
+        assert_eq!(tl.earliest_fit(st.profile(), 150), 1.0 + release_at + 100.0);
     }
 
     #[test]
@@ -423,33 +687,102 @@ mod tests {
         let off = OfflineFlags::new(2);
         off.set_offline(0, true);
         st.refresh(0.0, &off);
-        let mut tl = CapacityTimeline::from_state(&st);
-        assert_eq!(tl.available_now(), 60);
-        assert!(tl.earliest_fit(61).is_infinite());
+        let tl = timeline_at(st.now());
+        assert_eq!(st.profile().available_now(), 60);
+        assert!(tl.earliest_fit(st.profile(), 61).is_infinite());
     }
 
     #[test]
     fn reservations_push_later_slots_out() {
         let st = state(&[100]);
-        let mut tl = CapacityTimeline::from_state(&st);
+        let p = st.profile();
+        let mut tl = timeline_at(st.now());
         // Book 80 qubits over [0, 50): a 30-qubit job must wait.
         tl.reserve(0.0, 50.0, 80);
-        assert_eq!(tl.earliest_slot(30, 10.0), 50.0);
+        assert_eq!(tl.earliest_slot(p, 30, 10.0), 50.0);
         // 20 still fit alongside the reservation.
-        assert_eq!(tl.earliest_slot(20, 10.0), 0.0);
+        assert_eq!(tl.earliest_slot(p, 20, 10.0), 0.0);
         // Booking those too fills the machine until t = 50.
         tl.reserve(0.0, 50.0, 20);
-        assert_eq!(tl.earliest_slot(1, 1.0), 50.0);
+        assert_eq!(tl.earliest_slot(p, 1, 1.0), 50.0);
     }
 
     #[test]
     fn withdraw_and_projected_release_round_trip() {
         let st = state(&[100]);
-        let mut tl = CapacityTimeline::from_state(&st);
+        let p = st.profile();
+        let mut tl = timeline_at(st.now());
         tl.withdraw_now(70);
         tl.add_release(40.0, 70);
-        assert_eq!(tl.available_now(), 30);
-        assert_eq!(tl.earliest_fit(100), 40.0);
-        assert_eq!(tl.earliest_slot(100, 10.0), 40.0);
+        assert_eq!(tl.available_now(p), 30);
+        assert_eq!(tl.earliest_fit(p, 100), 40.0);
+        assert_eq!(tl.earliest_slot(p, 100, 10.0), 40.0);
+    }
+
+    #[test]
+    fn ledger_persists_across_decides_and_folds_with_time() {
+        let st = state(&[100]);
+        let p = st.profile();
+        let mut tl = CapacityTimeline::new();
+        tl.begin_decide(0.0);
+        tl.reserve_interval(10.0, 30.0, 60);
+        assert_eq!(tl.earliest_slot(p, 50, 25.0), 30.0);
+        // A new decision at t = 20: the booking's start has passed, so its
+        // weight moves into the instantaneous pool (the seed re-applied it
+        // clamped to now — identical arithmetic).
+        tl.begin_decide(20.0);
+        assert_eq!(tl.available_now(p), 40);
+        assert_eq!(tl.earliest_fit(p, 100), 30.0);
+        // Unbooking with clamped args restores the pool exactly.
+        tl.unreserve_interval(20.0, 30.0, 60);
+        assert_eq!(tl.available_now(p), 100);
+        // A decision past the booking's whole span: everything folded, net
+        // zero left behind.
+        tl.begin_decide(40.0);
+        assert_eq!(tl.available_now(p), 100);
+        assert_eq!(tl.earliest_fit(p, 100), 40.0);
+    }
+
+    #[test]
+    fn incremental_profile_matches_oracle_through_mutations() {
+        let mut st = state(&[100, 80, 60]);
+        st.add_maintenance_window(MaintenanceWindow {
+            device: 1,
+            start: 50.0,
+            duration: 100.0,
+        });
+        let off = OfflineFlags::new(3);
+        st.refresh(0.0, &off);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+
+        let j0 = job(0, 120);
+        st.reserve(&j0, &[(DeviceId(0), 70), (DeviceId(1), 50)], 0.0);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+
+        // Crash device 2: flag-offline with no window → invisible.
+        off.set_offline(2, true);
+        st.refresh(10.0, &off);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+
+        // Revoke the crashed job's leases (crash-repair path).
+        let freed = st.revoke_job(j0.id, 10.0);
+        assert_eq!(freed.len(), 2);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+
+        // Recovery + a reserve/release round trip on the survivor.
+        off.set_offline(2, false);
+        st.refresh(20.0, &off);
+        let j1 = job(1, 40);
+        st.reserve(&j1, &[(DeviceId(2), 40)], 20.0);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+        st.release(j1.id, DeviceId(2), 40, 25.0);
+        st.refresh(25.0, &off);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+
+        // Advancing past the maintenance window folds its deltas away.
+        st.refresh(200.0, &off);
+        assert_eq!(st.profile(), &AvailabilityProfile::from_state(&st));
+        assert_eq!(st.profile().available_now(), 240);
+        st.assert_all_released();
     }
 }

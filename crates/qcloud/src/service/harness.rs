@@ -17,7 +17,7 @@
 //! [`crate::simenv::QCloudSimEnv::run`], including the qubit-conservation
 //! assertion.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,7 +58,7 @@ impl Default for ServiceConfig {
 /// region's static capacity for the feasibility filter.
 struct RouterShard {
     shared: Shared,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
     total_capacity: u64,
 }
 

@@ -56,7 +56,7 @@
 //! time and slowdown count from the *first* submission. Qubit conservation
 //! is asserted at teardown whenever every job reached a terminal state.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -95,8 +95,8 @@ struct FaultState {
 struct RunningJob {
     job: QJob,
     parts: Vec<(DeviceId, u64)>,
-    exec_pid: u32,
-    sub_pids: Vec<u32>,
+    exec_pid: u64,
+    sub_pids: Vec<u64>,
 }
 
 /// State shared between the coroutines. `pub(crate)` so the
@@ -137,7 +137,7 @@ fn fail_and_requeue(
     st: &mut SchedState,
     shared: &Shared,
     info: &[DeviceStatic],
-    scheduler_pid: &Arc<AtomicU32>,
+    scheduler_pid: &Arc<AtomicU64>,
     job_id: u64,
     kill_exec: bool,
 ) {
@@ -201,7 +201,7 @@ struct Generator {
     jobs: Vec<QJob>, // sorted by arrival, consumed front-to-back
     next: usize,
     shared: Shared,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
 }
 
 impl Coroutine for Generator {
@@ -240,7 +240,7 @@ struct SchedulerProc {
     info: Arc<Vec<DeviceStatic>>,
     params: SimParams,
     topologies: Option<Arc<Vec<qcs_topology::Graph>>>,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
     offline: Arc<crate::maintenance::OfflineFlags>,
 }
 
@@ -394,7 +394,7 @@ struct SubExec {
     qubits: u64,
     duration: f64,
     shared: Shared,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
     phase: u8,
 }
 
@@ -432,7 +432,7 @@ struct Executor {
     info: Arc<Vec<DeviceStatic>>,
     params: SimParams,
     shared: Shared,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
     phase: u8,
     comm_seconds: f64,
     /// 1-based attempt number (drives the failure draw and backoff).
@@ -596,7 +596,7 @@ struct CrashProc {
     shared: Shared,
     info: Arc<Vec<DeviceStatic>>,
     offline: Arc<crate::maintenance::OfflineFlags>,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
     phase: u8,
 }
 
@@ -667,7 +667,7 @@ impl Coroutine for CrashProc {
 struct RetryProc {
     job: Option<QJob>,
     shared: Shared,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
 }
 
 impl Coroutine for RetryProc {
@@ -723,7 +723,7 @@ pub(crate) struct ShardParts {
     pub(crate) shared: Shared,
     pub(crate) info: Arc<Vec<DeviceStatic>>,
     pub(crate) strategy_name: String,
-    pub(crate) scheduler_pid: Arc<AtomicU32>,
+    pub(crate) scheduler_pid: Arc<AtomicU64>,
     pub(crate) offline: Arc<crate::maintenance::OfflineFlags>,
 }
 
@@ -793,7 +793,7 @@ pub(crate) fn spawn_shard(
         faults: None,
     }));
 
-    let scheduler_pid = Arc::new(AtomicU32::new(0));
+    let scheduler_pid = Arc::new(AtomicU64::new(0));
     let offline = Arc::new(crate::maintenance::OfflineFlags::new(info.len()));
     let sched = SchedulerProc {
         shared: shared.clone(),
@@ -827,7 +827,7 @@ pub struct QCloudSimEnv {
     shared: Shared,
     info: Arc<Vec<DeviceStatic>>,
     strategy_name: String,
-    scheduler_pid: Arc<AtomicU32>,
+    scheduler_pid: Arc<AtomicU64>,
     offline: Arc<crate::maintenance::OfflineFlags>,
     params: SimParams,
 }

@@ -28,9 +28,9 @@
 //!   start" invariant.
 //!
 //! "No reservation targets an offline device" needs no explicit assert
-//! here: `CloudState::reserve` panics on an offline target, and
-//! `CapacityTimeline::from_state` cannot even see a crashed device — any
-//! violation aborts the run itself.
+//! here: `CloudState::reserve` panics on an offline target, and the
+//! incrementally maintained `AvailabilityProfile` cannot even see a
+//! crashed device — any violation aborts the run itself.
 //!
 //! Pinned golden fingerprints for one fixed fault script close the suite:
 //! any silent change to crash sequencing, kill ordering, backoff draws or
