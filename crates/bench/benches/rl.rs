@@ -401,7 +401,7 @@ fn write_rollout_json(ac: &ActorCritic) {
     let selected_gflops = kernel_rate(selected_kernel);
     let tile_speedup = selected_gflops / baseline_gflops;
 
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = qcs_bench::cli::host_cores();
     let report = RolloutReport {
         bench: "rollout_pointmass".to_string(),
         n_envs: N_ENVS,

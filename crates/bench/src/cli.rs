@@ -29,6 +29,15 @@ pub fn update_workers_arg() -> usize {
     }
 }
 
+/// Cores available to this process, via
+/// [`std::thread::available_parallelism`]; `1` when detection fails.
+/// The bench recorders stamp this next to multi-worker speedups so
+/// `bench_guard` can honestly skip floors a small recording host cannot
+/// meet (and nag when the checking host could re-record them).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,6 +46,11 @@ mod tests {
     fn absent_flag_falls_back_to_default() {
         assert_eq!(arg("--definitely-not-passed", 7u64), 7);
         assert!(!flag("--definitely-not-passed"));
+    }
+
+    #[test]
+    fn host_cores_detects_at_least_one() {
+        assert!(host_cores() >= 1);
     }
 
     #[test]

@@ -147,11 +147,17 @@ pub fn encode_observation_into(
         }
     }
     if cfg.queue_aware {
+        // The raw signals are unbounded (queue depth and head wait grow
+        // without limit on a backlogged trace), so clamp to [0, 1] after
+        // normalising — consistent with the device features, which are
+        // bounded by construction. Past the normaliser, "very congested"
+        // carries no more signal than "congested", and an unclamped value
+        // would drift the feature scale out from under a trained policy.
         let base = 1 + 3 * cfg.max_devices;
-        out[base] = (queue.backlog as f64 / cfg.queue_len_norm) as f32;
+        out[base] = (queue.backlog as f64 / cfg.queue_len_norm).min(1.0) as f32;
         out[base + 1] =
-            (queue.backlog_qubits as f64 / (cfg.q_max_norm * cfg.queue_len_norm)) as f32;
-        out[base + 2] = (queue.head_wait / cfg.queue_wait_norm) as f32;
+            (queue.backlog_qubits as f64 / (cfg.q_max_norm * cfg.queue_len_norm)).min(1.0) as f32;
+        out[base + 2] = (queue.head_wait / cfg.queue_wait_norm).min(1.0) as f32;
     }
 }
 
@@ -453,6 +459,50 @@ mod tests {
             seen_nonzero |= r.obs[16] > 0.0;
         }
         assert!(seen_nonzero, "queue features never non-zero");
+    }
+
+    #[test]
+    fn queue_features_clamp_to_unit_interval() {
+        // Backlogged traces produce raw queue signals far past the
+        // normalisers; the encoded features must saturate at 1, matching
+        // the bounded device features.
+        let cfg = GymConfig {
+            queue_aware: true,
+            ..GymConfig::default()
+        };
+        let view = CloudView {
+            devices: vec![crate::broker::DeviceView {
+                id: DeviceId(0),
+                free: 100,
+                capacity: 127,
+                busy_fraction: 0.2,
+                mean_utilization: 0.2,
+                error_score: 0.01,
+                clops: 220_000.0,
+                qv_layers: 7.0,
+            }],
+        };
+        let oversized = QueueFeatures {
+            backlog: 10_000,
+            backlog_qubits: 2_000_000,
+            head_wait: 500_000.0,
+        };
+        let mut obs = vec![0.0f32; cfg.obs_dim()];
+        encode_observation_into(&mut obs, 190, &view, &oversized, &cfg);
+        let base = 1 + 3 * cfg.max_devices;
+        assert_eq!(obs[base], 1.0, "queue length saturates");
+        assert_eq!(obs[base + 1], 1.0, "queued demand saturates");
+        assert_eq!(obs[base + 2], 1.0, "head wait saturates");
+        // In-range signals still scale linearly below the clamp.
+        let small = QueueFeatures {
+            backlog: 16,
+            backlog_qubits: 4_000,
+            head_wait: 1_800.0,
+        };
+        encode_observation_into(&mut obs, 190, &view, &small, &cfg);
+        assert_eq!(obs[base], 0.5);
+        assert_eq!(obs[base + 1], 0.5);
+        assert_eq!(obs[base + 2], 0.5);
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //!   region-sharded fleets behind a routing layer, and wall-clock
 //!   decision-latency / sustained-throughput metrics;
 //! * [`gym::QCloudGymEnv`] — the Gymnasium-style single-step training
-//!   environment of §4.1 (16-dim state, 5-dim continuous action).
+//!   environment of §4.1 (16-dim state, 5-dim continuous action);
+//! * [`rlsched::SchedulerEnv`] — the queue-deep scheduling environment:
+//!   the agent *is* the scheduler, observing the pending-queue window plus
+//!   per-device state and picking which job to dispatch next, with
+//!   [`rlsched::RlSchedScheduler`] deploying trained checkpoints through
+//!   `rl:<path>` specs in every harness.
 
 #![warn(missing_docs)]
 
@@ -48,6 +53,7 @@ pub mod model;
 pub mod partition;
 pub mod policies;
 pub mod records;
+pub mod rlsched;
 pub mod sched;
 pub mod service;
 pub mod simenv;
@@ -71,6 +77,10 @@ pub use model::comm::CommModel;
 pub use model::exec_time::ExecTimeModel;
 pub use model::fidelity::{FidelityModel, FidelityModelKind};
 pub use records::{FinalStatus, JobRecord, JobRecordsManager, SummaryStats};
+pub use rlsched::{
+    episode_objective, RewardWeights, RlSchedScheduler, SchedCheckpoint, SchedEnvConfig,
+    SchedObsConfig, SchedulerEnv,
+};
 pub use sched::{
     BackfillScheduler, CloudState, ConservativeBackfillScheduler, Dispatch, FifoAdapter,
     PriorityDiscipline, PriorityScheduler, SchedTelemetry, Scheduler, SchedulingDecision,

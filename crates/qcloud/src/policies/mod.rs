@@ -94,6 +94,22 @@ impl SchedSpec {
     /// snapshot scan depth (the seed semantics; `window = backfill_depth
     /// + 1` reproduces `SimParams`), ignored by the other disciplines.
     pub fn build(&self, seed: u64, window: usize) -> Box<dyn Scheduler> {
+        // An `rl:` checkpoint can hold either a per-job placement policy
+        // (a plain ActorCritic, composable under any discipline) or a
+        // complete queue-deep scheduler trained on
+        // [`crate::rlsched::SchedulerEnv`]. Probe for the latter first: it
+        // replaces the whole discipline, so composing it makes no sense.
+        if let Placement::Rl { path } = &self.placement {
+            if let Some(sched) = crate::rlsched::try_load_scheduler(path, seed) {
+                assert!(
+                    matches!(self.discipline, Discipline::Fifo),
+                    "scheduler RL checkpoint '{path}' is a complete discipline; \
+                     it cannot compose under '{}'",
+                    self.discipline
+                );
+                return sched;
+            }
+        }
         let broker = self.placement.build(seed);
         match self.discipline {
             Discipline::Fifo => Box::new(FifoAdapter::new(broker, window)),
@@ -212,6 +228,41 @@ mod tests {
     #[should_panic(expected = "cannot read RL checkpoint")]
     fn rl_spec_missing_file_panics_with_context() {
         by_name("rl:/nonexistent/policy.json", 0);
+    }
+
+    #[test]
+    fn rl_spec_resolves_scheduler_checkpoints() {
+        use crate::rlsched::{SchedCheckpoint, SchedObsConfig};
+        use qcs_desim::Xoshiro256StarStar;
+        let obs = SchedObsConfig::default();
+        let mut rng = Xoshiro256StarStar::new(8);
+        let policy = qcs_rl::policy::ActorCritic::new(obs.obs_dim(), obs.action_dim(), &mut rng);
+        let ck = SchedCheckpoint::new(obs, &Placement::Speed, policy);
+        let dir = std::env::temp_dir().join("qcs_rl_spec_sched_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched_policy.json");
+        ck.save(&path).unwrap();
+        // The same `rl:<path>` surface that loads gym checkpoints resolves
+        // a scheduler checkpoint to the full inference adapter.
+        let spec = format!("rl:{}", path.display());
+        let sched = scheduler_by_name(&spec, 0, 1).expect("sched checkpoint must resolve");
+        assert_eq!(sched.name(), "rlsched");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compose")]
+    fn sched_checkpoint_rejects_discipline_composition() {
+        use crate::rlsched::{SchedCheckpoint, SchedObsConfig};
+        use qcs_desim::Xoshiro256StarStar;
+        let obs = SchedObsConfig::default();
+        let mut rng = Xoshiro256StarStar::new(8);
+        let policy = qcs_rl::policy::ActorCritic::new(obs.obs_dim(), obs.action_dim(), &mut rng);
+        let ck = SchedCheckpoint::new(obs, &Placement::Speed, policy);
+        let dir = std::env::temp_dir().join("qcs_rl_spec_sched_compose_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched_policy.json");
+        ck.save(&path).unwrap();
+        let _ = scheduler_by_name(&format!("backfill+rl:{}", path.display()), 0, 1);
     }
 
     #[test]

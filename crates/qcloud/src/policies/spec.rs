@@ -16,8 +16,9 @@
 //!
 //! A bare placement means `fifo+<placement>` (the seed's head-of-line
 //! semantics); `priority` alone is an alias for `priority:sjf`. The split
-//! is on the **first** `+`, so an `rl:` checkpoint path may itself contain
-//! `+` only in the composed form's placement position.
+//! is on the **first** `+`, and a spec starting with `rl:` is recognised
+//! as a bare placement *before* splitting — so an `rl:` checkpoint path
+//! may contain `+` and `:` freely in both the bare and composed forms.
 //!
 //! [`SchedSpec`] is the typed value: a [`Discipline`] plus a
 //! [`Placement`]. `FromStr` parses the grammar with errors that name the
@@ -285,6 +286,12 @@ impl FromStr for SchedSpec {
     type Err = SpecParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // A bare `rl:` spec is all payload: the checkpoint path may itself
+        // contain `+` (or anything else), so it must never be split as
+        // `discipline+placement`.
+        if s.starts_with("rl:") {
+            return Ok(SchedSpec::fifo(s.parse()?));
+        }
         // Split on the FIRST `+` (the seed behaviour): everything after it
         // is the placement, so `backfill+rl:ckpt+v2.json` keeps its path.
         match s.split_once('+') {
@@ -374,6 +381,57 @@ mod tests {
             }
         );
         assert_eq!(s.to_string(), "backfill+rl:ckpt+v2.json");
+    }
+
+    #[test]
+    fn bare_rl_paths_with_plus_or_colon_round_trip() {
+        // A bare `rl:` spec is all payload — the path may contain `+` or
+        // `:` and must never be split at the discipline boundary.
+        for path in [
+            "/tmp/a+b.ckpt",
+            "ckpt+v2.json",
+            "C:/models/pi+vf.json",
+            "runs/2024:07:01/policy.json",
+        ] {
+            let raw = format!("rl:{path}");
+            let s: SchedSpec = raw
+                .parse()
+                .unwrap_or_else(|e| panic!("`{raw}` must parse: {e}"));
+            assert_eq!(s.discipline, Discipline::Fifo, "{raw}");
+            assert_eq!(s.placement, Placement::Rl { path: path.into() }, "{raw}");
+            // Display re-emits the exact input.
+            assert_eq!(s.to_string(), raw);
+            assert_eq!(raw.parse::<SchedSpec>().unwrap(), s, "{raw} round trip");
+        }
+    }
+
+    #[test]
+    fn composed_rl_paths_with_plus_and_colon_round_trip() {
+        for (raw, disc, path) in [
+            (
+                "conservative+rl:/tmp/a+b.ckpt",
+                Discipline::Conservative,
+                "/tmp/a+b.ckpt",
+            ),
+            (
+                "backfill+rl:runs/07:30/w+b.json",
+                Discipline::Backfill,
+                "runs/07:30/w+b.json",
+            ),
+            (
+                "priority:edf+rl:/x/y+z:0.json",
+                Discipline::Priority(PriorityRule::Edf),
+                "/x/y+z:0.json",
+            ),
+        ] {
+            let s: SchedSpec = raw
+                .parse()
+                .unwrap_or_else(|e| panic!("`{raw}` must parse: {e}"));
+            assert_eq!(s.discipline, disc, "{raw}");
+            assert_eq!(s.placement, Placement::Rl { path: path.into() }, "{raw}");
+            assert_eq!(s.to_string(), raw, "Display must re-emit the input");
+            assert_eq!(raw.parse::<SchedSpec>().unwrap(), s, "{raw} round trip");
+        }
     }
 
     #[test]

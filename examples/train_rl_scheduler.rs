@@ -1,20 +1,140 @@
-//! Train the PPO allocation policy (paper §4.1/§6.6), save it to JSON,
-//! reload it, and deploy it as a broker on a fresh workload.
+//! Train a PPO policy, save it to JSON, reload it through the `rl:<path>`
+//! spec surface, and deploy it on a fresh workload.
 //!
 //! ```text
-//! cargo run --release --example train_rl_scheduler [-- --update-workers N]
+//! cargo run --release --example train_rl_scheduler [-- --env gym|sched] [--smoke] [--update-workers N]
 //! ```
 //!
-//! `--update-workers N` spreads the PPO optimisation phase over `N`
-//! threads (`0` = one per core). Training results are bit-identical at any
-//! worker count — the knob only changes wall-clock time.
+//! * `--env gym` (default): the paper's single-step *placement* gym
+//!   (§4.1/§6.6) — one job, one availability snapshot, one allocation.
+//! * `--env sched`: the queue-deep *scheduling* environment
+//!   ([`qcs::qcloud::rlsched::SchedulerEnv`]) — the agent is the
+//!   scheduler, picking which queued job to dispatch next against the
+//!   live fleet state; the checkpoint deploys as a full discipline via
+//!   `rl:<path>` and is evaluated head-to-head against `conservative+*`.
+//! * `--smoke`: a few updates on a fixed seed with finite-loss and
+//!   round-trip assertions — the CI guard for the training path.
+//! * `--update-workers N` spreads the PPO optimisation phase over `N`
+//!   threads (`0` = one per core). Training results are bit-identical at
+//!   any worker count — the knob only changes wall-clock time.
 
 use qcs::prelude::*;
-use qcs::qcloud::policies::RlBroker;
+use qcs::qcloud::policies::{scheduler_by_name, RlBroker};
+use qcs::qcloud::rlsched::{SchedCheckpoint, SchedEnvConfig, SchedulerEnv};
 use qcs::rl::env::Env;
-use qcs_bench::cli::update_workers_arg;
+use qcs_bench::cli::{arg, flag, update_workers_arg};
 
 fn main() {
+    match arg("--env", "gym".to_string()).as_str() {
+        "sched" => train_sched(),
+        "gym" => train_gym(),
+        other => panic!("unknown --env '{other}' (expected 'gym' or 'sched')"),
+    }
+}
+
+/// The queue-deep scheduler loop: train, checkpoint, reload through
+/// `rl:<path>`, and race the static disciplines on a bimodal trace.
+fn train_sched() {
+    let seed = 7;
+    let smoke = flag("--smoke");
+    let update_workers = update_workers_arg();
+    let env_cfg = SchedEnvConfig::default();
+    let obs_cfg = env_cfg.obs.clone();
+
+    let factories: Vec<Box<dyn FnOnce() -> Box<dyn Env> + Send>> = (0..4)
+        .map(|_| {
+            let cfg = env_cfg.clone();
+            Box::new(move || {
+                Box::new(SchedulerEnv::new(
+                    &qcs::calibration::ibm_fleet(seed),
+                    SimParams::default(),
+                    cfg,
+                )) as Box<dyn Env>
+            }) as Box<dyn FnOnce() -> Box<dyn Env> + Send>
+        })
+        .collect();
+    let mut envs = VecEnv::parallel(factories);
+
+    let timesteps: u64 = if smoke { 2_048 } else { 24_576 };
+    let cfg = PpoConfig {
+        n_steps: 256,
+        seed,
+        n_update_workers: update_workers,
+        ..PpoConfig::default()
+    };
+    let mut ppo = Ppo::new(obs_cfg.obs_dim(), obs_cfg.action_dim(), cfg);
+    println!(
+        "training PPO on the scheduler loop for {timesteps} timesteps \
+         ({update_workers} update workers)..."
+    );
+    ppo.learn(&mut envs, timesteps);
+    for e in ppo.log().entries.iter().step_by(4) {
+        println!(
+            "  t = {:>6}  reward = {:+.4}  policy_loss = {:+.4}  value_loss = {:.4}",
+            e.timesteps, e.ep_rew_mean, e.policy_loss, e.value_loss
+        );
+    }
+    for e in &ppo.log().entries {
+        assert!(
+            e.policy_loss.is_finite() && e.value_loss.is_finite() && e.ep_rew_mean.is_finite(),
+            "training diverged at t = {}",
+            e.timesteps
+        );
+    }
+
+    // Checkpoint with the observation/placement contract baked in, then
+    // reload through the same `rl:<path>` surface every harness uses.
+    let path = std::env::temp_dir()
+        .join("qcs_train_rl_scheduler")
+        .join("sched_policy.json");
+    SchedCheckpoint::new(obs_cfg, &env_cfg.placement, ppo.ac.clone())
+        .save(&path)
+        .expect("write checkpoint");
+    let rl_spec = format!("rl:{}", path.display());
+    println!("\ncheckpoint saved: {rl_spec}");
+
+    // Head-to-head on a fresh bimodal trace (the benches run the full
+    // version of this; see the rl_sched section of BENCH_sched.json).
+    let n_jobs = if smoke { 60 } else { 300 };
+    let jobs = qcs::qcloud::jobgen::bimodal_arrivals(n_jobs, 0.1, 4, seed + 1);
+    println!("\nhead-to-head on {n_jobs} bimodal jobs:");
+    println!(
+        "  {:<20} {:>8} {:>10} {:>8} {:>9}",
+        "spec", "BSLD", "wait p99", "jain", "goodput"
+    );
+    for spec in [
+        rl_spec.as_str(),
+        "speed",
+        "backfill+speed",
+        "conservative+speed",
+    ] {
+        let sched = scheduler_by_name(spec, seed, 1).expect("known scheduler spec");
+        let env = QCloudSimEnv::with_scheduler(
+            qcs::calibration::ibm_fleet(seed),
+            sched,
+            jobs.clone(),
+            SimParams::default(),
+            seed,
+        );
+        let r = env.run();
+        assert_eq!(
+            r.records.iter().filter(|rec| rec.finished()).count(),
+            n_jobs,
+            "{spec}: every job must finish"
+        );
+        let qos = QosReport::from_records(&r.records, DeadlinePolicy::default());
+        println!(
+            "  {:<20} {:>8.3} {:>10.1} {:>8.3} {:>9.3}",
+            spec, qos.mean_bounded_slowdown, qos.wait_p99, qos.fairness_jain, qos.goodput
+        );
+    }
+    if smoke {
+        println!("\nsmoke OK: losses finite, checkpoint round-tripped through rl:<path>");
+    }
+}
+
+/// The paper's single-step placement gym (the original example).
+fn train_gym() {
     let seed = 7;
     let gym_cfg = GymConfig::default();
     let update_workers = update_workers_arg();
