@@ -50,9 +50,9 @@ use qcs_qcloud::policies::scheduler_by_name;
 use qcs_qcloud::rlsched::{SchedCheckpoint, SchedEnvConfig, SchedulerEnv};
 use qcs_qcloud::simenv::RunResult;
 use qcs_qcloud::{
-    AdmissionPolicy, DeadlinePolicy, FaultScript, JobDistribution, MaintenanceWindow, QCloudSimEnv,
-    QJob, QosReport, RetryPolicy, RoutingPolicy, ServiceConfig, ServiceHarness, ServiceOutcome,
-    SimParams,
+    AdmissionPolicy, DeadlinePolicy, FaultScript, JobDistribution, MaintenanceWindow,
+    ParallelServiceHarness, QCloudSimEnv, QJob, QosReport, RetryPolicy, RoutingPolicy,
+    ServiceConfig, ServiceHarness, ServiceOutcome, SimParams,
 };
 use qcs_rl::env::Env;
 use qcs_rl::{Ppo, PpoConfig, VecEnv};
@@ -209,6 +209,27 @@ fn run_service(
     .run()
 }
 
+/// Same trace through the parallel sharded backend: one kernel per region
+/// on `threads` worker threads, bit-identical records to [`run_service`].
+fn run_service_parallel(
+    regions: Vec<Vec<DeviceProfile>>,
+    spec: &'static str,
+    jobs: Vec<QJob>,
+    config: ServiceConfig,
+    threads: usize,
+) -> ServiceOutcome {
+    ParallelServiceHarness::new(
+        regions,
+        move |_region| scheduler_by_name(spec, SEED, 1).expect("known spec"),
+        jobs,
+        SimParams::default(),
+        config,
+        SEED,
+        threads,
+    )
+    .run()
+}
+
 /// The armed intake used by the service benchmarks: tight enough that the
 /// overloaded diurnal trace actually exercises throttling and rejection.
 fn bench_admission() -> AdmissionPolicy {
@@ -342,6 +363,14 @@ fn write_sched_json() {
         best
     };
 
+    // On the default 5-device fleet the per-consult snapshot rebuild is a
+    // five-element copy, so `snapshot+speed` and the incremental `speed`
+    // path run at parity here — the recorded speedup hovers around 1.0 and
+    // any deviation (the long-standing 0.97) is run-to-run noise, not a
+    // regression. These sections exist to pin that parity (the incremental
+    // path must never be meaningfully *slower* — bench_guard holds a 0.85
+    // band); the incremental core's actual win is measured where state
+    // maintenance dominates: `fleet_scale.deep_10k` on 120 devices.
     let jobs_1k = batch_at_zero(1_000, &JobDistribution::default(), SEED);
     let jobs_10k = batch_at_zero(10_000, &JobDistribution::default(), SEED);
     let snap_1k = jobs_per_sec("snapshot+speed", &jobs_1k);
@@ -512,17 +541,78 @@ fn write_sched_json() {
     let sharded_conserved = sharded.report.admission.conserves();
     let decide_scaling =
         mono.report.decision_latency.mean_us / sharded.report.decision_latency.mean_us;
+
+    // Wall-clock scaling: the honest number for the parallel backend. A
+    // heavier open trace (4k jobs, ~4× the load above) runs through the
+    // sequential harness and through the parallel one on 4 worker threads
+    // with hash routing — the stateless policy lets every shard kernel
+    // free-run, so this measures real thread-level speedup, not barrier
+    // overhead. Least-loaded would barrier at every arrival instant and
+    // honestly cannot scale on a trace this decision-dense (that trade is
+    // documented in the service module's threading-model section). The
+    // record streams must stay bit-identical; only the wall clock moves.
+    // Best-of-3 per backend; recorded alongside `host_cores` so the
+    // bench_guard floor applies only where ≥ 4 cores can actually help.
+    let wall_threads = 4usize;
+    let wall_jobs = diurnal_arrivals(4_000, 0.4, 0.8, 3_600.0, 5, SEED ^ 0xA5);
+    let hash_open = || ServiceConfig {
+        admission: AdmissionPolicy::open(),
+        routing: RoutingPolicy::Hash,
+    };
+    let best_wall = |mk: &dyn Fn() -> ServiceOutcome| -> (f64, ServiceOutcome) {
+        let mut t0 = Instant::now();
+        let mut out = mk();
+        let mut best = t0.elapsed().as_secs_f64();
+        for _ in 0..2 {
+            t0 = Instant::now();
+            out = mk();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, out)
+    };
+    let (seq_wall, seq_out) = best_wall(&|| {
+        run_service(
+            regional_fleet(4, SEED),
+            "backfill+speed",
+            wall_jobs.clone(),
+            hash_open(),
+        )
+    });
+    let (par_wall, par_out) = best_wall(&|| {
+        run_service_parallel(
+            regional_fleet(4, SEED),
+            "backfill+speed",
+            wall_jobs.clone(),
+            hash_open(),
+            wall_threads,
+        )
+    });
+    for (i, (a, b)) in seq_out.shards.iter().zip(&par_out.shards).enumerate() {
+        assert_eq!(
+            a.records, b.records,
+            "parallel backend diverged from sequential on shard {i} in the wall-clock bench"
+        );
+    }
+    let wall_speedup = seq_wall / par_wall;
+
     let s_sharded = format!(
         "{{ \"jobs\": 1000, \"regions\": 4, \"complete\": {sharded_complete}, \
          \"conserved\": {sharded_conserved}, \"mono_decide_mean_us\": {:.2}, \
          \"sharded_decide_mean_us\": {:.2}, \"decide_cost_scaling\": {decide_scaling:.3}, \
          \"mono_decide_p99_us\": {:.2}, \"sharded_decide_p99_us\": {:.2}, \
-         \"sustained_jobs_per_sec\": {:.1} }}",
+         \"sustained_jobs_per_sec\": {:.1}, \"host_cores\": {}, \
+         \"wall_clock_jobs\": {}, \"wall_clock_routing\": \"hash\", \
+         \"wall_clock_threads\": {wall_threads}, \"seq_wall_ms\": {:.2}, \
+         \"par_wall_ms\": {:.2}, \"wall_clock_speedup\": {wall_speedup:.3} }}",
         mono.report.decision_latency.mean_us,
         sharded.report.decision_latency.mean_us,
         mono.report.decision_latency.p99_us,
         sharded.report.decision_latency.p99_us,
         sharded.report.sustained_jobs_per_sec,
+        qcs_bench::cli::host_cores(),
+        wall_jobs.len(),
+        seq_wall * 1e3,
+        par_wall * 1e3,
     );
 
     // `fleet_scale`: the incremental-core stress section. A 100k-job
@@ -648,7 +738,9 @@ fn write_sched_json() {
          (maintenance: slowdown x{:.3}, jain x{:.3}); \
          faulty conservative goodput {:.3}, recovery overhead x{:.3}; \
          service decide p99 {:.1} µs at {:.0} sustained jobs/s; \
-         sharded decide-cost scaling x{decide_scaling:.2}; \
+         sharded decide-cost scaling x{decide_scaling:.2}, wall-clock \
+         x{wall_speedup:.2} at {wall_threads} threads \
+         (seq {:.1} ms, par {:.1} ms, hash routing); \
          fleet_scale 100k/120dev: fifo {fs_fifo_jps:.0} jobs/s \
          ({fs_fifo_apj:.0} allocs/job), easy {fs_easy_jps:.0} jobs/s \
          ({fs_easy_apj:.0} allocs/job), deep-10k conservative/EASY \
@@ -664,6 +756,8 @@ fn write_sched_json() {
         f_cons.summary.t_sim / cons.summary.t_sim,
         svc.report.decision_latency.p99_us,
         svc.report.sustained_jobs_per_sec,
+        seq_wall * 1e3,
+        par_wall * 1e3,
     );
     println!(
         "rl_sched: trained {rl_timesteps} steps in {train_seconds:.1}s; bimodal slowdown \

@@ -33,7 +33,13 @@
 //!   service rate ≥ 5k jobs/s, the armed intake must have throttled at
 //!   least once, the sharded run must be complete and qubit-conserving,
 //!   and the 4-region decide-cost scaling over the monolithic scheduler
-//!   ≥ 1.5× (recorded ≈ 7.2×);
+//!   ≥ 1.5× (recorded ≈ 7.2×), plus the parallel backend's wall-clock
+//!   speedup at 4 worker threads ≥ 1.5× — only enforced when the
+//!   recording machine had ≥ 4 cores (`sharded_4x.host_cores`);
+//! * pending-10k incremental/snapshot parity ≥ 0.85 — on the default
+//!   5-device fleet the per-consult rebuild is nearly free, so the
+//!   recorded "speedup" pins parity (≈ 1.0), not a win; the incremental
+//!   core's advantage is floored in `fleet_scale.deep_10k`;
 //! * fleet-scale section (`fleet_scale`: a 100k-job bimodal stream over
 //!   120 devices plus a 10k-deep backlogged queue): conservative/EASY
 //!   decide-throughput ratio at 10k depth ≥ 0.2× (the incremental
@@ -85,6 +91,24 @@ const SERVICE_SUSTAINED_FLOOR: f64 = 5_000.0;
 /// monolithic 20-device scheduler over the 4-region sharded one
 /// (recorded ≈ 7.2×; sharding must keep individual decisions cheaper).
 const SHARDED_DECIDE_SCALING_FLOOR: f64 = 1.5;
+/// Floor for `sharded_4x.wall_clock_speedup`: the parallel sharded
+/// backend (one kernel per region on 4 worker threads, free-running hash
+/// routing) vs the sequential harness on the same trace, bit-identical
+/// records. Only enforced when the recording machine had ≥ 4 cores
+/// (`sharded_4x.host_cores` is recorded alongside, same gating as the
+/// rollout update-phase floor).
+const WALL_CLOCK_SPEEDUP_FLOOR: f64 = 1.5;
+/// Cores the recording machine needs before the wall-clock floor applies.
+const WALL_CLOCK_FLOOR_MIN_CORES: u64 = 4;
+/// Parity band for `pending_10k.speedup` (incremental `speed` vs the
+/// seed-mechanics `snapshot+speed` on the default 5-device fleet). A
+/// five-device snapshot rebuild is a five-element copy, so this section
+/// *cannot* show an incremental win — it pins parity: the incremental
+/// path must never be meaningfully slower than the rebuild-per-consult
+/// baseline (recorded ≈ 1.0; deviations of a few percent are run-to-run
+/// noise). The incremental core's real advantage is floored where state
+/// maintenance dominates: `fleet_scale.deep_10k` on 120 devices.
+const PENDING_10K_PARITY_FLOOR: f64 = 0.85;
 /// Floor for `fleet_scale.deep_10k.conservative_vs_easy`: conservative's
 /// decide throughput over EASY's on a 10k-deep backlogged queue across a
 /// 120-device fleet. The incremental availability profile + persistent
@@ -442,6 +466,47 @@ fn main() {
                 field_f64(&sched, &["sharded_4x", "decide_cost_scaling"]),
                 SHARDED_DECIDE_SCALING_FLOOR,
             );
+            // Incremental-vs-snapshot parity on the default fleet: the
+            // 5-device snapshot rebuild is nearly free, so the honest
+            // expectation is ≈ 1.0, guarded as a band, not a speedup.
+            guard.check(
+                "pending-10k incremental/snapshot parity",
+                field_f64(&sched, &["pending_10k", "speedup"]),
+                PENDING_10K_PARITY_FLOOR,
+            );
+            // Parallel-backend wall-clock scaling: keyed on the cores of
+            // the *recording* host (the committed fact), mirroring the
+            // rollout update-phase gating — a small recorder cannot show
+            // thread-level speedup, but the section must still exist.
+            match field_f64(&sched, &["sharded_4x", "host_cores"]) {
+                Err(e) => guard.fail("sharded_4x.host_cores", e),
+                Ok(cores) if (cores as u64) < WALL_CLOCK_FLOOR_MIN_CORES => {
+                    let here = qcs_bench::cli::host_cores();
+                    let nag = if here as u64 >= WALL_CLOCK_FLOOR_MIN_CORES {
+                        format!(
+                            "; this host has {here} — re-run `cargo bench -p qcs-bench --bench sched` to record the speedup"
+                        )
+                    } else {
+                        String::new()
+                    };
+                    guard.skip(
+                        "sharded wall-clock speedup at 4 threads",
+                        &format!(
+                            "recorded on a {cores:.0}-core machine (need ≥ {WALL_CLOCK_FLOOR_MIN_CORES}){nag}"
+                        ),
+                    );
+                    guard.check(
+                        "sharded wall-clock speedup recorded",
+                        field_f64(&sched, &["sharded_4x", "wall_clock_speedup"]).map(|_| 1.0),
+                        0.0,
+                    );
+                }
+                Ok(_) => guard.check(
+                    "sharded wall-clock speedup at 4 threads",
+                    field_f64(&sched, &["sharded_4x", "wall_clock_speedup"]),
+                    WALL_CLOCK_SPEEDUP_FLOOR,
+                ),
+            }
             // Fleet-scale section: the deep-queue conservative/EASY decide
             // throughput ratio (the incremental-core headline number), a
             // collapse floor on the 100k-job stream, and the

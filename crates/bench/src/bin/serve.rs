@@ -6,13 +6,16 @@
 //! ```text
 //! cargo run -p qcs-bench --release --bin serve [-- --jobs 1000 --regions 4 \
 //!     --spec backfill+speed --routing least-loaded --rate 0.05 \
-//!     --watermark 24 --capacity 96 --throttle-delay 60 --attempts 3]
+//!     --watermark 24 --capacity 96 --throttle-delay 60 --attempts 3 \
+//!     --threads 4]
 //! ```
 //!
 //! Traffic is the diurnal open-arrival mix (`--amplitude 0` flattens it to
-//! plain Poisson); `--open` disarms admission entirely. Output: per-shard
-//! ASCII table + service report on stdout, plus `results/service.csv`
-//! (one row per shard and a `service` total row).
+//! plain Poisson); `--open` disarms admission entirely. `--threads N`
+//! (N > 1) runs the parallel sharded backend — one kernel per region on a
+//! worker-thread pool — which is bit-identical to the sequential run.
+//! Output: per-shard ASCII table + service report on stdout, plus
+//! `results/service.csv` (one row per shard and a `service` total row).
 
 use qcs_bench::cli::{arg, flag};
 use qcs_bench::runner::results_dir;
@@ -20,7 +23,10 @@ use qcs_bench::table::AsciiTable;
 use qcs_calibration::regional_fleet;
 use qcs_qcloud::jobgen::diurnal_arrivals;
 use qcs_qcloud::policies::scheduler_by_name;
-use qcs_qcloud::{AdmissionPolicy, RoutingPolicy, ServiceConfig, ServiceHarness, SimParams};
+use qcs_qcloud::{
+    AdmissionPolicy, ParallelServiceHarness, RoutingPolicy, ServiceConfig, ServiceHarness,
+    SimParams,
+};
 
 fn main() {
     let n_jobs: usize = arg("--jobs", 1000);
@@ -32,6 +38,7 @@ fn main() {
     let period: f64 = arg("--period", 3600.0);
     let big_every: usize = arg("--big-every", 5);
     let routing: RoutingPolicy = arg("--routing", RoutingPolicy::LeastLoaded);
+    let threads: usize = arg("--threads", 1);
     let admission = if flag("--open") {
         AdmissionPolicy::open()
     } else {
@@ -48,20 +55,38 @@ fn main() {
     let horizon = jobs.last().map_or(0.0, |j| j.arrival_time);
     println!(
         "serve: {n_jobs} jobs over {horizon:.0} s (diurnal rate {rate}±{:.0}%), \
-         {regions} region(s), spec {spec}, routing {routing}, admission {admission:?}",
+         {regions} region(s), spec {spec}, routing {routing}, {threads} thread(s), \
+         admission {admission:?}",
         amplitude * 100.0
     );
 
     let spec_for_factory = spec.clone();
-    let outcome = ServiceHarness::new(
-        regional_fleet(regions, seed),
-        move |_region| scheduler_by_name(&spec_for_factory, seed, 1).expect("known scheduler spec"),
-        jobs,
-        SimParams::default(),
-        config,
-        seed,
-    )
-    .run();
+    let outcome = if threads > 1 {
+        ParallelServiceHarness::new(
+            regional_fleet(regions, seed),
+            move |_region| {
+                scheduler_by_name(&spec_for_factory, seed, 1).expect("known scheduler spec")
+            },
+            jobs,
+            SimParams::default(),
+            config,
+            seed,
+            threads,
+        )
+        .run()
+    } else {
+        ServiceHarness::new(
+            regional_fleet(regions, seed),
+            move |_region| {
+                scheduler_by_name(&spec_for_factory, seed, 1).expect("known scheduler spec")
+            },
+            jobs,
+            SimParams::default(),
+            config,
+            seed,
+        )
+        .run()
+    };
 
     let report = &outcome.report;
     let mut table = AsciiTable::new(&[
@@ -74,13 +99,18 @@ fn main() {
         "util",
         "dec p50 (µs)",
         "dec p99 (µs)",
+        "busy (s)",
     ]);
     let mut csv = String::from(
         "shard,routed,finished,rejected,mean_wait,mean_fidelity,mean_utilization,\
-         decide_p50_us,decide_p99_us,decide_count\n",
+         decide_p50_us,decide_p99_us,decide_count,busy_wall_s\n",
     );
     for (i, shard) in outcome.shards.iter().enumerate() {
         let lat = &report.per_shard_latency[i];
+        // Wall-clock time the shard's worker spent inside its kernel —
+        // only the parallel backend measures it per shard.
+        let busy = report.shard_busy_s.get(i).copied();
+        let busy_cell = busy.map_or_else(|| "-".to_string(), |b| format!("{b:.3}"));
         let rejected = shard
             .records
             .iter()
@@ -96,9 +126,10 @@ fn main() {
             format!("{:.3}", shard.mean_device_utilization()),
             format!("{:.1}", lat.p50_us),
             format!("{:.1}", lat.p99_us),
+            busy_cell.clone(),
         ]);
         csv.push_str(&format!(
-            "r{i},{},{},{rejected},{:.3},{:.5},{:.4},{:.2},{:.2},{}\n",
+            "r{i},{},{},{rejected},{:.3},{:.5},{:.4},{:.2},{:.2},{},{}\n",
             report.routed_per_shard[i],
             shard.summary.jobs_finished,
             shard.summary.mean_wait,
@@ -107,6 +138,7 @@ fn main() {
             lat.p50_us,
             lat.p99_us,
             lat.count,
+            busy_cell,
         ));
     }
     println!("{}", table.render());
@@ -132,11 +164,14 @@ fn main() {
         report.decision_latency.max_us,
     );
     println!(
-        "service: {:.0} sim-s in {:.3} wall-s, {:.0} sustained jobs/s, {} kernel events",
+        "service: {:.0} sim-s in {:.3} wall-s, {:.0} sustained jobs/s, {} kernel events, \
+         {} worker thread(s), merge {:.3} ms",
         report.sim_seconds,
         report.wall_seconds,
         report.sustained_jobs_per_sec,
         report.events_processed,
+        report.worker_threads,
+        report.merge_wall_s * 1e3,
     );
     csv.push_str(&format!(
         "service,{},{},{},{:.3},,,{:.2},{:.2},{}\n",

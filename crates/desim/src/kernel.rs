@@ -745,6 +745,33 @@ impl Simulation {
         self.now()
     }
 
+    /// Conservative epoch barrier: processes every event with time ≤
+    /// `t_end` (inclusive), then pins the clock to **exactly** `t_end` —
+    /// even when the heap drained first, and never backwards.
+    ///
+    /// This is the pause/resume primitive for running several kernels in
+    /// bounded sim-time windows on separate OS threads: after each shard
+    /// kernel returns from `run_epoch(t)` a coordinator may inspect shared
+    /// state and [`wake`](Self::wake)/[`spawn`](Self::spawn) at the common
+    /// instant `t`, and every kernel stamps those injected events with the
+    /// same clock value regardless of where its own event stream ran dry.
+    /// [`run_until`] cannot serve here: it leaves the clock at the last
+    /// event time on an empty heap, so two shards paused at the "same"
+    /// epoch would disagree about `now`.
+    pub fn run_epoch(&mut self, t_end: f64) -> f64 {
+        let end = SimTime::new(t_end);
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.time > end {
+                break;
+            }
+            self.step();
+        }
+        if self.now < end {
+            self.now = end;
+        }
+        self.now()
+    }
+
     /// Panics if any process is still blocked on a request or suspended.
     /// Call after [`run`](Self::run) to catch models that starve jobs.
     pub fn assert_quiescent(&self) {
@@ -1569,6 +1596,58 @@ mod tests {
         assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 11);
         sim.run();
         assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_epoch_pins_clock_when_heap_drains() {
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Simulation::new(9);
+        sim.spawn(Box::new(Ticker {
+            dt: 1.0,
+            n: 3,
+            fired: fired.clone(),
+        }));
+        // Last event fires at t=2; run_until would leave the clock there,
+        // run_epoch pins it to the barrier time.
+        sim.run_epoch(10.0);
+        assert_eq!(sim.now(), 10.0);
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_epoch_is_inclusive_and_monotone() {
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut sim = Simulation::new(9);
+        sim.spawn(Box::new(Ticker {
+            dt: 1.0,
+            n: 100,
+            fired: fired.clone(),
+        }));
+        sim.run_epoch(5.0);
+        assert_eq!(sim.now(), 5.0);
+        // Ticks at t=0..=5 inclusive.
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 6);
+        // A barrier in the past never moves the clock backwards.
+        sim.run_epoch(1.0);
+        assert_eq!(sim.now(), 5.0);
+        sim.run_epoch(6.0);
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 7);
+        assert_eq!(sim.now(), 6.0);
+    }
+
+    #[test]
+    fn run_epoch_injected_events_stamp_at_barrier() {
+        // A suspended process woken at a drained-heap barrier resumes at
+        // exactly the barrier time — the contract the parallel service
+        // coordinator relies on.
+        let mut sim = Simulation::new(9);
+        let pid = sim.spawn(Box::new(Sleeper));
+        sim.run_epoch(7.5);
+        assert_eq!(sim.now(), 7.5);
+        assert!(sim.wake(pid));
+        sim.run();
+        // The wake resumed the sleeper at exactly the pinned instant.
+        assert_eq!(sim.now(), 7.5);
     }
 
     #[test]

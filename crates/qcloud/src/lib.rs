@@ -87,8 +87,8 @@ pub use sched::{
     SnapshotAdapter, WaitReason,
 };
 pub use service::{
-    AdmissionDecision, AdmissionPolicy, AdmissionTelemetry, LatencySummary, RejectReason,
-    RoutingPolicy, ServiceConfig, ServiceHarness, ServiceOutcome, ServiceReport,
+    AdmissionDecision, AdmissionPolicy, AdmissionTelemetry, LatencySummary, ParallelServiceHarness,
+    RejectReason, RoutingPolicy, ServiceConfig, ServiceHarness, ServiceOutcome, ServiceReport,
 };
 pub use simenv::QCloudSimEnv;
 pub use sla::{bounded_slowdown, jain_fairness, percentile, slowdown, DeadlinePolicy, QosReport};

@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::config::SimParams;
+use crate::faults::{FaultScript, RetryPolicy};
 use crate::job::QJob;
 use crate::records::{JobRecord, SummaryStats};
 use crate::sched::Scheduler;
@@ -56,15 +57,124 @@ impl Default for ServiceConfig {
 
 /// What the router needs per shard: queue handle, scheduler pid, and the
 /// region's static capacity for the feasibility filter.
-struct RouterShard {
-    shared: Shared,
-    scheduler_pid: Arc<AtomicU64>,
-    total_capacity: u64,
+#[derive(Clone)]
+pub(super) struct RouterShard {
+    pub(super) shared: Shared,
+    pub(super) scheduler_pid: Arc<AtomicU64>,
+    pub(super) total_capacity: u64,
 }
 
 impl RouterShard {
-    fn sched_pid(&self) -> ProcessId {
+    pub(super) fn sched_pid(&self) -> ProcessId {
         ProcessId::from_raw(self.scheduler_pid.load(Ordering::Relaxed))
+    }
+}
+
+/// What the intake did with a fresh arrival ([`offer_arrival`]).
+pub(super) enum ArrivalOutcome {
+    /// Entered the shard's pending queue — wake its scheduler.
+    Accepted,
+    /// Deferred — the caller must park the job for re-offer after
+    /// `throttle_delay_s` (a [`ThrottleProc`] on a kernel, a coordinator
+    /// heap entry in the parallel backend).
+    Throttled(QJob),
+    /// Dropped at the door; no wake (the shard's total is still open).
+    Rejected,
+}
+
+/// Offers one *routed* arrival to its shard's intake: records the arrival,
+/// applies the admission policy, and updates queue + telemetry exactly as
+/// the sequential [`RouterProc`] always has. Shared by the sequential
+/// router, the per-shard intake of the free-running parallel backend, and
+/// the epoch coordinator — one copy of the accounting, so the three fronts
+/// cannot drift apart.
+pub(super) fn offer_arrival(
+    shard: &RouterShard,
+    admission: &AdmissionPolicy,
+    telemetry: &Mutex<AdmissionTelemetry>,
+    job: QJob,
+) -> ArrivalOutcome {
+    let mut st = shard.shared.lock();
+    st.records.record_arrival(&job);
+    let depth = st.pending.len();
+    match admission.decide(depth, 0) {
+        AdmissionDecision::Accept => {
+            st.pending.push_back(job);
+            drop(st);
+            telemetry.lock().accepted += 1;
+            ArrivalOutcome::Accepted
+        }
+        AdmissionDecision::Throttle => {
+            st.records.record_throttle(job.id);
+            st.throttled_inflight += 1;
+            drop(st);
+            telemetry.lock().throttle_events += 1;
+            ArrivalOutcome::Throttled(job)
+        }
+        AdmissionDecision::Reject(reason) => {
+            st.records.record_rejected(job.id);
+            drop(st);
+            let mut t = telemetry.lock();
+            match reason {
+                RejectReason::QueueFull => t.rejected_queue_full += 1,
+                RejectReason::ThrottledOut => t.rejected_throttled_out += 1,
+            }
+            ArrivalOutcome::Rejected
+        }
+    }
+}
+
+/// What a throttle re-offer produced ([`offer_throttled`]).
+pub(super) enum ReofferOutcome {
+    /// Finally admitted — wake the shard's scheduler.
+    Accepted,
+    /// Still deferred — re-offer again after `throttle_delay_s` with the
+    /// attempt counter bumped.
+    Again(QJob),
+    /// Gave up — wake the shard's scheduler (this rejection may be the
+    /// terminal event its loop was waiting on).
+    Rejected,
+}
+
+/// Re-offers a previously throttled job (attempt `attempts`) to its
+/// shard's intake. Counterpart of [`offer_arrival`] for the backoff path;
+/// shared by [`ThrottleProc`] and the parallel epoch coordinator.
+pub(super) fn offer_throttled(
+    shard: &RouterShard,
+    admission: &AdmissionPolicy,
+    telemetry: &Mutex<AdmissionTelemetry>,
+    job: QJob,
+    attempts: u32,
+) -> ReofferOutcome {
+    let mut st = shard.shared.lock();
+    let depth = st.pending.len();
+    match admission.decide(depth, attempts) {
+        AdmissionDecision::Accept => {
+            st.throttled_inflight -= 1;
+            st.pending.push_back(job);
+            drop(st);
+            let mut t = telemetry.lock();
+            t.accepted += 1;
+            t.throttled_then_admitted += 1;
+            ReofferOutcome::Accepted
+        }
+        AdmissionDecision::Throttle => {
+            st.records.record_throttle(job.id);
+            drop(st);
+            telemetry.lock().throttle_events += 1;
+            ReofferOutcome::Again(job)
+        }
+        AdmissionDecision::Reject(reason) => {
+            st.throttled_inflight -= 1;
+            st.records.record_rejected(job.id);
+            drop(st);
+            let mut t = telemetry.lock();
+            match reason {
+                RejectReason::QueueFull => t.rejected_queue_full += 1,
+                RejectReason::ThrottledOut => t.rejected_throttled_out += 1,
+            }
+            ReofferOutcome::Rejected
+        }
     }
 }
 
@@ -107,47 +217,23 @@ impl Coroutine for RouterProc {
                 .expect("harness validated every job against the largest region");
             self.routed.lock()[target] += 1;
             let shard = &self.shards[target];
-            let mut st = shard.shared.lock();
-            st.records.record_arrival(&job);
-            let depth = st.pending.len();
-            match self.admission.decide(depth, 0) {
-                AdmissionDecision::Accept => {
-                    st.pending.push_back(job);
-                    drop(st);
-                    self.telemetry.lock().accepted += 1;
-                    wake[target] = true;
-                }
-                AdmissionDecision::Throttle => {
-                    st.records.record_throttle(job.id);
-                    st.throttled_inflight += 1;
-                    drop(st);
-                    self.telemetry.lock().throttle_events += 1;
+            match offer_arrival(shard, &self.admission, &self.telemetry, job) {
+                ArrivalOutcome::Accepted => wake[target] = true,
+                ArrivalOutcome::Throttled(job) => {
                     cx.spawn_after(
                         self.admission.throttle_delay_s,
                         Box::new(ThrottleProc {
                             job: Some(job),
-                            shard: RouterShard {
-                                shared: shard.shared.clone(),
-                                scheduler_pid: shard.scheduler_pid.clone(),
-                                total_capacity: shard.total_capacity,
-                            },
+                            shard: shard.clone(),
                             admission: self.admission,
                             attempts: 1,
                             telemetry: self.telemetry.clone(),
                         }),
                     );
                 }
-                AdmissionDecision::Reject(reason) => {
-                    st.records.record_rejected(job.id);
-                    drop(st);
-                    let mut t = self.telemetry.lock();
-                    match reason {
-                        RejectReason::QueueFull => t.rejected_queue_full += 1,
-                        RejectReason::ThrottledOut => t.rejected_throttled_out += 1,
-                    }
-                    // No wake: the shard's total is still open, so the
-                    // rejection cannot complete its termination condition.
-                }
+                // No wake on rejection: the shard's total is still open, so
+                // the rejection cannot complete its termination condition.
+                ArrivalOutcome::Rejected => {}
             }
         }
         for (i, w) in wake.iter().enumerate() {
@@ -181,49 +267,34 @@ impl Coroutine for RouterProc {
 /// re-offers the job to its shard's intake until the policy returns a
 /// final accept or reject. Bounded by `max_throttle_attempts`, so it
 /// always terminates.
-struct ThrottleProc {
-    job: Option<QJob>,
-    shard: RouterShard,
-    admission: AdmissionPolicy,
-    attempts: u32,
-    telemetry: Arc<Mutex<AdmissionTelemetry>>,
+pub(super) struct ThrottleProc {
+    pub(super) job: Option<QJob>,
+    pub(super) shard: RouterShard,
+    pub(super) admission: AdmissionPolicy,
+    pub(super) attempts: u32,
+    pub(super) telemetry: Arc<Mutex<AdmissionTelemetry>>,
 }
 
 impl Coroutine for ThrottleProc {
     fn resume(&mut self, cx: &mut Ctx<'_>) -> Step {
         let job = self.job.take().expect("throttle holder lost its job");
-        let mut st = self.shard.shared.lock();
-        let depth = st.pending.len();
-        match self.admission.decide(depth, self.attempts) {
-            AdmissionDecision::Accept => {
-                st.throttled_inflight -= 1;
-                st.pending.push_back(job);
-                drop(st);
-                let mut t = self.telemetry.lock();
-                t.accepted += 1;
-                t.throttled_then_admitted += 1;
-                drop(t);
+        match offer_throttled(
+            &self.shard,
+            &self.admission,
+            &self.telemetry,
+            job,
+            self.attempts,
+        ) {
+            ReofferOutcome::Accepted => {
                 cx.wake(self.shard.sched_pid());
                 Step::Done
             }
-            AdmissionDecision::Throttle => {
-                st.records.record_throttle(job.id);
-                drop(st);
-                self.telemetry.lock().throttle_events += 1;
+            ReofferOutcome::Again(job) => {
                 self.attempts += 1;
                 self.job = Some(job);
                 Step::Wait(Effect::Timeout(self.admission.throttle_delay_s))
             }
-            AdmissionDecision::Reject(reason) => {
-                st.throttled_inflight -= 1;
-                st.records.record_rejected(job.id);
-                drop(st);
-                let mut t = self.telemetry.lock();
-                match reason {
-                    RejectReason::QueueFull => t.rejected_queue_full += 1,
-                    RejectReason::ThrottledOut => t.rejected_throttled_out += 1,
-                }
-                drop(t);
+            ReofferOutcome::Rejected => {
                 // The shard's total may already be final: this rejection
                 // could be the last terminal event it was waiting on.
                 cx.wake(self.shard.sched_pid());
@@ -258,6 +329,17 @@ pub struct ServiceReport {
     pub sim_seconds: f64,
     /// Kernel events processed across all shards.
     pub events_processed: u64,
+    /// Worker threads the backend ran on (`1` for the sequential
+    /// single-kernel harness).
+    pub worker_threads: usize,
+    /// Wall-clock seconds each shard's kernel spent executing, region
+    /// order. Empty for the sequential harness: its shards interleave on
+    /// one kernel, so per-shard busy time is not attributable.
+    pub shard_busy_s: Vec<f64>,
+    /// Wall-clock seconds the parallel backend spent merging the per-shard
+    /// terminal record streams into the global termination order. `0.0`
+    /// for the sequential harness (nothing to merge).
+    pub merge_wall_s: f64,
 }
 
 /// A completed service run: one [`RunResult`] per region shard plus the
@@ -285,6 +367,30 @@ impl ServiceOutcome {
                 .total_cmp(&b.arrival)
                 .then(a.job_id.cmp(&b.job_id))
         });
+        all
+    }
+
+    /// All job records across shards in *termination order*: sorted by
+    /// `(sim_time, job_id)` where `sim_time` is the completion time for
+    /// finished jobs and the arrival time for jobs that never started
+    /// (rejected / retries-exhausted records carry no finish timestamp).
+    /// This is the fixed merge order the parallel backend emits, so a
+    /// parallel run's merged stream is comparable element-by-element with
+    /// a sequential run's regardless of shard count or thread count.
+    pub fn merged_by_termination(&self) -> Vec<JobRecord> {
+        let key = |r: &JobRecord| {
+            if r.finish.is_finite() {
+                r.finish
+            } else {
+                r.arrival
+            }
+        };
+        let mut all: Vec<JobRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.records.iter().cloned())
+            .collect();
+        all.sort_by(|a, b| key(a).total_cmp(&key(b)).then(a.job_id.cmp(&b.job_id)));
         all
     }
 
@@ -328,6 +434,55 @@ impl ServiceOutcome {
     }
 }
 
+/// Tears one shard out of its (possibly shared) kernel after the run:
+/// reads device utilisation off the kernel's containers at `t_end`,
+/// unwraps the shared state, asserts qubit conservation on fully terminal
+/// shards, and assembles the [`RunResult`]. Returns it with the shard's
+/// raw decision-latency samples. Shared by the sequential harness and the
+/// parallel backend so both produce identically shaped results.
+pub(super) fn teardown_shard(
+    sim: &Simulation,
+    shard: ShardParts,
+    samples: LatencySamples,
+    t_end: f64,
+    events_processed: u64,
+) -> (RunResult, Vec<f64>) {
+    let device_utilization: Vec<(String, f64)> = shard
+        .info
+        .iter()
+        .map(|d| {
+            (
+                d.name.clone(),
+                sim.container(d.container).mean_utilization(t_end),
+            )
+        })
+        .collect();
+    let state = Arc::try_unwrap(shard.shared)
+        .ok()
+        .expect("shard coroutines must have released the shared state")
+        .into_inner();
+    let telemetry = state.telemetry;
+    // Drop the scheduler box first: it holds the last other clone of this
+    // shard's latency-sample buffer.
+    drop(state.scheduler);
+    let records = state.records.into_records();
+    if records.iter().all(|r| r.terminal()) {
+        state.cloud_state.assert_all_released();
+    }
+    let summary = SummaryStats::from_records(shard.strategy_name, &records);
+    let result = RunResult {
+        summary,
+        records,
+        device_utilization,
+        events_processed,
+        telemetry,
+    };
+    let Ok(s) = Arc::try_unwrap(samples) else {
+        panic!("latency buffer still shared after teardown");
+    };
+    (result, s.into_inner())
+}
+
 /// Drives open traffic through sharded scheduler loops on one kernel.
 pub struct ServiceHarness {
     sim: Simulation,
@@ -335,6 +490,7 @@ pub struct ServiceHarness {
     latency: Vec<LatencySamples>,
     telemetry: Arc<Mutex<AdmissionTelemetry>>,
     routed: Arc<Mutex<Vec<u64>>>,
+    params: SimParams,
 }
 
 impl ServiceHarness {
@@ -414,6 +570,21 @@ impl ServiceHarness {
             latency,
             telemetry,
             routed,
+            params,
+        }
+    }
+
+    /// Arms the same [`FaultScript`] on every region shard: each shard
+    /// gets its own resolved [`crate::faults::FaultInjector`] and one
+    /// `CrashProc` per scripted outage, exactly as
+    /// [`crate::simenv::QCloudSimEnv::install_faults`] arms the batch
+    /// environment. Device indices in the script are per-region (the same
+    /// outage pattern hits every region), so the script must validate
+    /// against the smallest region. Call before [`ServiceHarness::run`];
+    /// panics on an invalid script or retry policy.
+    pub fn install_faults(&mut self, script: &FaultScript, retry: RetryPolicy) {
+        for shard in &self.shards {
+            crate::simenv::arm_shard_faults(&mut self.sim, shard, &self.params, script, retry);
         }
     }
 
@@ -432,41 +603,9 @@ impl ServiceHarness {
         let mut all_samples = Vec::new();
         let mut terminal_total = 0usize;
         for (shard, samples) in self.shards.into_iter().zip(self.latency) {
-            let device_utilization: Vec<(String, f64)> = shard
-                .info
-                .iter()
-                .map(|d| {
-                    (
-                        d.name.clone(),
-                        self.sim.container(d.container).mean_utilization(t_end),
-                    )
-                })
-                .collect();
-            let state = Arc::try_unwrap(shard.shared)
-                .ok()
-                .expect("shard coroutines must have released the shared state")
-                .into_inner();
-            let telemetry = state.telemetry;
-            // Drop the scheduler box first: it holds the last other clone
-            // of this shard's latency-sample buffer.
-            drop(state.scheduler);
-            let records = state.records.into_records();
-            if records.iter().all(|r| r.terminal()) {
-                state.cloud_state.assert_all_released();
-            }
-            terminal_total += records.iter().filter(|r| r.terminal()).count();
-            let summary = SummaryStats::from_records(shard.strategy_name, &records);
-            shard_results.push(RunResult {
-                summary,
-                records,
-                device_utilization,
-                events_processed,
-                telemetry,
-            });
-            let Ok(s) = Arc::try_unwrap(samples) else {
-                panic!("latency buffer still shared after teardown");
-            };
-            let s = s.into_inner();
+            let (result, s) = teardown_shard(&self.sim, shard, samples, t_end, events_processed);
+            terminal_total += result.records.iter().filter(|r| r.terminal()).count();
+            shard_results.push(result);
             per_shard_latency.push(LatencySummary::from_samples(&s));
             all_samples.extend(s);
         }
@@ -492,6 +631,9 @@ impl ServiceHarness {
             },
             sim_seconds: t_end,
             events_processed,
+            worker_threads: 1,
+            shard_busy_s: Vec::new(),
+            merge_wall_s: 0.0,
         };
         ServiceOutcome {
             shards: shard_results,

@@ -44,13 +44,62 @@
 //! [`ServiceHarness`] wires the three layers together;
 //! [`ServiceOutcome`]/[`ServiceReport`] carry per-shard
 //! [`crate::simenv::RunResult`]s plus the service-level metrics.
+//!
+//! # Threading model
+//!
+//! Two interchangeable backends produce **bit-identical** outcomes:
+//!
+//! * [`ServiceHarness`] — every region shard and the router share one
+//!   kernel; sim time is globally serialized. The reference semantics.
+//! * [`ParallelServiceHarness`] — one kernel **per region shard**, each
+//!   on a dedicated OS worker thread (shard `i` → worker `i % threads`,
+//!   so results are independent of the thread count). The arrival stream
+//!   is partitioned and fed to the shard kernels; terminal records merge
+//!   back in a fixed `(sim_time, job_id)` order
+//!   ([`ServiceOutcome::merged_by_termination`]).
+//!
+//! **Epoch length vs. routing fidelity.** The synchronization granularity
+//! is dictated by how much cross-shard state the routing policy reads
+//! ([`RoutingPolicy::needs_load_feedback`]). Stateless policies (hash,
+//! affinity) admit an *unbounded* epoch: placement is a pure function of
+//! the job and the static fleet shape, so shards free-run to completion
+//! and the wall-clock speedup approaches the shard count. Least-loaded
+//! routing reads live queue depths at every arrival instant, so each
+//! routing instant is its own epoch boundary: every shard kernel is
+//! paused at exactly that sim time (`Simulation::run_epoch`'s
+//! clock-pinning barrier) before the coordinator snapshots loads and
+//! places the batch. That preserves routing fidelity perfectly — the
+//! snapshot a parallel run routes against is bit-identical to the
+//! sequential one — at the price of a barrier per arrival batch;
+//! load-fed routing therefore parallelizes the shard *work* but not the
+//! routing *decisions*, and its speedup is bounded by how much execution
+//! happens between arrivals.
+//!
+//! **Determinism.** The kernel orders events by `(time, seq)`; shard
+//! state is touched only by that shard's coroutines plus the intake.
+//! Both parallel modes replay every intake action at the same sim time
+//! and in the same per-shard relative order as the sequential router
+//! (see `parallel`'s module docs for the full argument), and intake
+//! resume clocks are produced by the same `SimTime` float arithmetic, so
+//! every record timestamp matches to the last ulp.
+//!
+//! **Why cross-epoch kills are safe.** Fault injection interacts with
+//! the barriers through PR 8's slab kernel: `ProcessId`/`EventId` are
+//! generation-checked handles, so a `CrashProc` firing in a later epoch
+//! against executor pids recorded in an earlier one is a checked no-op
+//! when those processes already retired — never a use-after-free of a
+//! recycled slot. Crash, retry and lease-revocation machinery is
+//! entirely shard-local, so it rides inside each shard's kernel
+//! unchanged ([`ParallelServiceHarness::install_faults`]).
 
 mod admission;
 mod harness;
 mod latency;
+mod parallel;
 mod router;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, AdmissionTelemetry, RejectReason};
 pub use harness::{ServiceConfig, ServiceHarness, ServiceOutcome, ServiceReport};
 pub use latency::{InstrumentedScheduler, LatencySamples, LatencySummary};
+pub use parallel::ParallelServiceHarness;
 pub use router::{RoutingPolicy, ShardLoad};

@@ -67,6 +67,16 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 impl RoutingPolicy {
+    /// Whether routing reads *live* shard load (queue depth / free qubits)
+    /// at the arrival instant, as opposed to only the static per-region
+    /// capacity. Load-fed policies force the parallel backend into epoch
+    /// lock-step (barrier-synced snapshots at every routing instant);
+    /// stateless policies let shards free-run on their threads because the
+    /// whole placement is a pure function of the job and the fleet shape.
+    pub fn needs_load_feedback(&self) -> bool {
+        matches!(self, RoutingPolicy::LeastLoaded)
+    }
+
     /// Picks the shard for `job`, or `None` when no region can ever hold
     /// it (infeasible everywhere — the harness validates this away up
     /// front, so `None` is a caller bug in practice).

@@ -820,6 +820,76 @@ pub(crate) fn spawn_shard(
     }
 }
 
+/// Resolves and arms a [`FaultScript`] on one shard: validates, builds the
+/// deterministic [`FaultInjector`] from the shard's calibration data,
+/// stores the [`FaultState`] in the shared queue state, and spawns one
+/// [`CrashProc`] per scripted outage on `sim`. Single copy of the arming
+/// logic shared by [`QCloudSimEnv::install_faults`] (which additionally
+/// wires an [`AvoidSet`]) and the service harnesses (which arm the same
+/// script on every region shard).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn arm_faults(
+    sim: &mut Simulation,
+    cloud: &QCloud,
+    shared: &Shared,
+    info: &Arc<Vec<DeviceStatic>>,
+    offline: &Arc<crate::maintenance::OfflineFlags>,
+    scheduler_pid: &Arc<AtomicU64>,
+    params: &SimParams,
+    script: &FaultScript,
+    retry: RetryPolicy,
+    avoid: Option<AvoidSet>,
+) {
+    script.validate(info.len()).expect("invalid fault script");
+    retry.validate().expect("invalid retry policy");
+    let profiles: Vec<DeviceProfile> = cloud.devices().iter().map(|d| d.profile.clone()).collect();
+    let injector = FaultInjector::resolve(script, &profiles, &params.error_weights);
+    shared.lock().faults = Some(FaultState {
+        injector,
+        retry,
+        avoid,
+    });
+    for c in &script.crashes {
+        // Deliberately no synchronous flag for `at == 0`: a crash is
+        // unplanned, so even a t=0 outage lands only when its event
+        // fires — after the first dispatch wave, which it then kills.
+        sim.spawn(Box::new(CrashProc {
+            device: c.device,
+            at: c.at,
+            down_for: c.down_for,
+            shared: shared.clone(),
+            info: info.clone(),
+            offline: offline.clone(),
+            scheduler_pid: scheduler_pid.clone(),
+            phase: 0,
+        }));
+    }
+}
+
+/// [`arm_faults`] for a [`ShardParts`] bundle (service mode; no
+/// [`AvoidSet`] — the service front end does not wire
+/// prefer-different-device brokering).
+pub(crate) fn arm_shard_faults(
+    sim: &mut Simulation,
+    shard: &ShardParts,
+    params: &SimParams,
+    script: &FaultScript,
+    retry: RetryPolicy,
+) {
+    arm_faults(
+        sim,
+        &shard.cloud,
+        &shard.shared,
+        &shard.info,
+        &shard.offline,
+        &shard.scheduler_pid,
+        params,
+        script,
+        retry,
+        None,
+    );
+}
+
 /// The top-level simulation environment (paper's `QCloudSimEnv`).
 pub struct QCloudSimEnv {
     sim: Simulation,
@@ -915,37 +985,18 @@ impl QCloudSimEnv {
         retry: RetryPolicy,
         avoid: Option<AvoidSet>,
     ) {
-        script
-            .validate(self.info.len())
-            .expect("invalid fault script");
-        retry.validate().expect("invalid retry policy");
-        let profiles: Vec<DeviceProfile> = self
-            .cloud
-            .devices()
-            .iter()
-            .map(|d| d.profile.clone())
-            .collect();
-        let injector = FaultInjector::resolve(&script, &profiles, &self.params.error_weights);
-        self.shared.lock().faults = Some(FaultState {
-            injector,
+        arm_faults(
+            &mut self.sim,
+            &self.cloud,
+            &self.shared,
+            &self.info,
+            &self.offline,
+            &self.scheduler_pid,
+            &self.params,
+            &script,
             retry,
             avoid,
-        });
-        for c in &script.crashes {
-            // Deliberately no synchronous flag for `at == 0`: a crash is
-            // unplanned, so even a t=0 outage lands only when its event
-            // fires — after the first dispatch wave, which it then kills.
-            self.sim.spawn(Box::new(CrashProc {
-                device: c.device,
-                at: c.at,
-                down_for: c.down_for,
-                shared: self.shared.clone(),
-                info: self.info.clone(),
-                offline: self.offline.clone(),
-                scheduler_pid: self.scheduler_pid.clone(),
-                phase: 0,
-            }));
-        }
+        );
     }
 
     /// Schedules a maintenance window: the device is marked *offline* from
